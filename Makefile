@@ -1,0 +1,43 @@
+# Convenience targets for the Vienna Fortran reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench examples experiments analyze clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the EXPERIMENTS.md tables (E1-E4).
+experiments:
+	$(GO) run ./cmd/vfbench
+
+# The paper's compiler-analysis artifacts (E6).
+analyze:
+	$(GO) run ./cmd/vfanalyze -demo fig1
+	$(GO) run ./cmd/vfanalyze -demo fig2
+	$(GO) run ./cmd/vfanalyze -demo example4
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/adi -nx 64 -ny 64 -iters 2
+	$(GO) run ./examples/pic -ncell 128 -steps 40
+	$(GO) run ./examples/smoothing -n 128
+	$(GO) run ./examples/dcase
+	$(GO) run ./examples/connect
+
+clean:
+	$(GO) clean ./...

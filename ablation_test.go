@@ -1,0 +1,120 @@
+package vienna
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - pipeline chunking in the static ADI baseline (latency/parallelism
+//     trade-off of the "compiler-embedded" communication);
+//   - schedule-aware alltoallv vs. the generic size-exchanging variant
+//     (the §3.2.2 symmetric-schedule optimization);
+//   - schedule cache on repeated redistribution (first vs. later rounds).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+func BenchmarkADIPipelineChunk(b *testing.B) {
+	for _, chunk := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			var last apps.ADIResult
+			for i := 0; i < b.N; i++ {
+				res, err := apps.RunADI(apps.ADIConfig{
+					NX: 128, NY: 128, Iters: 2, P: 4, Mode: apps.ADIStaticCols,
+					ChunkRows: chunk, Alpha: benchAlpha, Beta: benchBeta,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.SweepMsgs), "sweep-msgs/run")
+			b.ReportMetric(last.ModelTime*1e3, "model-ms/run")
+		})
+	}
+}
+
+func BenchmarkAlltoallvSchedAblation(b *testing.B) {
+	run := func(b *testing.B, sched bool) {
+		m := machine.New(4)
+		defer m.Close()
+		payload := msg.EncodeFloat64s(make([]float64, 512))
+		if err := m.Run(func(ctx *machine.Ctx) error {
+			np, rank := ctx.NP(), ctx.Rank()
+			send := make([][]byte, np)
+			recvFrom := make([]bool, np)
+			right := (rank + 1) % np
+			left := (rank - 1 + np) % np
+			send[right] = payload
+			recvFrom[left] = true
+			if ctx.Rank() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				var err error
+				if sched {
+					_, err = ctx.Comm().AlltoallvSched(send, recvFrom)
+				} else {
+					_, err = ctx.Comm().Alltoallv(send)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		sn := m.Stats().Snapshot()
+		b.ReportMetric(float64(sn.TotalMsgs())/float64(b.N), "msgs/op")
+	}
+	b.Run("generic", func(b *testing.B) { run(b, false) })
+	b.Run("schedule-aware", func(b *testing.B) { run(b, true) })
+}
+
+func BenchmarkRedistributeCacheAblation(b *testing.B) {
+	// first round (cold schedules, cache misses) vs steady state: measure
+	// one cold build+exchange against the average of many warm rounds.
+	mkDists := func(m *machine.Machine) (*dist.Distribution, *dist.Distribution) {
+		tg := m.ProcsDim("P", 4).Whole()
+		dom := index.Dim(1 << 14)
+		return dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg),
+			dist.MustNew(dist.NewType(dist.CyclicDim(4)), dom, tg)
+	}
+	b.Run("coldSchedule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := machine.New(4)
+			d1, d2 := mkDists(m)
+			for r := 0; r < 4; r++ {
+				s := d1.LocalGrid(r)
+				for peer := 0; peer < 4; peer++ {
+					_ = s.Intersect(d2.LocalGrid(peer))
+				}
+			}
+			m.Close()
+		}
+	})
+	b.Run("warmExchangeOnly", func(b *testing.B) {
+		res, err := apps.RunRedistCost(apps.RedistCostConfig{
+			N0: 1 << 14, P: 4, Rounds: maxI(b.N, 2),
+			From: []dist.DimSpec{dist.BlockDim()},
+			To:   []dist.DimSpec{dist.CyclicDim(4)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.WallPerRound.Nanoseconds()), "ns/redist")
+	})
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package vienna
+
+// Benchmarks regenerating the paper's evaluation artifacts (see DESIGN.md
+// per-experiment index and EXPERIMENTS.md for measured results):
+//
+//	E1 BenchmarkFig1ADI        — Figure 1 / claim C2 (ADI strategies)
+//	E2 BenchmarkFig2PIC        — Figure 2 / claim C3 (PIC load balance)
+//	E3 BenchmarkSmoothing      — §4 claim C1 (column vs 2-D block)
+//	E4 BenchmarkRedistribute   — §4 claim C4 (DISTRIBUTE cost)
+//	   Benchmark<micro>        — substrate microbenchmarks
+//
+// Custom metrics: data messages per run (msgs/run), payload bytes per run
+// (bytes/run), and modeled time under the default Hockney parameters
+// (model-ms/run) where a cost model is attached.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/parti"
+)
+
+const (
+	benchAlpha = 1e-4 // 100µs startup — iPSC-class latency
+	benchBeta  = 1e-8 // 10ns/byte — ~100 MB/s
+)
+
+func BenchmarkFig1ADI(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		mode apps.ADIMode
+	}{
+		{"dynamic", apps.ADIDynamic},
+		{"staticCols", apps.ADIStaticCols},
+		{"staticRows", apps.ADIStaticRows},
+	} {
+		for _, size := range []int{64, 128} {
+			for _, p := range []int{4, 8} {
+				b.Run(fmt.Sprintf("%s/N%d/P%d", cfg.name, size, p), func(b *testing.B) {
+					var last apps.ADIResult
+					for i := 0; i < b.N; i++ {
+						res, err := apps.RunADI(apps.ADIConfig{
+							NX: size, NY: size, Iters: 2, P: p, Mode: cfg.mode,
+							Alpha: benchAlpha, Beta: benchBeta,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res
+					}
+					b.ReportMetric(float64(last.Msgs), "msgs/run")
+					b.ReportMetric(float64(last.Bytes), "bytes/run")
+					b.ReportMetric(last.ModelTime*1e3, "model-ms/run")
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFig2PIC(b *testing.B) {
+	for _, cfg := range []struct {
+		name      string
+		rebalance bool
+	}{
+		{"staticBlock", false},
+		{"bblockRebalanced", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last apps.PICResult
+			for i := 0; i < b.N; i++ {
+				res, err := apps.RunPIC(apps.PICConfig{
+					NCell: 256, Steps: 40, P: 4, Rebalance: cfg.rebalance,
+					DriftFrac: 0.3, Alpha: benchAlpha, Beta: benchBeta,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.MeanImbalance, "mean-imbalance")
+			b.ReportMetric(last.FinalImbalance, "final-imbalance")
+			b.ReportMetric(float64(last.Redistributions), "redists/run")
+			b.ReportMetric(last.ModelTime*1e3, "model-ms/run")
+		})
+	}
+}
+
+func BenchmarkSmoothing(b *testing.B) {
+	for _, mode := range []apps.SmoothMode{apps.SmoothColumns, apps.SmoothBlock2D} {
+		name := "columns"
+		if mode == apps.SmoothBlock2D {
+			name = "block2d"
+		}
+		for _, n := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/N%d/P9", name, n), func(b *testing.B) {
+				var last apps.SmoothResult
+				for i := 0; i < b.N; i++ {
+					res, err := apps.RunSmoothing(apps.SmoothConfig{
+						N: n, Steps: 4, P: 9, Mode: mode,
+						Alpha: benchAlpha, Beta: benchBeta,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.MsgsPerProcStep, "msgs/proc/step")
+				b.ReportMetric(last.BytesPerProcStep, "bytes/proc/step")
+				b.ReportMetric(last.ModelTime*1e3, "model-ms/run")
+			})
+		}
+	}
+}
+
+func BenchmarkRedistribute(b *testing.B) {
+	pairs := []struct {
+		name     string
+		from, to []dist.DimSpec
+		twoD     bool
+	}{
+		{"blockToCyclic", []dist.DimSpec{dist.BlockDim()}, []dist.DimSpec{dist.CyclicDim(1)}, false},
+		{"blockToCyclic4", []dist.DimSpec{dist.BlockDim()}, []dist.DimSpec{dist.CyclicDim(4)}, false},
+		{"colsToRows", []dist.DimSpec{dist.ElidedDim(), dist.BlockDim()}, []dist.DimSpec{dist.BlockDim(), dist.ElidedDim()}, true},
+		{"bblockShift", []dist.DimSpec{dist.BBlockDim(100, 200, 300, 1024)}, []dist.DimSpec{dist.BBlockDim(300, 500, 700, 1024)}, false},
+	}
+	for _, pr := range pairs {
+		for _, n := range []int{1024, 4096} {
+			from, to := pr.from, pr.to
+			n1 := 0
+			n0 := n
+			if pr.twoD {
+				n0 = 64
+				n1 = n / 64
+			}
+			if pr.name == "bblockShift" && n != 1024 {
+				continue // bounds are size-specific
+			}
+			b.Run(fmt.Sprintf("%s/N%d/P4", pr.name, n), func(b *testing.B) {
+				var last apps.RedistCostResult
+				for i := 0; i < b.N; i++ {
+					res, err := apps.RunRedistCost(apps.RedistCostConfig{
+						N0: n0, N1: n1, P: 4, Rounds: 2, From: from, To: to,
+						Alpha: benchAlpha, Beta: benchBeta,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.BytesPerRound, "bytes/redist")
+				b.ReportMetric(last.MsgsPerRound, "msgs/redist")
+			})
+		}
+	}
+}
+
+func BenchmarkPointToPoint(b *testing.B) {
+	for _, size := range []int{64, 4096, 65536} {
+		b.Run(fmt.Sprintf("chan/%dB", size), func(b *testing.B) {
+			tr := msg.NewChanTransport(2)
+			defer tr.Close()
+			payload := make([]byte, size)
+			done := make(chan struct{})
+			go func() {
+				ep := tr.Endpoint(1)
+				for i := 0; i < b.N; i++ {
+					if _, err := ep.Recv(0, 1); err != nil {
+						return
+					}
+				}
+				close(done)
+			}()
+			ep := tr.Endpoint(0)
+			b.ResetTimer()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := ep.Send(1, 1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+		})
+	}
+	b.Run("tcp/4096B", func(b *testing.B) {
+		tr, err := msg.NewTCPTransport(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tr.Close()
+		payload := make([]byte, 4096)
+		done := make(chan struct{})
+		go func() {
+			ep := tr.Endpoint(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := ep.Recv(0, 1); err != nil {
+					return
+				}
+			}
+			close(done)
+		}()
+		ep := tr.Endpoint(0)
+		b.ResetTimer()
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if err := ep.Send(1, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		<-done
+	})
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, np := range []int{2, 8} {
+		b.Run(fmt.Sprintf("P%d", np), func(b *testing.B) {
+			m := machine.New(np)
+			defer m.Close()
+			b.ResetTimer()
+			if err := m.Run(func(ctx *machine.Ctx) error {
+				for i := 0; i < b.N; i++ {
+					ctx.Barrier()
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkScheduleBuild(b *testing.B) {
+	m := machine.New(8)
+	defer m.Close()
+	tg := m.ProcsDim("P", 8).Whole()
+	dom := index.Dim(1 << 20)
+	oldD := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+	newD := dist.MustNew(dist.NewType(dist.CyclicDim(4)), dom, tg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := oldD.LocalGrid(3).Intersect(newD.LocalGrid(5))
+		if g.Count() == 0 {
+			b.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkGhostExchange(b *testing.B) {
+	m := machine.New(4)
+	defer m.Close()
+	e := NewEngine(m)
+	if err := m.Run(func(ctx *Ctx) error {
+		u := e.MustDeclare(ctx, Decl{Name: "U", Domain: Dim(512, 512), Dynamic: true,
+			Init:  &DistSpec{Type: NewType(Elided(), Block())},
+			Ghost: []int{1, 1}})
+		u.Fill(ctx, 1)
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			u.ExchangeAllGhosts(ctx)
+			ctx.Barrier()
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTTableGather(b *testing.B) {
+	m := machine.New(4)
+	defer m.Close()
+	const n = 4096
+	if err := m.Run(func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		mine := make([]int, 0, n/4)
+		for i := rank + 1; i <= n; i += 4 {
+			mine = append(mine, i)
+		}
+		tt := parti.NewTTable(ctx, n, mine)
+		local := make([]float64, len(mine))
+		for k := range local {
+			local[k] = float64(mine[k])
+		}
+		want := make([]int, 256)
+		for k := range want {
+			want[k] = (rank*97+k*31)%n + 1
+		}
+		sched := parti.BuildGather(ctx, tt, want)
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			vals := sched.Gather(ctx, local)
+			if vals[0] != float64(want[0]) {
+				return fmt.Errorf("bad gather")
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

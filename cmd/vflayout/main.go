@@ -1,0 +1,245 @@
+// Command vflayout visualizes the ownership map of a Vienna Fortran
+// distribution expression: which processor owns each element of an array
+// under a given distribution.  The expression uses the language's own
+// syntax (parsed by internal/lang), so what you see is what a program's
+// DIST annotation would do.
+//
+//	vflayout -p 4 -n 12 "(BLOCK)"
+//	vflayout -p 4 -n 10,10 "(BLOCK, CYCLIC(2))"
+//	vflayout -p 6 -procs 2,3 -n 8,8 "(CYCLIC, BLOCK)"
+//	vflayout -p 4 -n 12 "(B_BLOCK(3,5,9,12))"
+//
+// For B_BLOCK/S_BLOCK the parenthesized arguments are the literal bounds/
+// sizes.  Output is a grid of processor numbers (dimension 1 down the
+// rows, dimension 2 across the columns, Fortran column-major mindset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	redistpkg "repro/internal/redist"
+)
+
+func main() {
+	np := flag.Int("p", 4, "number of processors")
+	nStr := flag.String("n", "12", "array extents, comma-separated")
+	procsStr := flag.String("procs", "", "processor array extents (default: 1-D of p)")
+	redist := flag.Bool("redist", false, "with two expressions, print the redistribution transfer matrix")
+	flag.Parse()
+	if flag.NArg() != 1 && !(*redist && flag.NArg() == 2) {
+		fmt.Fprintln(os.Stderr, `usage: vflayout [-p N] [-procs 2,2] -n 10,10 "(BLOCK, CYCLIC(2))"`)
+		fmt.Fprintln(os.Stderr, `       vflayout -redist [-p N] -n 16 "(BLOCK)" "(CYCLIC)"`)
+		os.Exit(2)
+	}
+
+	extents, err := parseInts(*nStr)
+	if err != nil {
+		log.Fatalf("bad -n: %v", err)
+	}
+	dom := index.Dim(extents...)
+
+	typ, err := parseDistType(flag.Arg(0), dom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := machine.New(*np)
+	defer m.Close()
+	var tg dist.Target
+	if *procsStr == "" {
+		// arrange the processors to match the number of distributed
+		// dimensions (near-square factorization for 2-D)
+		switch typ.DistributedDims() {
+		case 2:
+			q := 1
+			for f := 1; f*f <= *np; f++ {
+				if *np%f == 0 {
+					q = f
+				}
+			}
+			tg = m.ProcsDim("R", q, *np/q).Whole()
+		default:
+			tg = m.ProcsDim("P", *np).Whole()
+		}
+	} else {
+		pe, err := parseInts(*procsStr)
+		if err != nil {
+			log.Fatalf("bad -procs: %v", err)
+		}
+		tg = m.ProcsDim("R", pe...).Whole()
+	}
+	d, err := dist.New(typ, dom, tg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *redist {
+		typ2, err := parseDistType(flag.Arg(1), dom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d2, err := dist.New(typ2, dom, tg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printTransferMatrix(d, d2, *np)
+		return
+	}
+
+	fmt.Printf("A%v DIST %v TO %v\n", dom, typ, tg)
+	if d.Replicated() {
+		fmt.Printf("(replicated %d-fold across unused target dimensions; primary owners shown)\n",
+			d.ReplicationDegree())
+	}
+	switch dom.Rank() {
+	case 1:
+		for i := dom.Lo[0]; i <= dom.Hi[0]; i++ {
+			fmt.Printf("%3d", d.Owner(index.Point{i}))
+		}
+		fmt.Println()
+	case 2:
+		fmt.Printf("     ")
+		for j := dom.Lo[1]; j <= dom.Hi[1]; j++ {
+			fmt.Printf("%3d", j)
+		}
+		fmt.Println("   <- dim 2")
+		for i := dom.Lo[0]; i <= dom.Hi[0]; i++ {
+			fmt.Printf("%3d |", i)
+			for j := dom.Lo[1]; j <= dom.Hi[1]; j++ {
+				fmt.Printf("%3d", d.Owner(index.Point{i, j}))
+			}
+			fmt.Println()
+		}
+	default:
+		fmt.Println("(rank > 2: per-processor element counts only)")
+	}
+	fmt.Println("\nper-processor element counts:")
+	for r := 0; r < *np; r++ {
+		fmt.Printf("  P%d: %d", r, d.LocalCount(r))
+		if seg, ok := d.Segment(r); ok && d.LocalCount(r) > 0 {
+			fmt.Printf("  segment %v", seg)
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseDistType parses "(BLOCK, CYCLIC(2))" using the language front end
+// by embedding it in a declaration.
+func parseDistType(expr string, dom index.Domain) (dist.Type, error) {
+	dims := make([]string, dom.Rank())
+	for i := range dims {
+		dims[i] = "9"
+	}
+	src := fmt.Sprintf("REAL A(%s) DIST %s\n", strings.Join(dims, ","), expr)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return dist.Type{}, fmt.Errorf("cannot parse %q: %w", expr, err)
+	}
+	decl := prog.Stmts[0].(*lang.DeclStmt)
+	if decl.Dist == nil {
+		return dist.Type{}, fmt.Errorf("no distribution expression in %q", expr)
+	}
+	specs := make([]dist.DimSpec, len(decl.Dist.Dims))
+	for i, d := range decl.Dist.Dims {
+		switch d.Kind {
+		case lang.DBlock:
+			specs[i] = dist.BlockDim()
+		case lang.DElided:
+			specs[i] = dist.ElidedDim()
+		case lang.DCyclic:
+			k := 1
+			if d.Arg != nil {
+				lit, ok := d.Arg.(*lang.IntLit)
+				if !ok {
+					return dist.Type{}, fmt.Errorf("CYCLIC argument must be a literal")
+				}
+				k = lit.Value
+			}
+			specs[i] = dist.CyclicDim(k)
+		case lang.DSBlock, lang.DBBlock:
+			vals, err := literalList(d.Args)
+			if err != nil {
+				return dist.Type{}, fmt.Errorf("%v needs literal arguments: %w", d.Kind, err)
+			}
+			if d.Kind == lang.DSBlock {
+				specs[i] = dist.SBlockDim(vals...)
+			} else {
+				specs[i] = dist.BBlockDim(vals...)
+			}
+		default:
+			return dist.Type{}, fmt.Errorf("unsupported component %v", d.Kind)
+		}
+	}
+	return dist.NewType(specs...), nil
+}
+
+// literalList extracts the literal bounds/sizes of B_BLOCK(3,5,9,12).
+func literalList(args []lang.Expr) ([]int, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("missing bounds")
+	}
+	out := make([]int, len(args))
+	for i, a := range args {
+		lit, ok := a.(*lang.IntLit)
+		if !ok {
+			return nil, fmt.Errorf("bound %d is not a literal", i+1)
+		}
+		out[i] = lit.Value
+	}
+	return out, nil
+}
+
+// printTransferMatrix shows, for DISTRIBUTE from -> to, how many elements
+// each processor sends to each other processor — the communication
+// schedule of §3.2.2 made visible.
+func printTransferMatrix(from, to *dist.Distribution, np int) {
+	fmt.Printf("DISTRIBUTE A%v :: %v -> %v\n\n", from.Domain(), from.DistType(), to.DistType())
+	fmt.Printf("transfer matrix (rows = sender, cols = receiver, elements):\n")
+	fmt.Printf("      ")
+	for q := 0; q < np; q++ {
+		fmt.Printf("%7s", fmt.Sprintf("->P%d", q))
+	}
+	fmt.Println()
+	totalMoved, totalKept := 0, 0
+	for r := 0; r < np; r++ {
+		sched := redistpkg.Build(from, to, r, np)
+		row := make([]int, np)
+		for _, tr := range sched.Sends {
+			row[tr.Peer] = tr.Count
+		}
+		fmt.Printf("  P%-3d", r)
+		for q := 0; q < np; q++ {
+			fmt.Printf("%7d", row[q])
+			if q == r {
+				totalKept += row[q]
+			} else {
+				totalMoved += row[q]
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d elements stay in place, %d move (%d bytes)\n",
+		totalKept, totalMoved, 8*totalMoved)
+}

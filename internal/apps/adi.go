@@ -1,0 +1,356 @@
+// Package apps contains the paper's application studies (§4) as
+// parameterized, metric-reporting harnesses shared by the examples, the
+// benchmarks in bench_test.go, and cmd/vfbench:
+//
+//   - ADI (Figure 1, claim C2): dynamic redistribution between sweeps vs
+//     a static distribution with a pipelined distributed tridiagonal
+//     solve;
+//   - PIC (Figure 2, claim C3): B_BLOCK load balancing vs static BLOCK;
+//   - grid smoothing (claim C1): column vs 2-D block distribution and the
+//     N/p crossover;
+//   - redistribution microcosts (claim C4).
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// ADIMode selects the distribution strategy of the ADI run.
+type ADIMode int
+
+// ADI strategies.
+const (
+	// ADIDynamic is Figure 1: V is DYNAMIC, distributed (:,BLOCK) for the
+	// x-sweep and redistributed to (BLOCK,:) for the y-sweep each
+	// iteration.  All communication is confined to the two DISTRIBUTE
+	// statements.
+	ADIDynamic ADIMode = iota
+	// ADIStaticCols keeps V statically distributed (:,BLOCK): the x-sweep
+	// is local, the y-sweep runs a pipelined distributed Thomas solve —
+	// the communication "the compiler must embed" per §4.
+	ADIStaticCols
+	// ADIStaticRows keeps V statically distributed (BLOCK,:): the y-sweep
+	// is local, the x-sweep is pipelined.
+	ADIStaticRows
+)
+
+func (m ADIMode) String() string {
+	switch m {
+	case ADIDynamic:
+		return "dynamic"
+	case ADIStaticCols:
+		return "static(:,BLOCK)"
+	case ADIStaticRows:
+		return "static(BLOCK,:)"
+	}
+	return "?"
+}
+
+// ADIConfig parameterizes an ADI run.
+type ADIConfig struct {
+	NX, NY int
+	Iters  int
+	P      int
+	Mode   ADIMode
+	// ChunkRows batches pipeline messages in the static modes (default 8).
+	ChunkRows int
+	// Alpha/Beta attach a Hockney cost model when non-zero.
+	Alpha, Beta float64
+	// FlopTime charges modeled compute per element-update (default 2ns).
+	FlopTime float64
+	// Validate compares the final grid against the serial reference.
+	Validate bool
+	// UseTCP runs the machine over the TCP loopback transport instead of
+	// the in-process one (same semantics, real sockets).
+	UseTCP bool
+}
+
+// ADIResult reports an ADI run.
+type ADIResult struct {
+	Mode        ADIMode
+	Wall        time.Duration
+	Msgs, Bytes int64
+	SweepMsgs   int64 // messages during sweeps (static pipeline traffic)
+	RedistMsgs  int64 // messages during DISTRIBUTE (dynamic traffic)
+	RedistBytes int64
+	ModelTime   float64 // modeled makespan in seconds (0 without model)
+	MaxErr      float64 // vs serial reference (when validated)
+	Checksum    float64
+	CacheHits   int
+	CacheMisses int
+}
+
+const (
+	adiA, adiB, adiC = -1.0, 4.0, -1.0
+)
+
+func colsType() dist.Type { return dist.NewType(dist.ElidedDim(), dist.BlockDim()) }
+func rowsType() dist.Type { return dist.NewType(dist.BlockDim(), dist.ElidedDim()) }
+
+// RunADI executes the Figure 1 iteration under the chosen strategy and
+// reports traffic, modeled and measured time, and (optionally) the
+// deviation from the serial reference.
+func RunADI(cfg ADIConfig) (ADIResult, error) {
+	if cfg.ChunkRows <= 0 {
+		cfg.ChunkRows = 8
+	}
+	if cfg.FlopTime == 0 {
+		cfg.FlopTime = 2e-9
+	}
+	if cfg.NX < cfg.P || cfg.NY < cfg.P {
+		return ADIResult{}, fmt.Errorf("apps: ADI needs NX,NY >= P (%dx%d on %d)", cfg.NX, cfg.NY, cfg.P)
+	}
+	var mopts []machine.Option
+	var cm *msg.CostModel
+	var topts []msg.Option
+	if cfg.Alpha != 0 || cfg.Beta != 0 {
+		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
+		mopts = append(mopts, machine.WithCostModel(cm))
+		topts = append(topts, msg.WithCost(cm))
+	}
+	if cfg.UseTCP {
+		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
+		if err != nil {
+			return ADIResult{Mode: cfg.Mode}, err
+		}
+		mopts = append(mopts, machine.WithTransport(tcp))
+	}
+	m := machine.New(cfg.P, mopts...)
+	defer m.Close()
+	e := core.NewEngine(m)
+	res := ADIResult{Mode: cfg.Mode}
+
+	dom := index.Dim(cfg.NX, cfg.NY)
+	initial := func(p index.Point) float64 {
+		return float64((p[0]*31+p[1]*17)%13) - 6.0
+	}
+
+	// serial reference
+	var ref []float64
+	if cfg.Validate {
+		ref = make([]float64, dom.Size())
+		dom.WholeSection().ForEach(func(p index.Point) bool {
+			ref[dom.Offset(p)] = initial(p)
+			return true
+		})
+		kernels.SerialADI(ref, cfg.NX, cfg.NY, cfg.Iters, adiA, adiB, adiC)
+	}
+
+	var sweepMsgs, redistMsgs, redistBytes int64
+	var finalErr, checksum float64
+	var hits, misses int
+	start := time.Now()
+	err := m.Run(func(ctx *machine.Ctx) error {
+		colsDist := core.DistSpec{Type: colsType()}
+		rowsDist := core.DistSpec{Type: rowsType()}
+		var v *core.Array
+		switch cfg.Mode {
+		case ADIDynamic:
+			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, Init: &colsDist})
+		case ADIStaticCols:
+			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &colsDist})
+		case ADIStaticRows:
+			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &rowsDist})
+		}
+		v.FillFunc(ctx, initial)
+		ctx.Barrier()
+
+		// account runs a phase and, after the trailing barrier, adds its
+		// rank-0-observed global traffic delta to the given counters.
+		account := func(phase func(), msgs, bytes *int64) {
+			pre := m.Stats().Snapshot()
+			ctx.Barrier() // no rank may send before pre is taken
+			phase()
+			ctx.Barrier()
+			if ctx.Rank() == 0 {
+				d := m.Stats().Snapshot().Sub(pre)
+				*msgs += d.TotalDataMsgs()
+				if bytes != nil {
+					*bytes += d.TotalBytes()
+				}
+			}
+		}
+
+		for it := 0; it < cfg.Iters; it++ {
+			switch cfg.Mode {
+			case ADIDynamic:
+				if it > 0 {
+					account(func() {
+						e.MustDistribute(ctx, []*core.Array{v}, core.DimsOf(dist.ElidedDim(), dist.BlockDim()))
+					}, &redistMsgs, &redistBytes)
+				}
+				localSweep(ctx, v, 0, cfg.FlopTime)
+				ctx.Barrier()
+				account(func() {
+					e.MustDistribute(ctx, []*core.Array{v}, core.DimsOf(dist.BlockDim(), dist.ElidedDim()))
+				}, &redistMsgs, &redistBytes)
+				localSweep(ctx, v, 1, cfg.FlopTime)
+				ctx.Barrier()
+			case ADIStaticCols:
+				localSweep(ctx, v, 0, cfg.FlopTime)
+				ctx.Barrier()
+				account(func() { pipelinedSweep(ctx, v, 1, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+			case ADIStaticRows:
+				account(func() { pipelinedSweep(ctx, v, 0, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+				localSweep(ctx, v, 1, cfg.FlopTime)
+				ctx.Barrier()
+			}
+		}
+
+		if cfg.Validate {
+			got := v.GatherTo(ctx, 0)
+			if ctx.Rank() == 0 {
+				for i, x := range got {
+					checksum += x
+					d := x - ref[i]
+					if d < 0 {
+						d = -d
+					}
+					if d > finalErr {
+						finalErr = d
+					}
+				}
+			}
+		} else {
+			s := v.DArray().ReduceSum(ctx)
+			if ctx.Rank() == 0 {
+				checksum = s
+			}
+		}
+		if ctx.Rank() == 0 {
+			hits, misses = v.DArray().ScheduleCacheStats()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Wall = time.Since(start)
+	sn := m.Stats().Snapshot()
+	res.Msgs, res.Bytes = sn.TotalDataMsgs(), sn.TotalBytes()
+	res.SweepMsgs, res.RedistMsgs, res.RedistBytes = sweepMsgs, redistMsgs, redistBytes
+	if cm != nil {
+		res.ModelTime = cm.Makespan()
+	}
+	res.MaxErr = finalErr
+	res.Checksum = checksum
+	res.CacheHits, res.CacheMisses = hits, misses
+	return res, nil
+}
+
+// localSweep solves the tridiagonal systems along dimension dim; every
+// line must be fully local (dim elided in the current distribution).
+func localSweep(ctx *machine.Ctx, v *core.Array, dim int, flopTime float64) {
+	l := v.Local(ctx)
+	alloc := l.AllocShape()
+	other := 1 - dim
+	strd := l.Stride()
+	n := alloc[dim]
+	if n == 0 || alloc[other] == 0 {
+		return
+	}
+	scratch := make([]float64, n)
+	data := l.Data()
+	for li := 0; li < alloc[other]; li++ {
+		start := li * strd[other]
+		kernels.TridiagStrided(data, start, strd[dim], n, adiA, adiB, adiC, scratch)
+	}
+	ctx.Charge(flopTime * float64(5*n*alloc[other]))
+}
+
+// pipelinedSweep solves the tridiagonal systems along a BLOCK-distributed
+// dimension dim: each processor eliminates its segment of every line and
+// forwards per-line pipeline state (b', d') to the next processor in
+// chunks, then back-substitutes in the reverse direction.  This is the
+// communication pattern a compiler must generate for the static ADI
+// (paper §4).
+func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTime float64) {
+	l := v.Local(ctx)
+	rank, np := ctx.Rank(), ctx.NP()
+	alloc := l.AllocShape()
+	other := 1 - dim
+	strd := l.Stride()
+	segN := alloc[dim]    // my extent along the recurrence dimension
+	lines := alloc[other] // number of independent systems (all local)
+	if lines == 0 {
+		return
+	}
+	data := l.Data()
+	ep := ctx.Endpoint()
+	const fwdTag, bwdTag = 9001, 9002
+
+	// per-line modified diagonals, needed again by the backward pass
+	bps := make([][]float64, lines)
+	for i := range bps {
+		bps[i] = make([]float64, segN)
+	}
+
+	prev, next := rank-1, rank+1
+
+	// forward elimination, pipelined in chunks of lines
+	for c0 := 0; c0 < lines; c0 += chunk {
+		c1 := c0 + chunk
+		if c1 > lines {
+			c1 = lines
+		}
+		in := make([]kernels.SweepState, c1-c0)
+		if prev >= 0 {
+			p, err := ep.Recv(prev, fwdTag)
+			if err != nil {
+				panic(err)
+			}
+			vals := msg.DecodeFloat64s(p.Data)
+			for k := range in {
+				in[k] = kernels.SweepState{BP: vals[2*k], D: vals[2*k+1], Valid: true}
+			}
+		}
+		out := make([]float64, 0, 2*(c1-c0))
+		for li := c0; li < c1; li++ {
+			st := kernels.ForwardSegment(data, li*strd[other], strd[dim], segN, adiA, adiB, adiC, in[li-c0], bps[li])
+			out = append(out, st.BP, st.D)
+		}
+		ctx.Charge(flopTime * float64(5*segN*(c1-c0)))
+		if next < np {
+			if err := ep.Send(next, fwdTag, msg.EncodeFloat64s(out)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// back substitution, pipelined in the reverse direction
+	for c0 := 0; c0 < lines; c0 += chunk {
+		c1 := c0 + chunk
+		if c1 > lines {
+			c1 = lines
+		}
+		in := make([]kernels.BackState, c1-c0)
+		if next < np {
+			p, err := ep.Recv(next, bwdTag)
+			if err != nil {
+				panic(err)
+			}
+			vals := msg.DecodeFloat64s(p.Data)
+			for k := range in {
+				in[k] = kernels.BackState{X: vals[k], Valid: true}
+			}
+		}
+		out := make([]float64, 0, c1-c0)
+		for li := c0; li < c1; li++ {
+			st := kernels.BackwardSegment(data, li*strd[other], strd[dim], segN, adiC, in[li-c0], bps[li])
+			out = append(out, st.X)
+		}
+		ctx.Charge(flopTime * float64(3*segN*(c1-c0)))
+		if prev >= 0 {
+			if err := ep.Send(prev, bwdTag, msg.EncodeFloat64s(out)); err != nil {
+				panic(err)
+			}
+		}
+	}
+}

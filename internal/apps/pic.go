@@ -1,0 +1,352 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// PICConfig parameterizes the Figure 2 particle-in-cell study.  The
+// domain is a 1-D chain of NCell cells; each cell holds a particle count.
+// Every step, a fixed fraction of each cell's particles drifts toward
+// higher-numbered cells (reflecting at the last cell), so a uniform
+// initial loading develops a pile-up — exactly the "motion of particles
+// during the simulation may lead to a severe load imbalance" scenario of
+// §4.
+type PICConfig struct {
+	NCell int
+	Steps int
+	P     int
+	// Rebalance enables the B_BLOCK(BOUNDS) rebalancing path of Figure 2;
+	// otherwise the cells stay statically BLOCK distributed.
+	Rebalance bool
+	// RebalanceEvery is the Figure 2 "every 10th iteration" check period.
+	RebalanceEvery int
+	// RebalanceThreshold triggers rebalancing when max/avg particles per
+	// processor exceeds it (the rebalance() predicate; default 1.1).
+	RebalanceThreshold float64
+	// DriftFrac is the fraction of a cell's particles moving one cell
+	// rightward per step (default 0.2).
+	DriftFrac float64
+	// InitPerCell is the initial particle count per cell (default 64).
+	InitPerCell int
+	// WorkPerParticle spins this many arithmetic ops per particle in
+	// update_field, making wall time reflect the load (default 40).
+	WorkPerParticle int
+	// Alpha/Beta attach a cost model; FlopTime charges modeled compute
+	// per particle-op.
+	Alpha, Beta float64
+	FlopTime    float64
+	// UseTCP runs the machine over the TCP loopback transport instead of
+	// the in-process one (same semantics, real sockets).
+	UseTCP bool
+}
+
+// PICResult reports a PIC run.
+type PICResult struct {
+	Rebalance       bool
+	ImbalanceSeries []float64 // per-step max/avg particles per processor
+	MeanImbalance   float64
+	FinalImbalance  float64
+	PeakImbalance   float64
+	Redistributions int
+	Msgs, Bytes     int64
+	RedistBytes     int64
+	ModelTime       float64
+	Wall            time.Duration
+	ParticlesStart  float64
+	ParticlesEnd    float64 // conservation check: must equal start
+	FieldChecksum   float64
+}
+
+// RunPIC executes the Figure 2 outer loop:
+//
+//	CALL initpos; CALL balance; DISTRIBUTE FIELD :: B_BLOCK(BOUNDS)
+//	DO k = 1, MAX_TIME
+//	  CALL update_field; CALL update_part
+//	  IF (MOD(k,10) == 0 .AND. rebalance()) THEN
+//	    CALL balance; DISTRIBUTE FIELD :: B_BLOCK(BOUNDS)
+//	  ENDIF
+//	ENDDO
+//
+// FIELD is the primary of a connect class {FIELD, COUNT}: COUNT (the
+// per-cell particle counts) is declared CONNECT(=FIELD), so every
+// DISTRIBUTE moves both — the class semantics of §2.3 doing real work.
+func RunPIC(cfg PICConfig) (PICResult, error) {
+	if cfg.RebalanceEvery <= 0 {
+		cfg.RebalanceEvery = 10
+	}
+	if cfg.RebalanceThreshold == 0 {
+		cfg.RebalanceThreshold = 1.1
+	}
+	if cfg.DriftFrac == 0 {
+		cfg.DriftFrac = 0.2
+	}
+	if cfg.InitPerCell == 0 {
+		cfg.InitPerCell = 64
+	}
+	if cfg.WorkPerParticle == 0 {
+		cfg.WorkPerParticle = 40
+	}
+	if cfg.FlopTime == 0 {
+		cfg.FlopTime = 2e-9
+	}
+	if cfg.NCell < cfg.P {
+		return PICResult{}, fmt.Errorf("apps: PIC needs NCell >= P")
+	}
+	var mopts []machine.Option
+	var cm *msg.CostModel
+	var topts []msg.Option
+	if cfg.Alpha != 0 || cfg.Beta != 0 {
+		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
+		mopts = append(mopts, machine.WithCostModel(cm))
+		topts = append(topts, msg.WithCost(cm))
+	}
+	if cfg.UseTCP {
+		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
+		if err != nil {
+			return PICResult{Rebalance: cfg.Rebalance}, err
+		}
+		mopts = append(mopts, machine.WithTransport(tcp))
+	}
+	m := machine.New(cfg.P, mopts...)
+	defer m.Close()
+	e := core.NewEngine(m)
+	res := PICResult{Rebalance: cfg.Rebalance, ImbalanceSeries: make([]float64, cfg.Steps)}
+
+	dom := index.Dim(cfg.NCell)
+	var redistBytes int64
+	start := time.Now()
+	err := m.Run(func(ctx *machine.Ctx) error {
+		blockInit := core.DistSpec{Type: dist.NewType(dist.BlockDim())}
+		field := e.MustDeclare(ctx, core.Decl{Name: "FIELD", Domain: dom, Dynamic: true, Init: &blockInit})
+		count := e.MustDeclare(ctx, core.Decl{Name: "COUNT", Domain: dom, Dynamic: true, ConnectTo: "FIELD"})
+
+		// initpos: uniform loading
+		count.FillFunc(ctx, func(index.Point) float64 { return float64(cfg.InitPerCell) })
+		field.FillFunc(ctx, func(index.Point) float64 { return 0 })
+		ctx.Barrier()
+
+		balance := func() {
+			// compute BOUNDS equalizing particles per processor, then
+			// DISTRIBUTE FIELD :: B_BLOCK(BOUNDS) — moving COUNT with it.
+			counts := count.GatherTo(ctx, 0)
+			var bounds []int
+			if ctx.Rank() == 0 {
+				bounds = computeBounds(counts, cfg.P)
+			}
+			bounds, err := ctx.Comm().BcastInts(0, bounds)
+			if err != nil {
+				panic(err)
+			}
+			pre := m.Stats().Snapshot()
+			e.MustDistribute(ctx, []*core.Array{field},
+				core.DimsOf(dist.BBlockDim(bounds...)))
+			ctx.Barrier()
+			if ctx.Rank() == 0 {
+				redistBytes += m.Stats().Snapshot().Sub(pre).TotalBytes()
+				res.Redistributions++
+			}
+			ctx.Barrier()
+		}
+
+		imbalance := func() float64 {
+			local := 0.0
+			count.Local(ctx).ForEachOwned(func(_ index.Point, v *float64) { local += *v })
+			tot, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
+			if err != nil {
+				panic(err)
+			}
+			mx, err2 := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
+			if err2 != nil {
+				panic(err2)
+			}
+			avg := tot[0] / float64(cfg.P)
+			if avg == 0 {
+				return 1
+			}
+			return mx[0] / avg
+		}
+
+		// initial balance (Figure 2 does this before the time loop)
+		if cfg.Rebalance {
+			balance()
+		}
+		if ctx.Rank() == 0 {
+			res.ParticlesStart = sum(count.GatherTo(ctx, 0))
+		} else {
+			count.GatherTo(ctx, 0)
+		}
+
+		for k := 1; k <= cfg.Steps; k++ {
+			// update_field: work proportional to local particle count
+			lc, lf := count.Local(ctx), field.Local(ctx)
+			particles := 0.0
+			lc.ForEachOwned(func(p index.Point, v *float64) {
+				n := int(*v)
+				particles += *v
+				acc := lf.At(p)
+				for w := 0; w < n*cfg.WorkPerParticle; w++ {
+					acc += 1e-9 * float64(w%7)
+				}
+				lf.SetAt(p, acc+*v)
+			})
+			ctx.Charge(cfg.FlopTime * particles * float64(cfg.WorkPerParticle))
+			ctx.Barrier()
+
+			// update_part: DriftFrac of each cell's particles moves to
+			// cell+1; the last cell reflects (keeps its particles).  The
+			// only cross-processor flow is from my last cell to the
+			// owner of the next cell.
+			moveRight(ctx, count, cfg.DriftFrac)
+
+			imb := imbalance() // identical on every rank (allreduce)
+			if ctx.Rank() == 0 {
+				res.ImbalanceSeries[k-1] = imb
+			}
+			if cfg.Rebalance && k%cfg.RebalanceEvery == 0 && imb > cfg.RebalanceThreshold {
+				balance()
+			}
+		}
+
+		got := count.GatherTo(ctx, 0)
+		fields := field.GatherTo(ctx, 0)
+		if ctx.Rank() == 0 {
+			res.ParticlesEnd = sum(got)
+			res.FieldChecksum = sum(fields)
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Wall = time.Since(start)
+	sn := m.Stats().Snapshot()
+	res.Msgs, res.Bytes = sn.TotalDataMsgs(), sn.TotalBytes()
+	res.RedistBytes = redistBytes
+	if cm != nil {
+		res.ModelTime = cm.Makespan()
+	}
+	peak, total := 0.0, 0.0
+	for _, v := range res.ImbalanceSeries {
+		total += v
+		if v > peak {
+			res.PeakImbalance = v
+			peak = v
+		}
+	}
+	if cfg.Steps > 0 {
+		res.MeanImbalance = total / float64(cfg.Steps)
+		res.FinalImbalance = res.ImbalanceSeries[cfg.Steps-1]
+	}
+	return res, nil
+}
+
+// moveRight shifts frac of every cell's count one cell to the right
+// (reflecting at the global last cell).  Cross-boundary flow travels as a
+// point-to-point message to the owner of the next cell.
+func moveRight(ctx *machine.Ctx, count *core.Array, frac float64) {
+	l := count.Local(ctx)
+	d := count.Dist()
+	dom := count.Domain()
+	n := dom.Extent(0)
+	rs := l.Grid().Dims[0]
+	ep := ctx.Endpoint()
+	const tag = 9100
+
+	var outflow float64 // from my last cell across the boundary
+	var lastIdx int = -1
+	if rs.Count() > 0 {
+		lo, hi := rs[0].Lo, rs[len(rs)-1].Hi
+		// walk right-to-left so a cell's inflow does not cascade this step
+		for i := hi; i >= lo; i-- {
+			p := index.Point{i}
+			c := l.At(p)
+			mv := float64(int(c * frac))
+			if i == n { // reflecting boundary: stay
+				continue
+			}
+			l.SetAt(p, c-mv)
+			if i == hi {
+				outflow = mv
+				lastIdx = i
+			} else {
+				q := index.Point{i + 1}
+				l.SetAt(q, l.At(q)+mv)
+			}
+		}
+	}
+	// exchange boundary flows: send to owner of my hi+1, receive from the
+	// owner of my lo-1's segment (if any).  Every processor participates;
+	// empty segments forward nothing.
+	sendTo := -1
+	if lastIdx >= 0 && lastIdx < n {
+		sendTo = d.Owner(index.Point{lastIdx + 1})
+	}
+	recvFrom := -1
+	if rs.Count() > 0 && rs[0].Lo > 1 {
+		recvFrom = d.Owner(index.Point{rs[0].Lo - 1})
+	}
+	if sendTo >= 0 && sendTo != ctx.Rank() {
+		if err := ep.Send(sendTo, tag, msg.EncodeFloat64s([]float64{outflow, float64(lastIdx + 1)})); err != nil {
+			panic(err)
+		}
+	} else if sendTo == ctx.Rank() {
+		q := index.Point{lastIdx + 1}
+		l.SetAt(q, l.At(q)+outflow)
+	}
+	if recvFrom >= 0 && recvFrom != ctx.Rank() {
+		p, err := ep.Recv(recvFrom, tag)
+		if err != nil {
+			panic(err)
+		}
+		vals := msg.DecodeFloat64s(p.Data)
+		q := index.Point{int(vals[1])}
+		l.SetAt(q, l.At(q)+vals[0])
+	}
+	ctx.Barrier()
+}
+
+// computeBounds returns B_BLOCK bounds assigning contiguous cells to
+// processors so that each gets roughly total/np particles — the balance()
+// of Figure 2.
+func computeBounds(counts []float64, np int) []int {
+	total := sum(counts)
+	per := total / float64(np)
+	bounds := make([]int, np)
+	acc := 0.0
+	p := 0
+	for i, c := range counts {
+		acc += c
+		if acc >= per*float64(p+1) && p < np-1 {
+			bounds[p] = i + 1 // 1-based cell index
+			p++
+		}
+	}
+	for ; p < np; p++ {
+		bounds[p] = len(counts)
+	}
+	// bounds must be non-decreasing and end at NCell; fill any gaps
+	prev := 0
+	for i := range bounds {
+		if bounds[i] < prev {
+			bounds[i] = prev
+		}
+		prev = bounds[i]
+	}
+	bounds[np-1] = len(counts)
+	return bounds
+}
+
+func sum(v []float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,246 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// SmoothMode selects the grid distribution of the §4 smoothing study.
+type SmoothMode int
+
+// Smoothing distributions.
+const (
+	// SmoothColumns distributes the N×N grid (:,BLOCK): 2 messages of
+	// size N per processor per step.
+	SmoothColumns SmoothMode = iota
+	// SmoothBlock2D distributes (BLOCK,BLOCK) on a q×q processor array
+	// (P must be a square): 4 messages of size N/q per processor per
+	// step.
+	SmoothBlock2D
+)
+
+func (m SmoothMode) String() string {
+	if m == SmoothColumns {
+		return "(:,BLOCK)"
+	}
+	return "(BLOCK,BLOCK)"
+}
+
+// SmoothConfig parameterizes a smoothing run.
+type SmoothConfig struct {
+	N     int
+	Steps int
+	P     int
+	Mode  SmoothMode
+	// Alpha/Beta attach a cost model; FlopTime charges per grid-point
+	// update (default 2ns).
+	Alpha, Beta float64
+	FlopTime    float64
+	// Validate compares the final grid against the serial reference.
+	Validate bool
+	// UseTCP runs the machine over the TCP loopback transport instead of
+	// the in-process one (same semantics, real sockets).
+	UseTCP bool
+}
+
+// SmoothResult reports a smoothing run.
+type SmoothResult struct {
+	Mode SmoothMode
+	// MsgsPerProcStep and BytesPerProcStep are the *maximum* per-processor
+	// per-step data traffic (interior processors; the quantities of the
+	// paper's analysis).
+	MsgsPerProcStep  float64
+	BytesPerProcStep float64
+	ModelTime        float64
+	Wall             time.Duration
+	MaxErr           float64
+	Checksum         float64
+}
+
+// RunSmoothing performs Steps Jacobi smoothing steps on an N×N grid under
+// the chosen distribution, counting ghost-exchange traffic.
+func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
+	if cfg.FlopTime == 0 {
+		cfg.FlopTime = 2e-9
+	}
+	res := SmoothResult{Mode: cfg.Mode}
+	q := int(math.Round(math.Sqrt(float64(cfg.P))))
+	if cfg.Mode == SmoothBlock2D && q*q != cfg.P {
+		return res, fmt.Errorf("apps: 2-D smoothing needs a square processor count, got %d", cfg.P)
+	}
+	if cfg.N < cfg.P {
+		return res, fmt.Errorf("apps: smoothing needs N >= P")
+	}
+	var mopts []machine.Option
+	var cm *msg.CostModel
+	var topts []msg.Option
+	if cfg.Alpha != 0 || cfg.Beta != 0 {
+		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
+		mopts = append(mopts, machine.WithCostModel(cm))
+		topts = append(topts, msg.WithCost(cm))
+	}
+	if cfg.UseTCP {
+		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
+		if err != nil {
+			return res, err
+		}
+		mopts = append(mopts, machine.WithTransport(tcp))
+	}
+	m := machine.New(cfg.P, mopts...)
+	defer m.Close()
+	e := core.NewEngine(m)
+
+	dom := index.Dim(cfg.N, cfg.N)
+	initial := func(p index.Point) float64 {
+		return float64((p[0]*13+p[1]*7)%11) * 0.25
+	}
+
+	var ref []float64
+	if cfg.Validate {
+		cur := make([]float64, dom.Size())
+		dom.WholeSection().ForEach(func(p index.Point) bool {
+			cur[dom.Offset(p)] = initial(p)
+			return true
+		})
+		next := make([]float64, dom.Size())
+		for s := 0; s < cfg.Steps; s++ {
+			kernels.Smooth5(next, cur, cfg.N, cfg.N)
+			cur, next = next, cur
+		}
+		ref = cur
+	}
+
+	var maxErr, checksum float64
+	var exchMsgs, exchBytes int64
+	start := time.Now()
+	err := m.Run(func(ctx *machine.Ctx) error {
+		var spec core.DistSpec
+		switch cfg.Mode {
+		case SmoothColumns:
+			spec = core.DistSpec{Type: dist.NewType(dist.ElidedDim(), dist.BlockDim())}
+		case SmoothBlock2D:
+			g := m.ProcsDim("G", q, q)
+			spec = core.DistSpec{Type: dist.NewType(dist.BlockDim(), dist.BlockDim()), Target: g.Whole()}
+		}
+		u := e.MustDeclare(ctx, core.Decl{Name: "U", Domain: dom, Dynamic: true, Init: &spec, Ghost: []int{1, 1}})
+		v := e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, ConnectTo: "U", Ghost: []int{1, 1}})
+		u.FillFunc(ctx, initial)
+		ctx.Barrier()
+
+		src, dst := u, v
+		for s := 0; s < cfg.Steps; s++ {
+			pre := m.Stats().Snapshot()
+			ctx.Barrier() // no rank may send before pre is taken
+			src.ExchangeAllGhosts(ctx)
+			ctx.Barrier()
+			if ctx.Rank() == 0 {
+				d := m.Stats().Snapshot().Sub(pre)
+				exchMsgs += d.MaxDataMsgsPerProc()
+				exchBytes += d.MaxBytesPerProc()
+			}
+			smoothLocal(ctx, src, dst, cfg.FlopTime)
+			ctx.Barrier()
+			src, dst = dst, src
+		}
+		if cfg.Validate {
+			got := src.GatherTo(ctx, 0)
+			if ctx.Rank() == 0 {
+				for i, x := range got {
+					checksum += x
+					d := x - ref[i]
+					if d < 0 {
+						d = -d
+					}
+					if d > maxErr {
+						maxErr = d
+					}
+				}
+			}
+		} else {
+			s := src.DArray().ReduceSum(ctx)
+			if ctx.Rank() == 0 {
+				checksum = s
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Wall = time.Since(start)
+	if cfg.Steps > 0 {
+		res.MsgsPerProcStep = float64(exchMsgs) / float64(cfg.Steps)
+		res.BytesPerProcStep = float64(exchBytes) / float64(cfg.Steps)
+	}
+	if cm != nil {
+		res.ModelTime = cm.Makespan()
+	}
+	res.MaxErr = maxErr
+	res.Checksum = checksum
+	return res, nil
+}
+
+// smoothLocal computes dst = smooth(src) on the locally owned points,
+// reading neighbours from src's ghost cells; global boundary points copy
+// through.  Both arrays must share the distribution and ghost widths
+// (they are one connect class), so their storage layouts coincide and the
+// stencil runs on raw offsets.
+func smoothLocal(ctx *machine.Ctx, src, dst *core.Array, flopTime float64) {
+	ls, ld := src.Local(ctx), dst.Local(ctx)
+	dom := src.Domain()
+	n0, n1 := dom.Hi[0], dom.Hi[1]
+	lo, hi, ok := ls.Segment()
+	if !ok || ls.Count() == 0 {
+		return
+	}
+	sd, dd := ls.Data(), ld.Data()
+	strd := ls.Stride()
+	s0, s1 := strd[0], strd[1]
+	cnt := 0
+	for j := lo[1]; j <= hi[1]; j++ {
+		rowOff := ls.Offset(index.Point{lo[0], j})
+		for i, off := lo[0], rowOff; i <= hi[0]; i, off = i+1, off+s0 {
+			if i == 1 || i == n0 || j == 1 || j == n1 {
+				dd[off] = sd[off]
+				continue
+			}
+			dd[off] = 0.25 * (sd[off-s0] + sd[off+s0] + sd[off-s1] + sd[off+s1])
+			cnt++
+		}
+	}
+	ctx.Charge(flopTime * float64(4*cnt))
+}
+
+// SmoothModelCost returns the modeled per-step communication cost of the
+// two distributions for an N×N grid on P processors under (alpha, beta) —
+// the §4 formula: columns pay 2 messages of 8N bytes, 2-D blocks pay 4
+// messages of 8N/q bytes.  ChooseSmoothingDist picks the cheaper one.
+func SmoothModelCost(n, p int, alpha, beta float64) (columns, block2d float64) {
+	q := int(math.Round(math.Sqrt(float64(p))))
+	columns = 2 * (alpha + beta*8*float64(n))
+	block2d = 4 * (alpha + beta*8*float64(n)/float64(q))
+	return columns, block2d
+}
+
+// ChooseSmoothingDist implements the §4 runtime decision: given the grid
+// size (an input parameter) and the executing machine ($NP, alpha, beta),
+// select the distribution with the lower modeled step cost.
+func ChooseSmoothingDist(n, p int, alpha, beta float64) SmoothMode {
+	q := int(math.Round(math.Sqrt(float64(p))))
+	if q*q != p {
+		return SmoothColumns // no square arrangement available
+	}
+	c, b := SmoothModelCost(n, p, alpha, beta)
+	if b < c {
+		return SmoothBlock2D
+	}
+	return SmoothColumns
+}

@@ -1,0 +1,304 @@
+// Package core implements the paper's primary contribution: Vienna
+// Fortran's *dynamic data distributions* (paper §2.3–§2.4).
+//
+// It provides:
+//
+//   - statically and dynamically distributed array declarations, with the
+//     DYNAMIC, RANGE, DIST (initial distribution) and CONNECT annotations;
+//   - the connect equivalence relation: every dynamic array belongs to a
+//     class C(B) with one primary array B and any number of secondary
+//     arrays connected by distribution extraction ("CONNECT (=B)") or by
+//     alignment; classes in different scopes are independent and do not
+//     extend across procedure boundaries (§2.3, conditions 1–5);
+//   - the executable DISTRIBUTE statement with the NOTRANSFER attribute,
+//     implemented exactly as §3.2.2 prescribes: evaluate the new
+//     distribution, derive every connected array's distribution with
+//     CONSTRUCT, then COMMUNICATE for every member not in NOTRANSFER;
+//   - procedure-boundary redistribution (§4): CallWith temporarily
+//     redistributes an array to a callee's declared distribution, and —
+//     unlike HPF, as the paper notes — returns the new distribution to
+//     the caller when asked to.
+//
+// An Engine is a declaration scope (a procedure's environment).  All
+// operations are SPMD-collective: every processor calls them in the same
+// order with equivalent arguments.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+)
+
+// Engine is a Vienna Fortran declaration scope bound to a machine.
+type Engine struct {
+	m *machine.Machine
+
+	mu     sync.Mutex
+	arrays map[string]*Array
+	order  []string
+}
+
+// NewEngine creates a scope on the given machine.  Collective-by-
+// convention: create it before Machine.Run (it is plain construction, no
+// communication).
+func NewEngine(m *machine.Machine) *Engine {
+	return &Engine{m: m, arrays: make(map[string]*Array)}
+}
+
+// Machine returns the underlying machine.
+func (e *Engine) Machine() *machine.Machine { return e.m }
+
+// NP returns the number of executing processors — the paper's $NP
+// intrinsic ("Vienna Fortran supports an intrinsic function $NP which
+// returns the number of processors being used to execute the program").
+func (e *Engine) NP() int { return e.m.NP() }
+
+// DefaultTarget returns the whole machine viewed as a one-dimensional
+// processor array $P(1:NP), the target used when a declaration omits
+// "TO R(...)".
+func (e *Engine) DefaultTarget() dist.Target {
+	return e.m.ProcsDim("$P", e.m.NP()).Whole()
+}
+
+// Lookup finds a declared array by name.
+func (e *Engine) Lookup(name string) (*Array, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a, ok := e.arrays[name]
+	return a, ok
+}
+
+// Arrays lists the declared arrays in declaration order.
+func (e *Engine) Arrays() []*Array {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Array, 0, len(e.order))
+	for _, n := range e.order {
+		out = append(out, e.arrays[n])
+	}
+	return out
+}
+
+// ConnKind tells how a secondary array is connected to its primary.
+type ConnKind int
+
+// Connection kinds.
+const (
+	// ConnNone marks a primary (or static) array.
+	ConnNone ConnKind = iota
+	// ConnExtract is distribution extraction: CONNECT (=B).
+	ConnExtract
+	// ConnAlign is an alignment connection: CONNECT A(I,J) WITH B(...).
+	ConnAlign
+)
+
+// connectClass is the equivalence class C(B) of §2.3.
+type connectClass struct {
+	primary     *Array
+	secondaries []*Array
+}
+
+// Decl describes one array declaration.  Exactly the information of the
+// paper's annotations, in Go values:
+//
+//	REAL B3(N,N) DYNAMIC, RANGE((BLOCK,BLOCK),(*,CYCLIC)), DIST(BLOCK,CYCLIC)
+//
+// becomes
+//
+//	Decl{Name: "B3", Domain: index.Dim(n, n), Dynamic: true,
+//	     Range: dist.Range{...}, Init: &DistSpec{Type: ...}}
+type Decl struct {
+	Name   string
+	Domain index.Domain
+
+	// Dynamic declares the array DYNAMIC; otherwise it is statically
+	// distributed and Static must be set.
+	Dynamic bool
+	// Static is the fixed distribution of a non-dynamic array.
+	Static *DistSpec
+	// StaticAlign declares a static array aligned with another array
+	// (Example 1's "ALIGN D(I,J,K) WITH C(J,I,K)"): the distribution is
+	// derived from AlignWith's at declaration time.
+	StaticAlign *dist.Alignment
+	// AlignWith names the target array of StaticAlign.
+	AlignWith string
+
+	// Range restricts the distribution types a dynamic primary may take
+	// (empty = unrestricted).
+	Range dist.Range
+	// Init is the initial distribution of a dynamic primary (nil = none;
+	// the array may not be accessed before its first DISTRIBUTE).
+	Init *DistSpec
+
+	// ConnectTo makes this a secondary array of the named primary.
+	ConnectTo string
+	// Connect chooses extraction (default when Align is nil) or
+	// alignment.
+	Align *dist.Alignment
+
+	// Ghost declares overlap areas (per-dimension symmetric widths).
+	Ghost []int
+}
+
+// DistSpec is a distribution expression plus an optional target section
+// ("TO R(...)"); a nil Target means the engine's default 1-D view.
+type DistSpec struct {
+	Type   dist.Type
+	Target dist.Target
+}
+
+// resolve applies the spec to a domain.
+func (e *Engine) resolve(s *DistSpec, dom index.Domain) (*dist.Distribution, error) {
+	tg := s.Target
+	if tg == nil {
+		tg = e.DefaultTarget()
+	}
+	return dist.New(s.Type, dom, tg)
+}
+
+// Declare executes a declaration on every processor (collective).  It
+// enforces the static rules of §2.3: a secondary must connect to a
+// dynamic primary declared in the same scope; an initial distribution
+// must satisfy the declared range; static arrays must have a (derivable)
+// distribution.
+func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
+	if d.Domain.Rank() == 0 {
+		return nil, fmt.Errorf("core: %s: empty domain", d.Name)
+	}
+
+	// Resolve what the array's first distribution is, if any.
+	var d0 *dist.Distribution
+	var err error
+	switch {
+	case !d.Dynamic && d.StaticAlign != nil:
+		other, ok := e.Lookup(d.AlignWith)
+		if !ok {
+			return nil, fmt.Errorf("core: %s: ALIGN WITH unknown array %s", d.Name, d.AlignWith)
+		}
+		if other.Dynamic() {
+			return nil, fmt.Errorf("core: %s: static alignment with dynamic array %s (use DYNAMIC, CONNECT)", d.Name, d.AlignWith)
+		}
+		d0, err = dist.Construct(*d.StaticAlign, other.arr.Dist(), d.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", d.Name, err)
+		}
+	case !d.Dynamic:
+		if d.Static == nil {
+			return nil, fmt.Errorf("core: %s: static array needs a DIST annotation", d.Name)
+		}
+		d0, err = e.resolve(d.Static, d.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", d.Name, err)
+		}
+	case d.ConnectTo != "":
+		// Secondary: distribution (if the primary has one) derived below.
+		if d.Init != nil || len(d.Range) > 0 {
+			return nil, fmt.Errorf("core: %s: secondary arrays take no RANGE or initial DIST of their own", d.Name)
+		}
+	case d.Init != nil:
+		d0, err = e.resolve(d.Init, d.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", d.Name, err)
+		}
+		if !d.Range.Allows(d0.DistType()) {
+			return nil, fmt.Errorf("core: %s: initial distribution %v violates %v", d.Name, d0.DistType(), d.Range)
+		}
+	}
+
+	a := ctx.CollectiveOnce(func() any {
+		return &Array{e: e, name: d.Name, dom: d.Domain, dynamic: d.Dynamic, rng: d.Range}
+	}).(*Array)
+
+	// Connect-class wiring and registration: the first processor to take
+	// the lock wires the shared Array object; the others see a.class set
+	// and skip.  Validation errors are deterministic, so every processor
+	// that attempts the wiring fails identically.
+	if err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if a.class != nil || a.declErr != nil {
+			return a.declErr
+		}
+		if old, dup := e.arrays[a.name]; dup && old != a {
+			a.declErr = fmt.Errorf("core: array %s already declared in this scope", a.name)
+			return a.declErr
+		}
+		fail := func(err error) error {
+			a.declErr = err
+			return err
+		}
+		if d.ConnectTo != "" {
+			prim, ok := e.arrays[d.ConnectTo]
+			if !ok {
+				return fail(fmt.Errorf("core: %s: CONNECT to unknown array %s", d.Name, d.ConnectTo))
+			}
+			if !prim.dynamic || prim.connKind != ConnNone {
+				return fail(fmt.Errorf("core: %s: CONNECT target %s is not a dynamic primary array", d.Name, d.ConnectTo))
+			}
+			if !d.Dynamic {
+				return fail(fmt.Errorf("core: %s: secondary arrays must be DYNAMIC", d.Name))
+			}
+			if d.Align != nil {
+				if err := d.Align.Validate(d.Domain, prim.dom); err != nil {
+					return fail(fmt.Errorf("core: %s: %w", d.Name, err))
+				}
+				a.connKind = ConnAlign
+				a.align = *d.Align
+			} else {
+				if d.Domain.Rank() != prim.dom.Rank() {
+					return fail(fmt.Errorf("core: %s: extraction rank mismatch with %s", d.Name, d.ConnectTo))
+				}
+				a.connKind = ConnExtract
+			}
+			a.class = prim.class
+			a.class.secondaries = append(a.class.secondaries, a)
+		} else {
+			a.class = &connectClass{primary: a}
+		}
+		e.arrays[a.name] = a
+		e.order = append(e.order, a.name)
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+	ctx.Barrier()
+
+	// Secondary with an already-distributed primary: derive now.
+	if a.connKind != ConnNone && d0 == nil {
+		prim := a.class.primary
+		if prim.arr != nil && prim.arr.Distributed() {
+			d0, err = a.derive(prim.arr.Dist())
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", d.Name, err)
+			}
+		}
+	}
+
+	// Storage allocation (collective).
+	var opts []darray.Option
+	if d.Ghost != nil {
+		opts = append(opts, darray.WithGhost(d.Ghost...))
+	}
+	arr := darray.New(ctx, d.Name, d.Domain, d0, opts...)
+	e.mu.Lock()
+	if a.arr == nil {
+		a.arr = arr // same object on every rank (CollectiveOnce in darray)
+	}
+	e.mu.Unlock()
+	ctx.Barrier()
+	return a, nil
+}
+
+// MustDeclare is Declare that panics on error.
+func (e *Engine) MustDeclare(ctx *machine.Ctx, d Decl) *Array {
+	a, err := e.Declare(ctx, d)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,123 @@
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// GatherTo collects the whole array on root as a dense column-major
+// slice over the array's domain; other processors return nil.  Only
+// primary owners contribute, so replicated arrays gather each element
+// exactly once.
+func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
+	d := a.requireDist()
+	rank := ctx.Rank()
+	var payload []byte
+	if d.IsPrimaryRank(rank) {
+		payload = msg.EncodeFloat64s(packGrid(a.locals[rank], a.locals[rank].grid))
+	}
+	parts, err := ctx.Comm().Gather(root, payload)
+	if err != nil {
+		panic(fmt.Sprintf("darray: %s: gather failed: %v", a.name, err))
+	}
+	if rank != root {
+		return nil
+	}
+	out := make([]float64, a.dom.Size())
+	for r := 0; r < ctx.NP(); r++ {
+		if !d.IsPrimaryRank(r) {
+			continue
+		}
+		g := d.LocalGrid(r)
+		vals := msg.DecodeFloat64s(parts[r])
+		i := 0
+		g.ForEach(func(p index.Point) bool {
+			out[a.dom.Offset(p)] = vals[i]
+			i++
+			return true
+		})
+		if i != len(vals) {
+			panic(fmt.Sprintf("darray: %s: gather size mismatch from rank %d", a.name, r))
+		}
+	}
+	return out
+}
+
+// ScatterFrom distributes a dense column-major slice (significant on
+// root only) into the array; every owner — including replicas — receives
+// its local part.
+func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) {
+	d := a.requireDist()
+	rank, np := ctx.Rank(), ctx.NP()
+	var bufs [][]byte
+	if rank == root {
+		if len(data) != a.dom.Size() {
+			panic(fmt.Sprintf("darray: %s: scatter data length %d != domain size %d", a.name, len(data), a.dom.Size()))
+		}
+		bufs = make([][]byte, np)
+		for r := 0; r < np; r++ {
+			g := d.LocalGrid(r)
+			vals := make([]float64, 0, g.Count())
+			g.ForEach(func(p index.Point) bool {
+				vals = append(vals, data[a.dom.Offset(p)])
+				return true
+			})
+			bufs[r] = msg.EncodeFloat64s(vals)
+		}
+	}
+	mine, err := ctx.Comm().Scatterv(root, bufs)
+	if err != nil {
+		panic(fmt.Sprintf("darray: %s: scatter failed: %v", a.name, err))
+	}
+	unpackGrid(a.locals[rank], a.locals[rank].grid, msg.DecodeFloat64s(mine))
+}
+
+// ReduceSum returns the sum of all owned elements across processors on
+// every rank (replicas divide their contribution so each element counts
+// once).
+func (a *Array) ReduceSum(ctx *machine.Ctx) float64 {
+	d := a.requireDist()
+	rank := ctx.Rank()
+	local := 0.0
+	if d.IsPrimaryRank(rank) {
+		l := a.locals[rank]
+		l.ForEachOwned(func(_ index.Point, v *float64) { local += *v })
+	}
+	out, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
+	if err != nil {
+		panic(fmt.Sprintf("darray: %s: reduce failed: %v", a.name, err))
+	}
+	return out[0]
+}
+
+// MaxAbsDiff compares two arrays with identical domains element-wise and
+// returns the maximum absolute difference on every rank.  Both arrays
+// must currently have the same distribution (it walks a's owned set and
+// reads b locally).
+func MaxAbsDiff(ctx *machine.Ctx, x, y *Array) float64 {
+	if !x.dom.Equal(y.dom) {
+		panic("darray: MaxAbsDiff domain mismatch")
+	}
+	rank := ctx.Rank()
+	local := 0.0
+	if x.requireDist().IsPrimaryRank(rank) {
+		lx, ly := x.locals[rank], y.locals[rank]
+		lx.ForEachOwned(func(p index.Point, v *float64) {
+			dv := *v - ly.At(p)
+			if dv < 0 {
+				dv = -dv
+			}
+			if dv > local {
+				local = dv
+			}
+		})
+	}
+	out, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
+	if err != nil {
+		panic(fmt.Sprintf("darray: MaxAbsDiff reduce failed: %v", err))
+	}
+	return out[0]
+}

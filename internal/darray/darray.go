@@ -1,0 +1,396 @@
+// Package darray is the distributed-array runtime of the Vienna Fortran
+// Engine — the run-time representation of arrays described in paper
+// §3.2.1.  Every array carries the descriptor components the paper lists:
+//
+//	index_dom(A)   — Array.Domain
+//	dist(A)        — Array.Dist (a *dist.Distribution)
+//	loc_map        — Local.Offset / Local.li (global → local storage)
+//	segment        — Local.Segment (per-dimension local bounds for
+//	                 regular and irregular BLOCK distributions)
+//
+// (connect_class(A) and alignment(C) live one level up, in
+// internal/core, which manages the equivalence classes of §2.3.)
+//
+// Access functions follow §3.2.1: local elements are read through
+// loc_map; non-local elements are fetched from the owner determined by
+// dist(A).  In this in-process engine the one-sided fetch reads the
+// owner's memory directly and *accounts* for the two messages a real
+// engine would exchange (request + reply) in the transport's statistics
+// and cost model.  All bulk communication — ghost-area exchange,
+// redistribution, gather/scatter — moves real messages and therefore
+// works unchanged over the TCP transport.
+//
+// Mutation discipline: the engine assumes the SPMD owner-computes model —
+// between two barriers, an element is either written only by its owner or
+// read by anyone, never both.  This is exactly the guarantee compiled
+// Vienna Fortran code provides.
+package darray
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/redist"
+)
+
+// Array is a distributed array of float64 (Fortran REAL*8) elements.
+// The handle is shared by all processors; per-processor state lives in
+// locals[rank].
+type Array struct {
+	name   string
+	dom    index.Domain
+	m      *machine.Machine
+	ghost  []int // symmetric ghost width per dimension
+	locals []*Local
+	cache  *redist.Cache
+
+	mu   sync.RWMutex
+	dst  *dist.Distribution
+	epoc int // redistribution epoch (diagnostics)
+}
+
+// Option configures array creation.
+type Option func(*arrOpts)
+
+type arrOpts struct {
+	ghost []int
+}
+
+// WithGhost declares symmetric overlap (ghost) areas of the given width
+// per dimension, used by stencil codes; ghost cells are refreshed with
+// ExchangeGhosts.  Ghosts require block-family distribution (or elision)
+// in that dimension.
+func WithGhost(widths ...int) Option {
+	return func(o *arrOpts) { o.ghost = widths }
+}
+
+// New collectively creates a distributed array.  Every processor must
+// call it with equivalent arguments (SPMD discipline); the returned
+// handle is shared.  The array's elements are zero-initialized.
+func New(ctx *machine.Ctx, name string, dom index.Domain, d *dist.Distribution, opts ...Option) *Array {
+	var o arrOpts
+	for _, op := range opts {
+		op(&o)
+	}
+	// Validate outside the collective constructor so every rank fails
+	// identically (a panic inside CollectiveOnce would leave the other
+	// ranks with a nil object).
+	g := o.ghost
+	if g == nil {
+		g = make([]int, dom.Rank())
+	}
+	if len(g) != dom.Rank() {
+		panic(fmt.Sprintf("darray: %s: %d ghost widths for rank-%d array", name, len(g), dom.Rank()))
+	}
+	a := ctx.CollectiveOnce(func() any {
+		return &Array{
+			name:   name,
+			dom:    dom,
+			m:      ctx.Machine(),
+			ghost:  g,
+			locals: make([]*Local, ctx.NP()),
+			cache:  redist.NewCache(),
+			dst:    d,
+		}
+	}).(*Array)
+	if d != nil {
+		a.locals[ctx.Rank()] = a.allocLocal(ctx.Rank(), d)
+	}
+	ctx.Barrier()
+	return a
+}
+
+// NewUndistributed creates the handle of a DYNAMIC array that has no
+// initial distribution (paper §2.3: such an array "cannot be legally
+// accessed before it has been explicitly associated with a distribution").
+// Accessors panic until the first Redistribute.
+func NewUndistributed(ctx *machine.Ctx, name string, dom index.Domain) *Array {
+	return New(ctx, name, dom, nil)
+}
+
+// Name returns the array's declaration name.
+func (a *Array) Name() string { return a.name }
+
+// Domain returns the array's index domain.
+func (a *Array) Domain() index.Domain { return a.dom }
+
+// Ghost returns the per-dimension ghost widths.
+func (a *Array) Ghost() []int { return a.ghost }
+
+// Dist returns the current distribution (nil before the first
+// association).
+func (a *Array) Dist() *dist.Distribution {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.dst
+}
+
+// DistType returns the current distribution type, panicking if the array
+// has not been associated with a distribution yet.
+func (a *Array) DistType() dist.Type {
+	d := a.Dist()
+	if d == nil {
+		panic(fmt.Sprintf("darray: %s accessed before association with a distribution", a.name))
+	}
+	return d.DistType()
+}
+
+// Distributed reports whether the array currently has a distribution.
+func (a *Array) Distributed() bool { return a.Dist() != nil }
+
+// Epoch returns the number of redistributions performed so far.
+func (a *Array) Epoch() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoc
+}
+
+// Local returns this processor's local part.
+func (a *Array) Local(ctx *machine.Ctx) *Local {
+	l := a.locals[ctx.Rank()]
+	if l == nil {
+		panic(fmt.Sprintf("darray: %s accessed before association with a distribution", a.name))
+	}
+	return l
+}
+
+func (a *Array) requireDist() *dist.Distribution {
+	d := a.Dist()
+	if d == nil {
+		panic(fmt.Sprintf("darray: %s accessed before association with a distribution", a.name))
+	}
+	return d
+}
+
+// Get reads a global element.  Local reads go through loc_map; remote
+// reads are one-sided fetches from the owner with message accounting
+// (16-byte request, 8-byte reply).
+func (a *Array) Get(ctx *machine.Ctx, p index.Point) float64 {
+	d := a.requireDist()
+	rank := ctx.Rank()
+	if d.IsLocal(rank, p) {
+		return a.locals[rank].At(p)
+	}
+	owner := d.Owner(p)
+	a.accountRMA(ctx, owner)
+	return a.locals[owner].At(p)
+}
+
+// Set writes a global element on whichever processor calls it; remote
+// writes are one-sided puts into the owner's memory (owner-computes
+// programs never need them, but explicit reassignment phases — e.g. PIC
+// particle motion — do).  Under replication every replica is updated.
+func (a *Array) Set(ctx *machine.Ctx, p index.Point, v float64) {
+	d := a.requireDist()
+	rank := ctx.Rank()
+	if d.IsLocal(rank, p) && !d.Replicated() {
+		a.locals[rank].SetAt(p, v)
+		return
+	}
+	for _, owner := range d.Owners(p) {
+		if owner == rank {
+			a.locals[rank].SetAt(p, v)
+			continue
+		}
+		a.accountRMA(ctx, owner)
+		a.locals[owner].SetAt(p, v)
+	}
+}
+
+// accountRMA records the traffic and modeled cost of one simulated
+// one-sided element access (request + reply).
+func (a *Array) accountRMA(ctx *machine.Ctx, owner int) {
+	rank := ctx.Rank()
+	st := a.m.Stats()
+	st.OnSend(rank, owner, 16)
+	st.OnRecv(owner, rank, 16)
+	st.OnSend(owner, rank, 8)
+	st.OnRecv(rank, owner, 8)
+	if cm := a.m.Cost(); cm != nil {
+		cm.Charge(rank, 2*cm.Alpha+cm.Beta*24)
+	}
+}
+
+// FillFunc sets every locally owned element to f(p).  Collective only in
+// the sense that each processor fills its part; no communication.
+func (a *Array) FillFunc(ctx *machine.Ctx, f func(p index.Point) float64) {
+	l := a.Local(ctx)
+	l.ForEachOwned(func(p index.Point, v *float64) { *v = f(p) })
+}
+
+// Fill sets every locally owned element to v.
+func (a *Array) Fill(ctx *machine.Ctx, v float64) {
+	a.FillFunc(ctx, func(index.Point) float64 { return v })
+}
+
+// String describes the array.
+func (a *Array) String() string {
+	d := a.Dist()
+	if d == nil {
+		return fmt.Sprintf("%s%v DYNAMIC (no distribution)", a.name, a.dom)
+	}
+	return fmt.Sprintf("%s%v DIST %v", a.name, a.dom, d)
+}
+
+// Local is one processor's storage for its part of an Array: a dense
+// column-major block over the owned extents plus ghost margins.
+type Local struct {
+	rank  int
+	dom   index.Domain
+	grid  index.Grid // owned global indices
+	shape []int      // owned counts per dim
+	gLo   []int      // ghost width below (only block-family dims)
+	gHi   []int      // ghost width above
+	alloc []int      // allocated extents = shape + gLo + gHi
+	strd  []int      // column-major strides over alloc
+	data  []float64
+	// fast per-dimension addressing: for single stride-1 runs the local
+	// index is i - base[k]; otherwise IndexOf on the run set.
+	base   []int
+	simple []bool
+}
+
+func (a *Array) allocLocal(rank int, d *dist.Distribution) *Local {
+	g := d.LocalGrid(rank)
+	r := a.dom.Rank()
+	l := &Local{
+		rank:   rank,
+		dom:    a.dom,
+		grid:   g,
+		shape:  make([]int, r),
+		gLo:    make([]int, r),
+		gHi:    make([]int, r),
+		alloc:  make([]int, r),
+		strd:   make([]int, r),
+		base:   make([]int, r),
+		simple: make([]bool, r),
+	}
+	n := 1
+	for k := 0; k < r; k++ {
+		rs := g.Dims[k]
+		l.shape[k] = rs.Count()
+		if len(rs) == 1 && rs[0].Stride == 1 {
+			l.simple[k] = true
+			l.base[k] = rs[0].Lo
+		} else if l.shape[k] == 0 {
+			l.simple[k] = true
+			l.base[k] = 0
+		}
+		if w := a.ghost[k]; w > 0 && l.shape[k] > 0 {
+			if !l.simple[k] {
+				panic(fmt.Sprintf("darray: %s: ghost areas need a contiguous (block-family) dimension %d, distribution is %v",
+					a.name, k+1, d.DistType()))
+			}
+			// ghosts clipped at the domain boundary
+			if lo := l.base[k] - w; lo < a.dom.Lo[k] {
+				l.gLo[k] = l.base[k] - a.dom.Lo[k]
+			} else {
+				l.gLo[k] = w
+			}
+			hi := rs[0].Hi
+			if hi+w > a.dom.Hi[k] {
+				l.gHi[k] = a.dom.Hi[k] - hi
+			} else {
+				l.gHi[k] = w
+			}
+		}
+		l.alloc[k] = l.shape[k] + l.gLo[k] + l.gHi[k]
+		l.strd[k] = n
+		n *= l.alloc[k]
+	}
+	l.data = make([]float64, n)
+	return l
+}
+
+// Rank returns the owning processor's rank.
+func (l *Local) Rank() int { return l.rank }
+
+// Grid returns the owned global index set.
+func (l *Local) Grid() index.Grid { return l.grid }
+
+// Shape returns the owned extents per dimension (without ghosts).
+func (l *Local) Shape() []int { return l.shape }
+
+// Count returns the number of owned elements.
+func (l *Local) Count() int { return l.grid.Count() }
+
+// Data exposes the raw local storage (owned + ghost cells, column-major
+// over AllocShape).  Kernels use it with Offset for index-free loops.
+func (l *Local) Data() []float64 { return l.data }
+
+// AllocShape returns the allocated extents including ghosts.
+func (l *Local) AllocShape() []int { return l.alloc }
+
+// GhostLo returns the below-ghost widths actually allocated (clipped at
+// domain boundaries).
+func (l *Local) GhostLo() []int { return l.gLo }
+
+// GhostHi returns the above-ghost widths actually allocated.
+func (l *Local) GhostHi() []int { return l.gHi }
+
+// Segment returns the owned global bounds per dimension when every
+// dimension is contiguous; ok is false otherwise (the `segment`
+// descriptor of §3.2.1).
+func (l *Local) Segment() (lo, hi []int, ok bool) {
+	lo = make([]int, len(l.shape))
+	hi = make([]int, len(l.shape))
+	for k, rs := range l.grid.Dims {
+		if len(rs) != 1 || rs[0].Stride != 1 {
+			return nil, nil, false
+		}
+		lo[k], hi[k] = rs[0].Lo, rs[0].Hi
+	}
+	return lo, hi, true
+}
+
+// li returns the local storage index of global index i along dimension k
+// (including the ghost offset).  For contiguous dimensions, indices up to
+// the allocated ghost margins are valid.
+func (l *Local) li(k, i int) int {
+	if l.simple[k] {
+		return i - l.base[k] + l.gLo[k]
+	}
+	pos := l.grid.Dims[k].IndexOf(i)
+	if pos < 0 {
+		panic(fmt.Sprintf("darray: global index %d of dim %d not local to rank %d", i, k+1, l.rank))
+	}
+	return pos + l.gLo[k]
+}
+
+// Offset returns the storage offset of global point p (the loc_map of
+// §3.2.1).  Ghost cells of contiguous dimensions are addressable.
+func (l *Local) Offset(p index.Point) int {
+	off := 0
+	for k, i := range p {
+		li := l.li(k, i)
+		if li < 0 || li >= l.alloc[k] {
+			panic(fmt.Sprintf("darray: point %v outside local allocation of rank %d (dim %d)", p, l.rank, k+1))
+		}
+		off += li * l.strd[k]
+	}
+	return off
+}
+
+// At reads the element at global point p (must be local or ghost).
+func (l *Local) At(p index.Point) float64 { return l.data[l.Offset(p)] }
+
+// SetAt writes the element at global point p (must be local or ghost).
+func (l *Local) SetAt(p index.Point, v float64) { l.data[l.Offset(p)] = v }
+
+// Owns reports whether global point p is owned (ghosts excluded).
+func (l *Local) Owns(p index.Point) bool { return l.grid.Contains(p) }
+
+// ForEachOwned calls f with every owned global point and a pointer to its
+// storage.  The point is reused between calls.
+func (l *Local) ForEachOwned(f func(p index.Point, v *float64)) {
+	l.grid.ForEach(func(p index.Point) bool {
+		f(p, &l.data[l.Offset(p)])
+		return true
+	})
+}
+
+// Stride returns the column-major storage strides (over AllocShape).
+func (l *Local) Stride() []int { return l.strd }

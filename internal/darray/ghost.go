@@ -1,0 +1,163 @@
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// ExchangeGhosts refreshes the overlap areas of dimension k: each
+// processor sends its boundary faces to the neighbouring processors along
+// that dimension's target dimension and receives their faces into its
+// ghost margins.  Overlap areas are the mechanism the VFE uses to satisfy
+// nearest-neighbour non-local references (§3.2: "the associated overlap
+// areas"); a 5-point smoothing step needs one exchange per distributed
+// dimension per sweep, which is exactly the message pattern analyzed in
+// §4 (2 messages per processor for a column distribution, 4 for a 2-D
+// block distribution).
+//
+// The dimension must be contiguous (block-family or elided).  Ghost areas
+// are clipped at the domain boundary (non-periodic), and the exchanged
+// face width is min(ghost width, neighbour segment width) — with
+// degenerate segments thinner than the overlap, the farther ghost rows
+// stay stale (only nearest neighbours exchange).
+func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) {
+	d := a.requireDist()
+	if a.ghost[k] == 0 {
+		return
+	}
+	td := d.ProcDim(k)
+	if td < 0 {
+		return // dimension not distributed: the full extent is local
+	}
+	rank := ctx.Rank()
+	l := a.locals[rank]
+	coords, ok := d.Target().CoordsOf(rank)
+	if !ok || l.Count() == 0 {
+		return // outside the target or empty segment: nothing to exchange
+	}
+	lo, hi, okSeg := segDim(l, k)
+	if !okSeg {
+		panic(fmt.Sprintf("darray: %s: ghost exchange on non-contiguous dimension %d", a.name, k+1))
+	}
+	w := a.ghost[k]
+	ep := ctx.Endpoint()
+	tag := msg.TagRMABase + 4096 + 2*k // per-dimension ghost tag space
+
+	next := neighborRank(d, coords, td, +1)
+	prev := neighborRank(d, coords, td, -1)
+
+	// Phase 1: faces travel upward (I send my top rows to next; I receive
+	// prev's top rows into my low ghost).
+	if next >= 0 {
+		fw := minInt(w, hi-lo+1)
+		face := faceGrid(l, k, index.NewRun(hi-fw+1, hi, 1))
+		if err := ep.Send(next, tag, msg.EncodeFloat64s(packGrid(l, face))); err != nil {
+			panic(err)
+		}
+	}
+	if prev >= 0 {
+		fw := minInt(w, dimCount(d, k, prev))
+		if fw > 0 {
+			p, err := ep.Recv(prev, tag)
+			if err != nil {
+				panic(err)
+			}
+			ghost := faceGrid(l, k, index.NewRun(lo-fw, lo-1, 1))
+			unpackGrid(l, ghost, msg.DecodeFloat64s(p.Data))
+		}
+	}
+	// Phase 2: faces travel downward.
+	if prev >= 0 {
+		fw := minInt(w, hi-lo+1)
+		face := faceGrid(l, k, index.NewRun(lo, lo+fw-1, 1))
+		if err := ep.Send(prev, tag+1, msg.EncodeFloat64s(packGrid(l, face))); err != nil {
+			panic(err)
+		}
+	}
+	if next >= 0 {
+		fw := minInt(w, dimCount(d, k, next))
+		if fw > 0 {
+			p, err := ep.Recv(next, tag+1)
+			if err != nil {
+				panic(err)
+			}
+			ghost := faceGrid(l, k, index.NewRun(hi+1, hi+fw, 1))
+			unpackGrid(l, ghost, msg.DecodeFloat64s(p.Data))
+		}
+	}
+}
+
+// ExchangeAllGhosts refreshes every dimension with a non-zero overlap.
+func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) {
+	for k := 0; k < a.dom.Rank(); k++ {
+		a.ExchangeGhosts(ctx, k)
+	}
+}
+
+// dimCount returns how many indices of array dimension k the given rank
+// owns.
+func dimCount(d *dist.Distribution, k, rank int) int {
+	coords, ok := d.Target().CoordsOf(rank)
+	if !ok {
+		return 0
+	}
+	td := d.ProcDim(k)
+	c := 0
+	if td >= 0 {
+		c = coords[td]
+	}
+	return d.DimRunSet(k, c).Count()
+}
+
+// segDim returns the contiguous owned bounds of dimension k.
+func segDim(l *Local, k int) (lo, hi int, ok bool) {
+	rs := l.grid.Dims[k]
+	if len(rs) != 1 || rs[0].Stride != 1 {
+		return 0, 0, false
+	}
+	return rs[0].Lo, rs[0].Hi, true
+}
+
+// faceGrid is the owned grid with dimension k replaced by the given run.
+func faceGrid(l *Local, k int, r index.Run) index.Grid {
+	g := index.Grid{Dims: make([]index.RunSet, len(l.grid.Dims))}
+	copy(g.Dims, l.grid.Dims)
+	g.Dims[k] = index.RunSet{r}
+	return g
+}
+
+// neighborRank finds the nearest processor along target dimension td (in
+// direction dir) that owns a non-empty part of the array, or -1.
+func neighborRank(d *dist.Distribution, coords []int, td, dir int) int {
+	tg := d.Target()
+	c := make([]int, len(coords))
+	copy(c, coords)
+	for {
+		c[td] += dir
+		if c[td] < 0 || c[td] >= tg.Extent(td) {
+			return -1
+		}
+		r := tg.RankOf(c)
+		if d.LocalCount(r) > 0 {
+			return r
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

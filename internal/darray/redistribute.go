@@ -1,0 +1,148 @@
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// Redistribute collectively re-associates the array with newD and, when
+// transfer is true, moves the data so that every element keeps its value
+// under the new mapping — the executable DISTRIBUTE statement of §2.4 for
+// a single array (internal/core drives it across connect classes and
+// implements the NOTRANSFER attribute by passing transfer=false).
+//
+// The implementation follows §3.2.2 step by step: each processor
+// evaluates the new distribution, determines the new locations of its
+// current local data from the symmetric communication schedule, sends it,
+// and receives its new local data.  Ghost areas are reallocated (their
+// contents become stale and must be refreshed with ExchangeGhosts).
+//
+// Every processor must pass the same newD object.  Passing transfer=false
+// leaves the new storage zero-filled except for elements the processor
+// already owned (the paper's NOTRANSFER semantics: "only the access
+// function ... is changed and the elements of the array are not
+// physically moved" — data that happens to remain in place is kept).
+func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer bool) {
+	if newD == nil {
+		panic("darray: Redistribute with nil distribution")
+	}
+	if !newD.Domain().Equal(a.dom) {
+		panic(fmt.Sprintf("darray: %s: new distribution domain %v != array domain %v", a.name, newD.Domain(), a.dom))
+	}
+	rank, np := ctx.Rank(), ctx.NP()
+	oldD := a.Dist()
+
+	if oldD != nil && oldD.Equal(newD) {
+		// No-op redistribution: nothing moves, descriptors unchanged.
+		ctx.Barrier()
+		return
+	}
+
+	newLocal := a.allocLocal(rank, newD)
+
+	if oldD == nil {
+		// First association: no data to move.
+		a.locals[rank] = newLocal
+		ctx.Barrier()
+		a.swapDist(ctx, newD)
+		return
+	}
+
+	oldLocal := a.locals[rank]
+	sched := a.cache.Get(oldD, newD, rank, np)
+
+	if transfer {
+		send := make([][]byte, np)
+		recvFrom := make([]bool, np)
+		for _, tr := range sched.Sends {
+			if tr.Peer == rank {
+				// local move: straight copy old storage -> new storage
+				tr.Grid.ForEach(func(p index.Point) bool {
+					newLocal.data[newLocal.Offset(p)] = oldLocal.data[oldLocal.Offset(p)]
+					return true
+				})
+				continue
+			}
+			send[tr.Peer] = msg.EncodeFloat64s(packGrid(oldLocal, tr.Grid))
+		}
+		for _, tr := range sched.Recvs {
+			if tr.Peer != rank {
+				recvFrom[tr.Peer] = true
+			}
+		}
+		recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
+		if err != nil {
+			panic(fmt.Sprintf("darray: %s: redistribution exchange failed: %v", a.name, err))
+		}
+		for _, tr := range sched.Recvs {
+			if tr.Peer == rank {
+				continue
+			}
+			buf := recvd[tr.Peer]
+			if buf == nil {
+				panic(fmt.Sprintf("darray: %s: missing redistribution payload from %d", a.name, tr.Peer))
+			}
+			unpackGrid(newLocal, tr.Grid, msg.DecodeFloat64s(buf))
+		}
+	} else {
+		// NOTRANSFER: keep whatever was already in place.
+		if keep := sched.LocalKeep; !keep.Empty() {
+			keep.ForEach(func(p index.Point) bool {
+				newLocal.data[newLocal.Offset(p)] = oldLocal.data[oldLocal.Offset(p)]
+				return true
+			})
+		}
+		// Even without data motion all processors must agree the
+		// descriptor swap happened; the barrier below provides that.
+	}
+
+	a.locals[rank] = newLocal
+	ctx.Barrier()
+	a.swapDist(ctx, newD)
+}
+
+// swapDist publishes the new descriptor; the surrounding barriers give
+// every processor a consistent view.
+func (a *Array) swapDist(ctx *machine.Ctx, newD *dist.Distribution) {
+	if ctx.Rank() == 0 {
+		a.mu.Lock()
+		a.dst = newD
+		a.epoc++
+		a.mu.Unlock()
+	}
+	ctx.Barrier()
+}
+
+// packGrid serializes the values at the grid's points in canonical order.
+func packGrid(l *Local, g index.Grid) []float64 {
+	out := make([]float64, 0, g.Count())
+	g.ForEach(func(p index.Point) bool {
+		out = append(out, l.data[l.Offset(p)])
+		return true
+	})
+	return out
+}
+
+// unpackGrid stores values (canonical order) at the grid's points.
+func unpackGrid(l *Local, g index.Grid, vals []float64) {
+	i := 0
+	g.ForEach(func(p index.Point) bool {
+		l.data[l.Offset(p)] = vals[i]
+		i++
+		return true
+	})
+	if i != len(vals) {
+		panic(fmt.Sprintf("darray: unpack count mismatch: %d points, %d values", i, len(vals)))
+	}
+}
+
+// ScheduleCacheStats returns (hits, misses) of the redistribution
+// schedule cache — phase-alternating programs should show hits after the
+// first iteration.
+func (a *Array) ScheduleCacheStats() (hits, misses int) {
+	return a.cache.Stats()
+}

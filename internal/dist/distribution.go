@@ -1,0 +1,425 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Target abstracts the processor section a distribution maps onto
+// (machine.ProcSection implements it).  Coordinates are dense and 0-based
+// per dimension.
+type Target interface {
+	NDims() int
+	Extent(k int) int
+	Size() int
+	RankOf(coords []int) int
+	CoordsOf(rank int) ([]int, bool)
+	Ranks() []int
+	String() string
+}
+
+// Distribution is a Type applied to an index domain and a target — the
+// δ_A of Definition 1: an index mapping from I^A to the powerset of I^R.
+//
+// Array dimensions bind to target dimensions in order: the k-th
+// distributed (non-elided) array dimension consumes the k-th *free*
+// target dimension.  Target dimensions may also be pinned to a fixed
+// coordinate (arising from constant alignment axes, e.g. ALIGN A(I) WITH
+// B(I,3)).  Target dimensions that are neither consumed nor pinned
+// replicate the array across that dimension — each element then has
+// several owners, which Definition 1 explicitly permits.
+type Distribution struct {
+	typ    Type
+	domain index.Domain
+	target Target
+
+	// procDim[k] is the target dimension consumed by array dimension k,
+	// or -1 for elided dimensions.
+	procDim []int
+	// fixed[td] pins target dimension td to a coordinate, or -1.
+	fixed []int
+	// replDims lists target dimensions that replicate.
+	replDims []int
+}
+
+// New applies a distribution type to a domain and target, binding the
+// k-th distributed (non-elided) array dimension to the k-th target
+// dimension.  The number of distributed dimensions must not exceed the
+// number of target dimensions; irregular specifiers are validated against
+// extents.
+func New(typ Type, dom index.Domain, target Target) (*Distribution, error) {
+	if typ.Rank() != dom.Rank() {
+		return nil, fmt.Errorf("dist: type rank %d != domain rank %d", typ.Rank(), dom.Rank())
+	}
+	procDim := make([]int, typ.Rank())
+	td := 0
+	for k, spec := range typ.Dims {
+		if !spec.Distributed() {
+			procDim[k] = -1
+			continue
+		}
+		if td >= target.NDims() {
+			return nil, fmt.Errorf("dist: type %v has more distributed dimensions than target %v has dimensions", typ, target)
+		}
+		procDim[k] = td
+		td++
+	}
+	return newBound(typ, dom, target, procDim, nil)
+}
+
+// newBound builds a distribution with an explicit binding of array
+// dimensions to target dimensions (procDim[k] = target dim or -1) and
+// optionally pinned target coordinates (fixedIn[td] >= 0).  Alignment
+// derivation uses this to express transposed and sliced mappings.
+func newBound(typ Type, dom index.Domain, target Target, procDim, fixedIn []int) (*Distribution, error) {
+	if typ.Rank() != dom.Rank() {
+		return nil, fmt.Errorf("dist: type rank %d != domain rank %d", typ.Rank(), dom.Rank())
+	}
+	if len(procDim) != typ.Rank() {
+		return nil, fmt.Errorf("dist: binding rank %d != type rank %d", len(procDim), typ.Rank())
+	}
+	d := &Distribution{
+		typ:     typ,
+		domain:  dom,
+		target:  target,
+		procDim: make([]int, typ.Rank()),
+		fixed:   make([]int, target.NDims()),
+	}
+	copy(d.procDim, procDim)
+	for td := range d.fixed {
+		d.fixed[td] = -1
+		if fixedIn != nil && fixedIn[td] >= 0 {
+			if fixedIn[td] >= target.Extent(td) {
+				return nil, fmt.Errorf("dist: fixed coordinate %d out of range for target dim %d (extent %d)", fixedIn[td], td, target.Extent(td))
+			}
+			d.fixed[td] = fixedIn[td]
+		}
+	}
+	used := make([]bool, target.NDims())
+	for k, spec := range typ.Dims {
+		td := d.procDim[k]
+		if !spec.Distributed() {
+			if td != -1 {
+				return nil, fmt.Errorf("dist: elided dimension %d bound to target dim %d", k+1, td)
+			}
+			continue
+		}
+		if td < 0 || td >= target.NDims() {
+			return nil, fmt.Errorf("dist: dimension %d bound to invalid target dim %d", k+1, td)
+		}
+		if used[td] {
+			return nil, fmt.Errorf("dist: target dim %d bound twice", td)
+		}
+		if d.fixed[td] >= 0 {
+			return nil, fmt.Errorf("dist: target dim %d both bound and pinned", td)
+		}
+		used[td] = true
+		if err := spec.validate(dom.Lo[k], dom.Extent(k), target.Extent(td)); err != nil {
+			return nil, fmt.Errorf("dist: dimension %d: %w", k+1, err)
+		}
+	}
+	for td := 0; td < target.NDims(); td++ {
+		if !used[td] && d.fixed[td] < 0 {
+			d.replDims = append(d.replDims, td)
+		}
+	}
+	return d, nil
+}
+
+// MustNew is New that panics on error (for tests and literals).
+func MustNew(typ Type, dom index.Domain, target Target) *Distribution {
+	d, err := New(typ, dom, target)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// DistType returns the distribution type (used by IDT and DCASE).
+func (d *Distribution) DistType() Type { return d.typ }
+
+// Domain returns the array index domain the distribution applies to.
+func (d *Distribution) Domain() index.Domain { return d.domain }
+
+// Target returns the processor section.
+func (d *Distribution) Target() Target { return d.target }
+
+// Replicated reports whether elements have more than one owner.
+func (d *Distribution) Replicated() bool { return len(d.replDims) > 0 }
+
+// ReplicationDegree returns the number of owners per element.
+func (d *Distribution) ReplicationDegree() int {
+	n := 1
+	for _, td := range d.replDims {
+		n *= d.target.Extent(td)
+	}
+	return n
+}
+
+// ProcDim returns the target dimension consumed by array dimension k, or
+// -1 if dimension k is elided.
+func (d *Distribution) ProcDim(k int) int { return d.procDim[k] }
+
+// OwnerCoord returns the target coordinate along ProcDim(k) owning global
+// index i of dimension k.  Panics for elided dimensions.
+func (d *Distribution) OwnerCoord(k, i int) int {
+	td := d.procDim[k]
+	if td < 0 {
+		panic("dist: OwnerCoord on elided dimension")
+	}
+	return d.typ.Dims[k].owner(i, d.domain.Lo[k], d.domain.Extent(k), d.target.Extent(td))
+}
+
+// Owner returns the primary owner rank of point p (replicated dimensions
+// at coordinate 0).
+func (d *Distribution) Owner(p index.Point) int {
+	coords := make([]int, d.target.NDims())
+	for td := range coords {
+		if d.fixed[td] >= 0 {
+			coords[td] = d.fixed[td]
+		}
+	}
+	for k, td := range d.procDim {
+		if td >= 0 {
+			coords[td] = d.OwnerCoord(k, p[k])
+		}
+	}
+	return d.target.RankOf(coords)
+}
+
+// Owners returns all owner ranks of point p (more than one only under
+// replication).
+func (d *Distribution) Owners(p index.Point) []int {
+	base := make([]int, d.target.NDims())
+	for td := range base {
+		if d.fixed[td] >= 0 {
+			base[td] = d.fixed[td]
+		}
+	}
+	for k, td := range d.procDim {
+		if td >= 0 {
+			base[td] = d.OwnerCoord(k, p[k])
+		}
+	}
+	if len(d.replDims) == 0 {
+		return []int{d.target.RankOf(base)}
+	}
+	out := []int{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(d.replDims) {
+			out = append(out, d.target.RankOf(base))
+			return
+		}
+		td := d.replDims[i]
+		for c := 0; c < d.target.Extent(td); c++ {
+			base[td] = c
+			rec(i + 1)
+		}
+		base[td] = 0
+	}
+	rec(0)
+	return out
+}
+
+// IsLocal reports whether rank owns point p.
+func (d *Distribution) IsLocal(rank int, p index.Point) bool {
+	coords, ok := d.target.CoordsOf(rank)
+	if !ok {
+		return false
+	}
+	for td, c := range coords {
+		if d.fixed[td] >= 0 && d.fixed[td] != c {
+			return false
+		}
+	}
+	for k, td := range d.procDim {
+		if td >= 0 && d.OwnerCoord(k, p[k]) != coords[td] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrimaryRank reports whether rank is a *primary* owner: the replica
+// whose coordinates along all replicated target dimensions are zero.
+// Under replication each element has several owners; communication
+// schedules let only the primary copy send, avoiding duplicate transfers.
+func (d *Distribution) IsPrimaryRank(rank int) bool {
+	coords, ok := d.target.CoordsOf(rank)
+	if !ok {
+		return false
+	}
+	for td, c := range coords {
+		if d.fixed[td] >= 0 && d.fixed[td] != c {
+			return false
+		}
+	}
+	for _, td := range d.replDims {
+		if coords[td] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LocalGrid returns the set of global indices rank owns, as a Grid of
+// per-dimension RunSets.  Ranks outside the target (or off a pinned
+// coordinate) own nothing.
+func (d *Distribution) LocalGrid(rank int) index.Grid {
+	g := index.Grid{Dims: make([]index.RunSet, d.domain.Rank())}
+	coords, ok := d.target.CoordsOf(rank)
+	if !ok {
+		for k := range g.Dims {
+			g.Dims[k] = index.RunSet{}
+		}
+		return g
+	}
+	for td, c := range coords {
+		if d.fixed[td] >= 0 && d.fixed[td] != c {
+			for k := range g.Dims {
+				g.Dims[k] = index.RunSet{}
+			}
+			return g
+		}
+	}
+	for k := range g.Dims {
+		g.Dims[k] = d.DimRunSet(k, rankCoord(d, coords, k))
+	}
+	return g
+}
+
+func rankCoord(d *Distribution, coords []int, k int) int {
+	td := d.procDim[k]
+	if td < 0 {
+		return 0
+	}
+	return coords[td]
+}
+
+// DimRunSet returns the indices of array dimension k owned by target
+// coordinate c along the dimension's processor dimension.  For elided
+// dimensions c is ignored and the full extent is returned.
+func (d *Distribution) DimRunSet(k, c int) index.RunSet {
+	spec := d.typ.Dims[k]
+	lo, n := d.domain.Lo[k], d.domain.Extent(k)
+	td := d.procDim[k]
+	if td < 0 {
+		return spec.runSet(0, lo, n, 1)
+	}
+	return spec.runSet(c, lo, n, d.target.Extent(td))
+}
+
+// LocalCount returns how many elements rank owns.
+func (d *Distribution) LocalCount(rank int) int {
+	return d.LocalGrid(rank).Count()
+}
+
+// LocalShape returns the per-dimension local extents on rank (the shape
+// of the dense local storage block, before overlap areas are added).
+func (d *Distribution) LocalShape(rank int) []int {
+	g := d.LocalGrid(rank)
+	out := make([]int, len(g.Dims))
+	for k, rs := range g.Dims {
+		out[k] = rs.Count()
+	}
+	return out
+}
+
+// LocalIndex returns the per-dimension 0-based local position of global
+// point p on its owner (the loc_map of §3.2.1).  The caller must ensure
+// p is owned by the rank whose storage is being addressed.
+func (d *Distribution) LocalIndex(p index.Point) []int {
+	out := make([]int, len(p))
+	for k, i := range p {
+		td := d.procDim[k]
+		np := 1
+		if td >= 0 {
+			np = d.target.Extent(td)
+		}
+		out[k] = d.typ.Dims[k].localIndex(i, d.domain.Lo[k], d.domain.Extent(k), np)
+	}
+	return out
+}
+
+// GlobalIndex converts a per-dimension local position on the target
+// coordinates of rank back to the global point (inverse of LocalIndex).
+func (d *Distribution) GlobalIndex(rank int, li []int) index.Point {
+	coords, ok := d.target.CoordsOf(rank)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d outside target %v", rank, d.target))
+	}
+	p := make(index.Point, len(li))
+	for k := range li {
+		td := d.procDim[k]
+		np, c := 1, 0
+		if td >= 0 {
+			np = d.target.Extent(td)
+			c = coords[td]
+		}
+		p[k] = d.typ.Dims[k].globalIndex(li[k], c, d.domain.Lo[k], d.domain.Extent(k), np)
+	}
+	return p
+}
+
+// Segment returns rank's contiguous segment (inclusive per-dimension
+// bounds) when every distributed dimension is block-family; ok is false
+// when a CYCLIC dimension makes the local set non-contiguous or the rank
+// owns nothing.  This is the `segment` descriptor component of §3.2.1.
+func (d *Distribution) Segment(rank int) (index.Section, bool) {
+	for _, spec := range d.typ.Dims {
+		if spec.Kind == Cyclic {
+			return index.Section{}, false
+		}
+	}
+	g := d.LocalGrid(rank)
+	sec := index.Section{Lo: make([]int, g.Rank()), Hi: make([]int, g.Rank()), Stride: make([]int, g.Rank())}
+	for k, rs := range g.Dims {
+		if rs.Count() == 0 {
+			return index.Section{}, false
+		}
+		sec.Lo[k] = rs[0].Lo
+		sec.Hi[k] = rs[len(rs)-1].Hi
+		sec.Stride[k] = 1
+	}
+	return sec, true
+}
+
+// Equal reports whether two distributions are identical mappings (same
+// type, domain, target identity and binding).  Used by the DISTRIBUTE
+// implementation to elide no-op redistributions.
+func (d *Distribution) Equal(o *Distribution) bool {
+	if d == nil || o == nil {
+		return d == o
+	}
+	if !d.typ.Equal(o.typ) || !d.domain.Equal(o.domain) {
+		return false
+	}
+	// Targets are usually shared pointers; fall back to the printed form
+	// (name + section), which identifies the processor set and shape.
+	if d.target != o.target && d.target.String() != o.target.String() {
+		return false
+	}
+	if !intsEqual(d.procDim, o.procDim) || !intsEqual(d.fixed, o.fixed) {
+		return false
+	}
+	return true
+}
+
+func (d *Distribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v TO %v", d.typ, d.target)
+	return b.String()
+}
+
+// Fingerprint returns a string identifying the mapping completely (type,
+// domain, target, dimension bindings, pinned coordinates).  Two
+// distributions with equal fingerprints map every element identically;
+// the redistribution schedule cache keys on it.
+func (d *Distribution) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|%v|%v|%v", d.typ, d.domain, d.target, d.procDim, d.fixed)
+	return b.String()
+}

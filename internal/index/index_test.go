@@ -1,0 +1,323 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainBasics(t *testing.T) {
+	d := Dim(10, 20)
+	if d.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", d.Rank())
+	}
+	if d.Size() != 200 {
+		t.Fatalf("size = %d, want 200", d.Size())
+	}
+	if d.Extent(0) != 10 || d.Extent(1) != 20 {
+		t.Fatalf("extents = %d,%d", d.Extent(0), d.Extent(1))
+	}
+	if !d.Contains(Point{1, 1}) || !d.Contains(Point{10, 20}) {
+		t.Fatal("corner points should be contained")
+	}
+	if d.Contains(Point{0, 1}) || d.Contains(Point{11, 20}) || d.Contains(Point{1}) {
+		t.Fatal("out-of-domain points should not be contained")
+	}
+}
+
+func TestDomainCustomBounds(t *testing.T) {
+	d := NewDomain([2]int{-5, 5}, [2]int{0, 9})
+	if d.Extent(0) != 11 || d.Extent(1) != 10 {
+		t.Fatalf("extents = %d,%d", d.Extent(0), d.Extent(1))
+	}
+	if d.Size() != 110 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if !d.Contains(Point{-5, 0}) {
+		t.Fatal("lower corner missing")
+	}
+}
+
+func TestDomainOffsetColumnMajor(t *testing.T) {
+	d := Dim(3, 4)
+	// Column-major: (1,1)=0, (2,1)=1, (3,1)=2, (1,2)=3 ...
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Point{1, 1}, 0},
+		{Point{2, 1}, 1},
+		{Point{3, 1}, 2},
+		{Point{1, 2}, 3},
+		{Point{3, 4}, 11},
+	}
+	for _, c := range cases {
+		if got := d.Offset(c.p); got != c.want {
+			t.Errorf("Offset(%v) = %d, want %d", c.p, got, c.want)
+		}
+		if back := d.At(c.want); !back.Equal(c.p) {
+			t.Errorf("At(%d) = %v, want %v", c.want, back, c.p)
+		}
+	}
+}
+
+func TestDomainOffsetRoundTripProperty(t *testing.T) {
+	d := NewDomain([2]int{2, 9}, [2]int{-3, 7}, [2]int{1, 5})
+	f := func(raw int) bool {
+		off := ((raw % d.Size()) + d.Size()) % d.Size()
+		return d.Offset(d.At(off)) == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSectionBasics(t *testing.T) {
+	s := NewSection([3]int{1, 10, 3}, [3]int{2, 2, 1})
+	if s.Size() != 4 {
+		t.Fatalf("size = %d, want 4 (1,4,7,10)", s.Size())
+	}
+	if !s.Contains(Point{7, 2}) {
+		t.Fatal("(7,2) should be in section")
+	}
+	if s.Contains(Point{8, 2}) {
+		t.Fatal("(8,2) off the stride")
+	}
+	var pts []Point
+	s.ForEach(func(p Point) bool { pts = append(pts, p.Clone()); return true })
+	if len(pts) != 4 || !pts[0].Equal(Point{1, 2}) || !pts[3].Equal(Point{10, 2}) {
+		t.Fatalf("iteration = %v", pts)
+	}
+}
+
+func TestSectionEmptyAndEarlyStop(t *testing.T) {
+	s := NewSection([3]int{5, 4, 1})
+	if s.Size() != 0 {
+		t.Fatalf("size = %d, want 0", s.Size())
+	}
+	calls := 0
+	s.ForEach(func(Point) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatal("empty section iterated")
+	}
+	s2 := NewSection([3]int{1, 10, 1})
+	calls = 0
+	s2.ForEach(func(Point) bool { calls++; return calls < 3 })
+	if calls != 3 {
+		t.Fatalf("early stop after %d calls", calls)
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	r := NewRun(3, 17, 4) // 3 7 11 15
+	if r.Count() != 4 || r.Hi != 15 {
+		t.Fatalf("r = %v count=%d", r, r.Count())
+	}
+	if !r.Contains(11) || r.Contains(13) || r.Contains(19) {
+		t.Fatal("containment wrong")
+	}
+	if r.IndexOf(15) != 3 || r.IndexOf(4) != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if r.At(2) != 11 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestRunClip(t *testing.T) {
+	r := NewRun(3, 23, 5) // 3 8 13 18 23
+	c := r.Clip(9, 20)    // 13 18
+	if c.Lo != 13 || c.Hi != 18 || c.Count() != 2 {
+		t.Fatalf("clip = %v", c)
+	}
+	if !r.Clip(24, 30).Empty() {
+		t.Fatal("clip beyond end should be empty")
+	}
+	if got := r.Clip(3, 23); got != r {
+		t.Fatalf("identity clip changed run: %v", got)
+	}
+}
+
+// brute-force intersection for cross-checking
+func bruteIntersect(a, b Run) []int {
+	var out []int
+	a.ForEach(func(i int) bool {
+		if b.Contains(i) {
+			out = append(out, i)
+		}
+		return true
+	})
+	return out
+}
+
+func TestIntersectRunsExamples(t *testing.T) {
+	a := NewRun(0, 30, 3) // 0 3 6 ...
+	b := NewRun(1, 30, 5) // 1 6 11 16 21 26
+	c := IntersectRuns(a, b)
+	want := []int{6, 21}
+	got := RunSet{c}.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// disjoint progressions: same stride, different phase
+	if !IntersectRuns(NewRun(0, 100, 4), NewRun(1, 100, 4)).Empty() {
+		t.Fatal("phase-disjoint runs must not intersect")
+	}
+	// disjoint windows
+	if !IntersectRuns(NewRun(0, 10, 1), NewRun(11, 20, 1)).Empty() {
+		t.Fatal("window-disjoint runs must not intersect")
+	}
+}
+
+func TestIntersectRunsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		a := NewRun(rng.Intn(40)-20, rng.Intn(60)-10, 1+rng.Intn(8))
+		b := NewRun(rng.Intn(40)-20, rng.Intn(60)-10, 1+rng.Intn(8))
+		got := RunSet{IntersectRuns(a, b)}.Indices()
+		want := bruteIntersect(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: a=%v b=%v got %v want %v", trial, a, b, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: a=%v b=%v got %v want %v", trial, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestRunSetFromIndices(t *testing.T) {
+	rs := RunSetFromIndices([]int{5, 1, 2, 3, 9, 8, 3})
+	if rs.Count() != 6 {
+		t.Fatalf("count = %d, want 6 (dedupe)", rs.Count())
+	}
+	if len(rs) != 3 {
+		t.Fatalf("runs = %v, want 3 coalesced runs", rs)
+	}
+	if !rs.Contains(2) || rs.Contains(6) {
+		t.Fatal("containment wrong")
+	}
+	if RunSetFromIndices(nil).Count() != 0 {
+		t.Fatal("empty input should give empty set")
+	}
+}
+
+func TestRunSetIndexOfAt(t *testing.T) {
+	rs := NewRunSet(NewRun(1, 9, 4), NewRun(20, 22, 1)) // 1 5 9 | 20 21 22
+	if rs.Count() != 6 {
+		t.Fatalf("count = %d", rs.Count())
+	}
+	wantOrder := []int{1, 5, 9, 20, 21, 22}
+	for k, v := range wantOrder {
+		if rs.At(k) != v {
+			t.Fatalf("At(%d) = %d want %d", k, rs.At(k), v)
+		}
+		if rs.IndexOf(v) != k {
+			t.Fatalf("IndexOf(%d) = %d want %d", v, rs.IndexOf(v), k)
+		}
+	}
+	if rs.IndexOf(7) != -1 {
+		t.Fatal("IndexOf of absent element")
+	}
+}
+
+func TestRunSetIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a := NewRunSet(
+			NewRun(rng.Intn(20), rng.Intn(40), 1+rng.Intn(5)),
+			NewRun(50+rng.Intn(20), 50+rng.Intn(40), 1+rng.Intn(5)),
+		)
+		b := NewRunSet(
+			NewRun(rng.Intn(30), rng.Intn(70), 1+rng.Intn(6)),
+		)
+		got := a.Intersect(b)
+		// brute force
+		want := map[int]bool{}
+		a.ForEach(func(i int) bool {
+			if b.Contains(i) {
+				want[i] = true
+			}
+			return true
+		})
+		if got.Count() != len(want) {
+			t.Fatalf("trial %d: a=%v b=%v got %v (count %d) want %d elems", trial, a, b, got, got.Count(), len(want))
+		}
+		got.ForEach(func(i int) bool {
+			if !want[i] {
+				t.Fatalf("trial %d: spurious element %d", trial, i)
+			}
+			return true
+		})
+	}
+}
+
+func TestGridIntersectAndIterate(t *testing.T) {
+	g1 := Grid{Dims: []RunSet{
+		NewRunSet(NewRun(1, 10, 1)),
+		NewRunSet(NewRun(1, 10, 2)), // 1 3 5 7 9
+	}}
+	g2 := Grid{Dims: []RunSet{
+		NewRunSet(NewRun(5, 20, 1)),
+		NewRunSet(NewRun(3, 9, 3)), // 3 6 9
+	}}
+	gi := g1.Intersect(g2)
+	// dim0: 5..10 (6), dim1: {3,9} (2)
+	if gi.Count() != 12 {
+		t.Fatalf("count = %d, want 12", gi.Count())
+	}
+	if !gi.Contains(Point{5, 3}) || gi.Contains(Point{5, 6}) {
+		t.Fatal("containment wrong")
+	}
+	seen := 0
+	gi.ForEach(func(p Point) bool {
+		if !g1.Contains(p) || !g2.Contains(p) {
+			t.Fatalf("iterated point %v outside operands", p)
+		}
+		seen++
+		return true
+	})
+	if seen != 12 {
+		t.Fatalf("iterated %d points", seen)
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	g := Grid{Dims: []RunSet{NewRunSet(NewRun(1, 5, 1)), {}}}
+	if !g.Empty() {
+		t.Fatal("grid with empty dim should be empty")
+	}
+	g.ForEach(func(Point) bool { t.Fatal("iterated empty grid"); return false })
+}
+
+func TestRunSetEqual(t *testing.T) {
+	a := NewRunSet(NewRun(0, 8, 2)) // 0 2 4 6 8
+	b := NewRunSet(NewRun(0, 4, 4), NewRun(2, 6, 4), NewRun(8, 8, 1))
+	if !a.Equal(b) {
+		t.Fatalf("%v should equal %v", a, b)
+	}
+	c := NewRunSet(NewRun(0, 8, 1))
+	if a.Equal(c) {
+		t.Fatal("different sets compared equal")
+	}
+}
+
+func TestSectionGrid(t *testing.T) {
+	s := NewSection([3]int{2, 11, 3}, [3]int{1, 4, 1})
+	g := s.Grid()
+	if g.Count() != s.Size() {
+		t.Fatalf("grid count %d != section size %d", g.Count(), s.Size())
+	}
+	s.ForEach(func(p Point) bool {
+		if !g.Contains(p) {
+			t.Fatalf("grid missing %v", p)
+		}
+		return true
+	})
+}

@@ -1,0 +1,265 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/msg"
+)
+
+// Builtins backing the Figure 2 demo: the PIC helper procedures the paper
+// calls but does not show (initpos, balance, update_field, update_part,
+// rebalance).  FIELD(c, 1) holds cell c's particle count; FIELD(c, 2)
+// accumulates the "field".  BOUNDS is a replicated integer array that
+// balance() fills with B_BLOCK upper bounds equalizing particles.
+
+const picDrift = 0.3 // fraction of particles drifting rightward per step
+
+// RegisterPICDemo installs the Figure 2 helper procedures (INITPOS,
+// BALANCE, UPDATE_FIELD, UPDATE_PART, REBALANCE, IMBALANCE) used by the
+// runnable PIC demo (PICDemoSource) and its tests.
+func RegisterPICDemo(in *Interp) {
+	in.Register("INITPOS", func(st *State, args []any) error {
+		fa := args[0].(*ArrayArg)
+		fa.Arr.FillFunc(st.Ctx, func(p index.Point) float64 {
+			if p[1] == 1 {
+				return 64 // uniform loading
+			}
+			return 0
+		})
+		st.Ctx.Barrier()
+		return nil
+	})
+
+	in.Register("BALANCE", func(st *State, args []any) error {
+		ba := args[0].(*ArrayArg)
+		fa := args[1].(*ArrayArg)
+		ctx := st.Ctx
+		ctx.Barrier()
+		ncell := fa.Arr.Domain().Extent(0)
+		np := ctx.NP()
+		// gather per-cell counts to rank 0, compute bounds, broadcast
+		counts := make([]float64, 0, ncell)
+		lf := fa.Arr.Local(ctx)
+		var local []float64
+		var cells []int
+		lf.ForEachOwned(func(p index.Point, v *float64) {
+			if p[1] == 1 {
+				local = append(local, *v)
+				cells = append(cells, p[0])
+			}
+		})
+		// allgather (cell, count) pairs
+		payload := make([]float64, 0, 2*len(local))
+		for i := range local {
+			payload = append(payload, float64(cells[i]), local[i])
+		}
+		parts, err := ctx.Comm().Allgather(msg.EncodeFloat64s(payload))
+		if err != nil {
+			return err
+		}
+		counts = make([]float64, ncell)
+		for _, p := range parts {
+			vals := msg.DecodeFloat64s(p)
+			for i := 0; i+1 < len(vals); i += 2 {
+				counts[int(vals[i])-1] = vals[i+1]
+			}
+		}
+		total := 0.0
+		for _, c := range counts {
+			total += c
+		}
+		per := total / float64(np)
+		bounds := make([]int, np)
+		acc, pi := 0.0, 0
+		for i, c := range counts {
+			acc += c
+			if acc >= per*float64(pi+1) && pi < np-1 {
+				bounds[pi] = i + 1
+				pi++
+			}
+		}
+		for ; pi < np; pi++ {
+			bounds[pi] = ncell
+		}
+		prev := 0
+		for i := range bounds {
+			if bounds[i] < prev {
+				bounds[i] = prev
+			}
+			prev = bounds[i]
+		}
+		bounds[np-1] = ncell
+		// store into the replicated BOUNDS array
+		lb := ba.Arr.Local(ctx)
+		for i, b := range bounds {
+			lb.SetAt(index.Point{i + 1}, float64(b))
+		}
+		ctx.Barrier()
+		return nil
+	})
+
+	in.Register("UPDATE_FIELD", func(st *State, args []any) error {
+		fa := args[0].(*ArrayArg)
+		ctx := st.Ctx
+		ctx.Barrier()
+		l := fa.Arr.Local(ctx)
+		l.ForEachOwned(func(p index.Point, v *float64) {
+			if p[1] != 1 {
+				return
+			}
+			// field accumulation proportional to the cell's particles
+			q := index.Point{p[0], 2}
+			l.SetAt(q, l.At(q)+*v)
+		})
+		ctx.Barrier()
+		return nil
+	})
+
+	in.Register("UPDATE_PART", func(st *State, args []any) error {
+		fa := args[0].(*ArrayArg)
+		ctx := st.Ctx
+		ctx.Barrier()
+		arr := fa.Arr
+		d := arr.Dist()
+		l := arr.Local(ctx)
+		ncell := arr.Domain().Extent(0)
+		rs := l.Grid().Dims[0]
+		ep := ctx.Endpoint()
+		const tag = 9400
+		var outflow float64
+		lastIdx := -1
+		if rs.Count() > 0 {
+			lo, hi := rs[0].Lo, rs[len(rs)-1].Hi
+			for i := hi; i >= lo; i-- {
+				p := index.Point{i, 1}
+				c := l.At(p)
+				mv := float64(int(c * picDrift))
+				if i == ncell {
+					continue // reflecting boundary
+				}
+				l.SetAt(p, c-mv)
+				if i == hi {
+					outflow, lastIdx = mv, i
+				} else {
+					q := index.Point{i + 1, 1}
+					l.SetAt(q, l.At(q)+mv)
+				}
+			}
+		}
+		sendTo := -1
+		if lastIdx >= 0 && lastIdx < ncell {
+			sendTo = d.Owner(index.Point{lastIdx + 1, 1})
+		}
+		recvFrom := -1
+		if rs.Count() > 0 && rs[0].Lo > 1 {
+			recvFrom = d.Owner(index.Point{rs[0].Lo - 1, 1})
+		}
+		if sendTo >= 0 && sendTo != ctx.Rank() {
+			if err := ep.Send(sendTo, tag, msg.EncodeFloat64s([]float64{outflow, float64(lastIdx + 1)})); err != nil {
+				return err
+			}
+		} else if sendTo == ctx.Rank() {
+			q := index.Point{lastIdx + 1, 1}
+			l.SetAt(q, l.At(q)+outflow)
+		}
+		if recvFrom >= 0 && recvFrom != ctx.Rank() {
+			pk, err := ep.Recv(recvFrom, tag)
+			if err != nil {
+				return err
+			}
+			vals := msg.DecodeFloat64s(pk.Data)
+			q := index.Point{int(vals[1]), 1}
+			l.SetAt(q, l.At(q)+vals[0])
+		}
+		ctx.Barrier()
+		return nil
+	})
+
+	// REBALANCE() returns 1 when max/avg particles per processor exceeds
+	// 1.1 — the Figure 2 rebalance() predicate.  It stores the result in
+	// the scalar REBAL (call: CALL REBALANCE(FIELD)).
+	in.Register("REBALANCE", func(st *State, args []any) error {
+		fa := args[0].(*ArrayArg)
+		ctx := st.Ctx
+		ctx.Barrier()
+		local := 0.0
+		fa.Arr.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
+			if p[1] == 1 {
+				local += *v
+			}
+		})
+		tot, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
+		if err != nil {
+			return err
+		}
+		mx, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
+		if err != nil {
+			return err
+		}
+		avg := tot[0] / float64(ctx.NP())
+		st.Scalars["REBAL"] = 0
+		if avg > 0 && mx[0]/avg > 1.1 {
+			st.Scalars["REBAL"] = 1
+		}
+		return nil
+	})
+
+	// IMBALANCE prints the current max/avg (rank 0 only).
+	in.Register("IMBALANCE", func(st *State, args []any) error {
+		fa := args[0].(*ArrayArg)
+		step := args[1].(float64)
+		ctx := st.Ctx
+		ctx.Barrier()
+		local := 0.0
+		fa.Arr.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
+			if p[1] == 1 {
+				local += *v
+			}
+		})
+		tot, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
+		if err != nil {
+			return err
+		}
+		mx, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			avg := tot[0] / float64(ctx.NP())
+			fmt.Printf("  step %3.0f: imbalance %.3f  (dist %v)\n", step, mx[0]/avg, fa.Arr.DistType())
+		}
+		return nil
+	})
+}
+
+// PICDemoSource is Figure 2 made runnable: the structure is the paper's,
+// with the helper procedures provided as builtins and the trailing array
+// dimensions reduced to 2 planes (counts, field).
+const PICDemoSource = `
+PARAMETER (NCELL = 128, NPLANE = 2, MAX_TIME = 60)
+INTEGER BOUNDS($NP)
+REAL FIELD(NCELL, NPLANE) DYNAMIC, DIST( BLOCK, :)
+
+C Compute initial position of particles
+CALL INITPOS(FIELD, NCELL, NPLANE)
+C Compute initial partition of cells
+CALL BALANCE(BOUNDS, FIELD, NCELL, NPLANE)
+DISTRIBUTE FIELD :: ( B_BLOCK (BOUNDS), : )
+
+DO K = 1, MAX_TIME
+C Compute new field
+  CALL UPDATE_FIELD(FIELD, NCELL, NPLANE)
+C Compute new particle positions and reassign them
+  CALL UPDATE_PART(FIELD, NCELL, NPLANE)
+C Rebalance every 10th iteration if necessary
+  IF (MOD(K, 10) .EQ. 0) THEN
+    CALL IMBALANCE(FIELD, K)
+    CALL REBALANCE(FIELD)
+    IF (REBAL .EQ. 1) THEN
+      CALL BALANCE(BOUNDS, FIELD, NCELL, NPLANE)
+      DISTRIBUTE FIELD :: ( B_BLOCK (BOUNDS), : )
+    ENDIF
+  ENDIF
+ENDDO
+`

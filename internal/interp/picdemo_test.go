@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/sem"
+)
+
+func TestPICDemoEndToEnd(t *testing.T) {
+	prog, err := lang.Parse(PICDemoSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	unit := sem.Analyze(prog)
+	if unit.HasErrors() {
+		t.Fatalf("sem: %v", unit.Diags)
+	}
+	m := machine.New(4)
+	defer m.Close()
+	e := core.NewEngine(m)
+	in := New(e)
+	RegisterPICDemo(in)
+	var counts []float64
+	var epochs int
+	var distStr string
+	if err := m.Run(func(ctx *machine.Ctx) error {
+		st, err := in.Run(ctx, unit)
+		if err != nil {
+			return err
+		}
+		field, _ := st.Array("FIELD")
+		data := field.GatherTo(ctx, 0)
+		if ctx.Rank() == 0 {
+			// plane 1 holds the particle counts
+			n := field.Domain().Extent(0)
+			counts = data[:n]
+			epochs = field.Epoch()
+			distStr = field.DistType().String()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// particle conservation: 128 cells x 64 particles
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 128*64 {
+		t.Fatalf("particles not conserved: %v", total)
+	}
+	// the drift piles particles up on the right: the last cell must hold
+	// far more than the first
+	if counts[len(counts)-1] <= counts[0] {
+		t.Fatalf("no drift pile-up: first %v last %v", counts[0], counts[len(counts)-1])
+	}
+	// rebalancing fired: initial B_BLOCK + at least one re-DISTRIBUTE
+	if epochs < 2 {
+		t.Fatalf("expected rebalancing redistributions, epoch = %d", epochs)
+	}
+	if !strings.Contains(distStr, "B_BLOCK") {
+		t.Fatalf("final distribution %s is not a general block", distStr)
+	}
+}
+
+func TestInterpNoTransfer(t *testing.T) {
+	src := `
+PARAMETER (N = 8)
+REAL B(N) DYNAMIC, DIST(BLOCK)
+REAL A(N) DYNAMIC, CONNECT(=B)
+DO I = 1, N
+  A(I) = I * 10
+ENDDO
+DISTRIBUTE B :: (CYCLIC) NOTRANSFER (A)
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := sem.Analyze(prog)
+	if unit.HasErrors() {
+		t.Fatalf("sem: %v", unit.Diags)
+	}
+	m := machine.New(2)
+	defer m.Close()
+	e := core.NewEngine(m)
+	in := New(e)
+	if err := m.Run(func(ctx *machine.Ctx) error {
+		st, err := in.Run(ctx, unit)
+		if err != nil {
+			return err
+		}
+		a, _ := st.Array("A")
+		b, _ := st.Array("B")
+		if !a.DistType().Equal(b.DistType()) {
+			t.Error("NOTRANSFER must still re-derive the secondary's type")
+		}
+		// rank 0 owned 1..4 before; under CYCLIC it owns odds. Kept
+		// in-place: 1, 3. Elements 5, 7 were not transferred: zero.
+		if ctx.Rank() == 0 {
+			l := a.Local(ctx)
+			if l.At([]int{1}) != 10 || l.At([]int{3}) != 30 {
+				t.Error("in-place values lost under NOTRANSFER")
+			}
+			if l.At([]int{5}) != 0 || l.At([]int{7}) != 0 {
+				t.Error("NOTRANSFER moved data")
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package kernels provides the numerical routines the paper's application
+// studies call (§4): the constant-coefficient tridiagonal solver TRIDIAG
+// used by the ADI iteration of Figure 1, a residual computation, and the
+// 5-point smoothing step whose communication pattern §4 analyzes.
+//
+// Two variants of the tridiagonal solve exist: a whole-line solve for
+// lines that are local to one processor (the dynamic-distribution ADI),
+// and segment sweeps for the pipelined distributed solve a compiler must
+// emit when the line is spread across processors (the static-distribution
+// ADI baseline).
+package kernels
+
+// Tridiag overwrites rhs with the solution of the constant-coefficient
+// tridiagonal system
+//
+//	a*x[i-1] + b*x[i] + c*x[i+1] = rhs[i]
+//
+// (x[-1] = x[n] = 0), the contract of Figure 1's TRIDIAG: "a sequential
+// routine ... which is given a right hand side and overwrites it with the
+// solution of a constant coefficient tridiagonal system".  scratch must
+// have len(rhs) capacity (it holds the modified diagonal); pass nil to
+// allocate.
+func Tridiag(rhs []float64, a, b, c float64, scratch []float64) {
+	n := len(rhs)
+	if n == 0 {
+		return
+	}
+	if scratch == nil {
+		scratch = make([]float64, n)
+	}
+	bp := scratch[:n]
+	bp[0] = b
+	for i := 1; i < n; i++ {
+		m := a / bp[i-1]
+		bp[i] = b - m*c
+		rhs[i] -= m * rhs[i-1]
+	}
+	rhs[n-1] /= bp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		rhs[i] = (rhs[i] - c*rhs[i+1]) / bp[i]
+	}
+}
+
+// TridiagStrided is Tridiag over a strided line data[start], data[start+
+// stride], ..., n elements — the form needed to solve along a row of a
+// column-major local block without copying.
+func TridiagStrided(data []float64, start, stride, n int, a, b, c float64, scratch []float64) {
+	if n == 0 {
+		return
+	}
+	if scratch == nil {
+		scratch = make([]float64, n)
+	}
+	bp := scratch[:n]
+	bp[0] = b
+	idx := start + stride
+	for i := 1; i < n; i, idx = i+1, idx+stride {
+		m := a / bp[i-1]
+		bp[i] = b - m*c
+		data[idx] -= m * data[idx-stride]
+	}
+	last := start + (n-1)*stride
+	data[last] /= bp[n-1]
+	idx = last - stride
+	for i := n - 2; i >= 0; i, idx = i-1, idx-stride {
+		data[idx] = (data[idx] - c*data[idx+stride]) / bp[i]
+	}
+}
+
+// SweepState carries the pipeline state of a distributed Thomas solve
+// between processor segments: the modified diagonal and rhs of the last
+// row of the upstream segment.
+type SweepState struct {
+	BP float64 // modified diagonal b'
+	D  float64 // modified rhs d'
+	// Valid is false on the first segment (no upstream).
+	Valid bool
+}
+
+// ForwardSegment performs the forward-elimination sweep on one segment of
+// a distributed line (strided access as in TridiagStrided), starting from
+// the upstream state, and returns the state to pass downstream.  bp
+// receives the modified diagonal for the segment (needed by
+// BackwardSegment) and must have length n.
+func ForwardSegment(data []float64, start, stride, n int, a, b, c float64, in SweepState, bp []float64) SweepState {
+	if n == 0 {
+		return in
+	}
+	idx := start
+	prevBP, prevD := 0.0, 0.0
+	have := in.Valid
+	if have {
+		prevBP, prevD = in.BP, in.D
+	}
+	for i := 0; i < n; i, idx = i+1, idx+stride {
+		if have {
+			m := a / prevBP
+			bp[i] = b - m*c
+			data[idx] -= m * prevD
+		} else {
+			bp[i] = b
+			have = true
+		}
+		prevBP, prevD = bp[i], data[idx]
+	}
+	return SweepState{BP: prevBP, D: prevD, Valid: true}
+}
+
+// BackState carries the back-substitution pipeline state: the first
+// solution value of the downstream segment.
+type BackState struct {
+	X     float64
+	Valid bool
+}
+
+// BackwardSegment performs back-substitution on one segment given the
+// downstream state (the solution value just after this segment), using
+// the modified diagonal bp produced by ForwardSegment.  It returns the
+// state to pass upstream (the segment's first solution value).
+func BackwardSegment(data []float64, start, stride, n int, c float64, in BackState, bp []float64) BackState {
+	if n == 0 {
+		return in
+	}
+	idx := start + (n-1)*stride
+	if in.Valid {
+		data[idx] = (data[idx] - c*in.X) / bp[n-1]
+	} else {
+		data[idx] /= bp[n-1]
+	}
+	for i := n - 2; i >= 0; i-- {
+		idx -= stride
+		data[idx] = (data[idx] - c*data[idx+stride]) / bp[i]
+	}
+	return BackState{X: data[start], Valid: true}
+}
+
+// Smooth5 computes one Jacobi smoothing step on the interior of a dense
+// column-major nx×ny grid: out = 0.25*(N+S+E+W).  Boundary values are
+// copied through.  The 4-nearest-neighbour dependence is the access
+// pattern of the paper's §4 grid example.
+func Smooth5(out, in []float64, nx, ny int) {
+	copy(out, in)
+	for j := 1; j < ny-1; j++ {
+		base := j * nx
+		for i := 1; i < nx-1; i++ {
+			k := base + i
+			out[k] = 0.25 * (in[k-1] + in[k+1] + in[k-nx] + in[k+nx])
+		}
+	}
+}
+
+// Resid computes v = f - A(u) for the 5-point Laplacian A(u) = 4u -
+// u(i±1,j) - u(i,j±1) on the interior of a dense column-major nx×ny grid;
+// boundary v is set to 0.  This is the RESID of Figure 1.
+func Resid(v, u, f []float64, nx, ny int) {
+	for i := range v {
+		v[i] = 0
+	}
+	for j := 1; j < ny-1; j++ {
+		base := j * nx
+		for i := 1; i < nx-1; i++ {
+			k := base + i
+			v[k] = f[k] - (4*u[k] - u[k-1] - u[k+1] - u[k-nx] - u[k+nx])
+		}
+	}
+}
+
+// SerialADI runs iters ADI iterations on a dense column-major nx×ny grid
+// v (in place): each iteration solves the constant-coefficient tridiagonal
+// system along every x-line (columns, stride 1) and then along every
+// y-line (rows, stride nx).  It is the reference the distributed runs are
+// validated against.
+func SerialADI(v []float64, nx, ny, iters int, a, b, c float64) {
+	scratch := make([]float64, maxInt(nx, ny))
+	for it := 0; it < iters; it++ {
+		for j := 0; j < ny; j++ {
+			Tridiag(v[j*nx:(j+1)*nx], a, b, c, scratch)
+		}
+		for i := 0; i < nx; i++ {
+			TridiagStrided(v, i, nx, ny, a, b, c, scratch)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package lang
+
+// Verbatim-as-possible transcriptions of the paper's listings, used by
+// tests, the analysis package, and cmd/vfanalyze as demonstration inputs.
+
+// FixtureFig1 is Figure 1: "ADI iteration in Vienna Fortran".
+const FixtureFig1 = `
+PARAMETER (NX = 100, NY = 100)
+REAL U(NX, NY), F(NX, NY) DIST (:, BLOCK)
+REAL V(NX, NY) DYNAMIC, RANGE( (:, BLOCK), ( BLOCK, :)), &
+&    DIST (:, BLOCK)
+
+CALL RESID( V, U, F, NX, NY)
+
+C Sweep over x-lines
+DO J = 1, NY
+  CALL TRIDIAG( V(:, J), NX)
+ENDDO
+
+DISTRIBUTE V :: ( BLOCK, : )
+
+C Sweep over y-lines
+DO I = 1, NX
+  CALL TRIDIAG( V(I, :), NY)
+ENDDO
+`
+
+// FixtureFig2 is Figure 2: "High level PIC code in Vienna Fortran".
+// NPART-sized trailing dimensions are reduced to one for brevity, as the
+// paper itself elides them ("...").
+const FixtureFig2 = `
+PARAMETER (NCELL = 1024, NPART = 32, MAX_TIME = 100)
+INTEGER BOUNDS($NP)
+REAL FIELD(NCELL, NPART) DYNAMIC, DIST( BLOCK, :)
+
+C Compute initial position of particles
+CALL INITPOS(FIELD, NCELL, NPART)
+C Compute initial partition of cells
+CALL BALANCE(BOUNDS, FIELD, NCELL, NPART)
+DISTRIBUTE FIELD :: ( B_BLOCK (BOUNDS), : )
+
+DO K = 1, MAX_TIME
+C Compute new field
+  CALL UPDATE_FIELD(FIELD, NCELL, NPART)
+C Compute new particle positions and reassign them
+  CALL UPDATE_PART(FIELD, NCELL, NPART)
+C Rebalance every 10th iteration if necessary
+  IF (REBAL .EQ. 1) THEN
+    CALL BALANCE(BOUNDS, FIELD, NCELL, NPART)
+    DISTRIBUTE FIELD :: ( B_BLOCK (BOUNDS), : )
+  ENDIF
+ENDDO
+`
+
+// FixtureExample2 is the declarations of paper Example 2.
+const FixtureExample2 = `
+PARAMETER (M = 16, N = 12)
+PROCESSORS R2(1:2, 1:2)
+REAL B1(M) DYNAMIC
+REAL B2(N) DYNAMIC, DIST (BLOCK)
+REAL B3(N,N), B4(N,N) DYNAMIC, RANGE ((BLOCK, BLOCK),(*,CYCLIC)), &
+&    DIST ( BLOCK, CYCLIC) TO R2
+REAL A1(N,N) DYNAMIC, CONNECT(=B4)
+REAL A2(N,N) DYNAMIC, CONNECT A2(I,J) WITH B4(I,J)
+`
+
+// FixtureExample4 is the DCASE construct of paper Example 4, preceded by
+// the declarations it needs and DISTRIBUTE statements that exercise every
+// arm.
+const FixtureExample4 = `
+PARAMETER (M = 16, N = 12)
+PROCESSORS R2(1:2, 1:2)
+REAL B1(M) DYNAMIC
+REAL B2(N) DYNAMIC, DIST(BLOCK)
+REAL B3(N,N) DYNAMIC, RANGE ((BLOCK, BLOCK), (CYCLIC, CYCLIC(*)), (BLOCK, CYCLIC)), &
+&    DIST( BLOCK, CYCLIC) TO R2
+
+DISTRIBUTE B1 :: (BLOCK)
+
+SELECT DCASE (B1,B2,B3)
+CASE (BLOCK),(BLOCK),(CYCLIC(2),CYCLIC)
+  X = 1
+CASE B1: (CYCLIC), B3: ( BLOCK, *)
+  X = 2
+CASE B3: ( BLOCK, CYCLIC)
+  X = 3
+CASE DEFAULT
+  X = 4
+END SELECT
+`
+
+// FixtureADIStaticVsDynamic exercises the IF/IDT construct of §2.5.2.
+const FixtureIDT = `
+PARAMETER (N = 8)
+REAL B1(N) DYNAMIC, DIST(CYCLIC)
+REAL B3(N,N) DYNAMIC, DIST(BLOCK, :)
+
+IF ( IDT(B1,(CYCLIC)) .AND. IDT(B3,(BLOCK(*))) ) THEN
+  X = 2
+ENDIF
+`

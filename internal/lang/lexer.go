@@ -1,0 +1,200 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes Vienna Fortran subset source.  It is line-oriented:
+// NEWLINE tokens separate statements; a trailing '&' (or a leading '&' on
+// the continuation line, as in the paper's listings) joins lines;
+// comments run from '!' to end of line, and lines starting with 'C ' or
+// 'c ' in column one are comments (classic Fortran).  Keywords are case-
+// insensitive; identifiers are upper-cased (Fortran semantics) and may
+// contain '$' and '_' (for $NP and S_BLOCK-style names).
+type Lexer struct {
+	src    []rune
+	pos    int
+	line   int
+	col    int
+	err    error
+	tokens []Token
+}
+
+// Lex tokenizes src, returning the token stream (ending with EOF).
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: []rune(src), line: 1, col: 1}
+	l.run()
+	if l.err != nil {
+		return nil, l.err
+	}
+	return l.tokens, nil
+}
+
+func (l *Lexer) errf(format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("%d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) emit(k Kind, text string, p Pos) {
+	l.tokens = append(l.tokens, Token{Kind: k, Text: text, Pos: p})
+}
+
+func (l *Lexer) lastKind() Kind {
+	if len(l.tokens) == 0 {
+		return NEWLINE
+	}
+	return l.tokens[len(l.tokens)-1].Kind
+}
+
+func (l *Lexer) run() {
+	atLineStart := true
+	for l.pos < len(l.src) && l.err == nil {
+		p := Pos{l.line, l.col}
+		r := l.peek()
+		switch {
+		case r == '\n':
+			l.advance()
+			// collapse blank lines; suppress NEWLINE right after one
+			if l.lastKind() != NEWLINE {
+				l.emit(NEWLINE, "", p)
+			}
+			atLineStart = true
+			continue
+		case r == ' ' || r == '\t' || r == '\r':
+			l.advance()
+			continue
+		case r == '!':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		case atLineStart && (r == 'C' || r == 'c') && (l.peek2() == ' ' || l.peek2() == '\t'):
+			// classic comment line
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		case r == '&':
+			// continuation: skip to (and including) the newline, plus a
+			// possible leading '&' on the next line
+			l.advance()
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance() // the newline, not emitted
+			}
+			// skip leading whitespace and an optional leading '&'
+			for l.pos < len(l.src) && (l.peek() == ' ' || l.peek() == '\t') {
+				l.advance()
+			}
+			if l.peek() == '&' {
+				l.advance()
+			}
+			atLineStart = false
+			continue
+		}
+		atLineStart = false
+		switch {
+		case unicode.IsDigit(r):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+			l.emit(INT, string(l.src[start:l.pos]), p)
+		case unicode.IsLetter(r) || r == '$' || r == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_' || l.peek() == '$') {
+				l.advance()
+			}
+			word := strings.ToUpper(string(l.src[start:l.pos]))
+			if k, ok := keywords[word]; ok {
+				l.emit(k, word, p)
+			} else {
+				l.emit(IDENT, word, p)
+			}
+		case r == '.':
+			// dotted operator .AND. etc — or a real literal (unsupported)
+			l.advance()
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsLetter(l.peek()) {
+				l.advance()
+			}
+			word := strings.ToUpper(string(l.src[start:l.pos]))
+			if l.peek() != '.' {
+				l.errf("malformed dotted operator .%s", word)
+				return
+			}
+			l.advance()
+			if k, ok := dotOps[word]; ok {
+				l.emit(k, word, p)
+			} else {
+				l.errf("unknown operator .%s.", word)
+				return
+			}
+		default:
+			l.advance()
+			switch r {
+			case '(':
+				l.emit(LPAREN, "", p)
+			case ')':
+				l.emit(RPAREN, "", p)
+			case ',':
+				l.emit(COMMA, "", p)
+			case ':':
+				if l.peek() == ':' {
+					l.advance()
+					l.emit(DCOLON, "", p)
+				} else {
+					l.emit(COLON, "", p)
+				}
+			case '=':
+				l.emit(ASSIGN, "", p)
+			case '*':
+				l.emit(STAR, "", p)
+			case '+':
+				l.emit(PLUS, "", p)
+			case '-':
+				l.emit(MINUS, "", p)
+			case '/':
+				l.emit(SLASH, "", p)
+			default:
+				l.errf("unexpected character %q", r)
+				return
+			}
+		}
+	}
+	if l.lastKind() != NEWLINE {
+		l.emit(NEWLINE, "", Pos{l.line, l.col})
+	}
+	l.emit(EOF, "", Pos{l.line, l.col})
+}

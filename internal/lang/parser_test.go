@@ -1,0 +1,388 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("REAL V(NX, NY) DYNAMIC ! comment\nDISTRIBUTE V :: (BLOCK, :)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KREAL, IDENT, LPAREN, IDENT, COMMA, IDENT, RPAREN, KDYNAMIC, NEWLINE,
+		KDISTRIBUTE, IDENT, DCOLON, LPAREN, KBLOCK, COMMA, COLON, RPAREN, NEWLINE, EOF}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, toks[i].Kind, k, toks)
+		}
+	}
+}
+
+func TestLexContinuationAndComments(t *testing.T) {
+	src := "REAL V(N) DYNAMIC, &\n&    DIST (BLOCK)\nC classic comment line\nX = 1\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the continuation must join the two lines: no NEWLINE between
+	// DYNAMIC-comma and DIST
+	sawDist := false
+	for i, tk := range toks {
+		if tk.Kind == KDIST {
+			sawDist = true
+			for j := 0; j < i; j++ {
+				if toks[j].Kind == NEWLINE {
+					t.Fatal("NEWLINE before DIST despite continuation")
+				}
+			}
+		}
+	}
+	if !sawDist {
+		t.Fatal("DIST token missing")
+	}
+}
+
+func TestLexDottedOps(t *testing.T) {
+	toks, err := Lex("IF (A .AND. .NOT. B .EQ. 3) THEN\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KIF, LPAREN, IDENT, AND, NOT, IDENT, EQ, INT, RPAREN, KTHEN, NEWLINE, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v want %v", i, toks[i].Kind, k)
+		}
+	}
+	if _, err := Lex(".BOGUS. X"); err == nil {
+		t.Fatal("unknown dotted op accepted")
+	}
+}
+
+func TestLexDollarIdent(t *testing.T) {
+	toks, err := Lex("INTEGER BOUNDS($NP)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != IDENT || toks[3].Text != "$NP" {
+		t.Fatalf("$NP lexed as %v %q", toks[3].Kind, toks[3].Text)
+	}
+}
+
+func TestParseFig1(t *testing.T) {
+	prog := mustParse(t, FixtureFig1)
+	// PARAMETER, Decl(U,F), Decl(V), CALL, DO, DISTRIBUTE, DO
+	if len(prog.Stmts) != 7 {
+		t.Fatalf("got %d statements, want 7: %#v", len(prog.Stmts), prog.Stmts)
+	}
+	uf, ok := prog.Stmts[1].(*DeclStmt)
+	if !ok || len(uf.Names) != 2 || uf.Names[1].Name != "F" || uf.Dynamic {
+		t.Fatalf("U,F declaration parsed wrong: %+v", prog.Stmts[1])
+	}
+	decl, ok := prog.Stmts[2].(*DeclStmt)
+	if !ok {
+		t.Fatalf("stmt 2 is %T", prog.Stmts[2])
+	}
+	if decl.Names[0].Name != "V" || !decl.Dynamic || len(decl.Range) != 2 || decl.Dist == nil {
+		t.Fatalf("V declaration parsed wrong: %+v", decl)
+	}
+	if decl.Range[0].Dims[0].Kind != DElided || decl.Range[0].Dims[1].Kind != DBlock {
+		t.Fatalf("range[0] = %v", decl.Range[0])
+	}
+	dstmt, ok := prog.Stmts[5].(*DistributeStmt)
+	if !ok || dstmt.Names[0] != "V" || dstmt.Expr.Dims[0].Kind != DBlock || dstmt.Expr.Dims[1].Kind != DElided {
+		t.Fatalf("DISTRIBUTE parsed wrong: %+v", prog.Stmts[5])
+	}
+	do, ok := prog.Stmts[6].(*DoStmt)
+	if !ok || do.Var != "I" || len(do.Body) != 1 {
+		t.Fatalf("second DO parsed wrong: %+v", prog.Stmts[6])
+	}
+	call := do.Body[0].(*CallStmt)
+	if call.Name != "TRIDIAG" || len(call.Args) != 2 {
+		t.Fatalf("call parsed wrong: %+v", call)
+	}
+	// V(I, :) — second subscript is a section
+	ref := call.Args[0].(*Ref)
+	if ref.Name != "V" {
+		t.Fatal("arg 0 should reference V")
+	}
+	if _, ok := ref.Indices[1].(*RangeIdx); !ok {
+		t.Fatalf("V(I,:) second index is %T", ref.Indices[1])
+	}
+}
+
+func TestParseFig2(t *testing.T) {
+	prog := mustParse(t, FixtureFig2)
+	var distributes []*DistributeStmt
+	var walk func([]Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *DistributeStmt:
+				distributes = append(distributes, st)
+			case *DoStmt:
+				walk(st.Body)
+			case *IfStmt:
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(prog.Stmts)
+	if len(distributes) != 2 {
+		t.Fatalf("found %d DISTRIBUTE statements, want 2", len(distributes))
+	}
+	for _, d := range distributes {
+		if d.Expr.Dims[0].Kind != DBBlock {
+			t.Fatalf("expected B_BLOCK component: %v", d.Expr)
+		}
+		arg, ok := d.Expr.Dims[0].Arg.(*Ref)
+		if !ok || arg.Name != "BOUNDS" {
+			t.Fatalf("B_BLOCK argument: %v", d.Expr.Dims[0].Arg)
+		}
+	}
+}
+
+func TestParseExample2(t *testing.T) {
+	prog := mustParse(t, FixtureExample2)
+	// B3, B4 share one declaration
+	var b34 *DeclStmt
+	for _, s := range prog.Stmts {
+		if d, ok := s.(*DeclStmt); ok && len(d.Names) == 2 && d.Names[0].Name == "B3" {
+			b34 = d
+		}
+	}
+	if b34 == nil {
+		t.Fatal("B3,B4 declaration not found")
+	}
+	if !b34.Dynamic || len(b34.Range) != 2 || b34.Dist == nil || b34.Dist.Target != "R2" {
+		t.Fatalf("B3/B4 annotations: %+v", b34)
+	}
+	if b34.Range[1].Dims[0].Kind != DAny || b34.Range[1].Dims[1].Kind != DCyclic {
+		t.Fatalf("range[1] = %v", b34.Range[1])
+	}
+	// A1: extraction; A2: alignment
+	var a1, a2 *DeclStmt
+	for _, s := range prog.Stmts {
+		if d, ok := s.(*DeclStmt); ok && len(d.Names) == 1 {
+			switch d.Names[0].Name {
+			case "A1":
+				a1 = d
+			case "A2":
+				a2 = d
+			}
+		}
+	}
+	if a1 == nil || a1.Connect == nil || a1.Connect.Extract != "B4" {
+		t.Fatalf("A1 connect: %+v", a1)
+	}
+	if a2 == nil || a2.Connect == nil || a2.Connect.Align == nil || a2.Connect.Align.DstName != "B4" {
+		t.Fatalf("A2 connect: %+v", a2)
+	}
+}
+
+func TestParseExample4DCase(t *testing.T) {
+	prog := mustParse(t, FixtureExample4)
+	var sel *SelectStmt
+	for _, s := range prog.Stmts {
+		if ss, ok := s.(*SelectStmt); ok {
+			sel = ss
+		}
+	}
+	if sel == nil {
+		t.Fatal("SELECT DCASE not found")
+	}
+	if len(sel.Selectors) != 3 || sel.Selectors[2] != "B3" {
+		t.Fatalf("selectors = %v", sel.Selectors)
+	}
+	if len(sel.Arms) != 4 {
+		t.Fatalf("arms = %d", len(sel.Arms))
+	}
+	// arm 1: positional, 3 queries
+	if len(sel.Arms[0].Queries) != 3 || sel.Arms[0].Queries[0].Tag != "" {
+		t.Fatalf("arm 1: %+v", sel.Arms[0].Queries)
+	}
+	if sel.Arms[0].Queries[2].Pattern[0].Kind != DCyclic {
+		t.Fatalf("arm 1 query 3: %v", sel.Arms[0].Queries[2].Pattern)
+	}
+	// arm 2: name-tagged
+	if sel.Arms[1].Queries[0].Tag != "B1" || sel.Arms[1].Queries[1].Tag != "B3" {
+		t.Fatalf("arm 2 tags: %+v", sel.Arms[1].Queries)
+	}
+	if sel.Arms[1].Queries[1].Pattern[1].Kind != DAny {
+		t.Fatalf("arm 2 B3 pattern: %v", sel.Arms[1].Queries[1].Pattern)
+	}
+	// arm 4: DEFAULT
+	if !sel.Arms[3].Default {
+		t.Fatal("arm 4 should be DEFAULT")
+	}
+	// bodies are assignments X = k
+	for i, arm := range sel.Arms {
+		as, ok := arm.Body[0].(*AssignStmt)
+		if !ok {
+			t.Fatalf("arm %d body: %T", i+1, arm.Body[0])
+		}
+		if as.RHS.(*IntLit).Value != i+1 {
+			t.Fatalf("arm %d assigns %v", i+1, as.RHS)
+		}
+	}
+}
+
+func TestParseIDT(t *testing.T) {
+	prog := mustParse(t, FixtureIDT)
+	ifs, ok := prog.Stmts[len(prog.Stmts)-1].(*IfStmt)
+	if !ok {
+		t.Fatalf("last stmt: %T", prog.Stmts[len(prog.Stmts)-1])
+	}
+	b, ok := ifs.Cond.(*BinExpr)
+	if !ok || b.Op != AND {
+		t.Fatalf("cond: %v", ifs.Cond)
+	}
+	l, ok := b.L.(*IDTExpr)
+	if !ok || l.Array != "B1" || l.Pattern[0].Kind != DCyclic {
+		t.Fatalf("left IDT: %v", b.L)
+	}
+	r, ok := b.R.(*IDTExpr)
+	if !ok || r.Array != "B3" {
+		t.Fatalf("right IDT: %v", b.R)
+	}
+	// BLOCK(*) normalizes to BLOCK with ArgAny
+	if r.Pattern[0].Kind != DBlock || !r.Pattern[0].ArgAny {
+		t.Fatalf("BLOCK(*) pattern: %+v", r.Pattern[0])
+	}
+}
+
+func TestParseNoTransfer(t *testing.T) {
+	prog := mustParse(t, `
+REAL B(8), A(8) DYNAMIC
+DISTRIBUTE B :: (CYCLIC(3)) NOTRANSFER (A)
+`)
+	d := prog.Stmts[1].(*DistributeStmt)
+	if len(d.NoTransfer) != 1 || d.NoTransfer[0] != "A" {
+		t.Fatalf("notransfer: %v", d.NoTransfer)
+	}
+	if d.Expr.Dims[0].Kind != DCyclic || d.Expr.Dims[0].Arg.(*IntLit).Value != 3 {
+		t.Fatalf("expr: %v", d.Expr)
+	}
+}
+
+func TestParseDistributeAlignForm(t *testing.T) {
+	prog := mustParse(t, `
+REAL B(8,8), C(8,8) DYNAMIC
+DISTRIBUTE B :: B(I,J) WITH C(J,I)
+`)
+	d := prog.Stmts[1].(*DistributeStmt)
+	if d.Align == nil || d.Align.DstName != "C" || len(d.Align.SrcIdx) != 2 {
+		t.Fatalf("align form: %+v", d.Align)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"DISTRIBUTE :: (BLOCK)\n",          // missing name
+		"REAL\n",                           // missing declarator
+		"DO I = 1 10\nENDDO\n",             // missing comma
+		"SELECT DCASE (A)\nCASE (BLOCK)\n", // unterminated
+		"IF (X) THEN\n",                    // unterminated
+		"X = \n",                           // missing RHS
+		"PROCESSORS (1:4)\n",               // missing name
+		"DISTRIBUTE B :: (WHAT)\n",         // bad component
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted invalid program %q", src)
+		}
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	prog := mustParse(t, "X = 1 + 2 * 3 - 4 / 2\n")
+	as := prog.Stmts[0].(*AssignStmt)
+	// ((1 + (2*3)) - (4/2))
+	s := as.RHS.String()
+	if !strings.Contains(s, "(2 * 3)") || !strings.Contains(s, "(4 / 2)") {
+		t.Fatalf("precedence wrong: %s", s)
+	}
+}
+
+func TestParseSectionSubscripts(t *testing.T) {
+	prog := mustParse(t, "CALL F(V(2:8:2, :), U(1:, :5))\n")
+	call := prog.Stmts[0].(*CallStmt)
+	v := call.Args[0].(*Ref)
+	ri := v.Indices[0].(*RangeIdx)
+	if ri.Lo.(*IntLit).Value != 2 || ri.Hi.(*IntLit).Value != 8 || ri.Step.(*IntLit).Value != 2 {
+		t.Fatalf("triplet: %v", ri)
+	}
+	u := call.Args[1].(*Ref)
+	if u.Indices[0].(*RangeIdx).Lo == nil || u.Indices[0].(*RangeIdx).Hi != nil {
+		t.Fatalf("open range: %v", u.Indices[0])
+	}
+	if u.Indices[1].(*RangeIdx).Hi.(*IntLit).Value != 5 {
+		t.Fatalf(":5 range: %v", u.Indices[1])
+	}
+}
+
+func TestParseForall(t *testing.T) {
+	prog := mustParse(t, `
+FORALL I = 1, 8, 2
+  A(I) = I
+END FORALL
+FORALL J = 1, 4
+  B(J) = J
+ENDFORALL
+`)
+	f1, ok := prog.Stmts[0].(*ForallStmt)
+	if !ok || f1.Var != "I" || f1.Step == nil || len(f1.Body) != 1 {
+		t.Fatalf("forall 1: %+v", prog.Stmts[0])
+	}
+	f2, ok := prog.Stmts[1].(*ForallStmt)
+	if !ok || f2.Var != "J" || f2.Step != nil {
+		t.Fatalf("forall 2: %+v", prog.Stmts[1])
+	}
+	if _, err := Parse("FORALL I = 1, 4\n"); err == nil {
+		t.Fatal("unterminated FORALL accepted")
+	}
+}
+
+func TestStringersAndPositions(t *testing.T) {
+	prog := mustParse(t, `
+REAL D(4,4) ALIGN D(I,J) WITH C(J,2*I+1)
+DISTRIBUTE D :: (=B1, CYCLIC(3)) TO R
+X = IDT(D,(B_BLOCK(*), S_BLOCK(*)))
+`)
+	decl := prog.Stmts[0].(*DeclStmt)
+	if s := decl.Align.String(); !strings.Contains(s, "WITH C") {
+		t.Fatalf("align string: %s", s)
+	}
+	d := prog.Stmts[1].(*DistributeStmt)
+	if s := d.Expr.String(); !strings.Contains(s, "=B1") || !strings.Contains(s, "TO R") {
+		t.Fatalf("dist expr string: %s", s)
+	}
+	as := prog.Stmts[2].(*AssignStmt)
+	if s := as.RHS.String(); !strings.Contains(s, "IDT(D") {
+		t.Fatalf("idt string: %s", s)
+	}
+	if prog.Stmts[0].Pos().Line != 2 {
+		t.Fatalf("pos: %v", prog.Stmts[0].Pos())
+	}
+}
+
+func TestKindStringer(t *testing.T) {
+	for k := EOF; k <= KIDT; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(999).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

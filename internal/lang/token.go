@@ -1,0 +1,143 @@
+// Package lang is the front end for the Vienna Fortran subset this
+// repository reproduces: a lexer, an AST, and a recursive-descent parser
+// covering the declaration annotations of paper §2 (DIST, DYNAMIC, RANGE,
+// CONNECT, ALIGN ... WITH, TO), the executable DISTRIBUTE statement with
+// NOTRANSFER, the DCASE construct, IF with the IDT intrinsic, DO loops,
+// assignments and calls — enough to parse the paper's Figures 1 and 2 and
+// Examples 1–4 verbatim (modulo Fortran column conventions: comments use
+// '!' or a leading 'C ', continuations use a trailing '&').
+//
+// The parsed programs feed internal/sem (static semantics: connect
+// classes, range conformance) and internal/analysis (the reaching-
+// distribution analysis of §3.1).
+package lang
+
+import "fmt"
+
+// Kind is a token kind.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT
+	INT
+
+	LPAREN
+	RPAREN
+	COMMA
+	COLON
+	DCOLON // ::
+	ASSIGN // =
+	STAR
+	PLUS
+	MINUS
+	SLASH
+
+	// .AND. .OR. .NOT. .EQ. .NE. .LT. .LE. .GT. .GE.
+	AND
+	OR
+	NOT
+	EQ
+	NE
+	LT
+	LE
+	GT
+	GE
+
+	// keywords
+	KPARAMETER
+	KPROCESSORS
+	KREAL
+	KINTEGER
+	KDIST
+	KDYNAMIC
+	KRANGE
+	KCONNECT
+	KALIGN
+	KWITH
+	KTO
+	KNOTRANSFER
+	KDISTRIBUTE
+	KSELECT
+	KDCASE
+	KCASE
+	KDEFAULT
+	KEND
+	KENDIF
+	KENDDO
+	KIF
+	KTHEN
+	KELSE
+	KDO
+	KFORALL
+	KENDFORALL
+	KCALL
+	KBLOCK
+	KCYCLIC
+	KSBLOCK
+	KBBLOCK
+	KIDT
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", NEWLINE: "end of line", IDENT: "identifier", INT: "integer",
+	LPAREN: "(", RPAREN: ")", COMMA: ",", COLON: ":", DCOLON: "::", ASSIGN: "=",
+	STAR: "*", PLUS: "+", MINUS: "-", SLASH: "/",
+	AND: ".AND.", OR: ".OR.", NOT: ".NOT.", EQ: ".EQ.", NE: ".NE.",
+	LT: ".LT.", LE: ".LE.", GT: ".GT.", GE: ".GE.",
+	KPARAMETER: "PARAMETER", KPROCESSORS: "PROCESSORS", KREAL: "REAL",
+	KINTEGER: "INTEGER", KDIST: "DIST", KDYNAMIC: "DYNAMIC", KRANGE: "RANGE",
+	KCONNECT: "CONNECT", KALIGN: "ALIGN", KWITH: "WITH", KTO: "TO",
+	KNOTRANSFER: "NOTRANSFER", KDISTRIBUTE: "DISTRIBUTE", KSELECT: "SELECT",
+	KDCASE: "DCASE", KCASE: "CASE", KDEFAULT: "DEFAULT", KEND: "END",
+	KENDIF: "ENDIF", KENDDO: "ENDDO", KIF: "IF", KTHEN: "THEN", KELSE: "ELSE",
+	KDO: "DO", KFORALL: "FORALL", KENDFORALL: "ENDFORALL", KCALL: "CALL", KBLOCK: "BLOCK", KCYCLIC: "CYCLIC",
+	KSBLOCK: "S_BLOCK", KBBLOCK: "B_BLOCK", KIDT: "IDT",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"PARAMETER": KPARAMETER, "PROCESSORS": KPROCESSORS, "REAL": KREAL,
+	"INTEGER": KINTEGER, "DIST": KDIST, "DYNAMIC": KDYNAMIC, "RANGE": KRANGE,
+	"CONNECT": KCONNECT, "ALIGN": KALIGN, "WITH": KWITH, "TO": KTO,
+	"NOTRANSFER": KNOTRANSFER, "DISTRIBUTE": KDISTRIBUTE, "SELECT": KSELECT,
+	"DCASE": KDCASE, "CASE": KCASE, "DEFAULT": KDEFAULT, "END": KEND,
+	"ENDIF": KENDIF, "ENDDO": KENDDO, "IF": KIF, "THEN": KTHEN, "ELSE": KELSE,
+	"DO": KDO, "FORALL": KFORALL, "ENDFORALL": KENDFORALL, "CALL": KCALL, "BLOCK": KBLOCK, "CYCLIC": KCYCLIC,
+	"S_BLOCK": KSBLOCK, "B_BLOCK": KBBLOCK, "IDT": KIDT,
+}
+
+var dotOps = map[string]Kind{
+	"AND": AND, "OR": OR, "NOT": NOT, "EQ": EQ, "NE": NE,
+	"LT": LT, "LE": LE, "GT": GT, "GE": GE,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind Kind
+	Text string // identifier text (upper-cased) or integer literal
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return t.Text
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,216 @@
+// Package machine provides the SPMD execution engine of the Vienna Fortran
+// Engine: P logical processors executing the same program on local data
+// (paper §1: "each processor executes essentially the same code, but on a
+// local data set").
+//
+// A Machine owns a msg.Transport connecting P processors.  Run executes an
+// SPMD body as P goroutines, each with a Ctx carrying its rank and
+// collectives.  Processor arrays (PROCESSORS R(1:M,1:M), §2.2) and
+// processor sections are declared per machine and serve as distribution
+// targets.
+//
+// Collective object creation: global objects such as distributed arrays
+// must be logically identical on every processor.  Ctx.CollectiveOnce
+// assigns each textual creation site a sequence number (identical across
+// processors because the program is SPMD) and has exactly one processor
+// run the constructor; all processors share the result.  This mirrors the
+// descriptor replication of the VFE (§3.2.1).
+package machine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// Machine is a set of P logical processors sharing a transport.
+type Machine struct {
+	np        int
+	transport msg.Transport
+
+	mu      sync.Mutex
+	objects map[int64]*collEntry
+	procs   map[string]*ProcArray
+}
+
+type collEntry struct {
+	once sync.Once
+	val  any
+}
+
+// Option configures a Machine.
+type Option func(*config)
+
+type config struct {
+	transport msg.Transport
+	cost      *msg.CostModel
+}
+
+// WithTransport runs the machine on the given transport (e.g. a
+// msg.TCPTransport).  The transport's NP must match the machine's.
+func WithTransport(t msg.Transport) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// WithCostModel attaches a Hockney cost model to the default transport.
+// Ignored if WithTransport is also given (attach the model to that
+// transport instead).
+func WithCostModel(cm *msg.CostModel) Option {
+	return func(c *config) { c.cost = cm }
+}
+
+// New creates a machine with np logical processors on an in-process
+// transport (unless overridden by WithTransport).
+func New(np int, opts ...Option) *Machine {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tr := cfg.transport
+	if tr == nil {
+		var topts []msg.Option
+		if cfg.cost != nil {
+			topts = append(topts, msg.WithCost(cfg.cost))
+		}
+		tr = msg.NewChanTransport(np, topts...)
+	}
+	if tr.NP() != np {
+		panic(fmt.Sprintf("machine: transport has %d endpoints, machine wants %d", tr.NP(), np))
+	}
+	return &Machine{
+		np:        np,
+		transport: tr,
+		objects:   make(map[int64]*collEntry),
+		procs:     make(map[string]*ProcArray),
+	}
+}
+
+// NP returns the number of processors (the paper's $NP intrinsic).
+func (m *Machine) NP() int { return m.np }
+
+// Transport returns the underlying transport.
+func (m *Machine) Transport() msg.Transport { return m.transport }
+
+// Stats returns the transport's traffic statistics.
+func (m *Machine) Stats() *msg.Stats { return m.transport.Stats() }
+
+// Cost returns the attached cost model, or nil.
+func (m *Machine) Cost() *msg.CostModel { return m.transport.Cost() }
+
+// Close shuts down the transport.
+func (m *Machine) Close() error { return m.transport.Close() }
+
+// Run executes body as an SPMD program: one goroutine per processor, each
+// receiving its own Ctx.  Panics in the body are recovered and reported as
+// errors with stack traces; like an MPI abort, a panicking rank shuts the
+// transport down so ranks blocked in collectives unwind instead of
+// deadlocking (the machine is unusable afterwards).  Run prefers the
+// originating panic over the secondary ErrClosed failures it induces.
+func (m *Machine) Run(body func(ctx *Ctx) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, m.np)
+	panicked := make([]bool, m.np)
+	for r := 0; r < m.np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r] = fmt.Errorf("machine: rank %d panicked: %v\n%s", r, rec, debug.Stack())
+					panicked[r] = true
+					m.transport.Close()
+				}
+			}()
+			ctx := m.newCtx(r)
+			errs[r] = body(ctx)
+		}(r)
+	}
+	wg.Wait()
+	// Prefer the originating failure: a panic that is not itself a
+	// consequence of the abort-induced transport shutdown.
+	for r, err := range errs {
+		if err != nil && panicked[r] && !strings.Contains(err.Error(), ErrClosedText) {
+			return err
+		}
+	}
+	for r, err := range errs {
+		if err != nil && panicked[r] {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrClosedText is the marker of secondary failures induced by an SPMD
+// abort (matching msg.ErrClosed's message).
+const ErrClosedText = "transport closed"
+
+// Ctx is one processor's view of the machine during an SPMD run.
+type Ctx struct {
+	rank    int
+	m       *Machine
+	comm    *msg.Comm
+	collSeq int64
+}
+
+func (m *Machine) newCtx(rank int) *Ctx {
+	return &Ctx{rank: rank, m: m, comm: msg.NewComm(m.transport.Endpoint(rank))}
+}
+
+// Rank returns this processor's rank in 0..NP-1.
+func (c *Ctx) Rank() int { return c.rank }
+
+// NP returns the number of processors ($NP).
+func (c *Ctx) NP() int { return c.m.np }
+
+// Machine returns the owning machine.
+func (c *Ctx) Machine() *Machine { return c.m }
+
+// Comm returns this processor's collectives handle.
+func (c *Ctx) Comm() *msg.Comm { return c.comm }
+
+// Endpoint returns this processor's point-to-point endpoint.
+func (c *Ctx) Endpoint() msg.Endpoint { return c.comm.Endpoint() }
+
+// Barrier synchronizes all processors.
+func (c *Ctx) Barrier() {
+	if err := c.comm.Barrier(); err != nil {
+		panic(fmt.Sprintf("machine: barrier failed: %v", err))
+	}
+}
+
+// CollectiveOnce runs create on exactly one processor per textual call
+// site and returns the shared result on every processor.  All processors
+// must call it in the same order (SPMD discipline); the sequence number
+// pairs the calls.  The call does not synchronize beyond the constructor
+// itself — follow with Barrier when the object must be fully visible
+// before unrelated communication.
+func (c *Ctx) CollectiveOnce(create func() any) any {
+	c.collSeq++
+	id := c.collSeq
+	c.m.mu.Lock()
+	e, ok := c.m.objects[id]
+	if !ok {
+		e = &collEntry{}
+		c.m.objects[id] = e
+	}
+	c.m.mu.Unlock()
+	e.once.Do(func() { e.val = create() })
+	return e.val
+}
+
+// Charge adds modeled local-computation time to this processor's virtual
+// clock (no-op without a cost model).
+func (c *Ctx) Charge(seconds float64) {
+	if cm := c.m.Cost(); cm != nil {
+		cm.Charge(c.rank, seconds)
+	}
+}

@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ChanTransport is the default in-process transport: each processor owns a
+// matcher mailbox and Send appends a copied payload directly to the
+// destination mailbox.  The copy is deliberate — it preserves
+// distributed-memory semantics (no sharing of buffers between sender and
+// receiver), and makes byte accounting identical to the TCP transport.
+type ChanTransport struct {
+	np     int
+	boxes  []*matcher
+	eps    []chanEndpoint
+	stats  *Stats
+	cost   *CostModel
+	closed atomic.Bool
+}
+
+// NewChanTransport creates an in-process transport for np processors.
+// opts may carry a cost model (WithCost).
+func NewChanTransport(np int, opts ...Option) *ChanTransport {
+	if np <= 0 {
+		panic(fmt.Sprintf("msg: invalid processor count %d", np))
+	}
+	t := &ChanTransport{
+		np:    np,
+		boxes: make([]*matcher, np),
+		stats: NewStats(np),
+	}
+	for _, o := range opts {
+		o(&option{cost: &t.cost})
+	}
+	for i := range t.boxes {
+		t.boxes[i] = newMatcher()
+	}
+	t.eps = make([]chanEndpoint, np)
+	for i := range t.eps {
+		t.eps[i] = chanEndpoint{t: t, rank: i}
+	}
+	return t
+}
+
+// Option configures a transport.
+type Option func(*option)
+
+type option struct {
+	cost **CostModel
+}
+
+// WithCost attaches a cost model to the transport.
+func WithCost(c *CostModel) Option {
+	return func(o *option) { *o.cost = c }
+}
+
+// NP returns the processor count.
+func (t *ChanTransport) NP() int { return t.np }
+
+// Stats returns the traffic statistics collector.
+func (t *ChanTransport) Stats() *Stats { return t.stats }
+
+// Cost returns the attached cost model (nil if none).
+func (t *ChanTransport) Cost() *CostModel { return t.cost }
+
+// Endpoint returns processor rank's endpoint.
+func (t *ChanTransport) Endpoint(rank int) Endpoint {
+	return &t.eps[rank]
+}
+
+// Close shuts the transport down; blocked receives return ErrClosed.
+func (t *ChanTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for _, b := range t.boxes {
+		b.close()
+	}
+	return nil
+}
+
+type chanEndpoint struct {
+	t    *ChanTransport
+	rank int
+}
+
+func (e *chanEndpoint) Rank() int { return e.rank }
+func (e *chanEndpoint) NP() int   { return e.t.np }
+
+func (e *chanEndpoint) Send(to, tag int, data []byte) error {
+	if e.t.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= e.t.np {
+		return fmt.Errorf("msg: send to invalid rank %d (np=%d)", to, e.t.np)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p := Packet{From: e.rank, Tag: tag, Data: cp}
+	if c := e.t.cost; c != nil {
+		p.SendClock = c.OnSend(e.rank, len(data))
+	}
+	e.t.stats.OnSend(e.rank, to, len(data))
+	e.t.boxes[to].put(p)
+	return nil
+}
+
+func (e *chanEndpoint) Recv(from, tag int) (Packet, error) {
+	p, err := e.t.boxes[e.rank].get(from, tag)
+	if err != nil {
+		return p, err
+	}
+	e.afterRecv(p)
+	return p, nil
+}
+
+func (e *chanEndpoint) RecvTimeout(from, tag int, d time.Duration) (Packet, error) {
+	p, err := e.t.boxes[e.rank].getTimeout(from, tag, d)
+	if err != nil {
+		return p, err
+	}
+	e.afterRecv(p)
+	return p, nil
+}
+
+func (e *chanEndpoint) afterRecv(p Packet) {
+	e.t.stats.OnRecv(e.rank, p.From, len(p.Data))
+	if c := e.t.cost; c != nil {
+		c.OnRecv(e.rank, p.SendClock, len(p.Data))
+	}
+}

@@ -1,0 +1,105 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire encodings for the element and header types the runtime exchanges.
+// All integers are little-endian.  These are deliberately simple: the
+// point is that both transports move real bytes, so Stats byte counts
+// reflect true message sizes (8 bytes per REAL*8 element, as on the
+// machines the paper targeted).
+
+// AppendUint64s appends 64-bit values to buf.
+func AppendUint64s(buf []byte, vals []uint64) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, 8*len(vals))...)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[off+8*i:], v)
+	}
+	return buf
+}
+
+// EncodeFloat64s encodes a []float64 payload.
+func EncodeFloat64s(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeFloat64s decodes a []float64 payload.
+func DecodeFloat64s(buf []byte) []float64 {
+	if len(buf)%8 != 0 {
+		panic(fmt.Sprintf("msg: float64 payload length %d not a multiple of 8", len(buf)))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// DecodeFloat64sInto decodes into dst, which must have exactly the right
+// length; it avoids an allocation on hot paths.
+func DecodeFloat64sInto(dst []float64, buf []byte) {
+	if len(buf) != 8*len(dst) {
+		panic(fmt.Sprintf("msg: payload %d bytes, want %d", len(buf), 8*len(dst)))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}
+
+// EncodeInt64s encodes a []int64 payload.
+func EncodeInt64s(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// DecodeInt64s decodes a []int64 payload.
+func DecodeInt64s(buf []byte) []int64 {
+	if len(buf)%8 != 0 {
+		panic(fmt.Sprintf("msg: int64 payload length %d not a multiple of 8", len(buf)))
+	}
+	out := make([]int64, len(buf)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// EncodeInts encodes a []int payload as int64s.
+func EncodeInts(vals []int) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(int64(v)))
+	}
+	return buf
+}
+
+// DecodeInts decodes a payload written by EncodeInts.
+func DecodeInts(buf []byte) []int {
+	v := DecodeInt64s(buf)
+	out := make([]int, len(v))
+	for i := range v {
+		out[i] = int(v[i])
+	}
+	return out
+}
+
+// PutUint32 / GetUint32 are header helpers for framed transports.
+func PutUint32(buf []byte, off int, v uint32) {
+	binary.LittleEndian.PutUint32(buf[off:], v)
+}
+
+// GetUint32 reads a little-endian uint32 at off.
+func GetUint32(buf []byte, off int) uint32 {
+	return binary.LittleEndian.Uint32(buf[off:])
+}

@@ -1,0 +1,437 @@
+package msg
+
+import (
+	"fmt"
+)
+
+// Comm layers collective operations over an Endpoint.  Each logical
+// processor of an SPMD program owns one Comm; because every processor
+// executes the same sequence of collectives, a shared atomic sequence
+// counter per transport is not needed — each Comm tracks its own count and
+// the counts agree, yielding matching tags.
+//
+// All collectives use O(log P) binomial/dissemination algorithms where the
+// operation allows, mirroring what the VFE's "specialized routines for
+// handling reductions" (§3.2) would provide.
+type Comm struct {
+	ep  Endpoint
+	seq int64
+}
+
+// NewComm wraps an endpoint.
+func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep} }
+
+// Rank returns this processor's rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// NP returns the number of processors.
+func (c *Comm) NP() int { return c.ep.NP() }
+
+// Endpoint exposes the underlying endpoint for point-to-point traffic.
+func (c *Comm) Endpoint() Endpoint { return c.ep }
+
+func (c *Comm) nextTag() int {
+	c.seq++
+	return TagCollBase + int(c.seq%(1<<20))
+}
+
+// Barrier blocks until all processors have entered it (dissemination
+// algorithm, ceil(log2 P) rounds).
+func (c *Comm) Barrier() error {
+	np, rank := c.NP(), c.Rank()
+	tag := c.nextTag()
+	if np == 1 {
+		return nil
+	}
+	for k := 1; k < np; k <<= 1 {
+		to := (rank + k) % np
+		from := (rank - k + np) % np
+		if err := c.ep.Send(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.ep.Recv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root; on non-roots the returned slice holds the
+// received data (buf is ignored there and may be nil).
+func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
+	np, rank := c.NP(), c.Rank()
+	tag := c.nextTag()
+	if np == 1 {
+		return buf, nil
+	}
+	// Binomial tree rooted at root: operate in the rotated rank space
+	// vrank = (rank - root + np) % np.
+	vrank := (rank - root + np) % np
+	if vrank != 0 {
+		p, err := c.ep.Recv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		buf = p.Data
+	}
+	// Forward to children: vchild = vrank + 2^k for 2^k > vrank's low bits.
+	mask := 1
+	for mask < np && vrank&mask == 0 {
+		vchild := vrank | mask
+		if vchild < np {
+			child := (vchild + root) % np
+			if err := c.ep.Send(child, tag, buf); err != nil {
+				return nil, err
+			}
+		}
+		mask <<= 1
+	}
+	// Consume remaining: non-root ranks with low set bit stop forwarding.
+	return buf, nil
+}
+
+// ReduceF64 reduces elementwise over op into root; on root the returned
+// slice holds the reduction, on others it is nil.  All processors must
+// pass slices of identical length.
+func (c *Comm) ReduceF64(root int, vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	np, rank := c.NP(), c.Rank()
+	tag := c.nextTag()
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	if np == 1 {
+		return acc, nil
+	}
+	vrank := (rank - root + np) % np
+	// Binomial tree: in round k, vranks with bit k set send to vrank-2^k.
+	for mask := 1; mask < np; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % np
+			if err := c.ep.Send(parent, tag, EncodeFloat64s(acc)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		// I receive from vrank+mask if that rank exists.
+		if vrank|mask < np {
+			p, err := c.ep.Recv(((vrank|mask)+root)%np, tag)
+			if err != nil {
+				return nil, err
+			}
+			got := DecodeFloat64s(p.Data)
+			if len(got) != len(acc) {
+				return nil, fmt.Errorf("msg: reduce length mismatch %d vs %d", len(got), len(acc))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], got[i])
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceF64 reduces over all processors and distributes the result to
+// everyone.
+func (c *Comm) AllreduceF64(vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	red, err := c.ReduceF64(0, vals, op)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	if c.Rank() == 0 {
+		buf = EncodeFloat64s(red)
+	}
+	out, err := c.Bcast(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(out), nil
+}
+
+// ReduceInts reduces an []int elementwise into root.
+func (c *Comm) ReduceInts(root int, vals []int, op func(a, b int) int) ([]int, error) {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	fop := func(a, b float64) float64 { return float64(op(int(a), int(b))) }
+	r, err := c.ReduceF64(root, f, fop)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make([]int, len(r))
+	for i, v := range r {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// AllreduceInts reduces an []int over all processors; every processor gets
+// the result.  Values must stay within float64's exact-integer range,
+// which all runtime uses (counts, bounds) do.
+func (c *Comm) AllreduceInts(vals []int, op func(a, b int) int) ([]int, error) {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	fop := func(a, b float64) float64 { return float64(op(int(a), int(b))) }
+	r, err := c.AllreduceF64(f, fop)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(r))
+	for i, v := range r {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// Gather collects each processor's buf at root.  On root, the returned
+// slice has NP entries indexed by rank; on others it is nil.
+func (c *Comm) Gather(root int, buf []byte) ([][]byte, error) {
+	np, rank := c.NP(), c.Rank()
+	tag := c.nextTag()
+	if rank != root {
+		return nil, c.ep.Send(root, tag, buf)
+	}
+	out := make([][]byte, np)
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	out[rank] = cp
+	for i := 0; i < np-1; i++ {
+		p, err := c.ep.Recv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[p.From] = p.Data
+	}
+	return out, nil
+}
+
+// Allgather collects each processor's buf everywhere (gather at 0 followed
+// by a broadcast of the framed concatenation).
+func (c *Comm) Allgather(buf []byte) ([][]byte, error) {
+	np := c.NP()
+	parts, err := c.Gather(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	var frame []byte
+	if c.Rank() == 0 {
+		// frame: np lengths then the payloads
+		total := 4 * np
+		for _, p := range parts {
+			total += len(p)
+		}
+		frame = make([]byte, 4*np, total)
+		for i, p := range parts {
+			PutUint32(frame, 4*i, uint32(len(p)))
+		}
+		for _, p := range parts {
+			frame = append(frame, p...)
+		}
+	}
+	frame, err = c.Bcast(0, frame)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, np)
+	off := 4 * np
+	for i := 0; i < np; i++ {
+		n := int(GetUint32(frame, 4*i))
+		out[i] = frame[off : off+n]
+		off += n
+	}
+	return out, nil
+}
+
+// AllgatherInts gathers one int slice per processor everywhere.
+func (c *Comm) AllgatherInts(vals []int) ([][]int, error) {
+	parts, err := c.Allgather(EncodeInts(vals))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(parts))
+	for i, p := range parts {
+		out[i] = DecodeInts(p)
+	}
+	return out, nil
+}
+
+// Alltoallv sends send[i] to processor i and returns the NP buffers
+// received (recv[j] is from processor j).  nil/empty sends are skipped —
+// message counts reflect only real traffic, matching how a redistribution
+// executes.  A barrier-free ring schedule staggers the peers.
+func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
+	np, rank := c.NP(), c.Rank()
+	if len(send) != np {
+		return nil, fmt.Errorf("msg: alltoallv needs %d send buffers, got %d", np, len(send))
+	}
+	tag := c.nextTag()
+	recv := make([][]byte, np)
+	if send[rank] != nil {
+		cp := make([]byte, len(send[rank]))
+		copy(cp, send[rank])
+		recv[rank] = cp
+	}
+	// Peers learn what to expect through an allgather of per-destination
+	// sizes (-1 marks "no message"); only real payloads then move, so the
+	// payload message counts reflect the actual transfer pattern.
+	sizes := make([]int, np)
+	for i := range send {
+		sizes[i] = len(send[i])
+		if send[i] == nil {
+			sizes[i] = -1
+		}
+	}
+	allSizes, err := c.AllgatherInts(sizes)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < np; r++ {
+		to := (rank + r) % np
+		from := (rank - r + np) % np
+		if send[to] != nil {
+			if err := c.ep.Send(to, tag, send[to]); err != nil {
+				return nil, err
+			}
+		}
+		if allSizes[from][rank] >= 0 {
+			p, err := c.ep.Recv(from, tag)
+			if err != nil {
+				return nil, err
+			}
+			recv[from] = p.Data
+		}
+	}
+	return recv, nil
+}
+
+// Scatterv distributes bufs[r] from root to each rank r; every rank
+// returns its own buffer (root's copy is local).
+func (c *Comm) Scatterv(root int, bufs [][]byte) ([]byte, error) {
+	np, rank := c.NP(), c.Rank()
+	tag := c.nextTag()
+	if rank == root {
+		if len(bufs) != np {
+			return nil, fmt.Errorf("msg: scatterv needs %d buffers, got %d", np, len(bufs))
+		}
+		for r := 0; r < np; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.ep.Send(r, tag, bufs[r]); err != nil {
+				return nil, err
+			}
+		}
+		cp := make([]byte, len(bufs[root]))
+		copy(cp, bufs[root])
+		return cp, nil
+	}
+	p, err := c.ep.Recv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
+// AlltoallvSched is Alltoallv for the case where every processor already
+// knows which peers will send to it (recvFrom[j] true means a message from
+// j is expected).  Redistribution schedules are computed symmetrically on
+// all processors (§3.2.2), so no size exchange is needed and the message
+// count equals the number of non-empty transfers — exactly the paper's
+// cost model for DISTRIBUTE.
+func (c *Comm) AlltoallvSched(send [][]byte, recvFrom []bool) ([][]byte, error) {
+	np, rank := c.NP(), c.Rank()
+	if len(send) != np || len(recvFrom) != np {
+		return nil, fmt.Errorf("msg: alltoallv-sched needs %d buffers/flags, got %d/%d", np, len(send), len(recvFrom))
+	}
+	tag := c.nextTag()
+	recv := make([][]byte, np)
+	if send[rank] != nil {
+		cp := make([]byte, len(send[rank]))
+		copy(cp, send[rank])
+		recv[rank] = cp
+	}
+	for r := 1; r < np; r++ {
+		to := (rank + r) % np
+		from := (rank - r + np) % np
+		if send[to] != nil {
+			if err := c.ep.Send(to, tag, send[to]); err != nil {
+				return nil, err
+			}
+		}
+		if recvFrom[from] {
+			p, err := c.ep.Recv(from, tag)
+			if err != nil {
+				return nil, err
+			}
+			recv[from] = p.Data
+		}
+	}
+	return recv, nil
+}
+
+// SendRecv exchanges buffers with two (possibly different) peers in one
+// step: sends sbuf to `to` while receiving from `from`.  Used by shift
+// communications (ghost-cell exchange).
+func (c *Comm) SendRecv(to int, sbuf []byte, from, tag int) ([]byte, error) {
+	if err := c.ep.Send(to, tag, sbuf); err != nil {
+		return nil, err
+	}
+	p, err := c.ep.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
+// BcastInts broadcasts an []int from root and returns it on every rank.
+func (c *Comm) BcastInts(root int, vals []int) ([]int, error) {
+	var buf []byte
+	if c.Rank() == root {
+		buf = EncodeInts(vals)
+	}
+	out, err := c.Bcast(root, buf)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeInts(out), nil
+}
+
+// MaxInt / SumInt / MinInt are reduction ops.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinInt returns the smaller of a and b.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SumInt returns a+b.
+func SumInt(a, b int) int { return a + b }
+
+// SumF64 returns a+b.
+func SumF64(a, b float64) float64 { return a + b }
+
+// MaxF64 returns the larger of a and b.
+func MaxF64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinF64 returns the smaller of a and b.
+func MinF64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

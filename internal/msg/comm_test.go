@@ -1,0 +1,329 @@
+package msg
+
+import (
+	"sync"
+	"testing"
+)
+
+// runComms executes body on a Comm per rank over a chan transport.
+func runComms(t *testing.T, np int, body func(c *Comm) error) *ChanTransport {
+	t.Helper()
+	tr := NewChanTransport(np)
+	runCommsOn(t, tr, body)
+	return tr
+}
+
+func runCommsOn(t *testing.T, tr Transport, body func(c *Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, tr.NP())
+	for r := 0; r < tr.NP(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = body(NewComm(tr.Endpoint(r)))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 4, 5, 8, 13} {
+		var mu sync.Mutex
+		entered := 0
+		tr := runComms(t, np, func(c *Comm) error {
+			mu.Lock()
+			entered++
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if entered != np {
+				t.Errorf("np=%d: barrier released before all %d entered (saw %d)", np, np, entered)
+			}
+			return nil
+		})
+		tr.Close()
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 7, 8} {
+		for root := 0; root < np; root++ {
+			tr := runComms(t, np, func(c *Comm) error {
+				var buf []byte
+				if c.Rank() == root {
+					buf = EncodeInts([]int{root*1000 + 7})
+				}
+				out, err := c.Bcast(root, buf)
+				if err != nil {
+					return err
+				}
+				if got := DecodeInts(out)[0]; got != root*1000+7 {
+					t.Errorf("np=%d root=%d rank=%d: got %d", np, root, c.Rank(), got)
+				}
+				return nil
+			})
+			tr.Close()
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 6, 8} {
+		tr := runComms(t, np, func(c *Comm) error {
+			vals := []float64{float64(c.Rank() + 1), float64(c.Rank() * 2)}
+			r, err := c.ReduceF64(0, vals, SumF64)
+			if err != nil {
+				return err
+			}
+			wantSum := float64(np*(np+1)) / 2
+			if c.Rank() == 0 {
+				if r[0] != wantSum {
+					t.Errorf("np=%d: reduce sum = %v want %v", np, r[0], wantSum)
+				}
+			} else if r != nil {
+				t.Errorf("non-root got reduction %v", r)
+			}
+			ar, err := c.AllreduceF64([]float64{float64(c.Rank())}, MaxF64)
+			if err != nil {
+				return err
+			}
+			if ar[0] != float64(np-1) {
+				t.Errorf("np=%d rank=%d: allreduce max = %v", np, c.Rank(), ar[0])
+			}
+			ai, err := c.AllreduceInts([]int{c.Rank() + 1}, SumInt)
+			if err != nil {
+				return err
+			}
+			if ai[0] != int(wantSum) {
+				t.Errorf("allreduce int sum = %d want %d", ai[0], int(wantSum))
+			}
+			return nil
+		})
+		tr.Close()
+	}
+}
+
+func TestReduceNonRoot(t *testing.T) {
+	tr := runComms(t, 4, func(c *Comm) error {
+		r, err := c.ReduceInts(2, []int{c.Rank()}, SumInt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if r[0] != 6 {
+				t.Errorf("reduce to root 2: %v", r)
+			}
+		} else if r != nil {
+			t.Errorf("rank %d should get nil", c.Rank())
+		}
+		return nil
+	})
+	tr.Close()
+}
+
+func TestGatherAllgather(t *testing.T) {
+	for _, np := range []int{1, 3, 5} {
+		tr := runComms(t, np, func(c *Comm) error {
+			payload := EncodeInts([]int{c.Rank() * 3})
+			parts, err := c.Gather(0, payload)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for r := 0; r < np; r++ {
+					if got := DecodeInts(parts[r])[0]; got != r*3 {
+						t.Errorf("gather[%d] = %d", r, got)
+					}
+				}
+			}
+			all, err := c.AllgatherInts([]int{c.Rank(), c.Rank() + 100})
+			if err != nil {
+				return err
+			}
+			for r := 0; r < np; r++ {
+				if all[r][0] != r || all[r][1] != r+100 {
+					t.Errorf("allgather[%d] = %v", r, all[r])
+				}
+			}
+			return nil
+		})
+		tr.Close()
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 5} {
+		tr := runComms(t, np, func(c *Comm) error {
+			send := make([][]byte, np)
+			for to := 0; to < np; to++ {
+				// send to even-distance peers only; nil elsewhere
+				if (to-c.Rank()+np)%np%2 == 0 {
+					send[to] = EncodeInts([]int{c.Rank()*100 + to})
+				}
+			}
+			recv, err := c.Alltoallv(send)
+			if err != nil {
+				return err
+			}
+			for from := 0; from < np; from++ {
+				expect := (c.Rank()-from+np)%np%2 == 0
+				if expect {
+					if recv[from] == nil {
+						t.Errorf("np=%d rank %d missing msg from %d", np, c.Rank(), from)
+						continue
+					}
+					if got := DecodeInts(recv[from])[0]; got != from*100+c.Rank() {
+						t.Errorf("alltoallv payload wrong: %d", got)
+					}
+				} else if recv[from] != nil {
+					t.Errorf("unexpected msg from %d", from)
+				}
+			}
+			return nil
+		})
+		tr.Close()
+	}
+}
+
+func TestAlltoallvSched(t *testing.T) {
+	np := 4
+	tr := runComms(t, np, func(c *Comm) error {
+		send := make([][]byte, np)
+		recvFrom := make([]bool, np)
+		// ring: send only to right neighbor, expect only from left
+		right := (c.Rank() + 1) % np
+		left := (c.Rank() - 1 + np) % np
+		send[right] = EncodeInts([]int{c.Rank()})
+		recvFrom[left] = true
+		recv, err := c.AlltoallvSched(send, recvFrom)
+		if err != nil {
+			return err
+		}
+		if recv[left] == nil || DecodeInts(recv[left])[0] != left {
+			t.Errorf("rank %d: sched exchange wrong: %v", c.Rank(), recv)
+		}
+		for f := 0; f < np; f++ {
+			if f != left && f != c.Rank() && recv[f] != nil {
+				t.Errorf("unexpected buffer from %d", f)
+			}
+		}
+		return nil
+	})
+	// Message-count honesty: exactly np payload messages (self-sends are
+	// local copies and the ring has np directed edges, one per rank,
+	// excluding self; here every rank sends exactly one remote message).
+	sn := tr.Stats().Snapshot()
+	if sn.TotalMsgs() != int64(np) {
+		t.Fatalf("sched alltoallv sent %d messages, want %d", sn.TotalMsgs(), np)
+	}
+	tr.Close()
+}
+
+func TestCollectivesOverTCP(t *testing.T) {
+	tcp, err := NewTCPTransport(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	runCommsOn(t, tcp, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		out, err := c.AllreduceF64([]float64{1}, SumF64)
+		if err != nil {
+			return err
+		}
+		if out[0] != 4 {
+			t.Errorf("allreduce over tcp = %v", out[0])
+		}
+		bi, err := c.BcastInts(3, []int{42, 43})
+		if err != nil {
+			return err
+		}
+		if bi[0] != 42 || bi[1] != 43 {
+			t.Errorf("bcast ints over tcp = %v", bi)
+		}
+		return nil
+	})
+}
+
+func TestSendRecvShift(t *testing.T) {
+	np := 4
+	tr := runComms(t, np, func(c *Comm) error {
+		right := (c.Rank() + 1) % np
+		left := (c.Rank() - 1 + np) % np
+		got, err := c.SendRecv(right, EncodeInts([]int{c.Rank()}), left, 99)
+		if err != nil {
+			return err
+		}
+		if DecodeInts(got)[0] != left {
+			t.Errorf("shift got %d want %d", DecodeInts(got)[0], left)
+		}
+		return nil
+	})
+	tr.Close()
+}
+
+func TestScatterv(t *testing.T) {
+	for _, np := range []int{1, 3, 4} {
+		tr := runComms(t, np, func(c *Comm) error {
+			var bufs [][]byte
+			if c.Rank() == 0 {
+				bufs = make([][]byte, np)
+				for r := 0; r < np; r++ {
+					bufs[r] = EncodeInts([]int{r * 11})
+				}
+			}
+			mine, err := c.Scatterv(0, bufs)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInts(mine)[0]; got != c.Rank()*11 {
+				t.Errorf("np=%d rank %d: got %d", np, c.Rank(), got)
+			}
+			return nil
+		})
+		tr.Close()
+	}
+}
+
+func TestScattervWrongCount(t *testing.T) {
+	tr := NewChanTransport(1)
+	defer tr.Close()
+	c := NewComm(tr.Endpoint(0))
+	if _, err := c.Scatterv(0, [][]byte{{1}, {2}}); err == nil {
+		t.Fatal("wrong buffer count accepted")
+	}
+}
+
+func TestBcastLargePayload(t *testing.T) {
+	tr := runComms(t, 5, func(c *Comm) error {
+		var buf []byte
+		if c.Rank() == 2 {
+			vals := make([]float64, 1<<15)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			buf = EncodeFloat64s(vals)
+		}
+		out, err := c.Bcast(2, buf)
+		if err != nil {
+			return err
+		}
+		vals := DecodeFloat64s(out)
+		if len(vals) != 1<<15 || vals[100] != 100 || vals[1<<15-1] != float64(1<<15-1) {
+			t.Errorf("rank %d: large bcast corrupted", c.Rank())
+		}
+		return nil
+	})
+	tr.Close()
+}

@@ -1,0 +1,9 @@
+package msg
+
+import "math"
+
+// float64bitsSafe / float64frombitsSafe wrap math bit conversions; named
+// separately so the wire code reads as intent (clock stamps are transported
+// as raw bits, never rounded).
+func float64bitsSafe(f float64) uint64     { return math.Float64bits(f) }
+func float64frombitsSafe(b uint64) float64 { return math.Float64frombits(b) }

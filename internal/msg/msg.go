@@ -1,0 +1,190 @@
+// Package msg is the message-passing substrate of the Vienna Fortran
+// Engine (VFE, paper §3.2): "a run time library of communication routines
+// for transferring single array elements and array sections, including
+// specialized routines for handling reductions".
+//
+// Go has no MPI ecosystem, so this package implements the messaging layer
+// from scratch.  It provides:
+//
+//   - tagged, matched point-to-point messaging between P logical
+//     processors (Endpoint.Send / Endpoint.Recv with wildcard matching),
+//   - two interchangeable transports: an in-process channel transport
+//     (ChanTransport) and a TCP loopback transport (TCPTransport) that
+//     pushes every byte through real sockets,
+//   - tree-based collectives (Comm): barrier, broadcast, reduce,
+//     allreduce, gather, allgather, alltoallv,
+//   - per-processor traffic statistics (Stats) and a Hockney-style
+//     alpha/beta cost model (CostModel) driving per-processor virtual
+//     clocks, used by the experiment harnesses to reproduce the paper's
+//     message-cost arguments (§4).
+//
+// All payloads are byte slices at the transport boundary; codec.go
+// provides the encodings for the element types the runtime uses.  Byte
+// counts observed by Stats are therefore real wire sizes on both
+// transports.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved tag ranges.  User-level tags must be < TagCollBase.
+const (
+	// TagCollBase is the base of the tag space used by Comm collectives.
+	TagCollBase = 1 << 24
+	// TagRMABase is the base of the tag space used by the one-sided
+	// get/put service of the darray package.
+	TagRMABase = 1 << 26
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("msg: transport closed")
+
+// ErrTimeout is returned by RecvTimeout when no matching message arrives
+// in time.
+var ErrTimeout = errors.New("msg: receive timeout")
+
+// Packet is a delivered message.
+type Packet struct {
+	From int
+	Tag  int
+	Data []byte
+	// SendClock is the sender's virtual clock (seconds) at send time,
+	// used by the cost model; zero when no cost model is attached.
+	SendClock float64
+}
+
+// Endpoint is one processor's connection to the transport.  Send may be
+// called concurrently; Recv may be called concurrently by consumers with
+// disjoint match sets (e.g. the SPMD body and the one-sided service loop,
+// which listens on the RMA tag space only).
+type Endpoint interface {
+	// Rank returns this endpoint's processor number in 0..NP-1.
+	Rank() int
+	// NP returns the number of processors on the transport.
+	NP() int
+	// Send delivers data to processor `to` with the given tag.  The data
+	// slice is owned by the transport after the call (callers must not
+	// modify it); transports that stay in-process copy it to preserve
+	// distributed-memory semantics.
+	Send(to, tag int, data []byte) error
+	// Recv blocks until a message matching (from, tag) arrives and
+	// returns it.  AnySource / AnyTag act as wildcards.  Messages from
+	// the same sender with the same tag are received in send order.
+	Recv(from, tag int) (Packet, error)
+	// RecvTimeout is Recv with a deadline; it returns ErrTimeout if no
+	// matching message arrives in time.
+	RecvTimeout(from, tag int, d time.Duration) (Packet, error)
+}
+
+// Transport connects NP logical processors.
+type Transport interface {
+	NP() int
+	Endpoint(rank int) Endpoint
+	Close() error
+	// Stats returns the transport's traffic statistics collector.
+	Stats() *Stats
+	// Cost returns the attached cost model, or nil.
+	Cost() *CostModel
+}
+
+// matcher is an unbounded mailbox with predicate matching.  Producers
+// append packets; consumers block until a packet matching their (from,
+// tag) pattern is present.  Multiple concurrent consumers are supported;
+// per-(from,tag) FIFO order is preserved because consumers scan the queue
+// front-to-back.
+type matcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Packet
+	closed bool
+}
+
+func newMatcher() *matcher {
+	m := &matcher{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *matcher) put(p Packet) {
+	m.mu.Lock()
+	m.queue = append(m.queue, p)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *matcher) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func matches(p Packet, from, tag int) bool {
+	return (from == AnySource || p.From == from) && (tag == AnyTag || p.Tag == tag)
+}
+
+func (m *matcher) get(from, tag int) (Packet, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, p := range m.queue {
+			if matches(p, from, tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return p, nil
+			}
+		}
+		if m.closed {
+			return Packet{}, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *matcher) getTimeout(from, tag int, d time.Duration) (Packet, error) {
+	deadline := time.Now().Add(d)
+	// A ticker goroutine broadcasts periodically so the cond.Wait below
+	// always re-checks the deadline, even if the fire races with a
+	// consumer about to block.  RecvTimeout is a debugging/test facility;
+	// the polling overhead is irrelevant on the fast paths.
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				m.cond.Broadcast()
+			}
+		}
+	}()
+	defer close(stop)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, p := range m.queue {
+			if matches(p, from, tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return p, nil
+			}
+		}
+		if m.closed {
+			return Packet{}, ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return Packet{}, fmt.Errorf("%w (from=%d tag=%d)", ErrTimeout, from, tag)
+		}
+		m.cond.Wait()
+	}
+}

@@ -1,0 +1,235 @@
+package msg
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPTransport connects np logical processors through a full mesh of TCP
+// loopback connections.  Every payload byte crosses a real socket, making
+// this the "honest" transport for validating that the runtime's message
+// counts and sizes are what the in-process transport reports.
+//
+// Frame format (little-endian):
+//
+//	[4 bytes tag] [4 bytes payload length] [8 bytes sender clock bits] [payload]
+//
+// The sender's rank is established once per connection by a 4-byte
+// handshake, not repeated per frame.
+type TCPTransport struct {
+	np     int
+	eps    []*tcpEndpoint
+	stats  *Stats
+	cost   *CostModel
+	closed atomic.Bool
+	conns  []net.Conn // all conns for Close
+	mu     sync.Mutex
+}
+
+const tcpFrameHeader = 16
+
+// NewTCPTransport builds the mesh on 127.0.0.1 ephemeral ports.
+func NewTCPTransport(np int, opts ...Option) (*TCPTransport, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("msg: invalid processor count %d", np)
+	}
+	t := &TCPTransport{np: np, stats: NewStats(np)}
+	for _, o := range opts {
+		o(&option{cost: &t.cost})
+	}
+	t.eps = make([]*tcpEndpoint, np)
+	for i := range t.eps {
+		t.eps[i] = &tcpEndpoint{t: t, rank: i, box: newMatcher(), out: make([]*tcpConn, np)}
+	}
+
+	// Every rank i < j pair gets one connection: i listens, j dials.
+	// All of this happens in-process, so setup is just sequential wiring.
+	for i := 0; i < np; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("msg: listen: %w", err)
+		}
+		addr := ln.Addr().String()
+		type dialRes struct {
+			j    int
+			conn net.Conn
+			err  error
+		}
+		need := np - i - 1
+		results := make(chan dialRes, need)
+		for j := i + 1; j < np; j++ {
+			go func(j int) {
+				c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+				if err == nil {
+					var hdr [4]byte
+					PutUint32(hdr[:], 0, uint32(j))
+					_, err = c.Write(hdr[:])
+				}
+				results <- dialRes{j, c, err}
+			}(j)
+		}
+		accepted := make(map[int]net.Conn, need)
+		for k := 0; k < need; k++ {
+			c, err := ln.Accept()
+			if err != nil {
+				ln.Close()
+				t.Close()
+				return nil, fmt.Errorf("msg: accept: %w", err)
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				ln.Close()
+				t.Close()
+				return nil, fmt.Errorf("msg: handshake: %w", err)
+			}
+			accepted[int(GetUint32(hdr[:], 0))] = c
+		}
+		ln.Close()
+		for k := 0; k < need; k++ {
+			r := <-results
+			if r.err != nil {
+				t.Close()
+				return nil, fmt.Errorf("msg: dial: %w", r.err)
+			}
+			// rank i's side of the pair is the accepted conn; rank j's
+			// side is the dialed conn.
+			ci := &tcpConn{conn: accepted[r.j]}
+			cj := &tcpConn{conn: r.conn}
+			t.eps[i].out[r.j] = ci
+			t.eps[r.j].out[i] = cj
+			t.mu.Lock()
+			t.conns = append(t.conns, accepted[r.j], r.conn)
+			t.mu.Unlock()
+			go t.readLoop(t.eps[i], r.j, accepted[r.j])
+			go t.readLoop(t.eps[r.j], i, r.conn)
+		}
+	}
+	return t, nil
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+type tcpEndpoint struct {
+	t    *TCPTransport
+	rank int
+	box  *matcher
+	out  []*tcpConn // by peer rank; nil for self
+}
+
+func (t *TCPTransport) readLoop(ep *tcpEndpoint, from int, c net.Conn) {
+	hdr := make([]byte, tcpFrameHeader)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return // connection closed
+		}
+		tag := int(int32(GetUint32(hdr, 0)))
+		n := int(GetUint32(hdr, 4))
+		clockBits := uint64(GetUint32(hdr, 8)) | uint64(GetUint32(hdr, 12))<<32
+		data := make([]byte, n)
+		if _, err := io.ReadFull(c, data); err != nil {
+			return
+		}
+		ep.box.put(Packet{From: from, Tag: tag, Data: data, SendClock: float64frombitsSafe(clockBits)})
+	}
+}
+
+// NP returns the processor count.
+func (t *TCPTransport) NP() int { return t.np }
+
+// Stats returns the traffic statistics collector.
+func (t *TCPTransport) Stats() *Stats { return t.stats }
+
+// Cost returns the attached cost model (nil if none).
+func (t *TCPTransport) Cost() *CostModel { return t.cost }
+
+// Endpoint returns processor rank's endpoint.
+func (t *TCPTransport) Endpoint(rank int) Endpoint { return t.eps[rank] }
+
+// Close tears down all connections; blocked receives return ErrClosed.
+func (t *TCPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	for _, ep := range t.eps {
+		if ep != nil {
+			ep.box.close()
+		}
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) NP() int   { return e.t.np }
+
+func (e *tcpEndpoint) Send(to, tag int, data []byte) error {
+	if e.t.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= e.t.np {
+		return fmt.Errorf("msg: send to invalid rank %d (np=%d)", to, e.t.np)
+	}
+	var sendClock float64
+	if c := e.t.cost; c != nil {
+		sendClock = c.OnSend(e.rank, len(data))
+	}
+	e.t.stats.OnSend(e.rank, to, len(data))
+	if to == e.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		e.box.put(Packet{From: e.rank, Tag: tag, Data: cp, SendClock: sendClock})
+		return nil
+	}
+	oc := e.out[to]
+	frame := make([]byte, tcpFrameHeader+len(data))
+	PutUint32(frame, 0, uint32(int32(tag)))
+	PutUint32(frame, 4, uint32(len(data)))
+	bits := float64bitsSafe(sendClock)
+	PutUint32(frame, 8, uint32(bits))
+	PutUint32(frame, 12, uint32(bits>>32))
+	copy(frame[tcpFrameHeader:], data)
+	oc.mu.Lock()
+	_, err := oc.conn.Write(frame)
+	oc.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("msg: tcp send: %w", err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(from, tag int) (Packet, error) {
+	p, err := e.box.get(from, tag)
+	if err != nil {
+		return p, err
+	}
+	e.afterRecv(p)
+	return p, nil
+}
+
+func (e *tcpEndpoint) RecvTimeout(from, tag int, d time.Duration) (Packet, error) {
+	p, err := e.box.getTimeout(from, tag, d)
+	if err != nil {
+		return p, err
+	}
+	e.afterRecv(p)
+	return p, nil
+}
+
+func (e *tcpEndpoint) afterRecv(p Packet) {
+	e.t.stats.OnRecv(e.rank, p.From, len(p.Data))
+	if c := e.t.cost; c != nil {
+		c.OnRecv(e.rank, p.SendClock, len(p.Data))
+	}
+}

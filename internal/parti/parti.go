@@ -1,0 +1,187 @@
+// Package parti implements the PARTI-style runtime primitives the paper's
+// VFE relies on for irregular accesses (§3.2: "implementation of irregular
+// accesses via translation tables and sophisticated buffering schemes for
+// accesses to non-local objects, as implemented in the PARTI routines
+// [15]", and §4: "the compiler will have to generate runtime code using
+// the inspector/executor paradigm [10, 15] to support this particle
+// motion").
+//
+// A TTable is a distributed translation table over a one-dimensional
+// global index space: entry i records which processor owns element i and
+// at which local position.  The table itself is block-distributed, so a
+// lookup for index i goes to the processor holding block ⌈i/blockSize⌉.
+//
+// A Schedule is the product of the *inspector* phase: given an arbitrary
+// list of global indices, it dereferences them through the table, groups
+// them by owner, deduplicates, and exchanges request lists so that every
+// owner knows what to serve.  The *executor* phase (Gather / Scatter)
+// then moves only data, any number of times, until the access pattern
+// changes.
+package parti
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// TTable is a distributed translation table for a global index space
+// 1..N.  The handle is shared by all processors (SPMD).
+type TTable struct {
+	n     int
+	np    int
+	owner [][]int32 // per rank: owner of each index in that rank's block
+	local [][]int32 // per rank: owner-local position of each index
+}
+
+// blockOf returns the rank holding the table entry for global index i
+// (1-based), with the table block-distributed over np processors.
+func (t *TTable) blockOf(i int) int {
+	bs := (t.n + t.np - 1) / t.np
+	return (i - 1) / bs
+}
+
+func (t *TTable) blockLo(rank int) int {
+	bs := (t.n + t.np - 1) / t.np
+	return rank*bs + 1
+}
+
+func (t *TTable) blockLen(rank int) int {
+	bs := (t.n + t.np - 1) / t.np
+	lo := rank*bs + 1
+	hi := lo + bs - 1
+	if hi > t.n {
+		hi = t.n
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// NewTTable collectively builds a translation table for a global index
+// space of size n.  myIndices lists the global indices this processor
+// owns, in local-storage order (the position in the slice is the
+// owner-local index).  Every global index must be owned by exactly one
+// processor.
+func NewTTable(ctx *machine.Ctx, n int, myIndices []int) *TTable {
+	np, rank := ctx.NP(), ctx.Rank()
+	t := ctx.CollectiveOnce(func() any {
+		return &TTable{n: n, np: np, owner: make([][]int32, np), local: make([][]int32, np)}
+	}).(*TTable)
+
+	// Route (index, owner, local) triples to the table block holders.
+	send := make([][]int, np)
+	for pos, g := range myIndices {
+		if g < 1 || g > n {
+			panic(fmt.Sprintf("parti: global index %d outside 1..%d", g, n))
+		}
+		b := t.blockOf(g)
+		send[b] = append(send[b], g, rank, pos)
+	}
+	bufs := make([][]byte, np)
+	for p, s := range send {
+		if len(s) > 0 {
+			bufs[p] = msg.EncodeInts(s)
+		}
+	}
+	recvd, err := ctx.Comm().Alltoallv(bufs)
+	if err != nil {
+		panic(fmt.Sprintf("parti: ttable build exchange: %v", err))
+	}
+	bl := t.blockLen(rank)
+	lo := t.blockLo(rank)
+	own := make([]int32, bl)
+	loc := make([]int32, bl)
+	for i := range own {
+		own[i] = -1
+	}
+	for _, buf := range recvd {
+		if buf == nil {
+			continue
+		}
+		trip := msg.DecodeInts(buf)
+		for i := 0; i+2 < len(trip); i += 3 {
+			g, ownr, pos := trip[i], trip[i+1], trip[i+2]
+			idx := g - lo
+			if own[idx] != -1 {
+				panic(fmt.Sprintf("parti: global index %d registered twice (by %d and %d)", g, own[idx], ownr))
+			}
+			own[idx] = int32(ownr)
+			loc[idx] = int32(pos)
+		}
+	}
+	t.owner[rank] = own
+	t.local[rank] = loc
+	ctx.Barrier()
+	return t
+}
+
+// Dereference looks up owners and owner-local positions for an arbitrary
+// list of global indices.  Collective: all processors must call it (with
+// possibly different index lists).
+func (t *TTable) Dereference(ctx *machine.Ctx, indices []int) (owners, locals []int) {
+	np, rank := ctx.NP(), ctx.Rank()
+	// group queries by table-block holder
+	req := make([][]int, np)
+	place := make([][]int, np)
+	for q, g := range indices {
+		if g < 1 || g > t.n {
+			panic(fmt.Sprintf("parti: dereference of %d outside 1..%d", g, t.n))
+		}
+		b := t.blockOf(g)
+		req[b] = append(req[b], g)
+		place[b] = append(place[b], q)
+	}
+	bufs := make([][]byte, np)
+	for p := range req {
+		if len(req[p]) > 0 {
+			bufs[p] = msg.EncodeInts(req[p])
+		}
+	}
+	queries, err := ctx.Comm().Alltoallv(bufs)
+	if err != nil {
+		panic(fmt.Sprintf("parti: dereference query exchange: %v", err))
+	}
+	// answer incoming queries from my block
+	answers := make([][]byte, np)
+	lo := t.blockLo(rank)
+	for p, buf := range queries {
+		if buf == nil {
+			continue
+		}
+		qs := msg.DecodeInts(buf)
+		ans := make([]int, 0, 2*len(qs))
+		for _, g := range qs {
+			idx := g - lo
+			o := t.owner[rank][idx]
+			if o < 0 {
+				panic(fmt.Sprintf("parti: index %d has no registered owner", g))
+			}
+			ans = append(ans, int(o), int(t.local[rank][idx]))
+		}
+		answers[p] = msg.EncodeInts(ans)
+	}
+	replies, err := ctx.Comm().Alltoallv(answers)
+	if err != nil {
+		panic(fmt.Sprintf("parti: dereference reply exchange: %v", err))
+	}
+	owners = make([]int, len(indices))
+	locals = make([]int, len(indices))
+	for p, buf := range replies {
+		if buf == nil {
+			continue
+		}
+		ans := msg.DecodeInts(buf)
+		for k := 0; k < len(ans)/2; k++ {
+			q := place[p][k]
+			owners[q] = ans[2*k]
+			locals[q] = ans[2*k+1]
+		}
+	}
+	return owners, locals
+}
+
+// N returns the size of the translated index space.
+func (t *TTable) N() int { return t.n }

@@ -1,0 +1,215 @@
+package parti
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+func run(t *testing.T, np int, body func(ctx *machine.Ctx) error) *machine.Machine {
+	t.Helper()
+	m := machine.New(np)
+	t.Cleanup(func() { m.Close() })
+	if err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// irregularOwnership deals indices 1..n to np processors by a fixed
+// pseudo-random permutation, returning each rank's list (local order).
+func irregularOwnership(n, np int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, np)
+	perm := rng.Perm(n)
+	for k, idx := range perm {
+		r := rng.Intn(np)
+		_ = k
+		out[r] = append(out[r], idx+1)
+	}
+	return out
+}
+
+func TestTTableBuildAndDereference(t *testing.T) {
+	const n, np = 40, 4
+	own := irregularOwnership(n, np, 5)
+	run(t, np, func(ctx *machine.Ctx) error {
+		tt := NewTTable(ctx, n, own[ctx.Rank()])
+		// every rank dereferences all indices and checks them
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i + 1
+		}
+		owners, locals := tt.Dereference(ctx, all)
+		for i := 1; i <= n; i++ {
+			o, l := owners[i-1], locals[i-1]
+			if o < 0 || o >= np {
+				t.Errorf("index %d: bad owner %d", i, o)
+				continue
+			}
+			if own[o][l] != i {
+				t.Errorf("index %d: owner %d local %d holds %d", i, o, l, own[o][l])
+			}
+		}
+		if tt.N() != n {
+			t.Errorf("N = %d", tt.N())
+		}
+		return nil
+	})
+}
+
+func TestTTableDuplicateRegistrationPanics(t *testing.T) {
+	m := machine.New(2)
+	defer m.Close()
+	err := m.Run(func(ctx *machine.Ctx) error {
+		// both ranks claim index 1
+		NewTTable(ctx, 4, []int{1, ctx.Rank() + 2})
+		return nil
+	})
+	if err == nil {
+		t.Fatal("duplicate ownership should fail")
+	}
+}
+
+func TestGatherSchedule(t *testing.T) {
+	const n, np = 30, 3
+	own := irregularOwnership(n, np, 9)
+	run(t, np, func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		tt := NewTTable(ctx, n, own[rank])
+		// local data: value of global index g is g*10
+		local := make([]float64, len(own[rank]))
+		for pos, g := range own[rank] {
+			local[pos] = float64(g * 10)
+		}
+		// each rank requests a scattered pattern incl. duplicates
+		want := []int{1, 5, 5, n, rank + 2, 17, 1}
+		sched := BuildGather(ctx, tt, want)
+		vals := sched.Gather(ctx, local)
+		for q, g := range want {
+			if vals[q] != float64(g*10) {
+				t.Errorf("rank %d: gather[%d] (index %d) = %v", rank, q, g, vals[q])
+			}
+		}
+		// dedup: distinct indices in want (1,5,N,rank+2,17 — maybe overlap)
+		distinct := map[int]bool{}
+		for _, g := range want {
+			distinct[g] = true
+		}
+		if sched.RequestedValues() != len(distinct) {
+			t.Errorf("rank %d: requested %d values for %d distinct indices", rank, sched.RequestedValues(), len(distinct))
+		}
+		// executor is repeatable
+		vals2 := sched.Gather(ctx, local)
+		for q := range vals2 {
+			if vals2[q] != vals[q] {
+				t.Errorf("second gather differs at %d", q)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatterCombine(t *testing.T) {
+	const n, np = 12, 3
+	own := irregularOwnership(n, np, 13)
+	run(t, np, func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		tt := NewTTable(ctx, n, own[rank])
+		local := make([]float64, len(own[rank])) // zeros
+		// every rank deposits 1.0 into indices 1..n (all of them)
+		all := make([]int, n)
+		vals := make([]float64, n)
+		for i := range all {
+			all[i] = i + 1
+			vals[i] = 1
+		}
+		sched := BuildGather(ctx, tt, all)
+		sched.Scatter(ctx, local, vals, msg.SumF64)
+		ctx.Barrier()
+		// each element got np deposits of 1.0
+		for pos := range local {
+			if local[pos] != float64(np) {
+				t.Errorf("rank %d: local[%d] = %v want %d", rank, pos, local[pos], np)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatterDuplicatePositions(t *testing.T) {
+	const n, np = 6, 2
+	own := [][]int{{1, 2, 3}, {4, 5, 6}}
+	run(t, np, func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		tt := NewTTable(ctx, n, own[rank])
+		local := make([]float64, 3)
+		var idx []int
+		var vals []float64
+		if rank == 0 {
+			idx = []int{4, 4, 4} // three deposits to the same remote index
+			vals = []float64{1, 2, 3}
+		} else {
+			idx = []int{}
+			vals = []float64{}
+		}
+		sched := BuildGather(ctx, tt, idx)
+		sched.Scatter(ctx, local, vals, msg.SumF64)
+		ctx.Barrier()
+		if rank == 1 && local[0] != 6 {
+			t.Errorf("combined deposit = %v want 6", local[0])
+		}
+		return nil
+	})
+}
+
+func TestGatherAllLocal(t *testing.T) {
+	// schedule where every request is local: no messages for data
+	run(t, 2, func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		own := [][]int{{1, 2}, {3, 4}}
+		tt := NewTTable(ctx, 4, own[rank])
+		local := []float64{float64(rank*2 + 1), float64(rank*2 + 2)}
+		sched := BuildGather(ctx, tt, own[rank])
+		vals := sched.Gather(ctx, local)
+		if vals[0] != local[0] || vals[1] != local[1] {
+			t.Errorf("rank %d local gather = %v", rank, vals)
+		}
+		return nil
+	})
+}
+
+func TestPICStyleParticleMove(t *testing.T) {
+	// Sketch of the §4 PIC reassignment: cells block-owned, particles
+	// move to neighbouring cells; values gathered from the new cells.
+	const n, np = 16, 4
+	own := make([][]int, np)
+	for r := 0; r < np; r++ {
+		for i := r*4 + 1; i <= r*4+4; i++ {
+			own[r] = append(own[r], i)
+		}
+	}
+	run(t, np, func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		tt := NewTTable(ctx, n, own[rank])
+		local := make([]float64, 4)
+		for pos, g := range own[rank] {
+			local[pos] = float64(g)
+		}
+		// particles in my cells drift +1 (wrapping)
+		dest := make([]int, 4)
+		for k, g := range own[rank] {
+			dest[k] = g%n + 1
+		}
+		sched := BuildGather(ctx, tt, dest)
+		vals := sched.Gather(ctx, local)
+		for k, g := range dest {
+			if vals[k] != float64(g) {
+				t.Errorf("rank %d: dest %d got %v", rank, g, vals[k])
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,203 @@
+package parti
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// Schedule is the result of the inspector phase for a fixed irregular
+// access pattern: for each peer, which of its local elements this
+// processor needs (deduplicated), and which of this processor's local
+// elements each peer will request.  Once built, the executor operations
+// (Gather / Scatter) move only data and can run every iteration until
+// the pattern changes — the amortization that makes inspector/executor
+// pay off.
+type Schedule struct {
+	np int
+	// outLen is the number of requested values (with duplicates).
+	outLen int
+	// reqLocal[p] lists peer-local indices this rank fetches from p
+	// (deduplicated, in first-seen order).
+	reqLocal [][]int
+	// fill[p][k] lists output positions to fill from the k-th fetched
+	// value of peer p.
+	fill [][][]int
+	// serve[p] lists this rank's local indices peer p will fetch.
+	serve [][]int
+}
+
+// BuildGather runs the inspector: dereference the global indices through
+// the translation table, group and deduplicate by owner, and exchange
+// request lists.  Collective.
+func BuildGather(ctx *machine.Ctx, t *TTable, indices []int) *Schedule {
+	np, rank := ctx.NP(), ctx.Rank()
+	owners, locals := t.Dereference(ctx, indices)
+	s := &Schedule{
+		np:       np,
+		outLen:   len(indices),
+		reqLocal: make([][]int, np),
+		fill:     make([][][]int, np),
+		serve:    make([][]int, np),
+	}
+	// dedupe (owner, local) pairs
+	seen := make(map[[2]int]int) // -> position in reqLocal[owner]
+	for q := range indices {
+		o, l := owners[q], locals[q]
+		key := [2]int{o, l}
+		k, ok := seen[key]
+		if !ok {
+			k = len(s.reqLocal[o])
+			s.reqLocal[o] = append(s.reqLocal[o], l)
+			s.fill[o] = append(s.fill[o], nil)
+			seen[key] = k
+		}
+		s.fill[o][k] = append(s.fill[o][k], q)
+	}
+	// exchange request lists so owners know what to serve
+	bufs := make([][]byte, np)
+	for p := range bufs {
+		if len(s.reqLocal[p]) > 0 && p != rank {
+			bufs[p] = msg.EncodeInts(s.reqLocal[p])
+		}
+	}
+	incoming, err := ctx.Comm().Alltoallv(bufs)
+	if err != nil {
+		panic(fmt.Sprintf("parti: inspector request exchange: %v", err))
+	}
+	for p, buf := range incoming {
+		if buf != nil {
+			s.serve[p] = msg.DecodeInts(buf)
+		}
+	}
+	return s
+}
+
+// RequestedValues returns the number of distinct remote values fetched
+// per Gather (a measure of the schedule's traffic).
+func (s *Schedule) RequestedValues() int {
+	n := 0
+	for p, r := range s.reqLocal {
+		_ = p
+		n += len(r)
+	}
+	return n
+}
+
+// Gather executes the schedule: fetch the requested values out of every
+// owner's local data slice and return them in the original index-list
+// order.  Collective.
+func (s *Schedule) Gather(ctx *machine.Ctx, local []float64) []float64 {
+	np, rank := ctx.NP(), ctx.Rank()
+	if np != s.np {
+		panic("parti: schedule built for a different machine size")
+	}
+	send := make([][]byte, np)
+	recvFrom := make([]bool, np)
+	for p := 0; p < np; p++ {
+		if p == rank {
+			continue
+		}
+		if len(s.serve[p]) > 0 {
+			vals := make([]float64, len(s.serve[p]))
+			for k, li := range s.serve[p] {
+				vals[k] = local[li]
+			}
+			send[p] = msg.EncodeFloat64s(vals)
+		}
+		recvFrom[p] = len(s.reqLocal[p]) > 0
+	}
+	recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
+	if err != nil {
+		panic(fmt.Sprintf("parti: gather exchange: %v", err))
+	}
+	out := make([]float64, s.outLen)
+	for p := 0; p < np; p++ {
+		if len(s.reqLocal[p]) == 0 {
+			continue
+		}
+		var vals []float64
+		if p == rank {
+			vals = make([]float64, len(s.reqLocal[p]))
+			for k, li := range s.reqLocal[p] {
+				vals[k] = local[li]
+			}
+		} else {
+			if recvd[p] == nil {
+				panic(fmt.Sprintf("parti: missing gather payload from %d", p))
+			}
+			vals = msg.DecodeFloat64s(recvd[p])
+		}
+		for k, v := range vals {
+			for _, q := range s.fill[p][k] {
+				out[q] = v
+			}
+		}
+	}
+	return out
+}
+
+// Scatter executes the schedule in reverse: vals (in index-list order)
+// are sent to the owners of the corresponding elements and combined into
+// their local storage with combine(old, new).  Duplicate positions are
+// combined in list order.  Collective.
+func (s *Schedule) Scatter(ctx *machine.Ctx, local []float64, vals []float64, combine func(old, new float64) float64) {
+	np, rank := ctx.NP(), ctx.Rank()
+	if len(vals) != s.outLen {
+		panic(fmt.Sprintf("parti: scatter got %d values for %d positions", len(vals), s.outLen))
+	}
+	// Reduce duplicates locally first (positions sharing one (owner,local)
+	// pair), then one value per requested element travels.
+	send := make([][]byte, np)
+	recvFrom := make([]bool, np)
+	perPeer := make([][]float64, np)
+	for p := 0; p < np; p++ {
+		if len(s.reqLocal[p]) == 0 {
+			continue
+		}
+		agg := make([]float64, len(s.reqLocal[p]))
+		have := make([]bool, len(s.reqLocal[p]))
+		for k := range s.reqLocal[p] {
+			for _, q := range s.fill[p][k] {
+				if !have[k] {
+					agg[k] = vals[q]
+					have[k] = true
+				} else {
+					agg[k] = combine(agg[k], vals[q])
+				}
+			}
+		}
+		perPeer[p] = agg
+		if p != rank {
+			send[p] = msg.EncodeFloat64s(agg)
+		}
+	}
+	for p := 0; p < np; p++ {
+		if p != rank {
+			recvFrom[p] = len(s.serve[p]) > 0
+		}
+	}
+	recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
+	if err != nil {
+		panic(fmt.Sprintf("parti: scatter exchange: %v", err))
+	}
+	// apply local contributions
+	if perPeer[rank] != nil {
+		for k, li := range s.reqLocal[rank] {
+			local[li] = combine(local[li], perPeer[rank][k])
+		}
+	}
+	for p := 0; p < np; p++ {
+		if p == rank || len(s.serve[p]) == 0 {
+			continue
+		}
+		if recvd[p] == nil {
+			panic(fmt.Sprintf("parti: missing scatter payload from %d", p))
+		}
+		got := msg.DecodeFloat64s(recvd[p])
+		for k, li := range s.serve[p] {
+			local[li] = combine(local[li], got[k])
+		}
+	}
+}

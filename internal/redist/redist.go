@@ -1,0 +1,150 @@
+// Package redist computes communication schedules for the executable
+// DISTRIBUTE statement (paper §2.4, implementation §3.2.2): "Each
+// processor determines the new locations of current local data, sends it
+// to the new locations, and receives data from other processors."
+//
+// A schedule is computed symmetrically on every processor from the old
+// and new distributions alone — no coordination messages are needed.  Per
+// peer, the transfer set is the intersection of "what I own now" with
+// "what the peer will own", which the ownership algebra expresses as a
+// per-dimension intersection of strided-run sets (index.Grid).  This is
+// the "run time optimization of communication related to dynamic array
+// references" of §3.2: schedules never enumerate elements to discover
+// owners, and are cached keyed by the (old, new) distribution pair.
+package redist
+
+import (
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+)
+
+// Transfer describes one peer's part of a redistribution on a given rank.
+type Transfer struct {
+	// Peer is the other processor's rank.
+	Peer int
+	// Grid is the set of global indices to move, in canonical
+	// (column-major RunSet enumeration) order, identical on both ends.
+	Grid index.Grid
+	// Count caches Grid.Count().
+	Count int
+}
+
+// Schedule is one rank's plan for a redistribution.
+type Schedule struct {
+	// Rank is the processor this schedule belongs to.
+	Rank int
+	// Sends lists outgoing transfers (data I own under the old
+	// distribution that peers own under the new one).  Only primary
+	// owners send; the self-transfer (Peer == Rank) is included and is
+	// executed as a local copy.
+	Sends []Transfer
+	// Recvs lists incoming transfers.  Under a replicated new
+	// distribution every replica receives its copy.
+	Recvs []Transfer
+	// LocalKeep is the self-overlap (data already in place), identical
+	// to the send/recv entry with Peer == Rank when present.
+	LocalKeep index.Grid
+}
+
+// SendBytes returns the payload bytes this rank sends to remote peers
+// (8 bytes per element, excluding the local copy).
+func (s *Schedule) SendBytes() int {
+	n := 0
+	for _, t := range s.Sends {
+		if t.Peer != s.Rank {
+			n += 8 * t.Count
+		}
+	}
+	return n
+}
+
+// RemoteSendCount returns the number of messages this rank sends.
+func (s *Schedule) RemoteSendCount() int {
+	n := 0
+	for _, t := range s.Sends {
+		if t.Peer != s.Rank {
+			n++
+		}
+	}
+	return n
+}
+
+// Build computes rank's schedule for redistributing from oldD to newD.
+// Both distributions must cover the same index domain.  np is the
+// transport size (peers are enumerated 0..np-1; ranks outside a
+// distribution's target simply own nothing).
+func Build(oldD, newD *dist.Distribution, rank, np int) *Schedule {
+	s := &Schedule{Rank: rank}
+	myOld := oldD.LocalGrid(rank)
+	myNew := newD.LocalGrid(rank)
+	iAmPrimaryOld := oldD.IsPrimaryRank(rank)
+	for peer := 0; peer < np; peer++ {
+		if iAmPrimaryOld && !myOld.Empty() {
+			peerNew := newD.LocalGrid(peer)
+			if g := myOld.Intersect(peerNew); !g.Empty() {
+				s.Sends = append(s.Sends, Transfer{Peer: peer, Grid: g, Count: g.Count()})
+				if peer == rank {
+					s.LocalKeep = g
+				}
+			}
+		}
+		if !myNew.Empty() && oldD.IsPrimaryRank(peer) {
+			peerOld := oldD.LocalGrid(peer)
+			if g := peerOld.Intersect(myNew); !g.Empty() {
+				s.Recvs = append(s.Recvs, Transfer{Peer: peer, Grid: g, Count: g.Count()})
+			}
+		}
+	}
+	return s
+}
+
+// cacheKey identifies a (old,new,rank) schedule structurally: SPMD ranks
+// build their own logically-equal Distribution objects, so fingerprints
+// rather than pointers key the cache.
+type cacheKey struct {
+	oldFP string
+	newFP string
+	rank  int
+}
+
+// Cache memoizes schedules.  The VFE keeps redistribution schedules
+// around because phase-structured codes (ADI, PIC) alternate between the
+// same pair of distributions every iteration.
+type Cache struct {
+	mu sync.Mutex
+	m  map[cacheKey]*Schedule
+
+	hits, misses int
+}
+
+// NewCache creates an empty schedule cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[cacheKey]*Schedule)}
+}
+
+// Get returns the cached schedule or builds and caches it.
+func (c *Cache) Get(oldD, newD *dist.Distribution, rank, np int) *Schedule {
+	k := cacheKey{oldD.Fingerprint(), newD.Fingerprint(), rank}
+	c.mu.Lock()
+	if s, ok := c.m[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return s
+	}
+	c.misses++
+	c.mu.Unlock()
+	s := Build(oldD, newD, rank, np)
+	c.mu.Lock()
+	c.m[k] = s
+	c.mu.Unlock()
+	return s
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,209 @@
+package redist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+)
+
+func targets(t *testing.T, np int) dist.Target {
+	t.Helper()
+	m := machine.New(np)
+	t.Cleanup(func() { m.Close() })
+	return m.ProcsDim("P", np).Whole()
+}
+
+func TestScheduleBlockToCyclic(t *testing.T) {
+	tg := targets(t, 2)
+	dom := index.Dim(8)
+	oldD := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)   // p0: 1-4, p1: 5-8
+	newD := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg) // p0: odd, p1: even
+	s0 := Build(oldD, newD, 0, 2)
+	// p0 owned 1-4; new: p0 gets odds {1,3}, p1 gets evens {2,4}
+	if len(s0.Sends) != 2 {
+		t.Fatalf("sends = %+v", s0.Sends)
+	}
+	for _, tr := range s0.Sends {
+		if tr.Peer == 0 && tr.Count != 2 {
+			t.Errorf("self-keep count = %d", tr.Count)
+		}
+		if tr.Peer == 1 && tr.Count != 2 {
+			t.Errorf("send to 1 count = %d", tr.Count)
+		}
+	}
+	if s0.LocalKeep.Empty() || s0.LocalKeep.Count() != 2 {
+		t.Errorf("local keep = %v", s0.LocalKeep)
+	}
+	if s0.SendBytes() != 16 { // 2 elements * 8 bytes to remote peer
+		t.Errorf("send bytes = %d", s0.SendBytes())
+	}
+	if s0.RemoteSendCount() != 1 {
+		t.Errorf("remote sends = %d", s0.RemoteSendCount())
+	}
+}
+
+func TestScheduleSymmetry(t *testing.T) {
+	tg := targets(t, 4)
+	dom := index.Dim(23)
+	rng := rand.New(rand.NewSource(3))
+	mk := func() *dist.Distribution {
+		switch rng.Intn(3) {
+		case 0:
+			return dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+		case 1:
+			return dist.MustNew(dist.NewType(dist.CyclicDim(1+rng.Intn(4))), dom, tg)
+		default:
+			b := make([]int, 4)
+			acc := 0
+			for i := 0; i < 3; i++ {
+				acc += rng.Intn(23 - acc + 1)
+				if acc > 23 {
+					acc = 23
+				}
+				b[i] = acc
+			}
+			b[3] = 23
+			return dist.MustNew(dist.NewType(dist.BBlockDim(b...)), dom, tg)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		oldD, newD := mk(), mk()
+		scheds := make([]*Schedule, 4)
+		for r := 0; r < 4; r++ {
+			scheds[r] = Build(oldD, newD, r, 4)
+		}
+		// symmetry: r's send to q == q's recv from r (same grid count)
+		for r := 0; r < 4; r++ {
+			for _, snd := range scheds[r].Sends {
+				found := false
+				for _, rcv := range scheds[snd.Peer].Recvs {
+					if rcv.Peer == r {
+						found = true
+						if rcv.Count != snd.Count {
+							t.Fatalf("trial %d: asymmetric counts %d vs %d", trial, snd.Count, rcv.Count)
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: %d sends to %d but no matching recv", trial, r, snd.Peer)
+				}
+			}
+		}
+		// coverage: total received counts == domain size
+		total := 0
+		for r := 0; r < 4; r++ {
+			for _, rcv := range scheds[r].Recvs {
+				total += rcv.Count
+			}
+		}
+		if total != dom.Size() {
+			t.Fatalf("trial %d: recv total %d != %d (old %v new %v)", trial, total, dom.Size(), oldD, newD)
+		}
+	}
+}
+
+func TestScheduleValuePreservationSimulated(t *testing.T) {
+	// Simulate a full redistribution with schedules only: every element's
+	// value must arrive at its new owner.
+	tg := targets(t, 3)
+	dom := index.Dim(10, 7)
+	oldD := dist.MustNew(dist.NewType(dist.BlockDim(), dist.ElidedDim()), dom, tg)
+	newD := dist.MustNew(dist.NewType(dist.CyclicDim(2), dist.ElidedDim()), dom, tg)
+
+	val := func(p index.Point) float64 { return float64(p[0]*100 + p[1]) }
+	// "mailboxes": per new-owner, received (point, value) pairs
+	got := make([]map[string]float64, 3)
+	for r := range got {
+		got[r] = map[string]float64{}
+	}
+	for r := 0; r < 3; r++ {
+		s := Build(oldD, newD, r, 3)
+		for _, tr := range s.Sends {
+			tr.Grid.ForEach(func(p index.Point) bool {
+				if !oldD.IsLocal(r, p) {
+					t.Fatalf("rank %d sending non-local %v", r, p)
+				}
+				got[tr.Peer][p.String()] = val(p)
+				return true
+			})
+		}
+	}
+	count := 0
+	for r := 0; r < 3; r++ {
+		g := newD.LocalGrid(r)
+		g.ForEach(func(p index.Point) bool {
+			v, ok := got[r][p.String()]
+			if !ok {
+				t.Fatalf("rank %d missing %v", r, p)
+			}
+			if v != val(p) {
+				t.Fatalf("rank %d wrong value at %v", r, p)
+			}
+			count++
+			return true
+		})
+	}
+	if count != dom.Size() {
+		t.Fatalf("covered %d of %d", count, dom.Size())
+	}
+}
+
+func TestScheduleWithReplication(t *testing.T) {
+	// old: BLOCK on 1-D view of 4 procs; new: BLOCK onto 2x2 (replicated
+	// across dim 1).  Each element must reach both replicas, sent once
+	// per (primary sender, replica receiver) pair.
+	m := machine.New(4)
+	defer m.Close()
+	tg1 := m.ProcsDim("L", 4).Whole()
+	tg2 := m.ProcsDim("G", 2, 2).Whole()
+	dom := index.Dim(8)
+	oldD := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg1)
+	newD := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg2)
+	recvTotal := 0
+	for r := 0; r < 4; r++ {
+		s := Build(oldD, newD, r, 4)
+		for _, rcv := range s.Recvs {
+			recvTotal += rcv.Count
+		}
+	}
+	// every rank owns 4 elements under newD (replication degree 2)
+	if recvTotal != 16 {
+		t.Fatalf("recv total = %d, want 16", recvTotal)
+	}
+	// reverse direction: replicated -> non-replicated; only primaries send
+	sendersSeen := map[int]bool{}
+	for r := 0; r < 4; r++ {
+		s := Build(newD, oldD, r, 4)
+		for _, snd := range s.Sends {
+			sendersSeen[r] = true
+			_ = snd
+		}
+	}
+	for r := range sendersSeen {
+		if !newD.IsPrimaryRank(r) {
+			t.Fatalf("non-primary rank %d sent data", r)
+		}
+	}
+}
+
+func TestCache(t *testing.T) {
+	tg := targets(t, 2)
+	dom := index.Dim(10)
+	a := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+	b := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg)
+	c := NewCache()
+	s1 := c.Get(a, b, 0, 2)
+	s2 := c.Get(a, b, 0, 2)
+	if s1 != s2 {
+		t.Fatal("cache should return the same schedule")
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats = %d/%d", h, m)
+	}
+	if c.Get(b, a, 0, 2) == s1 {
+		t.Fatal("different key should build a different schedule")
+	}
+}

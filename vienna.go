@@ -1,0 +1,208 @@
+// Package vienna is a Go reproduction of the dynamic data-distribution
+// system of Vienna Fortran, after:
+//
+//	B. Chapman, P. Mehrotra, H. Moritsch, H. Zima.
+//	"Dynamic Data Distributions in Vienna Fortran", Supercomputing '93
+//	(NASA CR-191575 / ICASE Report 93-92).
+//
+// The package is a facade over the engine packages in internal/: it
+// re-exports the SPMD machine, the distribution sublanguage (BLOCK,
+// CYCLIC(k), S_BLOCK, B_BLOCK, alignment), dynamically distributed arrays
+// with connect classes, the executable DISTRIBUTE statement with
+// NOTRANSFER, and the DCASE/IDT query constructs.
+//
+// # Quick start
+//
+//	m := vienna.NewMachine(4)
+//	defer m.Close()
+//	e := vienna.NewEngine(m)
+//	err := m.Run(func(ctx *vienna.Ctx) error {
+//		// REAL V(100,100) DYNAMIC, DIST(:, BLOCK)
+//		v := e.MustDeclare(ctx, vienna.Decl{
+//			Name:    "V",
+//			Domain:  vienna.Dim(100, 100),
+//			Dynamic: true,
+//			Init:    &vienna.DistSpec{Type: vienna.NewType(vienna.Elided(), vienna.Block())},
+//		})
+//		// ... x-sweep with local columns ...
+//		// DISTRIBUTE V :: (BLOCK, :)
+//		e.MustDistribute(ctx, []*vienna.Array{v}, vienna.DimsOf(vienna.Block(), vienna.Elided()))
+//		// ... y-sweep with local rows ...
+//		return nil
+//	})
+//
+// See examples/ for complete programs (the paper's ADI and PIC codes among
+// them) and DESIGN.md for the architecture.
+package vienna
+
+import (
+	"repro/internal/core"
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/query"
+)
+
+// Machine is the SPMD execution engine: P logical processors connected by
+// a message transport.
+type Machine = machine.Machine
+
+// Ctx is one processor's view of the machine during an SPMD run.
+type Ctx = machine.Ctx
+
+// ProcArray is a named multi-dimensional arrangement of processors
+// (PROCESSORS R(1:M,1:M)).
+type ProcArray = machine.ProcArray
+
+// ProcSection is a rectangular subset of a processor array, usable as a
+// distribution target ("TO R(...)").
+type ProcSection = machine.ProcSection
+
+// NewMachine creates a machine with np logical processors on the
+// in-process transport.  Use machine options for TCP or a cost model.
+func NewMachine(np int, opts ...machine.Option) *Machine { return machine.New(np, opts...) }
+
+// WithTransport runs the machine on a specific transport.
+var WithTransport = machine.WithTransport
+
+// WithCostModel attaches a Hockney α/β cost model.
+var WithCostModel = machine.WithCostModel
+
+// NewTCPTransport builds a TCP-loopback transport for np processors.
+var NewTCPTransport = msg.NewTCPTransport
+
+// NewCostModel creates a Hockney cost model (alpha seconds per message,
+// beta seconds per byte).
+var NewCostModel = msg.NewCostModel
+
+// CostModel tracks per-processor virtual clocks under the α/β model.
+type CostModel = msg.CostModel
+
+// Stats collects per-processor message/byte counters.
+type Stats = msg.Stats
+
+// Snapshot is a point-in-time copy of traffic counters.
+type Snapshot = msg.Snapshot
+
+// Engine is a Vienna Fortran declaration scope.
+type Engine = core.Engine
+
+// NewEngine creates a scope on a machine.
+func NewEngine(m *Machine) *Engine { return core.NewEngine(m) }
+
+// Array is a declared Vienna Fortran array (static or DYNAMIC).
+type Array = core.Array
+
+// Decl describes an array declaration (DIST / DYNAMIC / RANGE / CONNECT /
+// ALIGN annotations).
+type Decl = core.Decl
+
+// DistSpec is a distribution expression plus an optional target section.
+type DistSpec = core.DistSpec
+
+// Expr is the right-hand side of a DISTRIBUTE statement.
+type Expr = core.Expr
+
+// Dims, DimsOf, Lit, From, FromDim and AlignWith build DISTRIBUTE
+// right-hand sides; see paper Example 3 for the extraction form.
+var (
+	Dims      = core.Dims
+	DimsOf    = core.DimsOf
+	Lit       = core.Lit
+	From      = core.From
+	FromDim   = core.FromDim
+	AlignWith = core.AlignWith
+)
+
+// Domain is a rectangular index domain with inclusive bounds.
+type Domain = index.Domain
+
+// Point is a multi-dimensional index.
+type Point = index.Point
+
+// Dim builds the Fortran-default domain 1:n1, 1:n2, ...
+var Dim = index.Dim
+
+// NewDomain builds a domain from explicit (lo,hi) pairs.
+var NewDomain = index.NewDomain
+
+// DimSpec is a per-dimension distribution specifier.
+type DimSpec = dist.DimSpec
+
+// Type is a distribution type such as (BLOCK, CYCLIC(3), :).
+type Type = dist.Type
+
+// Distribution is a type applied to a domain and a processor section.
+type Distribution = dist.Distribution
+
+// Alignment is an index mapping between two arrays' domains.
+type Alignment = dist.Alignment
+
+// AxisMap is one axis of an alignment.
+type AxisMap = dist.AxisMap
+
+// Distribution-expression constructors.
+func Block() DimSpec            { return dist.BlockDim() }
+func Cyclic(k int) DimSpec      { return dist.CyclicDim(k) }
+func SBlock(sz ...int) DimSpec  { return dist.SBlockDim(sz...) }
+func BBlock(b ...int) DimSpec   { return dist.BBlockDim(b...) }
+func Elided() DimSpec           { return dist.ElidedDim() }
+func NewType(d ...DimSpec) Type { return dist.NewType(d...) }
+
+// Alignment constructors.
+var (
+	Axis              = dist.Axis
+	AxisAffine        = dist.AxisAffine
+	AxisConst         = dist.AxisConst
+	NewAlignment      = dist.NewAlignment
+	IdentityAlignment = dist.Identity
+	Transpose2D       = dist.Transpose2D
+)
+
+// Pattern is a distribution-type pattern for queries and RANGE.
+type Pattern = dist.Pattern
+
+// DimPattern matches one dimension in a query.
+type DimPattern = dist.DimPattern
+
+// Range is the RANGE annotation: the set of admissible distribution
+// types of a dynamic array.
+type Range = dist.Range
+
+// Pattern constructors for DCASE / IDT / RANGE.
+var (
+	PAny       = dist.PAny
+	PBlock     = dist.PBlock
+	PCyclic    = dist.PCyclic
+	PCyclicAny = dist.PCyclicAny
+	PElided    = dist.PElided
+	PSBlock    = dist.PSBlock
+	PBBlock    = dist.PBBlock
+	NewPattern = dist.NewPattern
+	AnyPattern = dist.AnyPattern
+	PatternOf  = dist.PatternOf
+)
+
+// IDT is the intrinsic distribution-type test (§2.5.2).
+var IDT = query.IDT
+
+// Select starts a DCASE construct (§2.5.1).
+var Select = query.Select
+
+// On and P build name-tagged and positional queries.
+var (
+	On = query.On
+	P  = query.P
+)
+
+// Q is one query of a DCASE condition list.
+type Q = query.Q
+
+// Local is one processor's storage for its part of an array.
+type Local = darray.Local
+
+// WithGhost declares overlap (ghost) areas on an array declaration;
+// pass the widths through Decl.Ghost instead when using Declare.
+var WithGhost = darray.WithGhost
