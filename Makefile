@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench examples experiments analyze clean
+.PHONY: all build vet test race check bench examples experiments analyze clean
 
-all: build vet test
+all: build check test
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Static checks plus the race detector over the runtime packages — the
+# SPMD engine is all goroutines, so data races are the bug class to gate
+# on.  Part of the default target.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -18,12 +18,14 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/dist"
+	"repro/internal/trace"
 )
 
 var (
-	alpha = flag.Float64("alpha", 1e-4, "modeled message startup (s)")
-	beta  = flag.Float64("beta", 1e-8, "modeled per-byte cost (s)")
-	quick = flag.Bool("quick", false, "smaller sizes (for smoke runs)")
+	alpha     = flag.Float64("alpha", 1e-4, "modeled message startup (s)")
+	beta      = flag.Float64("beta", 1e-8, "modeled per-byte cost (s)")
+	quick     = flag.Bool("quick", false, "smaller sizes (for smoke runs)")
+	traceFile = flag.String("trace", "", "trace the first dynamic ADI run to FILE (Chrome trace_event JSON) and print its per-phase summary")
 )
 
 func main() {
@@ -63,13 +65,19 @@ func runADI() {
 	if *quick {
 		sizes, procs = []int{64}, []int{4}
 	}
+	var tr *trace.Tracer
 	for _, n := range sizes {
 		for _, p := range procs {
 			for _, mode := range []apps.ADIMode{apps.ADIDynamic, apps.ADIStaticCols} {
-				res, err := apps.RunADI(apps.ADIConfig{
+				cfg := apps.ADIConfig{
 					NX: n, NY: n, Iters: 4, P: p, Mode: mode,
 					Alpha: *alpha, Beta: *beta, Validate: true,
-				})
+				}
+				if *traceFile != "" && mode == apps.ADIDynamic && tr == nil {
+					tr = trace.New(p)
+					cfg.Tracer = tr
+				}
+				res, err := apps.RunADI(cfg)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -80,6 +88,13 @@ func runADI() {
 		}
 	}
 	w.Flush()
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ndynamic ADI trace written to %s\n", *traceFile)
+		fmt.Print(tr.Summarize().String())
+	}
 }
 
 func runPIC() {

@@ -23,12 +23,14 @@ import (
 	"repro/internal/lang"
 	"repro/internal/machine"
 	"repro/internal/sem"
+	"repro/internal/trace"
 )
 
 func main() {
 	np := flag.Int("p", 4, "number of processors")
 	demo := flag.String("demo", "", "run a built-in paper listing: fig1")
 	report := flag.Bool("analyze", false, "print the reaching-distribution report before running")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace of the run to FILE and print the per-phase summary")
 	flag.Parse()
 
 	var src, name string
@@ -95,7 +97,13 @@ ENDDO
 		fmt.Println()
 	}
 
-	m := machine.New(*np)
+	var mopts []machine.Option
+	var tr *trace.Tracer
+	if *traceFile != "" {
+		tr = trace.New(*np)
+		mopts = append(mopts, machine.WithTrace(tr))
+	}
+	m := machine.New(*np, mopts...)
 	defer m.Close()
 	e := core.NewEngine(m)
 	in := interp.New(e)
@@ -158,4 +166,11 @@ ENDDO
 	}
 	sn := m.Stats().Snapshot()
 	fmt.Printf("traffic: %d data messages, %d bytes\n", sn.TotalDataMsgs(), sn.TotalBytes())
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceFile); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("\ntrace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
+		fmt.Print(tr.Summarize().String())
+	}
 }

@@ -32,9 +32,16 @@ func main() {
 	ny := flag.Int("ny", 100, "grid extent in y")
 	np := flag.Int("p", 4, "number of processors")
 	iters := flag.Int("iters", 3, "ADI iterations")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to FILE and print the per-phase summary")
 	flag.Parse()
 
-	m := vienna.NewMachine(*np)
+	var mopts []vienna.MachineOption
+	var tr *vienna.Tracer
+	if *traceFile != "" {
+		tr = vienna.NewTracer(*np)
+		mopts = append(mopts, vienna.WithTrace(tr))
+	}
+	m := vienna.NewMachine(*np, mopts...)
 	defer m.Close()
 	e := vienna.NewEngine(m)
 	dom := vienna.Dim(*nx, *ny)
@@ -67,20 +74,26 @@ func main() {
 			}
 			// CALL RESID(V, U, F): V(i,j) = F - (4U - neighbours), local
 			// after refreshing U's overlap areas.
+			vienna.PhaseBegin(ctx, "resid")
 			u.ExchangeAllGhosts(ctx)
 			resid(ctx, v, u, f)
 			ctx.Barrier()
+			vienna.PhaseEnd(ctx, "resid")
 
 			// x-line sweep: every column V(:,J) is local under (:,BLOCK)
+			vienna.PhaseBegin(ctx, "x-sweep")
 			sweepLocal(ctx, v, 0)
 			ctx.Barrier()
+			vienna.PhaseEnd(ctx, "x-sweep")
 
 			// DISTRIBUTE V :: (BLOCK, :)
 			e.MustDistribute(ctx, []*vienna.Array{v}, vienna.DimsOf(vienna.Block(), vienna.Elided()))
 
 			// y-line sweep: every row V(I,:) is local under (BLOCK,:)
+			vienna.PhaseBegin(ctx, "y-sweep")
 			sweepLocal(ctx, v, 1)
 			ctx.Barrier()
+			vienna.PhaseEnd(ctx, "y-sweep")
 		}
 
 		total := v.DArray().ReduceSum(ctx)
@@ -99,6 +112,13 @@ func main() {
 	sn := m.Stats().Snapshot()
 	fmt.Printf("traffic: %d data messages, %d bytes (all from DISTRIBUTE + ghost refresh)\n",
 		sn.TotalDataMsgs(), sn.TotalBytes())
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
+		fmt.Print(tr.Summarize().String())
+	}
 }
 
 // resid computes V = F - A(U) on locally owned points (U's ghosts fresh).

@@ -55,7 +55,7 @@ func main() {
 		// One DISTRIBUTE moves the whole class; A1's data stays put.
 		base := m.Stats().Snapshot()
 		e.MustDistribute(ctx, []*vienna.Array{b},
-			vienna.DimsOf(vienna.Cyclic(1), vienna.Block()).To(g.Whole()), a1)
+			vienna.DimsOf(vienna.Cyclic(1), vienna.Block()).To(g.Whole()), vienna.NoTransfer(a1))
 		ctx.Barrier()
 		if ctx.Rank() == 0 {
 			d := m.Stats().Snapshot().Sub(base)

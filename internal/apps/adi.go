@@ -21,6 +21,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // ADIMode selects the distribution strategy of the ADI run.
@@ -71,6 +72,9 @@ type ADIConfig struct {
 	// UseTCP runs the machine over the TCP loopback transport instead of
 	// the in-process one (same semantics, real sockets).
 	UseTCP bool
+	// Tracer, when non-nil, records the run's spans and messages (the
+	// iteration loop is annotated as the "iterate" phase).
+	Tracer *trace.Tracer
 }
 
 // ADIResult reports an ADI run.
@@ -115,6 +119,10 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
 		mopts = append(mopts, machine.WithCostModel(cm))
 		topts = append(topts, msg.WithCost(cm))
+	}
+	if cfg.Tracer != nil {
+		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
+		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
 	if cfg.UseTCP {
 		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
@@ -179,6 +187,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 			}
 		}
 
+		ctx.PhaseBegin("iterate")
 		for it := 0; it < cfg.Iters; it++ {
 			switch cfg.Mode {
 			case ADIDynamic:
@@ -204,6 +213,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 				ctx.Barrier()
 			}
 		}
+		ctx.PhaseEnd("iterate")
 
 		if cfg.Validate {
 			got := v.GatherTo(ctx, 0)

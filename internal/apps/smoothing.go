@@ -11,6 +11,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // SmoothMode selects the grid distribution of the §4 smoothing study.
@@ -49,6 +50,9 @@ type SmoothConfig struct {
 	// UseTCP runs the machine over the TCP loopback transport instead of
 	// the in-process one (same semantics, real sockets).
 	UseTCP bool
+	// Tracer, when non-nil, records the run's spans and messages (the
+	// stepping loop is annotated as the "smooth" phase).
+	Tracer *trace.Tracer
 }
 
 // SmoothResult reports a smoothing run.
@@ -86,6 +90,10 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
 		mopts = append(mopts, machine.WithCostModel(cm))
 		topts = append(topts, msg.WithCost(cm))
+	}
+	if cfg.Tracer != nil {
+		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
+		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
 	if cfg.UseTCP {
 		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
@@ -136,6 +144,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		ctx.Barrier()
 
 		src, dst := u, v
+		ctx.PhaseBegin("smooth")
 		for s := 0; s < cfg.Steps; s++ {
 			pre := m.Stats().Snapshot()
 			ctx.Barrier() // no rank may send before pre is taken
@@ -150,6 +159,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 			ctx.Barrier()
 			src, dst = dst, src
 		}
+		ctx.PhaseEnd("smooth")
 		if cfg.Validate {
 			got := src.GatherTo(ctx, 0)
 			if ctx.Rank() == 0 {

@@ -145,10 +145,10 @@ func (a *Array) derive(primDist *dist.Distribution) (*dist.Distribution, error) 
 // as a DISTRIBUTE would.
 func (a *Array) CallWith(ctx *machine.Ctx, spec DistSpec, restore bool, body func() error) error {
 	if a.connKind != ConnNone {
-		return fmt.Errorf("core: CallWith on secondary array %s", a.name)
+		return fmt.Errorf("core: CallWith on secondary array %s: %w", a.name, ErrNotPrimary)
 	}
 	if !a.dynamic {
-		return fmt.Errorf("core: CallWith on statically distributed array %s", a.name)
+		return fmt.Errorf("core: CallWith on statically distributed array %s: %w", a.name, ErrNotPrimary)
 	}
 	saved := a.arr.Dist()
 	if err := a.e.Distribute(ctx, []*Array{a}, ExprOf(spec)); err != nil {

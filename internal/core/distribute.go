@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // DimExpr is one component of a distribution expression in a DISTRIBUTE
@@ -124,6 +126,39 @@ func (x Expr) evalFor(e *Engine, b *Array) (*dist.Distribution, error) {
 	return dist.New(typ, b.dom, tg)
 }
 
+// DistOption configures a DISTRIBUTE statement.  A bare *Array is also
+// accepted as an option and marks that array NOTRANSFER (the deprecated
+// positional form); new code should write core.NoTransfer(c1, c2, ...).
+type DistOption interface {
+	applyDist(*distConfig)
+}
+
+type distConfig struct {
+	noTransfer []*Array
+}
+
+type distOptionFunc func(*distConfig)
+
+func (f distOptionFunc) applyDist(c *distConfig) { f(c) }
+
+// NoTransfer lists secondary arrays whose data is not physically moved by
+// the DISTRIBUTE — the paper's NOTRANSFER attribute ("only the access
+// function ... is changed").  Each listed array must be a secondary of
+// one of the distributed connect classes.
+func NoTransfer(arrays ...*Array) DistOption {
+	return distOptionFunc(func(c *distConfig) {
+		c.noTransfer = append(c.noTransfer, arrays...)
+	})
+}
+
+// applyDist lets a bare *Array act as a DistOption marking itself
+// NOTRANSFER, keeping the pre-option call sites compiling.
+//
+// Deprecated: pass core.NoTransfer(a) instead.
+func (a *Array) applyDist(c *distConfig) {
+	c.noTransfer = append(c.noTransfer, a)
+}
+
 // Distribute executes
 //
 //	DISTRIBUTE B1, ..., Bn :: da [NOTRANSFER (C1, ..., Cm)]
@@ -132,18 +167,23 @@ func (x Expr) evalFor(e *Engine, b *Array) (*dist.Distribution, error) {
 // declared RANGE is enforced; each primary is redistributed with data
 // transfer; every secondary array in the primaries' connect classes gets
 // its distribution re-derived from its connection and is redistributed,
-// with data transfer unless listed in notransfer.
+// with data transfer unless listed in a NoTransfer option.
 //
-// It is an error to apply Distribute to a secondary or statically
-// distributed array, or to list a NOTRANSFER array that is not a
-// secondary of one of the primaries' classes.  Collective.
-func (e *Engine) Distribute(ctx *machine.Ctx, primaries []*Array, expr Expr, notransfer ...*Array) error {
+// It is an error (wrapping ErrNotPrimary) to apply Distribute to a
+// secondary or statically distributed array, and an error to list a
+// NOTRANSFER array that is not a secondary of one of the primaries'
+// classes.  Collective.
+func (e *Engine) Distribute(ctx *machine.Ctx, primaries []*Array, expr Expr, opts ...DistOption) error {
 	if len(primaries) == 0 {
 		return fmt.Errorf("core: DISTRIBUTE with no arrays")
 	}
+	var cfg distConfig
+	for _, o := range opts {
+		o.applyDist(&cfg)
+	}
 	// Validate the NOTRANSFER set up front.
-	nt := make(map[*Array]bool, len(notransfer))
-	for _, c := range notransfer {
+	nt := make(map[*Array]bool, len(cfg.noTransfer))
+	for _, c := range cfg.noTransfer {
 		ok := false
 		for _, b := range primaries {
 			for _, s := range b.class.secondaries {
@@ -159,10 +199,10 @@ func (e *Engine) Distribute(ctx *machine.Ctx, primaries []*Array, expr Expr, not
 	}
 	for _, b := range primaries {
 		if b.connKind != ConnNone {
-			return fmt.Errorf("core: DISTRIBUTE applied to secondary array %s", b.name)
+			return fmt.Errorf("core: DISTRIBUTE applied to secondary array %s: %w", b.name, ErrNotPrimary)
 		}
 		if !b.dynamic {
-			return fmt.Errorf("core: DISTRIBUTE applied to statically distributed array %s", b.name)
+			return fmt.Errorf("core: DISTRIBUTE applied to statically distributed array %s: %w", b.name, ErrNotPrimary)
 		}
 		newD, err := expr.evalFor(e, b)
 		if err != nil {
@@ -175,27 +215,38 @@ func (e *Engine) Distribute(ctx *machine.Ctx, primaries []*Array, expr Expr, not
 	return nil
 }
 
-// distributeTo moves one primary's class to newD.
+// distributeTo moves one primary's class to newD.  The whole statement is
+// recorded as a structural trace span; the per-array DISTRIBUTE spans the
+// redistributions open inside it carry the attributed costs.
 func (e *Engine) distributeTo(ctx *machine.Ctx, b *Array, newD *dist.Distribution, nt map[*Array]bool) error {
 	if !b.rng.Allows(newD.DistType()) {
-		return fmt.Errorf("core: DISTRIBUTE %s :: %v violates declared %v", b.name, newD.DistType(), b.rng)
+		return fmt.Errorf("core: DISTRIBUTE %s :: %v violates declared %v: %w", b.name, newD.DistType(), b.rng, ErrRangeViolation)
 	}
+	defer ctx.Tracer().BeginSpan(ctx.Rank(), trace.CatStmt, "DISTRIBUTE "+b.name).End()
 	// Step 1+2 (§3.2.2): new distribution and access functions for B.
-	b.arr.Redistribute(ctx, newD, true)
+	if err := b.arr.RedistributeTo(ctx, newD); err != nil {
+		return fmt.Errorf("core: DISTRIBUTE %s: %w", b.name, err)
+	}
 	// Step 2+3: derive and communicate for every connected array.
 	for _, c := range b.class.secondaries {
 		cd, err := c.derive(newD)
 		if err != nil {
 			return fmt.Errorf("core: DISTRIBUTE %s: deriving %s: %w", b.name, c.name, err)
 		}
-		c.arr.Redistribute(ctx, cd, !nt[c])
+		var ropts []darray.RedistOption
+		if nt[c] {
+			ropts = append(ropts, darray.NoTransfer())
+		}
+		if err := c.arr.RedistributeTo(ctx, cd, ropts...); err != nil {
+			return fmt.Errorf("core: DISTRIBUTE %s: %w", b.name, err)
+		}
 	}
 	return nil
 }
 
 // MustDistribute is Distribute that panics on error.
-func (e *Engine) MustDistribute(ctx *machine.Ctx, primaries []*Array, expr Expr, notransfer ...*Array) {
-	if err := e.Distribute(ctx, primaries, expr, notransfer...); err != nil {
+func (e *Engine) MustDistribute(ctx *machine.Ctx, primaries []*Array, expr Expr, opts ...DistOption) {
+	if err := e.Distribute(ctx, primaries, expr, opts...); err != nil {
 		panic(err)
 	}
 }

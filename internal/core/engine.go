@@ -32,6 +32,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/index"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Engine is a Vienna Fortran declaration scope bound to a machine.
@@ -170,6 +171,7 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 	if d.Domain.Rank() == 0 {
 		return nil, fmt.Errorf("core: %s: empty domain", d.Name)
 	}
+	defer ctx.Tracer().BeginSpan(ctx.Rank(), trace.CatDeclare, "DECLARE "+d.Name).End()
 
 	// Resolve what the array's first distribution is, if any.
 	var d0 *dist.Distribution
@@ -206,7 +208,7 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 			return nil, fmt.Errorf("core: %s: %w", d.Name, err)
 		}
 		if !d.Range.Allows(d0.DistType()) {
-			return nil, fmt.Errorf("core: %s: initial distribution %v violates %v", d.Name, d0.DistType(), d.Range)
+			return nil, fmt.Errorf("core: %s: initial distribution %v violates %v: %w", d.Name, d0.DistType(), d.Range, ErrRangeViolation)
 		}
 	}
 
@@ -225,7 +227,7 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 			return a.declErr
 		}
 		if old, dup := e.arrays[a.name]; dup && old != a {
-			a.declErr = fmt.Errorf("core: array %s already declared in this scope", a.name)
+			a.declErr = fmt.Errorf("core: array %s: %w", a.name, ErrAlreadyDeclared)
 			return a.declErr
 		}
 		fail := func(err error) error {

@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the statically checkable misuses of the dynamic
+// distribution constructs (§2.3–§2.4).  Errors returned by Engine and
+// Array methods wrap these, so callers can classify failures with
+// errors.Is while the message keeps the full context.
+var (
+	// ErrRangeViolation marks a distribution that falls outside an
+	// array's declared RANGE, at declaration or in a DISTRIBUTE.
+	ErrRangeViolation = errors.New("distribution outside declared RANGE")
+
+	// ErrNotPrimary marks a DISTRIBUTE or CallWith applied to an array
+	// that is not a dynamic primary (a secondary of a connect class, or a
+	// statically distributed array).
+	ErrNotPrimary = errors.New("array is not a dynamic primary")
+
+	// ErrAlreadyDeclared marks a duplicate declaration of an array name
+	// within one scope.
+	ErrAlreadyDeclared = errors.New("array already declared in this scope")
+)

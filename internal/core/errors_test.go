@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+)
+
+// The engine's statement-level failures carry typed sentinels so callers
+// can dispatch with errors.Is instead of matching message text.
+
+func TestTypedErrRangeViolation(t *testing.T) {
+	run(t, 2, func(ctx *machine.Ctx, e *Engine) error {
+		rng := dist.Range{dist.NewPattern(dist.PBlock())}
+		b := e.MustDeclare(ctx, Decl{Name: "B", Domain: index.Dim(8), Dynamic: true,
+			Range: rng, Init: &DistSpec{Type: dist.NewType(dist.BlockDim())}})
+		err := e.Distribute(ctx, []*Array{b}, DimsOf(dist.CyclicDim(1)))
+		if !errors.Is(err, ErrRangeViolation) {
+			t.Errorf("DISTRIBUTE outside RANGE: got %v, want errors.Is ErrRangeViolation", err)
+		}
+		_, err = e.Declare(ctx, Decl{Name: "BAD", Domain: index.Dim(8), Dynamic: true,
+			Range: rng, Init: &DistSpec{Type: dist.NewType(dist.CyclicDim(4))}})
+		if !errors.Is(err, ErrRangeViolation) {
+			t.Errorf("out-of-range initial DIST: got %v, want errors.Is ErrRangeViolation", err)
+		}
+		return nil
+	})
+}
+
+func TestTypedErrNotPrimary(t *testing.T) {
+	run(t, 2, func(ctx *machine.Ctx, e *Engine) error {
+		s := e.MustDeclare(ctx, Decl{Name: "S", Domain: index.Dim(8),
+			Static: &DistSpec{Type: dist.NewType(dist.BlockDim())}})
+		e.MustDeclare(ctx, Decl{Name: "B", Domain: index.Dim(8), Dynamic: true,
+			Init: &DistSpec{Type: dist.NewType(dist.BlockDim())}})
+		a := e.MustDeclare(ctx, Decl{Name: "A", Domain: index.Dim(8), Dynamic: true, ConnectTo: "B"})
+		if err := e.Distribute(ctx, []*Array{s}, DimsOf(dist.CyclicDim(1))); !errors.Is(err, ErrNotPrimary) {
+			t.Errorf("DISTRIBUTE on static array: got %v, want errors.Is ErrNotPrimary", err)
+		}
+		if err := e.Distribute(ctx, []*Array{a}, DimsOf(dist.CyclicDim(1))); !errors.Is(err, ErrNotPrimary) {
+			t.Errorf("DISTRIBUTE on secondary array: got %v, want errors.Is ErrNotPrimary", err)
+		}
+		return nil
+	})
+}
+
+func TestTypedErrAlreadyDeclared(t *testing.T) {
+	run(t, 2, func(ctx *machine.Ctx, e *Engine) error {
+		e.MustDeclare(ctx, Decl{Name: "X", Domain: index.Dim(4), Dynamic: true})
+		ctx.Barrier()
+		_, err := e.Declare(ctx, Decl{Name: "X", Domain: index.Dim(4), Dynamic: true})
+		if !errors.Is(err, ErrAlreadyDeclared) {
+			t.Errorf("duplicate declaration: got %v, want errors.Is ErrAlreadyDeclared", err)
+		}
+		return nil
+	})
+}
+
+// TestConnectClassScheduleCache drives an ADI-style phase-alternating
+// DISTRIBUTE over a whole connect class (primary + extraction secondary)
+// and checks that, per array, the redistribution schedule cache misses
+// only on the first occurrence of each transition (2 per array per rank)
+// and hits on every later iteration.
+func TestConnectClassScheduleCache(t *testing.T) {
+	const np, iters = 4, 3
+	run(t, np, func(ctx *machine.Ctx, e *Engine) error {
+		dom := index.Dim(8, 8)
+		b := e.MustDeclare(ctx, Decl{Name: "B", Domain: dom, Dynamic: true,
+			Init: &DistSpec{Type: dist.NewType(dist.ElidedDim(), dist.BlockDim())}})
+		a := e.MustDeclare(ctx, Decl{Name: "A", Domain: dom, Dynamic: true, ConnectTo: "B"})
+		b.FillFunc(ctx, func(p index.Point) float64 { return float64(8*p[0] + p[1]) })
+		a.FillFunc(ctx, func(p index.Point) float64 { return -float64(8*p[0] + p[1]) })
+		ctx.Barrier()
+
+		for it := 0; it < iters; it++ {
+			e.MustDistribute(ctx, []*Array{b}, DimsOf(dist.BlockDim(), dist.ElidedDim()))
+			e.MustDistribute(ctx, []*Array{b}, DimsOf(dist.ElidedDim(), dist.BlockDim()))
+		}
+		ctx.Barrier()
+
+		if ctx.Rank() == 0 {
+			// 2*iters transitions per array; the 2 distinct ones miss once
+			// per rank, everything after the first full cycle hits.
+			wantMisses := 2 * np
+			wantHits := (2*iters - 2) * np
+			for _, arr := range []*Array{b, a} {
+				hits, misses := arr.DArray().ScheduleCacheStats()
+				if hits != wantHits || misses != wantMisses {
+					t.Errorf("%s: schedule cache %d hits / %d misses, want %d / %d",
+						arr.Name(), hits, misses, wantHits, wantMisses)
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -237,7 +237,7 @@ func TestNoTransferAttribute(t *testing.T) {
 		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0] * 10) })
 		ctx.Barrier()
 		// NOTRANSFER(A): B's data moves, A's does not.
-		e.MustDistribute(ctx, []*Array{b}, DimsOf(dist.CyclicDim(1)), a)
+		e.MustDistribute(ctx, []*Array{b}, DimsOf(dist.CyclicDim(1)), NoTransfer(a))
 		if ctx.Rank() == 0 {
 			if got := b.Get(ctx, 7); got != 7 {
 				t.Errorf("B(7) = %v, data should have moved", got)
@@ -260,8 +260,12 @@ func TestNoTransferAttribute(t *testing.T) {
 			}
 		}
 		// NOTRANSFER of a non-secondary is rejected
-		if err := e.Distribute(ctx, []*Array{b}, DimsOf(dist.BlockDim()), b); err == nil {
+		if err := e.Distribute(ctx, []*Array{b}, DimsOf(dist.BlockDim()), NoTransfer(b)); err == nil {
 			t.Error("NOTRANSFER of the primary itself accepted")
+		}
+		// the deprecated positional form still compiles and behaves the same
+		if err := e.Distribute(ctx, []*Array{b}, DimsOf(dist.BlockDim()), b); err == nil {
+			t.Error("positional NOTRANSFER of the primary itself accepted")
 		}
 		return nil
 	})

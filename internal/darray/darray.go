@@ -209,6 +209,11 @@ func (a *Array) accountRMA(ctx *machine.Ctx, owner int) {
 	st.OnRecv(owner, rank, 16)
 	st.OnSend(owner, rank, 8)
 	st.OnRecv(rank, owner, 8)
+	tr := a.m.Tracer()
+	tr.Send(rank, owner, 16)
+	tr.Recv(owner, rank, 16)
+	tr.Send(owner, rank, 8)
+	tr.Recv(rank, owner, 8)
 	if cm := a.m.Cost(); cm != nil {
 		cm.Charge(rank, 2*cm.Alpha+cm.Beta*24)
 	}

@@ -144,7 +144,9 @@ func TestRedistributePreservesValues(t *testing.T) {
 		a := New(ctx, "A", dom, d1)
 		a.FillFunc(ctx, val2)
 		ctx.Barrier()
-		a.Redistribute(ctx, d2, true)
+		if err := a.RedistributeTo(ctx, d2); err != nil {
+			return err
+		}
 		// every element readable locally by its new owner with old value
 		l := a.Local(ctx)
 		bad := 0
@@ -157,7 +159,9 @@ func TestRedistributePreservesValues(t *testing.T) {
 			t.Errorf("rank %d: %d wrong values after redistribute", ctx.Rank(), bad)
 		}
 		// redistribute back and gather
-		a.Redistribute(ctx, d1, true)
+		if err := a.RedistributeTo(ctx, d1); err != nil {
+			return err
+		}
 		got := a.GatherTo(ctx, 0)
 		if ctx.Rank() == 0 {
 			dom.WholeSection().ForEach(func(p index.Point) bool {
@@ -223,7 +227,9 @@ func TestRedistributeChainProperty(t *testing.T) {
 				nd := ctx.CollectiveOnce(func() any { return mkDist(tg, r) }).(*dist.Distribution)
 				_ = r.Intn(2) // keep local rng in sync with the creator
 				dists = append(dists, nd)
-				a.Redistribute(ctx, nd, true)
+				if err := a.RedistributeTo(ctx, nd); err != nil {
+					return err
+				}
 			}
 			bad := 0
 			a.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
@@ -249,7 +255,9 @@ func TestNoTransferSemantics(t *testing.T) {
 		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0]) })
 		ctx.Barrier()
 		base := ctx.Machine().Stats().Snapshot()
-		a.Redistribute(ctx, d2, false)
+		if err := a.RedistributeTo(ctx, d2, NoTransfer()); err != nil {
+			return err
+		}
 		delta := ctx.Machine().Stats().Snapshot().Sub(base)
 		// NOTRANSFER must move no array payload (barrier messages are
 		// zero-byte; schedule exchange does not happen)
@@ -280,7 +288,9 @@ func TestRedistributeNoOp(t *testing.T) {
 		a := New(ctx, "A", dom, d1)
 		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0]) })
 		ctx.Barrier()
-		a.Redistribute(ctx, d1b, true) // logically identical
+		if err := a.RedistributeTo(ctx, d1b); err != nil { // logically identical
+			return err
+		}
 		if a.Epoch() != 0 {
 			t.Errorf("no-op redistribution bumped epoch to %d", a.Epoch())
 		}
@@ -299,8 +309,12 @@ func TestScheduleCacheReuse(t *testing.T) {
 		d2 := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg)
 		a := New(ctx, "A", dom, d1)
 		for i := 0; i < 3; i++ {
-			a.Redistribute(ctx, d2, true)
-			a.Redistribute(ctx, d1, true)
+			if err := a.RedistributeTo(ctx, d2); err != nil {
+				return err
+			}
+			if err := a.RedistributeTo(ctx, d1); err != nil {
+				return err
+			}
 		}
 		ctx.Barrier()
 		if ctx.Rank() == 0 {
@@ -478,7 +492,9 @@ func TestDArrayOverTCP(t *testing.T) {
 		a := New(ctx, "A", dom, d1)
 		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0]) })
 		ctx.Barrier()
-		a.Redistribute(ctx, d2, true)
+		if err := a.RedistributeTo(ctx, d2); err != nil {
+			return err
+		}
 		bad := 0
 		a.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
 			if *v != float64(p[0]) {

@@ -1,0 +1,42 @@
+package darray
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// TestRedistributeErrorOnClosedTransport checks the error-returning API
+// path: when the transport dies under a redistribution, RedistributeTo
+// reports a wrapped msg.ErrClosed instead of panicking (the old
+// Redistribute wrapper's behaviour, still covered in failure_test.go).
+func TestRedistributeErrorOnClosedTransport(t *testing.T) {
+	tp := msg.NewChanTransport(2)
+	m := machine.New(2, machine.WithTransport(tp))
+	defer m.Close()
+	errs := make([]error, 2)
+	if err := m.Run(func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("P", 2).Whole()
+		d1 := dist.MustNew(dist.NewType(dist.BlockDim()), index.Dim(16), tg)
+		d2 := dist.MustNew(dist.NewType(dist.CyclicDim(1)), index.Dim(16), tg)
+		a := New(ctx, "E", index.Dim(16), d1)
+		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0]) })
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			tp.Close() // every rank's exchange must now fail
+		}
+		errs[ctx.Rank()] = a.RedistributeTo(ctx, d2)
+		return nil
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for rank, err := range errs {
+		if !errors.Is(err, msg.ErrClosed) {
+			t.Errorf("rank %d: RedistributeTo = %v, want errors.Is msg.ErrClosed", rank, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // ExchangeGhosts refreshes the overlap areas of dimension k: each
@@ -46,6 +47,7 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) {
 	w := a.ghost[k]
 	ep := ctx.Endpoint()
 	tag := msg.TagRMABase + 4096 + 2*k // per-dimension ghost tag space
+	defer ctx.Tracer().BeginSpan(rank, trace.CatGhost, "ghost "+a.name).End()
 
 	next := neighborRank(d, coords, td, +1)
 	prev := neighborRank(d, coords, td, -1)

@@ -7,13 +7,29 @@ import (
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
-// Redistribute collectively re-associates the array with newD and, when
-// transfer is true, moves the data so that every element keeps its value
-// under the new mapping — the executable DISTRIBUTE statement of §2.4 for
-// a single array (internal/core drives it across connect classes and
-// implements the NOTRANSFER attribute by passing transfer=false).
+// RedistOption configures a single-array redistribution.
+type RedistOption func(*redistConfig)
+
+type redistConfig struct {
+	noTransfer bool
+}
+
+// NoTransfer requests the paper's NOTRANSFER semantics: "only the access
+// function ... is changed and the elements of the array are not
+// physically moved".  The new storage is zero-filled except for elements
+// the processor already owned, which are kept in place.
+func NoTransfer() RedistOption {
+	return func(c *redistConfig) { c.noTransfer = true }
+}
+
+// RedistributeTo collectively re-associates the array with newD and moves
+// the data so that every element keeps its value under the new mapping —
+// the executable DISTRIBUTE statement of §2.4 for a single array
+// (internal/core drives it across connect classes and implements the
+// NOTRANSFER attribute by passing the NoTransfer option).
 //
 // The implementation follows §3.2.2 step by step: each processor
 // evaluates the new distribution, determines the new locations of its
@@ -21,17 +37,19 @@ import (
 // and receives its new local data.  Ghost areas are reallocated (their
 // contents become stale and must be refreshed with ExchangeGhosts).
 //
-// Every processor must pass the same newD object.  Passing transfer=false
-// leaves the new storage zero-filled except for elements the processor
-// already owned (the paper's NOTRANSFER semantics: "only the access
-// function ... is changed and the elements of the array are not
-// physically moved" — data that happens to remain in place is kept).
-func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer bool) {
+// Every processor must pass the same newD object.  Programmer errors (nil
+// or domain-mismatched distribution) panic; transport failures during the
+// data exchange are returned as errors wrapping the underlying cause.
+func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts ...RedistOption) error {
 	if newD == nil {
 		panic("darray: Redistribute with nil distribution")
 	}
 	if !newD.Domain().Equal(a.dom) {
 		panic(fmt.Sprintf("darray: %s: new distribution domain %v != array domain %v", a.name, newD.Domain(), a.dom))
+	}
+	var cfg redistConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	rank, np := ctx.Rank(), ctx.NP()
 	oldD := a.Dist()
@@ -39,8 +57,12 @@ func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer
 	if oldD != nil && oldD.Equal(newD) {
 		// No-op redistribution: nothing moves, descriptors unchanged.
 		ctx.Barrier()
-		return
+		return nil
 	}
+
+	tr := ctx.Tracer()
+	sp := tr.BeginSpan(rank, trace.CatDistribute, "DISTRIBUTE "+a.name)
+	defer sp.End()
 
 	newLocal := a.allocLocal(rank, newD)
 
@@ -49,47 +71,55 @@ func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer
 		a.locals[rank] = newLocal
 		ctx.Barrier()
 		a.swapDist(ctx, newD)
-		return
+		return nil
 	}
 
 	oldLocal := a.locals[rank]
-	sched := a.cache.Get(oldD, newD, rank, np)
+	sched, hit := a.cache.Get(oldD, newD, rank, np)
+	schedEv := "sched:miss"
+	if hit {
+		schedEv = "sched:hit"
+	}
 
-	if transfer {
+	if !cfg.noTransfer {
 		send := make([][]byte, np)
 		recvFrom := make([]bool, np)
-		for _, tr := range sched.Sends {
-			if tr.Peer == rank {
+		var packed int64
+		for _, t := range sched.Sends {
+			if t.Peer == rank {
 				// local move: straight copy old storage -> new storage
-				tr.Grid.ForEach(func(p index.Point) bool {
+				t.Grid.ForEach(func(p index.Point) bool {
 					newLocal.data[newLocal.Offset(p)] = oldLocal.data[oldLocal.Offset(p)]
 					return true
 				})
 				continue
 			}
-			send[tr.Peer] = msg.EncodeFloat64s(packGrid(oldLocal, tr.Grid))
+			send[t.Peer] = msg.EncodeFloat64s(packGrid(oldLocal, t.Grid))
+			packed += int64(len(send[t.Peer]))
 		}
-		for _, tr := range sched.Recvs {
-			if tr.Peer != rank {
-				recvFrom[tr.Peer] = true
+		for _, t := range sched.Recvs {
+			if t.Peer != rank {
+				recvFrom[t.Peer] = true
 			}
 		}
+		tr.Instant(rank, trace.CatDistribute, schedEv, -1, packed)
 		recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
 		if err != nil {
-			panic(fmt.Sprintf("darray: %s: redistribution exchange failed: %v", a.name, err))
+			return fmt.Errorf("darray: %s: redistribution exchange failed: %w", a.name, err)
 		}
-		for _, tr := range sched.Recvs {
-			if tr.Peer == rank {
+		for _, t := range sched.Recvs {
+			if t.Peer == rank {
 				continue
 			}
-			buf := recvd[tr.Peer]
+			buf := recvd[t.Peer]
 			if buf == nil {
-				panic(fmt.Sprintf("darray: %s: missing redistribution payload from %d", a.name, tr.Peer))
+				return fmt.Errorf("darray: %s: missing redistribution payload from %d", a.name, t.Peer)
 			}
-			unpackGrid(newLocal, tr.Grid, msg.DecodeFloat64s(buf))
+			unpackGrid(newLocal, t.Grid, msg.DecodeFloat64s(buf))
 		}
 	} else {
 		// NOTRANSFER: keep whatever was already in place.
+		tr.Instant(rank, trace.CatDistribute, schedEv, -1, 0)
 		if keep := sched.LocalKeep; !keep.Empty() {
 			keep.ForEach(func(p index.Point) bool {
 				newLocal.data[newLocal.Offset(p)] = oldLocal.data[oldLocal.Offset(p)]
@@ -103,6 +133,22 @@ func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer
 	a.locals[rank] = newLocal
 	ctx.Barrier()
 	a.swapDist(ctx, newD)
+	return nil
+}
+
+// Redistribute is the boolean-flag form of RedistributeTo.
+//
+// Deprecated: use RedistributeTo, with the NoTransfer option in place of
+// transfer=false.  This wrapper panics on transport failures the new API
+// reports as errors.
+func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer bool) {
+	var opts []RedistOption
+	if !transfer {
+		opts = append(opts, NoTransfer())
+	}
+	if err := a.RedistributeTo(ctx, newD, opts...); err != nil {
+		panic(err.Error())
+	}
 }
 
 // swapDist publishes the new descriptor; the surrounding barriers give

@@ -497,7 +497,7 @@ func (st *State) distribute(stm *lang.DistributeStmt) error {
 		if err != nil {
 			return err
 		}
-		return st.In.Engine.Distribute(st.Ctx, arrays, core.AlignWith(stm.Align.DstName, *al), nt...)
+		return st.In.Engine.Distribute(st.Ctx, arrays, core.AlignWith(stm.Align.DstName, *al), core.NoTransfer(nt...))
 	}
 	// build the expression; extraction components read current types
 	dims := make([]core.DimExpr, len(stm.Expr.Dims))
@@ -517,7 +517,7 @@ func (st *State) distribute(stm *lang.DistributeStmt) error {
 		pa := st.Ctx.Machine().Procs(stm.Expr.Target, procBounds(st, stm.Expr.Target)...)
 		ex = ex.To(pa.Whole())
 	}
-	if err := st.In.Engine.Distribute(st.Ctx, arrays, ex, nt...); err != nil {
+	if err := st.In.Engine.Distribute(st.Ctx, arrays, ex, core.NoTransfer(nt...)); err != nil {
 		return fmt.Errorf("%v: %w", stm.Pos(), err)
 	}
 	return nil

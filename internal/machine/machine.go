@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // Machine is a set of P logical processors sharing a transport.
@@ -47,6 +48,7 @@ type Option func(*config)
 type config struct {
 	transport msg.Transport
 	cost      *msg.CostModel
+	tracer    *trace.Tracer
 }
 
 // WithTransport runs the machine on the given transport (e.g. a
@@ -62,6 +64,14 @@ func WithCostModel(cm *msg.CostModel) Option {
 	return func(c *config) { c.cost = cm }
 }
 
+// WithTrace attaches an event tracer to the default transport so every
+// message, collective, redistribution, and user phase is recorded.
+// Ignored if WithTransport is also given (attach the tracer to that
+// transport with msg.WithTracer instead).  A nil tracer is a no-op.
+func WithTrace(tr *trace.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
 // New creates a machine with np logical processors on an in-process
 // transport (unless overridden by WithTransport).
 func New(np int, opts ...Option) *Machine {
@@ -75,10 +85,18 @@ func New(np int, opts ...Option) *Machine {
 		if cfg.cost != nil {
 			topts = append(topts, msg.WithCost(cfg.cost))
 		}
+		if cfg.tracer != nil {
+			topts = append(topts, msg.WithTracer(cfg.tracer))
+		}
 		tr = msg.NewChanTransport(np, topts...)
 	}
 	if tr.NP() != np {
 		panic(fmt.Sprintf("machine: transport has %d endpoints, machine wants %d", tr.NP(), np))
+	}
+	// Timestamp events with the cost model's virtual clock as well as wall
+	// time, so summaries can report α/β seconds per phase.
+	if t, c := tr.Tracer(), tr.Cost(); t != nil && c != nil {
+		t.SetClockSource(c.Clock)
 	}
 	return &Machine{
 		np:        np,
@@ -99,6 +117,9 @@ func (m *Machine) Stats() *msg.Stats { return m.transport.Stats() }
 
 // Cost returns the attached cost model, or nil.
 func (m *Machine) Cost() *msg.CostModel { return m.transport.Cost() }
+
+// Tracer returns the attached event tracer, or nil.
+func (m *Machine) Tracer() *trace.Tracer { return m.transport.Tracer() }
 
 // Close shuts down the transport.
 func (m *Machine) Close() error { return m.transport.Close() }
@@ -194,6 +215,7 @@ func (c *Ctx) Barrier() {
 // itself — follow with Barrier when the object must be fully visible
 // before unrelated communication.
 func (c *Ctx) CollectiveOnce(create func() any) any {
+	defer c.Tracer().BeginSpan(c.rank, trace.CatCollective, "collective-once").End()
 	c.collSeq++
 	id := c.collSeq
 	c.m.mu.Lock()
@@ -213,4 +235,20 @@ func (c *Ctx) Charge(seconds float64) {
 	if cm := c.m.Cost(); cm != nil {
 		cm.Charge(c.rank, seconds)
 	}
+}
+
+// Tracer returns the machine's event tracer, or nil.
+func (c *Ctx) Tracer() *trace.Tracer { return c.m.Tracer() }
+
+// PhaseBegin opens a named user phase on this processor's trace
+// timeline.  Phases may nest; messages and barrier waits are charged to
+// the innermost open phase-like span in the summary.  No-op without a
+// tracer.
+func (c *Ctx) PhaseBegin(name string) {
+	c.Tracer().BeginSpan(c.rank, trace.CatPhase, name)
+}
+
+// PhaseEnd closes the named user phase opened by PhaseBegin.
+func (c *Ctx) PhaseEnd(name string) {
+	c.Tracer().EndSpan(c.rank, trace.CatPhase, name)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ChanTransport is the default in-process transport: each processor owns a
@@ -17,6 +19,7 @@ type ChanTransport struct {
 	eps    []chanEndpoint
 	stats  *Stats
 	cost   *CostModel
+	tracer *trace.Tracer
 	closed atomic.Bool
 }
 
@@ -32,7 +35,7 @@ func NewChanTransport(np int, opts ...Option) *ChanTransport {
 		stats: NewStats(np),
 	}
 	for _, o := range opts {
-		o(&option{cost: &t.cost})
+		o(&option{cost: &t.cost, tracer: &t.tracer})
 	}
 	for i := range t.boxes {
 		t.boxes[i] = newMatcher()
@@ -48,12 +51,20 @@ func NewChanTransport(np int, opts ...Option) *ChanTransport {
 type Option func(*option)
 
 type option struct {
-	cost **CostModel
+	cost   **CostModel
+	tracer **trace.Tracer
 }
 
 // WithCost attaches a cost model to the transport.
 func WithCost(c *CostModel) Option {
 	return func(o *option) { *o.cost = c }
+}
+
+// WithTracer attaches an event tracer: every point-to-point send and
+// receive is recorded with peer and payload size while the tracer is
+// enabled.  A nil tracer is a no-op.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(o *option) { *o.tracer = tr }
 }
 
 // NP returns the processor count.
@@ -64,6 +75,9 @@ func (t *ChanTransport) Stats() *Stats { return t.stats }
 
 // Cost returns the attached cost model (nil if none).
 func (t *ChanTransport) Cost() *CostModel { return t.cost }
+
+// Tracer returns the attached event tracer (nil if none).
+func (t *ChanTransport) Tracer() *trace.Tracer { return t.tracer }
 
 // Endpoint returns processor rank's endpoint.
 func (t *ChanTransport) Endpoint(rank int) Endpoint {
@@ -89,6 +103,10 @@ type chanEndpoint struct {
 func (e *chanEndpoint) Rank() int { return e.rank }
 func (e *chanEndpoint) NP() int   { return e.t.np }
 
+// Tracer exposes the transport's tracer so Comm can record collective
+// spans without widening the Endpoint interface.
+func (e *chanEndpoint) Tracer() *trace.Tracer { return e.t.tracer }
+
 func (e *chanEndpoint) Send(to, tag int, data []byte) error {
 	if e.t.closed.Load() {
 		return ErrClosed
@@ -103,6 +121,9 @@ func (e *chanEndpoint) Send(to, tag int, data []byte) error {
 		p.SendClock = c.OnSend(e.rank, len(data))
 	}
 	e.t.stats.OnSend(e.rank, to, len(data))
+	if tr := e.t.tracer; tr != nil {
+		tr.Send(e.rank, to, len(data))
+	}
 	e.t.boxes[to].put(p)
 	return nil
 }
@@ -129,5 +150,8 @@ func (e *chanEndpoint) afterRecv(p Packet) {
 	e.t.stats.OnRecv(e.rank, p.From, len(p.Data))
 	if c := e.t.cost; c != nil {
 		c.OnRecv(e.rank, p.SendClock, len(p.Data))
+	}
+	if tr := e.t.tracer; tr != nil {
+		tr.Recv(e.rank, p.From, len(p.Data))
 	}
 }

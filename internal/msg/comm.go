@@ -2,6 +2,8 @@ package msg
 
 import (
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // Comm layers collective operations over an Endpoint.  Each logical
@@ -15,11 +17,27 @@ import (
 // handling reductions" (§3.2) would provide.
 type Comm struct {
 	ep  Endpoint
+	tr  *trace.Tracer
 	seq int64
 }
 
-// NewComm wraps an endpoint.
-func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep} }
+// NewComm wraps an endpoint.  If the endpoint exposes a Tracer (both
+// built-in transports do), every collective records a span on it.
+func NewComm(ep Endpoint) *Comm {
+	c := &Comm{ep: ep}
+	if tp, ok := ep.(interface{ Tracer() *trace.Tracer }); ok {
+		c.tr = tp.Tracer()
+	}
+	return c
+}
+
+// span opens a collective-category trace span.  Call sites guard on
+// c.tr != nil themselves so the untraced hot path (barriers run in the
+// hundreds of nanoseconds) skips the Rank() call, the Span construction,
+// and the deferred End entirely.
+func (c *Comm) span(name string) trace.Span {
+	return c.tr.BeginSpan(c.ep.Rank(), trace.CatCollective, name)
+}
 
 // Rank returns this processor's rank.
 func (c *Comm) Rank() int { return c.ep.Rank() }
@@ -38,6 +56,9 @@ func (c *Comm) nextTag() int {
 // Barrier blocks until all processors have entered it (dissemination
 // algorithm, ceil(log2 P) rounds).
 func (c *Comm) Barrier() error {
+	if c.tr != nil {
+		defer c.span("barrier").End()
+	}
 	np, rank := c.NP(), c.Rank()
 	tag := c.nextTag()
 	if np == 1 {
@@ -59,6 +80,9 @@ func (c *Comm) Barrier() error {
 // Bcast broadcasts buf from root; on non-roots the returned slice holds the
 // received data (buf is ignored there and may be nil).
 func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
+	if c.tr != nil {
+		defer c.span("bcast").End()
+	}
 	np, rank := c.NP(), c.Rank()
 	tag := c.nextTag()
 	if np == 1 {
@@ -94,6 +118,9 @@ func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
 // slice holds the reduction, on others it is nil.  All processors must
 // pass slices of identical length.
 func (c *Comm) ReduceF64(root int, vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	if c.tr != nil {
+		defer c.span("reduce").End()
+	}
 	np, rank := c.NP(), c.Rank()
 	tag := c.nextTag()
 	acc := make([]float64, len(vals))
@@ -188,6 +215,9 @@ func (c *Comm) AllreduceInts(vals []int, op func(a, b int) int) ([]int, error) {
 // Gather collects each processor's buf at root.  On root, the returned
 // slice has NP entries indexed by rank; on others it is nil.
 func (c *Comm) Gather(root int, buf []byte) ([][]byte, error) {
+	if c.tr != nil {
+		defer c.span("gather").End()
+	}
 	np, rank := c.NP(), c.Rank()
 	tag := c.nextTag()
 	if rank != root {
@@ -266,6 +296,9 @@ func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
 	if len(send) != np {
 		return nil, fmt.Errorf("msg: alltoallv needs %d send buffers, got %d", np, len(send))
 	}
+	if c.tr != nil {
+		defer c.span("alltoallv").End()
+	}
 	tag := c.nextTag()
 	recv := make([][]byte, np)
 	if send[rank] != nil {
@@ -309,6 +342,9 @@ func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
 // Scatterv distributes bufs[r] from root to each rank r; every rank
 // returns its own buffer (root's copy is local).
 func (c *Comm) Scatterv(root int, bufs [][]byte) ([]byte, error) {
+	if c.tr != nil {
+		defer c.span("scatterv").End()
+	}
 	np, rank := c.NP(), c.Rank()
 	tag := c.nextTag()
 	if rank == root {
@@ -344,6 +380,9 @@ func (c *Comm) AlltoallvSched(send [][]byte, recvFrom []bool) ([][]byte, error) 
 	np, rank := c.NP(), c.Rank()
 	if len(send) != np || len(recvFrom) != np {
 		return nil, fmt.Errorf("msg: alltoallv-sched needs %d buffers/flags, got %d/%d", np, len(send), len(recvFrom))
+	}
+	if c.tr != nil {
+		defer c.span("alltoallv-sched").End()
 	}
 	tag := c.nextTag()
 	recv := make([][]byte, np)

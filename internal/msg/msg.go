@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Wildcards for Recv matching.
@@ -95,6 +97,9 @@ type Transport interface {
 	Stats() *Stats
 	// Cost returns the attached cost model, or nil.
 	Cost() *CostModel
+	// Tracer returns the attached event tracer, or nil.  Transports
+	// record per-message send/recv events on it when it is enabled.
+	Tracer() *trace.Tracer
 }
 
 // matcher is an unbounded mailbox with predicate matching.  Producers

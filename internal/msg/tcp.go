@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // TCPTransport connects np logical processors through a full mesh of TCP
@@ -25,6 +27,7 @@ type TCPTransport struct {
 	eps    []*tcpEndpoint
 	stats  *Stats
 	cost   *CostModel
+	tracer *trace.Tracer
 	closed atomic.Bool
 	conns  []net.Conn // all conns for Close
 	mu     sync.Mutex
@@ -39,7 +42,7 @@ func NewTCPTransport(np int, opts ...Option) (*TCPTransport, error) {
 	}
 	t := &TCPTransport{np: np, stats: NewStats(np)}
 	for _, o := range opts {
-		o(&option{cost: &t.cost})
+		o(&option{cost: &t.cost, tracer: &t.tracer})
 	}
 	t.eps = make([]*tcpEndpoint, np)
 	for i := range t.eps {
@@ -150,6 +153,9 @@ func (t *TCPTransport) Stats() *Stats { return t.stats }
 // Cost returns the attached cost model (nil if none).
 func (t *TCPTransport) Cost() *CostModel { return t.cost }
 
+// Tracer returns the attached event tracer (nil if none).
+func (t *TCPTransport) Tracer() *trace.Tracer { return t.tracer }
+
 // Endpoint returns processor rank's endpoint.
 func (t *TCPTransport) Endpoint(rank int) Endpoint { return t.eps[rank] }
 
@@ -174,6 +180,10 @@ func (t *TCPTransport) Close() error {
 func (e *tcpEndpoint) Rank() int { return e.rank }
 func (e *tcpEndpoint) NP() int   { return e.t.np }
 
+// Tracer exposes the transport's tracer so Comm can record collective
+// spans without widening the Endpoint interface.
+func (e *tcpEndpoint) Tracer() *trace.Tracer { return e.t.tracer }
+
 func (e *tcpEndpoint) Send(to, tag int, data []byte) error {
 	if e.t.closed.Load() {
 		return ErrClosed
@@ -186,6 +196,9 @@ func (e *tcpEndpoint) Send(to, tag int, data []byte) error {
 		sendClock = c.OnSend(e.rank, len(data))
 	}
 	e.t.stats.OnSend(e.rank, to, len(data))
+	if tr := e.t.tracer; tr != nil {
+		tr.Send(e.rank, to, len(data))
+	}
 	if to == e.rank {
 		cp := make([]byte, len(data))
 		copy(cp, data)
@@ -231,5 +244,8 @@ func (e *tcpEndpoint) afterRecv(p Packet) {
 	e.t.stats.OnRecv(e.rank, p.From, len(p.Data))
 	if c := e.t.cost; c != nil {
 		c.OnRecv(e.rank, p.SendClock, len(p.Data))
+	}
+	if tr := e.t.tracer; tr != nil {
+		tr.Recv(e.rank, p.From, len(p.Data))
 	}
 }

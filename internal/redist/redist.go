@@ -124,22 +124,23 @@ func NewCache() *Cache {
 	return &Cache{m: make(map[cacheKey]*Schedule)}
 }
 
-// Get returns the cached schedule or builds and caches it.
-func (c *Cache) Get(oldD, newD *dist.Distribution, rank, np int) *Schedule {
+// Get returns the cached schedule or builds and caches it; hit reports
+// whether the schedule was served from the cache.
+func (c *Cache) Get(oldD, newD *dist.Distribution, rank, np int) (s *Schedule, hit bool) {
 	k := cacheKey{oldD.Fingerprint(), newD.Fingerprint(), rank}
 	c.mu.Lock()
 	if s, ok := c.m[k]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return s
+		return s, true
 	}
 	c.misses++
 	c.mu.Unlock()
-	s := Build(oldD, newD, rank, np)
+	s = Build(oldD, newD, rank, np)
 	c.mu.Lock()
 	c.m[k] = s
 	c.mu.Unlock()
-	return s
+	return s, false
 }
 
 // Stats returns (hits, misses).

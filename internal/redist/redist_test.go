@@ -195,15 +195,18 @@ func TestCache(t *testing.T) {
 	a := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
 	b := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg)
 	c := NewCache()
-	s1 := c.Get(a, b, 0, 2)
-	s2 := c.Get(a, b, 0, 2)
+	s1, hit1 := c.Get(a, b, 0, 2)
+	s2, hit2 := c.Get(a, b, 0, 2)
 	if s1 != s2 {
 		t.Fatal("cache should return the same schedule")
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("hit flags = %v/%v, want false/true", hit1, hit2)
 	}
 	if h, m := c.Stats(); h != 1 || m != 1 {
 		t.Fatalf("stats = %d/%d", h, m)
 	}
-	if c.Get(b, a, 0, 2) == s1 {
+	if s3, _ := c.Get(b, a, 0, 2); s3 == s1 {
 		t.Fatal("different key should build a different schedule")
 	}
 }

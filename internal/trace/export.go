@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON emits the trace in Chrome trace_event format (JSON array
+// flavour): one track ("thread") per logical processor, B/E pairs for
+// spans and "i" instants for messages and markers.  Load the output in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Timestamps are microseconds of wall time since tracer creation; the
+// virtual α/β clock, message peer, and payload size travel in args.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	for rank := 0; rank < t.np; rank++ {
+		for _, e := range t.Events(rank) {
+			if !first {
+				if _, err := bw.WriteString(",\n"); err != nil {
+					return err
+				}
+			}
+			first = false
+			if err := writeEvent(bw, rank, e); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSONFile writes the trace to the named file.
+func (t *Tracer) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeEvent(w *bufio.Writer, rank int, e Event) error {
+	var ph string
+	switch e.Kind {
+	case KindBegin:
+		ph = "B"
+	case KindEnd:
+		ph = "E"
+	default:
+		ph = "i"
+	}
+	ts := float64(e.T.Nanoseconds()) / 1e3
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"name":%s,"cat":%s,"ph":"%s","ts":%.3f,"pid":0,"tid":%d`,
+		quote(e.Name), quote(e.Cat), ph, ts, rank)
+	if ph == "i" {
+		b.WriteString(`,"s":"t"`)
+	}
+	args := make([]string, 0, 3)
+	if e.V != 0 {
+		args = append(args, fmt.Sprintf(`"vclock":%g`, e.V))
+	}
+	if e.Peer >= 0 {
+		args = append(args, fmt.Sprintf(`"peer":%d`, e.Peer))
+	}
+	if e.Bytes >= 0 {
+		args = append(args, fmt.Sprintf(`"bytes":%d`, e.Bytes))
+	}
+	if len(args) > 0 {
+		b.WriteString(`,"args":{` + strings.Join(args, ",") + `}`)
+	}
+	b.WriteString("}")
+	_, err := w.WriteString(b.String())
+	return err
+}
+
+func quote(s string) string { return strconv.Quote(s) }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/msg"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // Machine is the SPMD execution engine: P logical processors connected by
@@ -60,6 +61,10 @@ type ProcArray = machine.ProcArray
 // distribution target ("TO R(...)").
 type ProcSection = machine.ProcSection
 
+// MachineOption configures NewMachine (see WithTrace and the
+// machine package's options).
+type MachineOption = machine.Option
+
 // NewMachine creates a machine with np logical processors on the
 // in-process transport.  Use machine options for TCP or a cost model.
 func NewMachine(np int, opts ...machine.Option) *Machine { return machine.New(np, opts...) }
@@ -69,6 +74,29 @@ var WithTransport = machine.WithTransport
 
 // WithCostModel attaches a Hockney α/β cost model.
 var WithCostModel = machine.WithCostModel
+
+// WithTrace attaches an event tracer to the machine's transport; see
+// NewTracer.
+var WithTrace = machine.WithTrace
+
+// Tracer records per-processor span/message timelines (the SPMD tracing
+// subsystem).  Export with Tracer.WriteJSON (Chrome trace_event format)
+// or aggregate with Tracer.Summarize.
+type Tracer = trace.Tracer
+
+// TraceSummary is the per-phase cost account of a recorded trace.
+type TraceSummary = trace.Summary
+
+// NewTracer creates an enabled tracer for np logical processors; attach
+// it with WithTrace (or msg.WithTracer on a custom transport).
+var NewTracer = trace.New
+
+// PhaseBegin opens a named user phase on the calling processor's trace
+// timeline (no-op when the machine has no tracer).
+func PhaseBegin(ctx *Ctx, name string) { ctx.PhaseBegin(name) }
+
+// PhaseEnd closes the named user phase opened by PhaseBegin.
+func PhaseEnd(ctx *Ctx, name string) { ctx.PhaseEnd(name) }
 
 // NewTCPTransport builds a TCP-loopback transport for np processors.
 var NewTCPTransport = msg.NewTCPTransport
@@ -104,6 +132,24 @@ type DistSpec = core.DistSpec
 
 // Expr is the right-hand side of a DISTRIBUTE statement.
 type Expr = core.Expr
+
+// DistOption configures a DISTRIBUTE statement (see NoTransfer).
+type DistOption = core.DistOption
+
+// NoTransfer lists secondary arrays whose data a DISTRIBUTE does not
+// physically move (the paper's NOTRANSFER attribute).
+var NoTransfer = core.NoTransfer
+
+// Sentinel errors of the dynamic-distribution constructs; match with
+// errors.Is.
+var (
+	// ErrRangeViolation: a distribution outside an array's declared RANGE.
+	ErrRangeViolation = core.ErrRangeViolation
+	// ErrNotPrimary: DISTRIBUTE or CallWith on a non-primary array.
+	ErrNotPrimary = core.ErrNotPrimary
+	// ErrAlreadyDeclared: duplicate array name in one scope.
+	ErrAlreadyDeclared = core.ErrAlreadyDeclared
+)
 
 // Dims, DimsOf, Lit, From, FromDim and AlignWith build DISTRIBUTE
 // right-hand sides; see paper Example 3 for the extraction form.
