@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench examples experiments analyze clean
+.PHONY: all build vet test race check bench bench-smoke examples experiments analyze clean
 
 all: build check test
 
@@ -27,6 +27,14 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Quick allocation/latency regression sweep over the data-movement hot
+# paths: E3 (smoothing ghost exchange), E4 (DISTRIBUTE), and the wire
+# codec micros, captured as BENCH_PR2.json for diffing across changes.
+bench-smoke:
+	( $(GO) test -run '^$$' -bench 'BenchmarkSmoothing|BenchmarkRedistribute' -benchtime 1x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCodec' -benchtime 100x -benchmem ./internal/msg ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E4).
 experiments:

@@ -263,7 +263,9 @@ func BenchmarkGhostExchange(b *testing.B) {
 			b.ResetTimer()
 		}
 		for i := 0; i < b.N; i++ {
-			u.ExchangeAllGhosts(ctx)
+			if err := u.ExchangeAllGhosts(ctx); err != nil {
+				return err
+			}
 			ctx.Barrier()
 		}
 		return nil

@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array of benchmark records, one per result line:
+//
+//	go test -bench 'Smoothing|Redistribute' -benchmem . | benchjson -o BENCH.json
+//
+// Each record carries the benchmark name (GOMAXPROCS suffix stripped),
+// the iteration count, and a metrics map keyed by unit — the standard
+// ns/op, B/op, allocs/op plus any b.ReportMetric custom units (msgs/run,
+// bytes/redist, ...).  Non-benchmark lines pass through to stderr so a
+// piped run still shows test failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to FILE (default stdout)")
+	flag.Parse()
+
+	var recs []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseLine(line); ok {
+			recs = append(recs, r)
+		} else if s := strings.TrimSpace(line); s != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read stdin: %v", err)
+	}
+
+	buf, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(recs), *out)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkFoo/sub-8   12  345 ns/op  678 B/op  9 allocs/op  1.5 things/run
+func parseLine(line string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	r := record{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

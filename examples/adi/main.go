@@ -75,7 +75,9 @@ func main() {
 			// CALL RESID(V, U, F): V(i,j) = F - (4U - neighbours), local
 			// after refreshing U's overlap areas.
 			vienna.PhaseBegin(ctx, "resid")
-			u.ExchangeAllGhosts(ctx)
+			if err := u.ExchangeAllGhosts(ctx); err != nil {
+				return err
+			}
 			resid(ctx, v, u, f)
 			ctx.Barrier()
 			vienna.PhaseEnd(ctx, "resid")

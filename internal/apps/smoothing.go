@@ -146,9 +146,14 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		src, dst := u, v
 		ctx.PhaseBegin("smooth")
 		for s := 0; s < cfg.Steps; s++ {
-			pre := m.Stats().Snapshot()
+			var pre msg.Snapshot
+			if ctx.Rank() == 0 {
+				pre = m.Stats().Snapshot() // only rank 0 reads the deltas
+			}
 			ctx.Barrier() // no rank may send before pre is taken
-			src.ExchangeAllGhosts(ctx)
+			if err := src.ExchangeAllGhosts(ctx); err != nil {
+				return err
+			}
 			ctx.Barrier()
 			if ctx.Rank() == 0 {
 				d := m.Stats().Snapshot().Sub(pre)
@@ -202,7 +207,11 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 // reading neighbours from src's ghost cells; global boundary points copy
 // through.  Both arrays must share the distribution and ghost widths
 // (they are one connect class), so their storage layouts coincide and the
-// stencil runs on raw offsets.
+// stencil runs on raw offsets.  Rows are processed as contiguous spans:
+// boundary rows copy through with copy(), interior rows run
+// kernels.SmoothRow over the interior span with the (at most two) global
+// edge columns peeled off — the same run-based movement the pack/unpack
+// layer uses, instead of a per-point branch in the inner loop.
 func smoothLocal(ctx *machine.Ctx, src, dst *core.Array, flopTime float64) {
 	ls, ld := src.Local(ctx), dst.Local(ctx)
 	dom := src.Domain()
@@ -214,16 +223,30 @@ func smoothLocal(ctx *machine.Ctx, src, dst *core.Array, flopTime float64) {
 	sd, dd := ls.Data(), ld.Data()
 	strd := ls.Stride()
 	s0, s1 := strd[0], strd[1]
+	if s0 != 1 {
+		panic("apps: smoothing needs unit stride along dimension 0")
+	}
+	w := hi[0] - lo[0] + 1
+	rowOff := ls.Offset(index.Point{lo[0], lo[1]})
 	cnt := 0
-	for j := lo[1]; j <= hi[1]; j++ {
-		rowOff := ls.Offset(index.Point{lo[0], j})
-		for i, off := lo[0], rowOff; i <= hi[0]; i, off = i+1, off+s0 {
-			if i == 1 || i == n0 || j == 1 || j == n1 {
-				dd[off] = sd[off]
-				continue
-			}
-			dd[off] = 0.25 * (sd[off-s0] + sd[off+s0] + sd[off-s1] + sd[off+s1])
-			cnt++
+	for j := lo[1]; j <= hi[1]; j, rowOff = j+1, rowOff+s1 {
+		if j == 1 || j == n1 {
+			copy(dd[rowOff:rowOff+w], sd[rowOff:rowOff+w])
+			continue
+		}
+		off, i0, i1 := rowOff, lo[0], hi[0]
+		if i0 == 1 { // global west edge copies through
+			dd[off] = sd[off]
+			i0++
+			off++
+		}
+		if i1 == n0 { // global east edge copies through
+			dd[rowOff+w-1] = sd[rowOff+w-1]
+			i1--
+		}
+		if n := i1 - i0 + 1; n > 0 {
+			kernels.SmoothRow(dd, sd, off, n, s1)
+			cnt += n
 		}
 	}
 	ctx.Charge(flopTime * float64(4*cnt))

@@ -107,11 +107,24 @@ func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) {
 	a.arr.ScatterFrom(ctx, root, data)
 }
 
-// ExchangeGhosts refreshes overlap areas along dimension k.
-func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) { a.arr.ExchangeGhosts(ctx, k) }
+// ExchangeGhosts refreshes overlap areas along dimension k, returning a
+// wrapped error on transport failure.
+func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error { return a.arr.ExchangeGhosts(ctx, k) }
 
-// ExchangeAllGhosts refreshes all overlap areas.
-func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) { a.arr.ExchangeAllGhosts(ctx) }
+// ExchangeAllGhosts refreshes all overlap areas, returning a wrapped
+// error on transport failure.
+func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) error { return a.arr.ExchangeAllGhosts(ctx) }
+
+// MustExchangeGhosts is ExchangeGhosts panicking on transport failure.
+//
+// Deprecated: use ExchangeGhosts and handle the error.
+func (a *Array) MustExchangeGhosts(ctx *machine.Ctx, k int) { a.arr.MustExchangeGhosts(ctx, k) }
+
+// MustExchangeAllGhosts is ExchangeAllGhosts panicking on transport
+// failure.
+//
+// Deprecated: use ExchangeAllGhosts and handle the error.
+func (a *Array) MustExchangeAllGhosts(ctx *machine.Ctx) { a.arr.MustExchangeAllGhosts(ctx) }
 
 // Epoch returns the number of redistributions so far.
 func (a *Array) Epoch() int { return a.arr.Epoch() }

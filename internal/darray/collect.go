@@ -11,13 +11,17 @@ import (
 // GatherTo collects the whole array on root as a dense column-major
 // slice over the array's domain; other processors return nil.  Only
 // primary owners contribute, so replicated arrays gather each element
-// exactly once.
+// exactly once.  Packing and root-side placement run span-by-span
+// (contiguous runs move with copy-style loops, never per-point
+// callbacks).
 func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
 	d := a.requireDist()
 	rank := ctx.Rank()
 	var payload []byte
 	if d.IsPrimaryRank(rank) {
-		payload = msg.EncodeFloat64s(packGrid(a.locals[rank], a.locals[rank].grid))
+		l := a.locals[rank]
+		payload = l.appendPacked(a.bufs[rank].sendBuf(ctx.NP(), root, l.Count()), l.grid)
+		a.bufs[rank].send[root] = payload
 	}
 	parts, err := ctx.Comm().Gather(root, payload)
 	if err != nil {
@@ -32,16 +36,22 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
 			continue
 		}
 		g := d.LocalGrid(r)
-		vals := msg.DecodeFloat64s(parts[r])
-		i := 0
-		g.ForEach(func(p index.Point) bool {
-			out[a.dom.Offset(p)] = vals[i]
-			i++
-			return true
-		})
-		if i != len(vals) {
+		buf := parts[r]
+		if msg.Float64Count(buf) != g.Count() {
 			panic(fmt.Sprintf("darray: %s: gather size mismatch from rank %d", a.name, r))
 		}
+		off := 0
+		g.ForEachRun(func(p index.Point, rn index.Run) bool {
+			// dimension 0 of the dense domain has storage stride 1, so a
+			// global run of stride s advances the offset by s.
+			o := a.dom.Offset(p)
+			for i := rn.Lo; i <= rn.Hi; i += rn.Stride {
+				out[o] = msg.GetFloat64(buf, off)
+				off += 8
+				o += rn.Stride
+			}
+			return true
+		})
 	}
 	return out
 }
@@ -60,19 +70,24 @@ func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) {
 		bufs = make([][]byte, np)
 		for r := 0; r < np; r++ {
 			g := d.LocalGrid(r)
-			vals := make([]float64, 0, g.Count())
-			g.ForEach(func(p index.Point) bool {
-				vals = append(vals, data[a.dom.Offset(p)])
+			buf, off := msg.GrowFloat64s(nil, g.Count())
+			g.ForEachRun(func(p index.Point, rn index.Run) bool {
+				o := a.dom.Offset(p)
+				for i := rn.Lo; i <= rn.Hi; i += rn.Stride {
+					msg.PutFloat64(buf, off, data[o])
+					off += 8
+					o += rn.Stride
+				}
 				return true
 			})
-			bufs[r] = msg.EncodeFloat64s(vals)
+			bufs[r] = buf
 		}
 	}
 	mine, err := ctx.Comm().Scatterv(root, bufs)
 	if err != nil {
 		panic(fmt.Sprintf("darray: %s: scatter failed: %v", a.name, err))
 	}
-	unpackGrid(a.locals[rank], a.locals[rank].grid, msg.DecodeFloat64s(mine))
+	a.locals[rank].unpackWire(a.locals[rank].grid, mine)
 }
 
 // ReduceSum returns the sum of all owned elements across processors on

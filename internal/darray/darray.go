@@ -45,7 +45,13 @@ type Array struct {
 	m      *machine.Machine
 	ghost  []int // symmetric ghost width per dimension
 	locals []*Local
-	cache  *redist.Cache
+	bufs   []commBufs // per-rank reusable pack buffers (indexed like locals)
+	// retired parks each rank's storage when a DISTRIBUTE replaces it,
+	// keyed by distribution fingerprint; phase-alternating programs
+	// bounce between a few mappings, so the next DISTRIBUTE back reuses
+	// the allocation instead of growing the heap every transition.
+	retired []map[string]*Local
+	cache   *redist.Cache
 
 	mu   sync.RWMutex
 	dst  *dist.Distribution
@@ -87,16 +93,25 @@ func New(ctx *machine.Ctx, name string, dom index.Domain, d *dist.Distribution, 
 	}
 	a := ctx.CollectiveOnce(func() any {
 		return &Array{
-			name:   name,
-			dom:    dom,
-			m:      ctx.Machine(),
-			ghost:  g,
-			locals: make([]*Local, ctx.NP()),
-			cache:  redist.NewCache(),
-			dst:    d,
+			name:    name,
+			dom:     dom,
+			m:       ctx.Machine(),
+			ghost:   g,
+			locals:  make([]*Local, ctx.NP()),
+			bufs:    make([]commBufs, ctx.NP()),
+			retired: make([]map[string]*Local, ctx.NP()),
+			cache:   redist.NewCache(),
+			dst:     d,
 		}
 	}).(*Array)
 	if d != nil {
+		// Under SPMD discipline every rank passes an equivalent (often
+		// distinct) descriptor object; allocate from the shared one so
+		// its memoized per-rank tables (local grids, coordinates,
+		// fingerprint) are built once instead of once per rank.
+		if sd := a.Dist(); sd != nil && (sd == d || sd.Equal(d)) {
+			d = sd
+		}
 		a.locals[ctx.Rank()] = a.allocLocal(ctx.Rank(), d)
 	}
 	ctx.Barrier()
@@ -256,6 +271,22 @@ type Local struct {
 	// index is i - base[k]; otherwise IndexOf on the run set.
 	base   []int
 	simple []bool
+	// segment descriptor (§3.2.1), precomputed because kernels query it
+	// every sweep; nil slices when the owned set is not one contiguous
+	// block per dimension.
+	segLo []int
+	segHi []int
+	segOK bool
+	// ghost-face grids, memoized per (dimension, phase): the faces only
+	// depend on the owned grid and the (steady) face widths, so stencil
+	// iteration asks for the same four grids per dimension every step.
+	faces []faceEnt
+}
+
+type faceEnt struct {
+	run index.Run
+	g   index.Grid
+	ok  bool
 }
 
 func (a *Array) allocLocal(rank int, d *dist.Distribution) *Local {
@@ -307,7 +338,49 @@ func (a *Array) allocLocal(rank int, d *dist.Distribution) *Local {
 		n *= l.alloc[k]
 	}
 	l.data = make([]float64, n)
+	l.segLo = make([]int, r)
+	l.segHi = make([]int, r)
+	l.segOK = true
+	for k, rs := range g.Dims {
+		if len(rs) != 1 || rs[0].Stride != 1 {
+			l.segLo, l.segHi, l.segOK = nil, nil, false
+			break
+		}
+		l.segLo[k], l.segHi[k] = rs[0].Lo, rs[0].Hi
+	}
 	return l
+}
+
+// takeLocal returns a recycled Local for d — zeroed, so it is
+// indistinguishable from a fresh allocation — when one was retired under
+// the same mapping (the steady state of phase-alternating DISTRIBUTE
+// sequences), and allocates otherwise.
+func (a *Array) takeLocal(rank int, d *dist.Distribution) *Local {
+	if l, ok := a.retired[rank][d.Fingerprint()]; ok {
+		delete(a.retired[rank], d.Fingerprint())
+		clear(l.data)
+		return l
+	}
+	return a.allocLocal(rank, d)
+}
+
+// maxRetired bounds how many mappings' storage a rank parks; programs
+// alternating among more distributions than this fall back to allocation.
+const maxRetired = 4
+
+// retireLocal parks replaced storage for a later DISTRIBUTE back to the
+// same mapping.
+func (a *Array) retireLocal(rank int, d *dist.Distribution, l *Local) {
+	m := a.retired[rank]
+	if m == nil {
+		m = make(map[string]*Local, maxRetired)
+		a.retired[rank] = m
+	}
+	fp := d.Fingerprint()
+	if _, ok := m[fp]; !ok && len(m) >= maxRetired {
+		return
+	}
+	m[fp] = l
 }
 
 // Rank returns the owning processor's rank.
@@ -338,17 +411,28 @@ func (l *Local) GhostHi() []int { return l.gHi }
 
 // Segment returns the owned global bounds per dimension when every
 // dimension is contiguous; ok is false otherwise (the `segment`
-// descriptor of §3.2.1).
+// descriptor of §3.2.1).  The returned slices are shared (the descriptor
+// is precomputed once per local allocation) and must not be modified.
 func (l *Local) Segment() (lo, hi []int, ok bool) {
-	lo = make([]int, len(l.shape))
-	hi = make([]int, len(l.shape))
-	for k, rs := range l.grid.Dims {
-		if len(rs) != 1 || rs[0].Stride != 1 {
-			return nil, nil, false
-		}
-		lo[k], hi[k] = rs[0].Lo, rs[0].Hi
+	return l.segLo, l.segHi, l.segOK
+}
+
+// face returns the owned grid with dimension k replaced by run r,
+// memoized per (dimension, phase) slot: ghost exchange requests the same
+// four faces per dimension on every stencil step, so after the first
+// exchange this allocates nothing.  Only the owning rank calls it.
+func (l *Local) face(k, slot int, r index.Run) index.Grid {
+	if l.faces == nil {
+		l.faces = make([]faceEnt, 4*len(l.grid.Dims))
 	}
-	return lo, hi, true
+	e := &l.faces[4*k+slot]
+	if !e.ok || e.run != r {
+		g := index.Grid{Dims: make([]index.RunSet, len(l.grid.Dims))}
+		copy(g.Dims, l.grid.Dims)
+		g.Dims[k] = index.RunSet{r}
+		e.run, e.g, e.ok = r, g, true
+	}
+	return e.g
 }
 
 // li returns the local storage index of global index i along dimension k
@@ -389,10 +473,27 @@ func (l *Local) SetAt(p index.Point, v float64) { l.data[l.Offset(p)] = v }
 func (l *Local) Owns(p index.Point) bool { return l.grid.Contains(p) }
 
 // ForEachOwned calls f with every owned global point and a pointer to its
-// storage.  The point is reused between calls.
+// storage.  The point is reused between calls.  Internally this walks the
+// owned set span by span (Grid.ForEachRun): the storage offset is
+// computed once per innermost run and advanced by a constant step, so
+// filling and reducing stay off the per-point loc_map path.
 func (l *Local) ForEachOwned(f func(p index.Point, v *float64)) {
-	l.grid.ForEach(func(p index.Point) bool {
-		f(p, &l.data[l.Offset(p)])
+	l.grid.ForEachRun(func(p index.Point, r index.Run) bool {
+		row := l.rowOffset(p)
+		if li0, step, ok := l.dimSpan(0, r); ok {
+			off := row + li0*l.strd[0]
+			st := step * l.strd[0]
+			for i := r.Lo; i <= r.Hi; i += r.Stride {
+				p[0] = i
+				f(p, &l.data[off])
+				off += st
+			}
+		} else {
+			for i := r.Lo; i <= r.Hi; i += r.Stride {
+				p[0] = i
+				f(p, &l.data[row+l.li(0, i)*l.strd[0]])
+			}
+		}
 		return true
 	})
 }

@@ -25,20 +25,27 @@ import (
 // face width is min(ghost width, neighbour segment width) — with
 // degenerate segments thinner than the overlap, the farther ghost rows
 // stay stale (only nearest neighbours exchange).
-func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) {
+//
+// Faces are packed span-by-span into a per-rank recycled wire buffer
+// (reused for both travel directions — the transport is done with the
+// buffer when Send returns), so steady-state stencil iteration allocates
+// nothing on the send side.  Programmer errors (ghost exchange on a
+// non-contiguous dimension) panic; transport failures are returned as
+// errors wrapping the underlying cause.
+func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error {
 	d := a.requireDist()
 	if a.ghost[k] == 0 {
-		return
+		return nil
 	}
 	td := d.ProcDim(k)
 	if td < 0 {
-		return // dimension not distributed: the full extent is local
+		return nil // dimension not distributed: the full extent is local
 	}
 	rank := ctx.Rank()
 	l := a.locals[rank]
 	coords, ok := d.Target().CoordsOf(rank)
 	if !ok || l.Count() == 0 {
-		return // outside the target or empty segment: nothing to exchange
+		return nil // outside the target or empty segment: nothing to exchange
 	}
 	lo, hi, okSeg := segDim(l, k)
 	if !okSeg {
@@ -46,6 +53,7 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) {
 	}
 	w := a.ghost[k]
 	ep := ctx.Endpoint()
+	bufs := &a.bufs[rank]
 	tag := msg.TagRMABase + 4096 + 2*k // per-dimension ghost tag space
 	defer ctx.Tracer().BeginSpan(rank, trace.CatGhost, "ghost "+a.name).End()
 
@@ -55,64 +63,80 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) {
 	// Phase 1: faces travel upward (I send my top rows to next; I receive
 	// prev's top rows into my low ghost).
 	if next >= 0 {
-		fw := minInt(w, hi-lo+1)
-		face := faceGrid(l, k, index.NewRun(hi-fw+1, hi, 1))
-		if err := ep.Send(next, tag, msg.EncodeFloat64s(packGrid(l, face))); err != nil {
-			panic(err)
+		fw := min(w, hi-lo+1)
+		face := l.face(k, 0, index.NewRun(hi-fw+1, hi, 1))
+		bufs.face = l.appendPacked(bufs.face[:0], face)
+		if err := ep.Send(next, tag, bufs.face); err != nil {
+			return fmt.Errorf("darray: %s: ghost exchange dim %d: send to %d: %w", a.name, k+1, next, err)
 		}
 	}
 	if prev >= 0 {
-		fw := minInt(w, dimCount(d, k, prev))
+		fw := min(w, dimCount(d, k, prev))
 		if fw > 0 {
 			p, err := ep.Recv(prev, tag)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("darray: %s: ghost exchange dim %d: recv from %d: %w", a.name, k+1, prev, err)
 			}
-			ghost := faceGrid(l, k, index.NewRun(lo-fw, lo-1, 1))
-			unpackGrid(l, ghost, msg.DecodeFloat64s(p.Data))
+			l.unpackWire(l.face(k, 1, index.NewRun(lo-fw, lo-1, 1)), p.Data)
 		}
 	}
 	// Phase 2: faces travel downward.
 	if prev >= 0 {
-		fw := minInt(w, hi-lo+1)
-		face := faceGrid(l, k, index.NewRun(lo, lo+fw-1, 1))
-		if err := ep.Send(prev, tag+1, msg.EncodeFloat64s(packGrid(l, face))); err != nil {
-			panic(err)
+		fw := min(w, hi-lo+1)
+		face := l.face(k, 2, index.NewRun(lo, lo+fw-1, 1))
+		bufs.face = l.appendPacked(bufs.face[:0], face)
+		if err := ep.Send(prev, tag+1, bufs.face); err != nil {
+			return fmt.Errorf("darray: %s: ghost exchange dim %d: send to %d: %w", a.name, k+1, prev, err)
 		}
 	}
 	if next >= 0 {
-		fw := minInt(w, dimCount(d, k, next))
+		fw := min(w, dimCount(d, k, next))
 		if fw > 0 {
 			p, err := ep.Recv(next, tag+1)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("darray: %s: ghost exchange dim %d: recv from %d: %w", a.name, k+1, next, err)
 			}
-			ghost := faceGrid(l, k, index.NewRun(hi+1, hi+fw, 1))
-			unpackGrid(l, ghost, msg.DecodeFloat64s(p.Data))
+			l.unpackWire(l.face(k, 3, index.NewRun(hi+1, hi+fw, 1)), p.Data)
 		}
+	}
+	return nil
+}
+
+// ExchangeAllGhosts refreshes every dimension with a non-zero overlap,
+// stopping at the first transport failure.
+func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) error {
+	for k := 0; k < a.dom.Rank(); k++ {
+		if err := a.ExchangeGhosts(ctx, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustExchangeGhosts is ExchangeGhosts panicking on transport failure.
+//
+// Deprecated: use ExchangeGhosts and handle the error.
+func (a *Array) MustExchangeGhosts(ctx *machine.Ctx, k int) {
+	if err := a.ExchangeGhosts(ctx, k); err != nil {
+		panic(err.Error())
 	}
 }
 
-// ExchangeAllGhosts refreshes every dimension with a non-zero overlap.
-func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) {
-	for k := 0; k < a.dom.Rank(); k++ {
-		a.ExchangeGhosts(ctx, k)
+// MustExchangeAllGhosts is ExchangeAllGhosts panicking on transport
+// failure.
+//
+// Deprecated: use ExchangeAllGhosts and handle the error.
+func (a *Array) MustExchangeAllGhosts(ctx *machine.Ctx) {
+	if err := a.ExchangeAllGhosts(ctx); err != nil {
+		panic(err.Error())
 	}
 }
 
 // dimCount returns how many indices of array dimension k the given rank
-// owns.
+// owns.  It reads the memoized per-rank grid rather than re-deriving the
+// dimension's run set — this runs once per neighbour per exchange.
 func dimCount(d *dist.Distribution, k, rank int) int {
-	coords, ok := d.Target().CoordsOf(rank)
-	if !ok {
-		return 0
-	}
-	td := d.ProcDim(k)
-	c := 0
-	if td >= 0 {
-		c = coords[td]
-	}
-	return d.DimRunSet(k, c).Count()
+	return d.LocalGrid(rank).Dims[k].Count()
 }
 
 // segDim returns the contiguous owned bounds of dimension k.
@@ -122,14 +146,6 @@ func segDim(l *Local, k int) (lo, hi int, ok bool) {
 		return 0, 0, false
 	}
 	return rs[0].Lo, rs[0].Hi, true
-}
-
-// faceGrid is the owned grid with dimension k replaced by the given run.
-func faceGrid(l *Local, k int, r index.Run) index.Grid {
-	g := index.Grid{Dims: make([]index.RunSet, len(l.grid.Dims))}
-	copy(g.Dims, l.grid.Dims)
-	g.Dims[k] = index.RunSet{r}
-	return g
 }
 
 // neighborRank finds the nearest processor along target dimension td (in
@@ -148,18 +164,4 @@ func neighborRank(d *dist.Distribution, coords []int, td, dir int) int {
 			return r
 		}
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

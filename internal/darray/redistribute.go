@@ -6,7 +6,6 @@ import (
 	"repro/internal/dist"
 	"repro/internal/index"
 	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/trace"
 )
 
@@ -64,7 +63,7 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 	sp := tr.BeginSpan(rank, trace.CatDistribute, "DISTRIBUTE "+a.name)
 	defer sp.End()
 
-	newLocal := a.allocLocal(rank, newD)
+	newLocal := a.takeLocal(rank, newD)
 
 	if oldD == nil {
 		// First association: no data to move.
@@ -82,20 +81,22 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 	}
 
 	if !cfg.noTransfer {
-		send := make([][]byte, np)
-		recvFrom := make([]bool, np)
+		// Pack each remote transfer straight into its peer's recycled
+		// wire buffer (fused pack+encode, span loops); steady-state
+		// phase alternation reuses the same buffers every iteration.
+		bufs := &a.bufs[rank]
+		send, recvFrom := bufs.alltoallScratch(np)
 		var packed int64
 		for _, t := range sched.Sends {
 			if t.Peer == rank {
 				// local move: straight copy old storage -> new storage
-				t.Grid.ForEach(func(p index.Point) bool {
-					newLocal.data[newLocal.Offset(p)] = oldLocal.data[oldLocal.Offset(p)]
-					return true
-				})
+				copyGrid(newLocal, oldLocal, t.Grid)
 				continue
 			}
-			send[t.Peer] = msg.EncodeFloat64s(packGrid(oldLocal, t.Grid))
-			packed += int64(len(send[t.Peer]))
+			buf := oldLocal.appendPacked(bufs.sendBuf(np, t.Peer, t.Count), t.Grid)
+			bufs.send[t.Peer] = buf
+			send[t.Peer] = buf
+			packed += int64(len(buf))
 		}
 		for _, t := range sched.Recvs {
 			if t.Peer != rank {
@@ -115,22 +116,20 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 			if buf == nil {
 				return fmt.Errorf("darray: %s: missing redistribution payload from %d", a.name, t.Peer)
 			}
-			unpackGrid(newLocal, t.Grid, msg.DecodeFloat64s(buf))
+			newLocal.unpackWire(t.Grid, buf)
 		}
 	} else {
 		// NOTRANSFER: keep whatever was already in place.
 		tr.Instant(rank, trace.CatDistribute, schedEv, -1, 0)
 		if keep := sched.LocalKeep; !keep.Empty() {
-			keep.ForEach(func(p index.Point) bool {
-				newLocal.data[newLocal.Offset(p)] = oldLocal.data[oldLocal.Offset(p)]
-				return true
-			})
+			copyGrid(newLocal, oldLocal, keep)
 		}
 		// Even without data motion all processors must agree the
 		// descriptor swap happened; the barrier below provides that.
 	}
 
 	a.locals[rank] = newLocal
+	a.retireLocal(rank, oldD, oldLocal)
 	ctx.Barrier()
 	a.swapDist(ctx, newD)
 	return nil
@@ -164,6 +163,10 @@ func (a *Array) swapDist(ctx *machine.Ctx, newD *dist.Distribution) {
 }
 
 // packGrid serializes the values at the grid's points in canonical order.
+//
+// This is the per-point reference implementation of the packing order;
+// the hot paths use Local.appendPacked (fused span pack+encode), and the
+// differential tests in pack_test.go hold the two to byte equality.
 func packGrid(l *Local, g index.Grid) []float64 {
 	out := make([]float64, 0, g.Count())
 	g.ForEach(func(p index.Point) bool {
@@ -173,7 +176,8 @@ func packGrid(l *Local, g index.Grid) []float64 {
 	return out
 }
 
-// unpackGrid stores values (canonical order) at the grid's points.
+// unpackGrid stores values (canonical order) at the grid's points — the
+// per-point reference counterpart of Local.unpackWire.
 func unpackGrid(l *Local, g index.Grid, vals []float64) {
 	i := 0
 	g.ForEach(func(p index.Point) bool {

@@ -2,7 +2,9 @@ package dist
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/index"
 )
@@ -42,6 +44,12 @@ type Distribution struct {
 	fixed []int
 	// replDims lists target dimensions that replicate.
 	replDims []int
+
+	fpOnce sync.Once
+	fp     string // memoized Fingerprint (distributions are immutable)
+
+	lgOnce sync.Once
+	lgTab  []index.Grid // memoized LocalGrid per target rank
 }
 
 // New applies a distribution type to a domain and target, binding the
@@ -267,8 +275,24 @@ func (d *Distribution) IsPrimaryRank(rank int) bool {
 
 // LocalGrid returns the set of global indices rank owns, as a Grid of
 // per-dimension RunSets.  Ranks outside the target (or off a pinned
-// coordinate) own nothing.
+// coordinate) own nothing.  The grids are computed once per rank and
+// shared (schedule building intersects them per peer on every cache
+// miss) — callers must treat the result as read-only.
 func (d *Distribution) LocalGrid(rank int) index.Grid {
+	if rank >= 0 && rank < d.target.Size() {
+		d.lgOnce.Do(func() {
+			tab := make([]index.Grid, d.target.Size())
+			for r := range tab {
+				tab[r] = d.localGrid(r)
+			}
+			d.lgTab = tab
+		})
+		return d.lgTab[rank]
+	}
+	return d.localGrid(rank)
+}
+
+func (d *Distribution) localGrid(rank int) index.Grid {
 	g := index.Grid{Dims: make([]index.RunSet, d.domain.Rank())}
 	coords, ok := d.target.CoordsOf(rank)
 	if !ok {
@@ -417,9 +441,49 @@ func (d *Distribution) String() string {
 // Fingerprint returns a string identifying the mapping completely (type,
 // domain, target, dimension bindings, pinned coordinates).  Two
 // distributions with equal fingerprints map every element identically;
-// the redistribution schedule cache keys on it.
+// the redistribution schedule cache keys on it, so the string is built
+// once and memoized (distributions are immutable after construction) and
+// the numeric parts are appended directly rather than formatted.
 func (d *Distribution) Fingerprint() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%v|%v|%v|%v|%v", d.typ, d.domain, d.target, d.procDim, d.fixed)
-	return b.String()
+	d.fpOnce.Do(func() {
+		b := make([]byte, 0, 96)
+		for _, spec := range d.typ.Dims {
+			b = append(b, 'k')
+			b = strconv.AppendInt(b, int64(spec.Kind), 10)
+			if spec.Kind == Cyclic {
+				b = append(b, ',')
+				b = strconv.AppendInt(b, int64(normK(spec.K)), 10)
+				b = append(b, '@')
+				b = strconv.AppendInt(b, int64(spec.Phase), 10)
+			}
+			for _, v := range spec.Sizes {
+				b = append(b, 's')
+				b = strconv.AppendInt(b, int64(v), 10)
+			}
+			for _, v := range spec.Bounds {
+				b = append(b, 'b')
+				b = strconv.AppendInt(b, int64(v), 10)
+			}
+		}
+		b = append(b, '|')
+		for k := 0; k < d.domain.Rank(); k++ {
+			b = strconv.AppendInt(b, int64(d.domain.Lo[k]), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(d.domain.Hi[k]), 10)
+			b = append(b, ',')
+		}
+		b = append(b, '|')
+		b = append(b, d.target.String()...)
+		for _, v := range d.procDim {
+			b = append(b, '|')
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		b = append(b, '#')
+		for _, v := range d.fixed {
+			b = append(b, '|')
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		d.fp = string(b)
+	})
+	return d.fp
 }

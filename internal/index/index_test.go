@@ -321,3 +321,70 @@ func TestSectionGrid(t *testing.T) {
 		return true
 	})
 }
+
+// collectPoints expands an iteration into copied points.
+func collectPoints(iter func(func(Point) bool)) []Point {
+	var out []Point
+	iter(func(p Point) bool {
+		out = append(out, append(Point(nil), p...))
+		return true
+	})
+	return out
+}
+
+func TestGridForEachRunMatchesForEach(t *testing.T) {
+	grids := []Grid{
+		{Dims: []RunSet{NewRunSet(NewRun(3, 9, 1))}},
+		{Dims: []RunSet{NewRunSet(NewRun(0, 8, 2), NewRun(11, 15, 1))}},
+		{Dims: []RunSet{
+			NewRunSet(NewRun(1, 10, 3), NewRun(20, 22, 1)),
+			NewRunSet(NewRun(5, 5, 1), NewRun(7, 13, 2)),
+		}},
+		{Dims: []RunSet{
+			NewRunSet(NewRun(0, 3, 1)),
+			NewRunSet(NewRun(2, 8, 3)),
+			NewRunSet(NewRun(1, 5, 4), NewRun(9, 9, 1)),
+		}},
+	}
+	for gi, g := range grids {
+		want := collectPoints(g.ForEach)
+		got := collectPoints(func(f func(Point) bool) {
+			g.ForEachRun(func(p Point, r Run) bool {
+				if p[0] != r.Lo {
+					t.Fatalf("grid %d: p[0] = %d, want run lo %d", gi, p[0], r.Lo)
+				}
+				q := append(Point(nil), p...)
+				for i := r.Lo; i <= r.Hi; i += r.Stride {
+					q[0] = i
+					if !f(q) {
+						return false
+					}
+				}
+				return true
+			})
+		})
+		if len(got) != len(want) || len(got) != g.Count() {
+			t.Fatalf("grid %d: %d points via runs, %d via ForEach, Count %d", gi, len(got), len(want), g.Count())
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("grid %d: point %d = %v via runs, %v via ForEach", gi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridForEachRunEmptyAndEarlyStop(t *testing.T) {
+	empty := Grid{Dims: []RunSet{NewRunSet(NewRun(1, 5, 1)), {}}}
+	empty.ForEachRun(func(Point, Run) bool { t.Fatal("iterated empty grid"); return false })
+
+	g := Grid{Dims: []RunSet{
+		NewRunSet(NewRun(0, 4, 2), NewRun(7, 9, 1)),
+		NewRunSet(NewRun(0, 1, 1)),
+	}}
+	calls := 0
+	g.ForEachRun(func(Point, Run) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop made %d calls, want 1", calls)
+	}
+}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -171,7 +172,7 @@ func NewRunSet(runs ...Run) RunSet {
 			rs = append(rs, r)
 		}
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	slices.SortFunc(rs, func(a, b Run) int { return a.Lo - b.Lo })
 	return rs
 }
 
@@ -275,7 +276,10 @@ func (rs RunSet) Indices() []int {
 
 // Intersect returns the intersection of two RunSets.
 func (rs RunSet) Intersect(other RunSet) RunSet {
-	var out RunSet
+	if len(rs) == 0 || len(other) == 0 {
+		return nil
+	}
+	out := make(RunSet, 0, len(rs)*len(other))
 	for _, a := range rs {
 		for _, b := range other {
 			if c := IntersectRuns(a, b); !c.Empty() {
@@ -283,7 +287,7 @@ func (rs RunSet) Intersect(other RunSet) RunSet {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	slices.SortFunc(out, func(a, b Run) int { return a.Lo - b.Lo })
 	return out
 }
 
@@ -391,6 +395,48 @@ func (g Grid) ForEach(f func(Point) bool) {
 			k++
 		}
 		if k == g.Rank() {
+			return
+		}
+	}
+}
+
+// ForEachRun calls f for every innermost span of the grid: r is one run
+// of dimension 0 and p is a point whose remaining coordinates select the
+// outer position (p[0] is set to r.Lo for convenience).  Visiting every
+// run's elements in order reproduces exactly the ForEach enumeration —
+// spans are the unit the data-movement layer packs with copy-style loops
+// instead of per-point callbacks.  The Point passed to f is reused
+// between calls; clone it if it must be retained.
+func (g Grid) ForEachRun(f func(p Point, r Run) bool) {
+	if g.Empty() {
+		return
+	}
+	rank := g.Rank()
+	scratch := make([]int, 2*rank) // one allocation: point + positions
+	p := Point(scratch[:rank])
+	idx := scratch[rank:] // enumeration positions of dims >= 1
+	for k := 1; k < rank; k++ {
+		p[k] = g.Dims[k].At(0)
+	}
+	for {
+		for _, r := range g.Dims[0] {
+			p[0] = r.Lo
+			if !f(p, r) {
+				return
+			}
+		}
+		k := 1
+		for k < rank {
+			idx[k]++
+			if idx[k] < g.Dims[k].Count() {
+				p[k] = g.Dims[k].At(idx[k])
+				break
+			}
+			idx[k] = 0
+			p[k] = g.Dims[k].At(0)
+			k++
+		}
+		if k == rank {
 			return
 		}
 	}

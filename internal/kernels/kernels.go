@@ -149,6 +149,19 @@ func Smooth5(out, in []float64, nx, ny int) {
 	}
 }
 
+// SmoothRow applies the 5-point Jacobi update to one contiguous row span
+// of a column-major grid: dst[i] = 0.25*(W+E+N+S) for i in [off, off+n),
+// with rowStride the storage distance between vertically adjacent
+// elements (dimension-0 storage stride must be 1).  This is the span
+// form of Smooth5's inner loop, used by the runtime's distributed
+// smoothing sweep so locally owned rows are processed as flat slices —
+// no per-point index mapping inside the sweep.
+func SmoothRow(dst, src []float64, off, n, rowStride int) {
+	for i := off; i < off+n; i++ {
+		dst[i] = 0.25 * (src[i-1] + src[i+1] + src[i-rowStride] + src[i+rowStride])
+	}
+}
+
 // Resid computes v = f - A(u) for the 5-point Laplacian A(u) = 4u -
 // u(i±1,j) - u(i,j±1) on the interior of a dense column-major nx×ny grid;
 // boundary v is set to 0.  This is the RESID of Figure 1.
@@ -171,7 +184,7 @@ func Resid(v, u, f []float64, nx, ny int) {
 // y-line (rows, stride nx).  It is the reference the distributed runs are
 // validated against.
 func SerialADI(v []float64, nx, ny, iters int, a, b, c float64) {
-	scratch := make([]float64, maxInt(nx, ny))
+	scratch := make([]float64, max(nx, ny))
 	for it := 0; it < iters; it++ {
 		for j := 0; j < ny; j++ {
 			Tridiag(v[j*nx:(j+1)*nx], a, b, c, scratch)
@@ -180,11 +193,4 @@ func SerialADI(v []float64, nx, ny, iters int, a, b, c float64) {
 			TridiagStrided(v, i, nx, ny, a, b, c, scratch)
 		}
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -188,3 +188,23 @@ func TestSerialADIConverges(t *testing.T) {
 		t.Fatalf("ADI did not contract: %g -> %g", norm0, norm1)
 	}
 }
+
+func TestSmoothRowMatchesSmooth5(t *testing.T) {
+	const nx, ny = 9, 7
+	in := make([]float64, nx*ny)
+	for i := range in {
+		in[i] = float64((i*13)%17) * 0.5
+	}
+	want := make([]float64, nx*ny)
+	Smooth5(want, in, nx, ny)
+	got := make([]float64, nx*ny)
+	copy(got, in)
+	for j := 1; j < ny-1; j++ {
+		SmoothRow(got, in, j*nx+1, nx-2, nx)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: SmoothRow path %v, Smooth5 %v", i, got[i], want[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/index"
 )
@@ -17,6 +18,12 @@ import (
 type ProcArray struct {
 	name string
 	dom  index.Domain
+
+	coordsOnce sync.Once
+	coordsTab  []index.Point // rank -> coordinates, built lazily
+
+	wholeOnce sync.Once
+	whole     *ProcSection
 }
 
 // Procs declares (or retrieves, if already declared with identical shape)
@@ -74,12 +81,21 @@ func (p *ProcArray) RankOf(coords []int) int {
 }
 
 // CoordsOf maps a transport rank to processor coordinates; ok is false if
-// the rank lies outside the array.
+// the rank lies outside the array.  The returned slice is shared (the
+// mapping is precomputed once — rank lookups sit on the schedule-cache
+// hot path) and must not be modified.
 func (p *ProcArray) CoordsOf(rank int) ([]int, bool) {
 	if rank < 0 || rank >= p.Size() {
 		return nil, false
 	}
-	return p.dom.At(rank), true
+	p.coordsOnce.Do(func() {
+		tab := make([]index.Point, p.Size())
+		for r := range tab {
+			tab[r] = p.dom.At(r)
+		}
+		p.coordsTab = tab
+	})
+	return p.coordsTab[rank], true
 }
 
 // Ranks lists all transport ranks in the array in coordinate order.
@@ -91,9 +107,15 @@ func (p *ProcArray) Ranks() []int {
 	return out
 }
 
-// Whole returns the section covering the full processor array.
+// Whole returns the section covering the full processor array.  The
+// section is shared across calls: distribution expressions evaluate
+// "TO <array>" on every executable DISTRIBUTE, and sharing keeps the
+// section's rank-coordinate cache warm across them.
 func (p *ProcArray) Whole() *ProcSection {
-	return &ProcSection{pa: p, sec: p.dom.WholeSection()}
+	p.wholeOnce.Do(func() {
+		p.whole = &ProcSection{pa: p, sec: p.dom.WholeSection()}
+	})
+	return p.whole
 }
 
 // Section selects a rectangular subset of the processor array, e.g.
@@ -119,6 +141,12 @@ func (p *ProcArray) Section(triplets ...[3]int) *ProcSection {
 type ProcSection struct {
 	pa  *ProcArray
 	sec index.Section
+
+	coordsOnce sync.Once
+	coordsTab  [][]int // rank -> section coordinates (nil = not a member)
+
+	strOnce sync.Once
+	str     string
 }
 
 // Array returns the parent processor array.
@@ -150,25 +178,43 @@ func (s *ProcSection) RankOf(coords []int) int {
 }
 
 // CoordsOf maps a transport rank to dense section coordinates; ok is
-// false when the rank is not part of the section.
+// false when the rank is not part of the section.  The returned slice is
+// shared (the mapping is precomputed once — distribution ownership tests
+// call this per rank on the schedule-cache hot path) and must not be
+// modified.
 func (s *ProcSection) CoordsOf(rank int) ([]int, bool) {
+	if rank < 0 || rank >= s.pa.Size() {
+		return nil, false
+	}
+	s.coordsOnce.Do(func() {
+		tab := make([][]int, s.pa.Size())
+		for r := range tab {
+			tab[r] = s.coordsOf(r)
+		}
+		s.coordsTab = tab
+	})
+	c := s.coordsTab[rank]
+	return c, c != nil
+}
+
+func (s *ProcSection) coordsOf(rank int) []int {
 	abs, ok := s.pa.CoordsOf(rank)
 	if !ok {
-		return nil, false
+		return nil
 	}
 	out := make([]int, s.NDims())
 	for k := range out {
 		d := abs[k] - s.sec.Lo[k]
 		if d < 0 || d%s.sec.Stride[k] != 0 {
-			return nil, false
+			return nil
 		}
 		c := d / s.sec.Stride[k]
 		if c >= s.Extent(k) {
-			return nil, false
+			return nil
 		}
 		out[k] = c
 	}
-	return out, true
+	return out
 }
 
 // Ranks lists the transport ranks of the section in coordinate order
@@ -206,5 +252,8 @@ func (s *ProcSection) Equal(o *ProcSection) bool {
 }
 
 func (s *ProcSection) String() string {
-	return s.pa.name + s.sec.String()
+	s.strOnce.Do(func() {
+		s.str = s.pa.name + s.sec.String()
+	})
+	return s.str
 }

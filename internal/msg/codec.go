@@ -24,11 +24,56 @@ func AppendUint64s(buf []byte, vals []uint64) []byte {
 
 // EncodeFloat64s encodes a []float64 payload.
 func EncodeFloat64s(vals []float64) []byte {
-	buf := make([]byte, 8*len(vals))
+	return AppendFloat64s(nil, vals)
+}
+
+// AppendFloat64s appends the wire encoding of vals to buf and returns the
+// extended slice.  With a caller-retained buf of sufficient capacity the
+// encode allocates nothing — the hot-path form the data-movement layer
+// uses for reusable per-peer send buffers.
+func AppendFloat64s(buf []byte, vals []float64) []byte {
+	var off int
+	buf, off = GrowFloat64s(buf, len(vals))
 	for i, v := range vals {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(buf[off+8*i:], math.Float64bits(v))
 	}
 	return buf
+}
+
+// GrowFloat64s extends buf with room for n float64 wire slots (contents
+// unspecified — callers must write every slot) and
+// returns the extended slice plus the byte offset where the new region
+// starts.  Growth reuses buf's capacity when available, so steady-state
+// callers that recycle buffers pay no allocation.
+func GrowFloat64s(buf []byte, n int) ([]byte, int) {
+	off := len(buf)
+	need := off + 8*n
+	if need <= cap(buf) {
+		buf = buf[:need]
+		return buf, off
+	}
+	nbuf := make([]byte, need)
+	copy(nbuf, buf)
+	return nbuf, off
+}
+
+// PutFloat64 stores v at byte offset off of a wire buffer.
+func PutFloat64(buf []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+}
+
+// GetFloat64 reads the float64 at byte offset off of a wire buffer.
+func GetFloat64(buf []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+}
+
+// Float64Count returns the number of float64 values in a wire payload,
+// panicking on misaligned lengths (a framing bug, not a data error).
+func Float64Count(buf []byte) int {
+	if len(buf)%8 != 0 {
+		panic(fmt.Sprintf("msg: float64 payload length %d not a multiple of 8", len(buf)))
+	}
+	return len(buf) / 8
 }
 
 // DecodeFloat64s decodes a []float64 payload.

@@ -129,6 +129,7 @@ func (c *Comm) ReduceF64(root int, vals []float64, op func(a, b float64) float64
 		return acc, nil
 	}
 	vrank := (rank - root + np) % np
+	var got []float64 // decode scratch, shared by all receive rounds
 	// Binomial tree: in round k, vranks with bit k set send to vrank-2^k.
 	for mask := 1; mask < np; mask <<= 1 {
 		if vrank&mask != 0 {
@@ -144,10 +145,13 @@ func (c *Comm) ReduceF64(root int, vals []float64, op func(a, b float64) float64
 			if err != nil {
 				return nil, err
 			}
-			got := DecodeFloat64s(p.Data)
-			if len(got) != len(acc) {
-				return nil, fmt.Errorf("msg: reduce length mismatch %d vs %d", len(got), len(acc))
+			if len(p.Data) != 8*len(acc) {
+				return nil, fmt.Errorf("msg: reduce length mismatch %d vs %d", len(p.Data)/8, len(acc))
 			}
+			if got == nil {
+				got = make([]float64, len(acc))
+			}
+			DecodeFloat64sInto(got, p.Data)
 			for i := range acc {
 				acc[i] = op(acc[i], got[i])
 			}

@@ -74,10 +74,14 @@ type Endpoint interface {
 	Rank() int
 	// NP returns the number of processors on the transport.
 	NP() int
-	// Send delivers data to processor `to` with the given tag.  The data
-	// slice is owned by the transport after the call (callers must not
-	// modify it); transports that stay in-process copy it to preserve
-	// distributed-memory semantics.
+	// Send delivers data to processor `to` with the given tag.  The
+	// transport finishes reading data before Send returns — the channel
+	// transport copies it into the destination mailbox and the TCP
+	// transport copies it into the outgoing frame — so the caller may
+	// reuse the buffer as soon as Send returns.  This is the contract
+	// that lets the data-movement layer recycle its per-peer pack
+	// buffers across iterations.  Received Packet.Data, by contrast, is
+	// always freshly owned by the receiver.
 	Send(to, tag int, data []byte) error
 	// Recv blocks until a message matching (from, tag) arrives and
 	// returns it.  AnySource / AnyTag act as wildcards.  Messages from

@@ -75,16 +75,24 @@ type Snapshot struct {
 	DataSent  []int64
 }
 
+// newSnapshot carves the five counter slices out of one backing array —
+// snapshots are taken per step in instrumented loops, so the allocation
+// count matters.
+func newSnapshot(np int) Snapshot {
+	back := make([]int64, 5*np)
+	return Snapshot{
+		NP:        np,
+		MsgsSent:  back[0*np : 1*np],
+		BytesSent: back[1*np : 2*np],
+		MsgsRecv:  back[2*np : 3*np],
+		BytesRecv: back[3*np : 4*np],
+		DataSent:  back[4*np : 5*np],
+	}
+}
+
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() Snapshot {
-	sn := Snapshot{
-		NP:        s.np,
-		MsgsSent:  make([]int64, s.np),
-		BytesSent: make([]int64, s.np),
-		MsgsRecv:  make([]int64, s.np),
-		BytesRecv: make([]int64, s.np),
-		DataSent:  make([]int64, s.np),
-	}
+	sn := newSnapshot(s.np)
 	for i := 0; i < s.np; i++ {
 		sn.MsgsSent[i] = s.msgsSent[i].Load()
 		sn.BytesSent[i] = s.bytesSent[i].Load()
@@ -166,14 +174,7 @@ func (sn Snapshot) Sub(base Snapshot) Snapshot {
 		}
 		return s[i]
 	}
-	out := Snapshot{
-		NP:        sn.NP,
-		MsgsSent:  make([]int64, sn.NP),
-		BytesSent: make([]int64, sn.NP),
-		MsgsRecv:  make([]int64, sn.NP),
-		BytesRecv: make([]int64, sn.NP),
-		DataSent:  make([]int64, sn.NP),
-	}
+	out := newSnapshot(sn.NP)
 	for i := 0; i < sn.NP; i++ {
 		out.MsgsSent[i] = at(sn.MsgsSent, i) - at(base.MsgsSent, i)
 		out.BytesSent[i] = at(sn.BytesSent, i) - at(base.BytesSent, i)
