@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke examples experiments analyze clean
+.PHONY: all build vet test race check check-fault bench bench-smoke examples experiments analyze clean
 
 all: build check test
 
@@ -21,9 +21,15 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check:
+check: check-fault
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
+
+# The fault-injection matrix: every collective pattern under injected
+# send errors, delivery delays, and dropped frames, on both transports,
+# with the race detector on (the retry/deadline paths add goroutines).
+check-fault:
+	$(GO) test -race -run 'TestFaultMatrix|TestFault|TestCollectiveTimeout|TestCollectiveHeals|TestCollectiveTagNeverWraps|TestRecvTimeout' ./internal/msg ./internal/darray
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -22,10 +22,13 @@ import (
 )
 
 var (
-	alpha     = flag.Float64("alpha", 1e-4, "modeled message startup (s)")
-	beta      = flag.Float64("beta", 1e-8, "modeled per-byte cost (s)")
-	quick     = flag.Bool("quick", false, "smaller sizes (for smoke runs)")
-	traceFile = flag.String("trace", "", "trace the first dynamic ADI run to FILE (Chrome trace_event JSON) and print its per-phase summary")
+	alpha        = flag.Float64("alpha", 1e-4, "modeled message startup (s)")
+	beta         = flag.Float64("beta", 1e-8, "modeled per-byte cost (s)")
+	quick        = flag.Bool("quick", false, "smaller sizes (for smoke runs)")
+	traceFile    = flag.String("trace", "", "trace the first dynamic ADI run to FILE (Chrome trace_event JSON) and print its per-phase summary")
+	faultSpec    = flag.String("fault", "", "inject transport faults into the ADI runs, e.g. 'senderr,rank=1,after=3,count=2' (see msg.ParseFaultPlan)")
+	faultTimeout = flag.Duration("fault-timeout", 0, "per-receive collective deadline for the ADI runs (0 = wait forever)")
+	faultRetries = flag.Int("fault-retries", 0, "bounded retries for failed or timed-out collective operations in the ADI runs")
 )
 
 func main() {
@@ -72,6 +75,7 @@ func runADI() {
 				cfg := apps.ADIConfig{
 					NX: n, NY: n, Iters: 4, P: p, Mode: mode,
 					Alpha: *alpha, Beta: *beta, Validate: true,
+					Fault: *faultSpec, CommTimeout: *faultTimeout, CommRetries: *faultRetries,
 				}
 				if *traceFile != "" && mode == apps.ADIDynamic && tr == nil {
 					tr = trace.New(p)

@@ -16,12 +16,14 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/msg"
 	"repro/internal/sem"
 	"repro/internal/trace"
 )
@@ -31,6 +33,9 @@ func main() {
 	demo := flag.String("demo", "", "run a built-in paper listing: fig1")
 	report := flag.Bool("analyze", false, "print the reaching-distribution report before running")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace of the run to FILE and print the per-phase summary")
+	faultSpec := flag.String("fault", "", "inject transport faults, e.g. 'senderr,rank=1,after=3,count=2;drop,peer=2,count=1' (kinds: senderr|recverr|delay|drop; see msg.ParseFaultPlan)")
+	commTimeout := flag.Duration("comm-timeout", 0, "per-receive deadline inside collectives (0 = wait forever)")
+	commRetries := flag.Int("comm-retries", 0, "bounded retries for failed or timed-out collective operations")
 	flag.Parse()
 
 	var src, name string
@@ -98,10 +103,25 @@ ENDDO
 	}
 
 	var mopts []machine.Option
+	var topts []msg.Option
 	var tr *trace.Tracer
 	if *traceFile != "" {
 		tr = trace.New(*np)
 		mopts = append(mopts, machine.WithTrace(tr))
+		topts = append(topts, msg.WithTracer(tr))
+	}
+	if *faultSpec != "" {
+		plan, err := msg.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ft := msg.NewFaultTransport(msg.NewChanTransport(*np, topts...), plan)
+		mopts = append(mopts, machine.WithTransport(ft))
+	}
+	if *commTimeout > 0 || *commRetries > 0 {
+		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
+			Timeout: *commTimeout, Retries: *commRetries, Backoff: time.Millisecond,
+		}))
 	}
 	m := machine.New(*np, mopts...)
 	defer m.Close()
@@ -129,7 +149,10 @@ ENDDO
 				continue
 			}
 			sum := 0.0
-			data := arr.GatherTo(ctx, 0)
+			data, err := arr.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				for _, v := range data {
 					sum += v

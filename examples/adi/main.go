@@ -98,7 +98,10 @@ func main() {
 			vienna.PhaseEnd(ctx, "y-sweep")
 		}
 
-		total := v.DArray().ReduceSum(ctx)
+		total, err := v.DArray().ReduceSum(ctx)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			fmt.Printf("ADI %dx%d on %d processors, %d iterations\n", *nx, *ny, *np, *iters)
 			fmt.Printf("final V distribution: %v (redistributed %d times)\n", v.DistType(), v.Epoch())

@@ -75,6 +75,13 @@ type ADIConfig struct {
 	// Tracer, when non-nil, records the run's spans and messages (the
 	// iteration loop is annotated as the "iterate" phase).
 	Tracer *trace.Tracer
+	// Fault, when non-empty, wraps the transport in a fault-injecting
+	// decorator built from msg.ParseFaultPlan (the vfbench -fault flag).
+	Fault string
+	// CommTimeout/CommRetries install a deadline/retry policy on the
+	// collectives so injected faults surface as errors instead of hangs.
+	CommTimeout time.Duration
+	CommRetries int
 }
 
 // ADIResult reports an ADI run.
@@ -124,12 +131,30 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
 		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
+	var base msg.Transport
 	if cfg.UseTCP {
 		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
 		if err != nil {
 			return ADIResult{Mode: cfg.Mode}, err
 		}
-		mopts = append(mopts, machine.WithTransport(tcp))
+		base = tcp
+	} else if cfg.Fault != "" {
+		base = msg.NewChanTransport(cfg.P, topts...)
+	}
+	if cfg.Fault != "" {
+		plan, err := msg.ParseFaultPlan(cfg.Fault)
+		if err != nil {
+			return ADIResult{Mode: cfg.Mode}, err
+		}
+		base = msg.NewFaultTransport(base, plan)
+	}
+	if base != nil {
+		mopts = append(mopts, machine.WithTransport(base))
+	}
+	if cfg.CommTimeout > 0 || cfg.CommRetries > 0 {
+		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
+			Timeout: cfg.CommTimeout, Retries: cfg.CommRetries, Backoff: time.Millisecond,
+		}))
 	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
@@ -173,11 +198,17 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 
 		// account runs a phase and, after the trailing barrier, adds its
 		// rank-0-observed global traffic delta to the given counters.
-		account := func(phase func(), msgs, bytes *int64) {
+		account := func(phase func() error, msgs, bytes *int64) error {
 			pre := m.Stats().Snapshot()
-			ctx.Barrier() // no rank may send before pre is taken
-			phase()
-			ctx.Barrier()
+			if err := ctx.Barrier(); err != nil { // no rank may send before pre is taken
+				return err
+			}
+			if err := phase(); err != nil {
+				return err
+			}
+			if err := ctx.Barrier(); err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				d := m.Stats().Snapshot().Sub(pre)
 				*msgs += d.TotalDataMsgs()
@@ -185,38 +216,63 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 					*bytes += d.TotalBytes()
 				}
 			}
+			return nil
 		}
 
 		ctx.PhaseBegin("iterate")
 		for it := 0; it < cfg.Iters; it++ {
+			var err error
 			switch cfg.Mode {
 			case ADIDynamic:
 				if it > 0 {
-					account(func() {
-						e.MustDistribute(ctx, []*core.Array{v}, core.DimsOf(dist.ElidedDim(), dist.BlockDim()))
+					err = account(func() error {
+						return e.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.ElidedDim(), dist.BlockDim()))
 					}, &redistMsgs, &redistBytes)
+					if err != nil {
+						return err
+					}
 				}
 				localSweep(ctx, v, 0, cfg.FlopTime)
-				ctx.Barrier()
-				account(func() {
-					e.MustDistribute(ctx, []*core.Array{v}, core.DimsOf(dist.BlockDim(), dist.ElidedDim()))
+				if err = ctx.Barrier(); err != nil {
+					return err
+				}
+				err = account(func() error {
+					return e.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.BlockDim(), dist.ElidedDim()))
 				}, &redistMsgs, &redistBytes)
+				if err != nil {
+					return err
+				}
 				localSweep(ctx, v, 1, cfg.FlopTime)
-				ctx.Barrier()
+				if err = ctx.Barrier(); err != nil {
+					return err
+				}
 			case ADIStaticCols:
 				localSweep(ctx, v, 0, cfg.FlopTime)
-				ctx.Barrier()
-				account(func() { pipelinedSweep(ctx, v, 1, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+				if err = ctx.Barrier(); err != nil {
+					return err
+				}
+				err = account(func() error { return pipelinedSweep(ctx, v, 1, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+				if err != nil {
+					return err
+				}
 			case ADIStaticRows:
-				account(func() { pipelinedSweep(ctx, v, 0, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+				err = account(func() error { return pipelinedSweep(ctx, v, 0, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+				if err != nil {
+					return err
+				}
 				localSweep(ctx, v, 1, cfg.FlopTime)
-				ctx.Barrier()
+				if err = ctx.Barrier(); err != nil {
+					return err
+				}
 			}
 		}
 		ctx.PhaseEnd("iterate")
 
 		if cfg.Validate {
-			got := v.GatherTo(ctx, 0)
+			got, err := v.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				for i, x := range got {
 					checksum += x
@@ -230,7 +286,10 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 				}
 			}
 		} else {
-			s := v.DArray().ReduceSum(ctx)
+			s, err := v.DArray().ReduceSum(ctx)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				checksum = s
 			}
@@ -281,8 +340,9 @@ func localSweep(ctx *machine.Ctx, v *core.Array, dim int, flopTime float64) {
 // forwards per-line pipeline state (b', d') to the next processor in
 // chunks, then back-substitutes in the reverse direction.  This is the
 // communication pattern a compiler must generate for the static ADI
-// (paper §4).
-func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTime float64) {
+// (paper §4).  Transport failures are returned as wrapped errors (under
+// the machine's CommConfig the pipeline receives run with deadlines).
+func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTime float64) error {
 	l := v.Local(ctx)
 	rank, np := ctx.Rank(), ctx.NP()
 	alloc := l.AllocShape()
@@ -291,10 +351,12 @@ func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTim
 	segN := alloc[dim]    // my extent along the recurrence dimension
 	lines := alloc[other] // number of independent systems (all local)
 	if lines == 0 {
-		return
+		return nil
 	}
 	data := l.Data()
 	ep := ctx.Endpoint()
+	cfg := ctx.Comm().Config()
+	tr := ctx.Tracer()
 	const fwdTag, bwdTag = 9001, 9002
 
 	// per-line modified diagonals, needed again by the backward pass
@@ -313,9 +375,9 @@ func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTim
 		}
 		in := make([]kernels.SweepState, c1-c0)
 		if prev >= 0 {
-			p, err := ep.Recv(prev, fwdTag)
+			p, err := msg.RecvRetry(ep, cfg, tr, "pipelined-sweep", prev, fwdTag)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("apps: ADI forward sweep at rank %d: %w", rank, err)
 			}
 			vals := msg.DecodeFloat64s(p.Data)
 			for k := range in {
@@ -329,8 +391,8 @@ func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTim
 		}
 		ctx.Charge(flopTime * float64(5*segN*(c1-c0)))
 		if next < np {
-			if err := ep.Send(next, fwdTag, msg.EncodeFloat64s(out)); err != nil {
-				panic(err)
+			if err := msg.SendRetry(ep, cfg, tr, "pipelined-sweep", next, fwdTag, msg.EncodeFloat64s(out)); err != nil {
+				return fmt.Errorf("apps: ADI forward sweep at rank %d: %w", rank, err)
 			}
 		}
 	}
@@ -342,9 +404,9 @@ func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTim
 		}
 		in := make([]kernels.BackState, c1-c0)
 		if next < np {
-			p, err := ep.Recv(next, bwdTag)
+			p, err := msg.RecvRetry(ep, cfg, tr, "pipelined-sweep", next, bwdTag)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("apps: ADI backward sweep at rank %d: %w", rank, err)
 			}
 			vals := msg.DecodeFloat64s(p.Data)
 			for k := range in {
@@ -358,9 +420,10 @@ func pipelinedSweep(ctx *machine.Ctx, v *core.Array, dim int, chunk int, flopTim
 		}
 		ctx.Charge(flopTime * float64(3*segN*(c1-c0)))
 		if prev >= 0 {
-			if err := ep.Send(prev, bwdTag, msg.EncodeFloat64s(out)); err != nil {
-				panic(err)
+			if err := msg.SendRetry(ep, cfg, tr, "pipelined-sweep", prev, bwdTag, msg.EncodeFloat64s(out)); err != nil {
+				return fmt.Errorf("apps: ADI backward sweep at rank %d: %w", rank, err)
 			}
 		}
 	}
+	return nil
 }

@@ -132,55 +132,66 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 		field.FillFunc(ctx, func(index.Point) float64 { return 0 })
 		ctx.Barrier()
 
-		balance := func() {
+		balance := func() error {
 			// compute BOUNDS equalizing particles per processor, then
 			// DISTRIBUTE FIELD :: B_BLOCK(BOUNDS) — moving COUNT with it.
-			counts := count.GatherTo(ctx, 0)
+			counts, err := count.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
 			var bounds []int
 			if ctx.Rank() == 0 {
 				bounds = computeBounds(counts, cfg.P)
 			}
-			bounds, err := ctx.Comm().BcastInts(0, bounds)
+			bounds, err = ctx.Comm().BcastInts(0, bounds)
 			if err != nil {
-				panic(err)
+				return err
 			}
 			pre := m.Stats().Snapshot()
-			e.MustDistribute(ctx, []*core.Array{field},
-				core.DimsOf(dist.BBlockDim(bounds...)))
-			ctx.Barrier()
+			if err := e.Distribute(ctx, []*core.Array{field},
+				core.DimsOf(dist.BBlockDim(bounds...))); err != nil {
+				return err
+			}
+			if err := ctx.Barrier(); err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				redistBytes += m.Stats().Snapshot().Sub(pre).TotalBytes()
 				res.Redistributions++
 			}
-			ctx.Barrier()
+			return ctx.Barrier()
 		}
 
-		imbalance := func() float64 {
+		imbalance := func() (float64, error) {
 			local := 0.0
 			count.Local(ctx).ForEachOwned(func(_ index.Point, v *float64) { local += *v })
 			tot, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
-			mx, err2 := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
-			if err2 != nil {
-				panic(err2)
+			mx, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
+			if err != nil {
+				return 0, err
 			}
 			avg := tot[0] / float64(cfg.P)
 			if avg == 0 {
-				return 1
+				return 1, nil
 			}
-			return mx[0] / avg
+			return mx[0] / avg, nil
 		}
 
 		// initial balance (Figure 2 does this before the time loop)
 		if cfg.Rebalance {
-			balance()
+			if err := balance(); err != nil {
+				return err
+			}
+		}
+		startCounts, err := count.GatherTo(ctx, 0)
+		if err != nil {
+			return err
 		}
 		if ctx.Rank() == 0 {
-			res.ParticlesStart = sum(count.GatherTo(ctx, 0))
-		} else {
-			count.GatherTo(ctx, 0)
+			res.ParticlesStart = sum(startCounts)
 		}
 
 		for k := 1; k <= cfg.Steps; k++ {
@@ -197,25 +208,40 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 				lf.SetAt(p, acc+*v)
 			})
 			ctx.Charge(cfg.FlopTime * particles * float64(cfg.WorkPerParticle))
-			ctx.Barrier()
+			if err := ctx.Barrier(); err != nil {
+				return err
+			}
 
 			// update_part: DriftFrac of each cell's particles moves to
 			// cell+1; the last cell reflects (keeps its particles).  The
 			// only cross-processor flow is from my last cell to the
 			// owner of the next cell.
-			moveRight(ctx, count, cfg.DriftFrac)
+			if err := moveRight(ctx, count, cfg.DriftFrac); err != nil {
+				return err
+			}
 
-			imb := imbalance() // identical on every rank (allreduce)
+			imb, err := imbalance() // identical on every rank (allreduce)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				res.ImbalanceSeries[k-1] = imb
 			}
 			if cfg.Rebalance && k%cfg.RebalanceEvery == 0 && imb > cfg.RebalanceThreshold {
-				balance()
+				if err := balance(); err != nil {
+					return err
+				}
 			}
 		}
 
-		got := count.GatherTo(ctx, 0)
-		fields := field.GatherTo(ctx, 0)
+		got, err := count.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
+		fields, err := field.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			res.ParticlesEnd = sum(got)
 			res.FieldChecksum = sum(fields)
@@ -249,8 +275,9 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 
 // moveRight shifts frac of every cell's count one cell to the right
 // (reflecting at the global last cell).  Cross-boundary flow travels as a
-// point-to-point message to the owner of the next cell.
-func moveRight(ctx *machine.Ctx, count *core.Array, frac float64) {
+// point-to-point message to the owner of the next cell; transport
+// failures are returned as wrapped errors.
+func moveRight(ctx *machine.Ctx, count *core.Array, frac float64) error {
 	l := count.Local(ctx)
 	d := count.Dist()
 	dom := count.Domain()
@@ -292,24 +319,26 @@ func moveRight(ctx *machine.Ctx, count *core.Array, frac float64) {
 	if rs.Count() > 0 && rs[0].Lo > 1 {
 		recvFrom = d.Owner(index.Point{rs[0].Lo - 1})
 	}
+	cfg := ctx.Comm().Config()
+	tr := ctx.Tracer()
 	if sendTo >= 0 && sendTo != ctx.Rank() {
-		if err := ep.Send(sendTo, tag, msg.EncodeFloat64s([]float64{outflow, float64(lastIdx + 1)})); err != nil {
-			panic(err)
+		if err := msg.SendRetry(ep, cfg, tr, "pic-drift", sendTo, tag, msg.EncodeFloat64s([]float64{outflow, float64(lastIdx + 1)})); err != nil {
+			return fmt.Errorf("apps: PIC drift at rank %d: %w", ctx.Rank(), err)
 		}
 	} else if sendTo == ctx.Rank() {
 		q := index.Point{lastIdx + 1}
 		l.SetAt(q, l.At(q)+outflow)
 	}
 	if recvFrom >= 0 && recvFrom != ctx.Rank() {
-		p, err := ep.Recv(recvFrom, tag)
+		p, err := msg.RecvRetry(ep, cfg, tr, "pic-drift", recvFrom, tag)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("apps: PIC drift at rank %d: %w", ctx.Rank(), err)
 		}
 		vals := msg.DecodeFloat64s(p.Data)
 		q := index.Point{int(vals[1])}
 		l.SetAt(q, l.At(q)+vals[0])
 	}
-	ctx.Barrier()
+	return ctx.Barrier()
 }
 
 // computeBounds returns B_BLOCK bounds assigning contiguous cells to

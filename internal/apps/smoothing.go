@@ -166,7 +166,10 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		}
 		ctx.PhaseEnd("smooth")
 		if cfg.Validate {
-			got := src.GatherTo(ctx, 0)
+			got, err := src.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				for i, x := range got {
 					checksum += x
@@ -180,7 +183,10 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 				}
 			}
 		} else {
-			s := src.DArray().ReduceSum(ctx)
+			s, err := src.DArray().ReduceSum(ctx)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				checksum = s
 			}

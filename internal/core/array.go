@@ -97,14 +97,30 @@ func (a *Array) FillFunc(ctx *machine.Ctx, f func(p index.Point) float64) {
 // Fill sets every locally owned element to v.
 func (a *Array) Fill(ctx *machine.Ctx, v float64) { a.arr.Fill(ctx, v) }
 
-// GatherTo collects the array on root (nil elsewhere).
-func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
+// GatherTo collects the array on root (nil elsewhere), returning a
+// wrapped error on transport failure or a size-mismatched contribution.
+func (a *Array) GatherTo(ctx *machine.Ctx, root int) ([]float64, error) {
 	return a.arr.GatherTo(ctx, root)
 }
 
-// ScatterFrom distributes a dense global slice from root.
-func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) {
-	a.arr.ScatterFrom(ctx, root, data)
+// MustGatherTo is GatherTo panicking on failure.
+//
+// Deprecated: use GatherTo and handle the error.
+func (a *Array) MustGatherTo(ctx *machine.Ctx, root int) []float64 {
+	return a.arr.MustGatherTo(ctx, root)
+}
+
+// ScatterFrom distributes a dense global slice from root, returning a
+// wrapped error on transport failure or a wrong-sized slice.
+func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) error {
+	return a.arr.ScatterFrom(ctx, root, data)
+}
+
+// MustScatterFrom is ScatterFrom panicking on failure.
+//
+// Deprecated: use ScatterFrom and handle the error.
+func (a *Array) MustScatterFrom(ctx *machine.Ctx, root int, data []float64) {
+	a.arr.MustScatterFrom(ctx, root, data)
 }
 
 // ExchangeGhosts refreshes overlap areas along dimension k, returning a

@@ -268,7 +268,9 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 	}(); err != nil {
 		return nil, err
 	}
-	ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return nil, err
+	}
 
 	// Secondary with an already-distributed primary: derive now.
 	if a.connKind != ConnNone && d0 == nil {
@@ -292,7 +294,9 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 		a.arr = arr // same object on every rank (CollectiveOnce in darray)
 	}
 	e.mu.Unlock()
-	ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return nil, err
+	}
 	return a, nil
 }
 

@@ -463,7 +463,10 @@ func TestMigrationBetweenProcessorSections(t *testing.T) {
 			t.Errorf("rank %d should have handed everything off", ctx.Rank())
 		}
 		// gather still assembles the full array
-		got := b.GatherTo(ctx, 0)
+		got, err := b.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			for i := 1; i <= 8; i++ {
 				if got[i-1] != float64(i*3) {
@@ -500,7 +503,9 @@ func TestReplicatedTargetSectionOnDistribute(t *testing.T) {
 		}
 		// and back to the default 1-D view
 		e.MustDistribute(ctx, []*Array{b}, DimsOf(dist.CyclicDim(1)))
-		if s := b.DArray().ReduceSum(ctx); s != 21 {
+		if s, err := b.DArray().ReduceSum(ctx); err != nil {
+			return err
+		} else if s != 21 {
 			t.Errorf("sum = %v", s)
 		}
 		return nil

@@ -13,8 +13,9 @@ import (
 // primary owners contribute, so replicated arrays gather each element
 // exactly once.  Packing and root-side placement run span-by-span
 // (contiguous runs move with copy-style loops, never per-point
-// callbacks).
-func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
+// callbacks).  Transport failures and contribution-size mismatches are
+// returned as wrapped errors naming the array and the ranks involved.
+func (a *Array) GatherTo(ctx *machine.Ctx, root int) ([]float64, error) {
 	d := a.requireDist()
 	rank := ctx.Rank()
 	var payload []byte
@@ -25,10 +26,10 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
 	}
 	parts, err := ctx.Comm().Gather(root, payload)
 	if err != nil {
-		panic(fmt.Sprintf("darray: %s: gather failed: %v", a.name, err))
+		return nil, fmt.Errorf("darray: %s: gather to %d: %w", a.name, root, err)
 	}
 	if rank != root {
-		return nil
+		return nil, nil
 	}
 	out := make([]float64, a.dom.Size())
 	for r := 0; r < ctx.NP(); r++ {
@@ -38,7 +39,8 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
 		g := d.LocalGrid(r)
 		buf := parts[r]
 		if msg.Float64Count(buf) != g.Count() {
-			panic(fmt.Sprintf("darray: %s: gather size mismatch from rank %d", a.name, r))
+			return nil, fmt.Errorf("darray: %s: gather at rank %d: contribution from rank %d has %d elements, want %d",
+				a.name, root, r, msg.Float64Count(buf), g.Count())
 		}
 		off := 0
 		g.ForEachRun(func(p index.Point, rn index.Run) bool {
@@ -53,19 +55,32 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) []float64 {
 			return true
 		})
 	}
+	return out, nil
+}
+
+// MustGatherTo is GatherTo panicking on failure.
+//
+// Deprecated: use GatherTo and handle the error.
+func (a *Array) MustGatherTo(ctx *machine.Ctx, root int) []float64 {
+	out, err := a.GatherTo(ctx, root)
+	if err != nil {
+		panic(err.Error())
+	}
 	return out
 }
 
 // ScatterFrom distributes a dense column-major slice (significant on
 // root only) into the array; every owner — including replicas — receives
-// its local part.
-func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) {
+// its local part.  A wrong-sized data slice on root and transport
+// failures are returned as wrapped errors naming the array and ranks.
+func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) error {
 	d := a.requireDist()
 	rank, np := ctx.Rank(), ctx.NP()
 	var bufs [][]byte
 	if rank == root {
 		if len(data) != a.dom.Size() {
-			panic(fmt.Sprintf("darray: %s: scatter data length %d != domain size %d", a.name, len(data), a.dom.Size()))
+			return fmt.Errorf("darray: %s: scatter from rank %d: scatter data length %d != domain size %d",
+				a.name, root, len(data), a.dom.Size())
 		}
 		bufs = make([][]byte, np)
 		for r := 0; r < np; r++ {
@@ -85,15 +100,25 @@ func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) {
 	}
 	mine, err := ctx.Comm().Scatterv(root, bufs)
 	if err != nil {
-		panic(fmt.Sprintf("darray: %s: scatter failed: %v", a.name, err))
+		return fmt.Errorf("darray: %s: scatter from %d: %w", a.name, root, err)
 	}
 	a.locals[rank].unpackWire(a.locals[rank].grid, mine)
+	return nil
+}
+
+// MustScatterFrom is ScatterFrom panicking on failure.
+//
+// Deprecated: use ScatterFrom and handle the error.
+func (a *Array) MustScatterFrom(ctx *machine.Ctx, root int, data []float64) {
+	if err := a.ScatterFrom(ctx, root, data); err != nil {
+		panic(err.Error())
+	}
 }
 
 // ReduceSum returns the sum of all owned elements across processors on
 // every rank (replicas divide their contribution so each element counts
 // once).
-func (a *Array) ReduceSum(ctx *machine.Ctx) float64 {
+func (a *Array) ReduceSum(ctx *machine.Ctx) (float64, error) {
 	d := a.requireDist()
 	rank := ctx.Rank()
 	local := 0.0
@@ -103,18 +128,30 @@ func (a *Array) ReduceSum(ctx *machine.Ctx) float64 {
 	}
 	out, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
 	if err != nil {
-		panic(fmt.Sprintf("darray: %s: reduce failed: %v", a.name, err))
+		return 0, fmt.Errorf("darray: %s: reduce at rank %d: %w", a.name, rank, err)
 	}
-	return out[0]
+	return out[0], nil
+}
+
+// MustReduceSum is ReduceSum panicking on failure.
+//
+// Deprecated: use ReduceSum and handle the error.
+func (a *Array) MustReduceSum(ctx *machine.Ctx) float64 {
+	out, err := a.ReduceSum(ctx)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
 }
 
 // MaxAbsDiff compares two arrays with identical domains element-wise and
 // returns the maximum absolute difference on every rank.  Both arrays
 // must currently have the same distribution (it walks a's owned set and
 // reads b locally).
-func MaxAbsDiff(ctx *machine.Ctx, x, y *Array) float64 {
+func MaxAbsDiff(ctx *machine.Ctx, x, y *Array) (float64, error) {
 	if !x.dom.Equal(y.dom) {
-		panic("darray: MaxAbsDiff domain mismatch")
+		return 0, fmt.Errorf("darray: MaxAbsDiff: domain mismatch between %s %v and %s %v",
+			x.name, x.dom, y.name, y.dom)
 	}
 	rank := ctx.Rank()
 	local := 0.0
@@ -132,7 +169,18 @@ func MaxAbsDiff(ctx *machine.Ctx, x, y *Array) float64 {
 	}
 	out, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
 	if err != nil {
-		panic(fmt.Sprintf("darray: MaxAbsDiff reduce failed: %v", err))
+		return 0, fmt.Errorf("darray: MaxAbsDiff %s/%s at rank %d: %w", x.name, y.name, rank, err)
 	}
-	return out[0]
+	return out[0], nil
+}
+
+// MustMaxAbsDiff is MaxAbsDiff panicking on failure.
+//
+// Deprecated: use MaxAbsDiff and handle the error.
+func MustMaxAbsDiff(ctx *machine.Ctx, x, y *Array) float64 {
+	out, err := MaxAbsDiff(ctx, x, y)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
 }

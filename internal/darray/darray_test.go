@@ -31,7 +31,10 @@ func TestCreateFillGather(t *testing.T) {
 		a := New(ctx, "A", index.Dim(8, 3), d)
 		a.FillFunc(ctx, val2)
 		ctx.Barrier()
-		got := a.GatherTo(ctx, 0)
+		got, err := a.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			dom := a.Domain()
 			dom.WholeSection().ForEach(func(p index.Point) bool {
@@ -162,7 +165,10 @@ func TestRedistributePreservesValues(t *testing.T) {
 		if err := a.RedistributeTo(ctx, d1); err != nil {
 			return err
 		}
-		got := a.GatherTo(ctx, 0)
+		got, err := a.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			dom.WholeSection().ForEach(func(p index.Point) bool {
 				if got[dom.Offset(p)] != val2(p) {
@@ -433,8 +439,13 @@ func TestScatterGatherRoundTrip(t *testing.T) {
 				data[i] = float64(i) * 1.5
 			}
 		}
-		a.ScatterFrom(ctx, 0, data)
-		got := a.GatherTo(ctx, 0)
+		if err := a.ScatterFrom(ctx, 0, data); err != nil {
+			return err
+		}
+		got, err := a.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			for i := range got {
 				if got[i] != float64(i)*1.5 {
@@ -466,10 +477,15 @@ func TestReplicatedArray(t *testing.T) {
 				t.Errorf("rank %d replica at %v = %v", ctx.Rank(), p, *v)
 			}
 		})
-		if s := a.ReduceSum(ctx); s != float64(7*(1+2+3+4+5+6)) {
+		if s, err := a.ReduceSum(ctx); err != nil {
+			return err
+		} else if s != float64(7*(1+2+3+4+5+6)) {
 			t.Errorf("sum = %v", s)
 		}
-		got := a.GatherTo(ctx, 0)
+		got, err := a.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 && got[0] != 7 {
 			t.Errorf("gather replicated = %v", got)
 		}
@@ -520,14 +536,18 @@ func TestMaxAbsDiff(t *testing.T) {
 		x.Fill(ctx, 1)
 		y.Fill(ctx, 1)
 		ctx.Barrier()
-		if got := MaxAbsDiff(ctx, x, y); got != 0 {
+		if got, err := MaxAbsDiff(ctx, x, y); err != nil {
+			return err
+		} else if got != 0 {
 			t.Errorf("identical arrays diff = %v", got)
 		}
 		if ctx.Rank() == 1 {
 			y.Set(ctx, index.Point{6}, 3.5)
 		}
 		ctx.Barrier()
-		if got := MaxAbsDiff(ctx, x, y); got != 2.5 {
+		if got, err := MaxAbsDiff(ctx, x, y); err != nil {
+			return err
+		} else if got != 2.5 {
 			t.Errorf("diff = %v", got)
 		}
 		return nil

@@ -86,8 +86,7 @@ func TestScatterLengthMismatch(t *testing.T) {
 		if ctx.Rank() == 0 {
 			data = make([]float64, 3) // wrong length
 		}
-		a.ScatterFrom(ctx, 0, data)
-		return nil
+		return a.ScatterFrom(ctx, 0, data)
 	})
 }
 

@@ -1,0 +1,208 @@
+package darray
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// TestFaultMatrix replays each collective pattern of the runtime —
+// barrier, bcast, gather, alltoallv, ghost exchange, redistribute — under
+// an injected send error, a delivery delay, and a dropped frame, on both
+// transports.  Every cell must either complete after retry (send errors
+// and delays heal under the deadline/retry CommConfig) or return a wrapped
+// error naming the operation and a rank (drops are unrecoverable: only the
+// deadline unblocks the receiver).  Nothing may panic, and a failed
+// redistribute must leave the array readable with its old distribution on
+// every rank.
+func TestFaultMatrix(t *testing.T) {
+	faults := []struct {
+		name      string
+		rule      msg.FaultRule
+		expectErr bool
+	}{
+		{"senderr", msg.FaultRule{Kind: msg.FaultSendErr, Rank: faultRank, Peer: -1, Count: 1}, false},
+		{"delay", msg.FaultRule{Kind: msg.FaultRecvDelay, Rank: faultRank, Peer: -1, Count: 1, Delay: 40 * time.Millisecond}, false},
+		{"drop", msg.FaultRule{Kind: msg.FaultDrop, Rank: faultRank, Peer: -1, Count: 1}, true},
+	}
+	ops := []struct {
+		name string
+		frag string // fragment every failure error must carry
+	}{
+		{"barrier", "barrier"},
+		{"bcast", "bcast"},
+		{"gather", "gather"},
+		{"alltoallv", "alltoallv"},
+		{"ghost", "ghost"},
+		{"redistribute", "redistribution"},
+	}
+	for _, transport := range []string{"chan", "tcp"} {
+		for _, op := range ops {
+			for _, fc := range faults {
+				t.Run(transport+"/"+op.name+"/"+fc.name, func(t *testing.T) {
+					runFaultCase(t, transport, op.name, op.frag, fc.rule, fc.expectErr)
+				})
+			}
+		}
+	}
+}
+
+const faultRank = 1 // the rank whose sends/receives carry the injected fault
+
+func runFaultCase(t *testing.T, transport, opName, opFrag string, rule msg.FaultRule, expectErr bool) {
+	const np = 4
+	plan := &msg.FaultPlan{StartDisarmed: true, Rules: []msg.FaultRule{rule}}
+	var base msg.Transport
+	if transport == "tcp" {
+		tcp, err := msg.NewTCPTransport(np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = tcp
+	} else {
+		base = msg.NewChanTransport(np)
+	}
+	ft := msg.NewFaultTransport(base, plan)
+	cfg := msg.CommConfig{Timeout: 20 * time.Millisecond, Retries: 3, Backoff: time.Millisecond}
+	m := machine.New(np, machine.WithTransport(ft), machine.WithCommConfig(cfg))
+	defer m.Close()
+
+	errs := make([]error, np)
+	if err := m.Run(func(ctx *machine.Ctx) error {
+		rank := ctx.Rank()
+		// Setup runs with injection disarmed, so the fault schedule counts
+		// only the phase under test.
+		tg := ctx.Machine().ProcsDim("P", np).Whole()
+		dom := index.Dim(16)
+		blk := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+		cyc := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg)
+		val := func(p index.Point) float64 { return float64(p[0] * 3) }
+		var a *Array
+		switch opName {
+		case "ghost":
+			a = New(ctx, "A", dom, blk, WithGhost(1))
+		case "redistribute":
+			a = New(ctx, "A", dom, blk)
+		}
+		if a != nil {
+			a.FillFunc(ctx, val)
+		}
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		// All of a rank's own barrier sends precede its Barrier() return,
+		// so arming here makes faultRank's next matching operation the
+		// first of the op under test.
+		if rank == faultRank {
+			ft.Arm(faultRank)
+		}
+		var opErr error
+		switch opName {
+		case "barrier":
+			opErr = ctx.Barrier()
+		case "bcast":
+			var buf []byte
+			if rank == faultRank {
+				buf = msg.EncodeInts([]int{4242})
+			}
+			out, err := ctx.Comm().Bcast(faultRank, buf)
+			opErr = err
+			if err == nil {
+				if got := msg.DecodeInts(out)[0]; got != 4242 {
+					t.Errorf("rank %d: bcast got %d, want 4242", rank, got)
+				}
+			}
+		case "gather":
+			parts, err := ctx.Comm().Gather(0, msg.EncodeInts([]int{rank * 11}))
+			opErr = err
+			if err == nil && rank == 0 {
+				for r, p := range parts {
+					if got := msg.DecodeInts(p)[0]; got != r*11 {
+						t.Errorf("gather[%d] = %d, want %d", r, got, r*11)
+					}
+				}
+			}
+		case "alltoallv":
+			send := make([][]byte, np)
+			for to := range send {
+				send[to] = msg.EncodeInts([]int{rank*100 + to})
+			}
+			recv, err := ctx.Comm().Alltoallv(send)
+			opErr = err
+			if err == nil {
+				for from, p := range recv {
+					if got := msg.DecodeInts(p)[0]; got != from*100+rank {
+						t.Errorf("rank %d: alltoallv from %d = %d", rank, from, got)
+					}
+				}
+			}
+		case "ghost":
+			opErr = a.ExchangeGhosts(ctx, 0)
+			if opErr == nil && rank > 0 {
+				// west ghost cell holds the left neighbour's last element
+				l := a.Local(ctx)
+				lo, _, _ := l.Segment()
+				if got := l.At(index.Point{lo[0] - 1}); got != val(index.Point{lo[0] - 1}) {
+					t.Errorf("rank %d: ghost cell = %v, want %v", rank, got, val(index.Point{lo[0] - 1}))
+				}
+			}
+		case "redistribute":
+			opErr = a.RedistributeTo(ctx, cyc)
+			if opErr == nil {
+				if !a.Dist().Equal(cyc) {
+					t.Errorf("rank %d: dist after redistribute = %v, want cyclic", rank, a.DistType())
+				}
+			} else {
+				// A failed DISTRIBUTE must leave the old association and
+				// data intact everywhere (two-phase commit).
+				if !a.Dist().Equal(blk) {
+					t.Errorf("rank %d: failed redistribute left dist %v, want old block dist", rank, a.DistType())
+				}
+			}
+			bad := 0
+			a.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
+				if *v != val(p) {
+					bad++
+				}
+			})
+			if bad != 0 {
+				t.Errorf("rank %d: %d wrong values after redistribute (err=%v)", rank, bad, opErr)
+			}
+		}
+		if rank == faultRank {
+			ft.Disarm(faultRank)
+		}
+		errs[rank] = opErr
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	failed := 0
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		if !expectErr {
+			t.Errorf("rank %d: %s failed under a healable fault: %v", r, opName, err)
+			continue
+		}
+		for _, frag := range []string{opFrag, "rank"} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("rank %d: error %q does not name %q", r, err, frag)
+			}
+		}
+		if strings.Contains(err.Error(), "panic") {
+			t.Errorf("rank %d: fault surfaced as a panic: %q", r, err)
+		}
+	}
+	if expectErr && failed == 0 {
+		t.Errorf("%s: frame dropped but every rank completed", opName)
+	}
+}

@@ -31,7 +31,9 @@ import (
 // buffer when Send returns), so steady-state stencil iteration allocates
 // nothing on the send side.  Programmer errors (ghost exchange on a
 // non-contiguous dimension) panic; transport failures are returned as
-// errors wrapping the underlying cause.
+// errors wrapping the underlying cause.  The exchange runs under the
+// machine's msg.CommConfig deadline/retry policy, so a lost face frame
+// surfaces as a wrapped timeout instead of blocking forever.
 func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error {
 	d := a.requireDist()
 	if a.ghost[k] == 0 {
@@ -53,6 +55,8 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error {
 	}
 	w := a.ghost[k]
 	ep := ctx.Endpoint()
+	cfg := ctx.Comm().Config()
+	tr := ctx.Tracer()
 	bufs := &a.bufs[rank]
 	tag := msg.TagRMABase + 4096 + 2*k // per-dimension ghost tag space
 	defer ctx.Tracer().BeginSpan(rank, trace.CatGhost, "ghost "+a.name).End()
@@ -66,16 +70,16 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error {
 		fw := min(w, hi-lo+1)
 		face := l.face(k, 0, index.NewRun(hi-fw+1, hi, 1))
 		bufs.face = l.appendPacked(bufs.face[:0], face)
-		if err := ep.Send(next, tag, bufs.face); err != nil {
-			return fmt.Errorf("darray: %s: ghost exchange dim %d: send to %d: %w", a.name, k+1, next, err)
+		if err := msg.SendRetry(ep, cfg, tr, "ghost-exchange", next, tag, bufs.face); err != nil {
+			return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
 		}
 	}
 	if prev >= 0 {
 		fw := min(w, dimCount(d, k, prev))
 		if fw > 0 {
-			p, err := ep.Recv(prev, tag)
+			p, err := msg.RecvRetry(ep, cfg, tr, "ghost-exchange", prev, tag)
 			if err != nil {
-				return fmt.Errorf("darray: %s: ghost exchange dim %d: recv from %d: %w", a.name, k+1, prev, err)
+				return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
 			}
 			l.unpackWire(l.face(k, 1, index.NewRun(lo-fw, lo-1, 1)), p.Data)
 		}
@@ -85,16 +89,16 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error {
 		fw := min(w, hi-lo+1)
 		face := l.face(k, 2, index.NewRun(lo, lo+fw-1, 1))
 		bufs.face = l.appendPacked(bufs.face[:0], face)
-		if err := ep.Send(prev, tag+1, bufs.face); err != nil {
-			return fmt.Errorf("darray: %s: ghost exchange dim %d: send to %d: %w", a.name, k+1, prev, err)
+		if err := msg.SendRetry(ep, cfg, tr, "ghost-exchange", prev, tag+1, bufs.face); err != nil {
+			return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
 		}
 	}
 	if next >= 0 {
 		fw := min(w, dimCount(d, k, next))
 		if fw > 0 {
-			p, err := ep.Recv(next, tag+1)
+			p, err := msg.RecvRetry(ep, cfg, tr, "ghost-exchange", next, tag+1)
 			if err != nil {
-				return fmt.Errorf("darray: %s: ghost exchange dim %d: recv from %d: %w", a.name, k+1, next, err)
+				return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
 			}
 			l.unpackWire(l.face(k, 3, index.NewRun(hi+1, hi+fw, 1)), p.Data)
 		}

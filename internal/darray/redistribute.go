@@ -55,7 +55,9 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 
 	if oldD != nil && oldD.Equal(newD) {
 		// No-op redistribution: nothing moves, descriptors unchanged.
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return fmt.Errorf("darray: %s: redistribution barrier: %w", a.name, err)
+		}
 		return nil
 	}
 
@@ -67,10 +69,11 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 
 	if oldD == nil {
 		// First association: no data to move.
+		if err := ctx.Barrier(); err != nil {
+			return fmt.Errorf("darray: %s: redistribution barrier: %w", a.name, err)
+		}
 		a.locals[rank] = newLocal
-		ctx.Barrier()
-		a.swapDist(ctx, newD)
-		return nil
+		return a.swapDist(ctx, newD)
 	}
 
 	oldLocal := a.locals[rank]
@@ -128,11 +131,19 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 		// descriptor swap happened; the barrier below provides that.
 	}
 
+	// Two-phase commit: nothing is published until the commit barrier
+	// proves every processor received all its incoming spans.  A rank
+	// whose exchange failed returned above without entering the barrier,
+	// so under a deadline/retry CommConfig the surviving ranks' barrier
+	// fails too and no rank commits: a failed DISTRIBUTE leaves the array
+	// readable with its old Local and old distribution everywhere.
+	if err := ctx.Barrier(); err != nil {
+		a.retireLocal(rank, newD, newLocal)
+		return fmt.Errorf("darray: %s: redistribution commit: %w", a.name, err)
+	}
 	a.locals[rank] = newLocal
 	a.retireLocal(rank, oldD, oldLocal)
-	ctx.Barrier()
-	a.swapDist(ctx, newD)
-	return nil
+	return a.swapDist(ctx, newD)
 }
 
 // Redistribute is the boolean-flag form of RedistributeTo.
@@ -151,15 +162,20 @@ func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer
 }
 
 // swapDist publishes the new descriptor; the surrounding barriers give
-// every processor a consistent view.
-func (a *Array) swapDist(ctx *machine.Ctx, newD *dist.Distribution) {
+// every processor a consistent view.  It runs only after the commit
+// barrier, so every rank's data is already in place; a failure of its own
+// barrier is reported but cannot un-publish the descriptor.
+func (a *Array) swapDist(ctx *machine.Ctx, newD *dist.Distribution) error {
 	if ctx.Rank() == 0 {
 		a.mu.Lock()
 		a.dst = newD
 		a.epoc++
 		a.mu.Unlock()
 	}
-	ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return fmt.Errorf("darray: %s: distribution swap barrier: %w", a.name, err)
+	}
+	return nil
 }
 
 // packGrid serializes the values at the grid's points in canonical order.

@@ -46,7 +46,9 @@ func builtinTridiag(st *State, args []any) error {
 	arr, ctx := aa.Arr, st.Ctx
 	// synchronize: preceding owner-computes writes must be visible before
 	// any cross-processor reads below
-	ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
 	d := arr.Dist()
 	dom := arr.Domain()
 	lo := dom.Lo[dim]
@@ -64,7 +66,9 @@ func builtinTridiag(st *State, args []any) error {
 			start := l.Offset(first)
 			kernels.TridiagStrided(l.Data(), start, l.Stride()[dim], n, TriA, TriB, TriC, nil)
 		}
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		return nil
 	}
 	// distributed line: gather-solve-scatter on the first element's owner
@@ -81,7 +85,9 @@ func builtinTridiag(st *State, args []any) error {
 			arr.DArray().Set(ctx, p, vals[i])
 		}
 	}
-	ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -99,7 +105,10 @@ func builtinResid(st *State, args []any) error {
 		return fmt.Errorf("RESID arguments must be whole arrays")
 	}
 	ctx := st.Ctx
-	ctx.Barrier() // preceding writes must be visible before remote reads
+	// preceding writes must be visible before remote reads
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
 	v, u, f := va.Arr, ua.Arr, fa.Arr
 	dom := v.Domain()
 	lu := u.Local(ctx)
@@ -126,6 +135,8 @@ func builtinResid(st *State, args []any) error {
 			get(index.Point{i - 1, j}) - get(index.Point{i + 1, j}) -
 			get(index.Point{i, j - 1}) - get(index.Point{i, j + 1}))
 	})
-	ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
 	return nil
 }

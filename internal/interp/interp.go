@@ -125,7 +125,9 @@ func (st *State) stmts(list []lang.Stmt) error {
 		// independent by assertion and it barriers once at the end.)
 		if as, ok := s.(*lang.AssignStmt); ok {
 			if _, isArr := st.arrays[as.LHS.Name]; isArr {
-				st.Ctx.Barrier()
+				if err := st.Ctx.Barrier(); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -257,7 +259,10 @@ func (st *State) forall(stm *lang.ForallStmt) error {
 					if ferr != nil {
 						return ferr
 					}
-					st.Ctx.Barrier() // FORALL completes collectively
+					// FORALL completes collectively
+					if err := st.Ctx.Barrier(); err != nil {
+						return err
+					}
 					return nil
 				}
 			}
@@ -270,7 +275,9 @@ func (st *State) forall(stm *lang.ForallStmt) error {
 			return err
 		}
 	}
-	st.Ctx.Barrier()
+	if err := st.Ctx.Barrier(); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -42,7 +42,10 @@ func runProgram(t *testing.T, np int, src string, gather string) (map[string]flo
 				t.Errorf("array %s not declared", gather)
 				return nil
 			}
-			got := arr.GatherTo(ctx, 0)
+			got, err := arr.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
 			if ctx.Rank() == 0 {
 				data = got
 				scalars = st.Scalars
@@ -329,7 +332,10 @@ CALL FILLSQ(A, N)
 			return err
 		}
 		arr, _ := st.Array("A")
-		got := arr.GatherTo(ctx, 0)
+		got, err := arr.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			data = got
 		}

@@ -27,7 +27,9 @@ func RegisterPICDemo(in *Interp) {
 			}
 			return 0
 		})
-		st.Ctx.Barrier()
+		if err := st.Ctx.Barrier(); err != nil {
+			return err
+		}
 		return nil
 	})
 
@@ -35,7 +37,9 @@ func RegisterPICDemo(in *Interp) {
 		ba := args[0].(*ArrayArg)
 		fa := args[1].(*ArrayArg)
 		ctx := st.Ctx
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		ncell := fa.Arr.Domain().Extent(0)
 		np := ctx.NP()
 		// gather per-cell counts to rank 0, compute bounds, broadcast
@@ -95,14 +99,18 @@ func RegisterPICDemo(in *Interp) {
 		for i, b := range bounds {
 			lb.SetAt(index.Point{i + 1}, float64(b))
 		}
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		return nil
 	})
 
 	in.Register("UPDATE_FIELD", func(st *State, args []any) error {
 		fa := args[0].(*ArrayArg)
 		ctx := st.Ctx
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		l := fa.Arr.Local(ctx)
 		l.ForEachOwned(func(p index.Point, v *float64) {
 			if p[1] != 1 {
@@ -112,14 +120,18 @@ func RegisterPICDemo(in *Interp) {
 			q := index.Point{p[0], 2}
 			l.SetAt(q, l.At(q)+*v)
 		})
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		return nil
 	})
 
 	in.Register("UPDATE_PART", func(st *State, args []any) error {
 		fa := args[0].(*ArrayArg)
 		ctx := st.Ctx
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		arr := fa.Arr
 		d := arr.Dist()
 		l := arr.Local(ctx)
@@ -172,7 +184,9 @@ func RegisterPICDemo(in *Interp) {
 			q := index.Point{int(vals[1]), 1}
 			l.SetAt(q, l.At(q)+vals[0])
 		}
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		return nil
 	})
 
@@ -182,7 +196,9 @@ func RegisterPICDemo(in *Interp) {
 	in.Register("REBALANCE", func(st *State, args []any) error {
 		fa := args[0].(*ArrayArg)
 		ctx := st.Ctx
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		local := 0.0
 		fa.Arr.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
 			if p[1] == 1 {
@@ -210,7 +226,9 @@ func RegisterPICDemo(in *Interp) {
 		fa := args[0].(*ArrayArg)
 		step := args[1].(float64)
 		ctx := st.Ctx
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		local := 0.0
 		fa.Arr.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
 			if p[1] == 1 {

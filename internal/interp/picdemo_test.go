@@ -33,7 +33,10 @@ func TestPICDemoEndToEnd(t *testing.T) {
 			return err
 		}
 		field, _ := st.Array("FIELD")
-		data := field.GatherTo(ctx, 0)
+		data, err := field.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			// plane 1 holds the particle counts
 			n := field.Domain().Extent(0)

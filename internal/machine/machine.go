@@ -18,6 +18,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -31,6 +32,7 @@ import (
 type Machine struct {
 	np        int
 	transport msg.Transport
+	commCfg   msg.CommConfig
 
 	mu      sync.Mutex
 	objects map[int64]*collEntry
@@ -49,6 +51,7 @@ type config struct {
 	transport msg.Transport
 	cost      *msg.CostModel
 	tracer    *trace.Tracer
+	comm      msg.CommConfig
 }
 
 // WithTransport runs the machine on the given transport (e.g. a
@@ -70,6 +73,13 @@ func WithCostModel(cm *msg.CostModel) Option {
 // transport with msg.WithTracer instead).  A nil tracer is a no-op.
 func WithTrace(tr *trace.Tracer) Option {
 	return func(c *config) { c.tracer = tr }
+}
+
+// WithCommConfig installs a deadline/retry policy on every processor's
+// collectives (see msg.CommConfig).  The zero config blocks forever, the
+// historical behaviour.
+func WithCommConfig(cc msg.CommConfig) Option {
+	return func(c *config) { c.comm = cc }
 }
 
 // New creates a machine with np logical processors on an in-process
@@ -101,6 +111,7 @@ func New(np int, opts ...Option) *Machine {
 	return &Machine{
 		np:        np,
 		transport: tr,
+		commCfg:   cfg.comm,
 		objects:   make(map[int64]*collEntry),
 		procs:     make(map[string]*ProcArray),
 	}
@@ -126,10 +137,12 @@ func (m *Machine) Close() error { return m.transport.Close() }
 
 // Run executes body as an SPMD program: one goroutine per processor, each
 // receiving its own Ctx.  Panics in the body are recovered and reported as
-// errors with stack traces; like an MPI abort, a panicking rank shuts the
-// transport down so ranks blocked in collectives unwind instead of
-// deadlocking (the machine is unusable afterwards).  Run prefers the
-// originating panic over the secondary ErrClosed failures it induces.
+// errors with stack traces; like an MPI abort, a rank that panics or
+// returns an error shuts the transport down so ranks blocked in
+// collectives unwind instead of deadlocking (the machine is unusable
+// afterwards).  Run prefers the originating failure — a panic or error
+// that is not itself a secondary ErrClosed consequence of the abort — and
+// its report names the failing rank.
 func (m *Machine) Run(body func(ctx *Ctx) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, m.np)
@@ -146,28 +159,39 @@ func (m *Machine) Run(body func(ctx *Ctx) error) error {
 				}
 			}()
 			ctx := m.newCtx(r)
-			errs[r] = body(ctx)
+			if err := body(ctx); err != nil {
+				errs[r] = fmt.Errorf("machine: rank %d: %w", r, err)
+				m.transport.Close()
+			}
 		}(r)
 	}
 	wg.Wait()
-	// Prefer the originating failure: a panic that is not itself a
-	// consequence of the abort-induced transport shutdown.
-	for r, err := range errs {
-		if err != nil && panicked[r] && !strings.Contains(err.Error(), ErrClosedText) {
-			return err
+	pick := func(wantPanic, wantClosed bool) error {
+		for r, err := range errs {
+			if err != nil && panicked[r] == wantPanic && isClosedErr(err) == wantClosed {
+				return err
+			}
 		}
+		return nil
 	}
-	for r, err := range errs {
-		if err != nil && panicked[r] {
-			return err
-		}
-	}
-	for _, err := range errs {
+	for _, err := range []error{
+		pick(true, false),  // originating panic
+		pick(false, false), // originating body error
+		pick(true, true),   // secondary: panic induced by the abort
+		pick(false, true),  // secondary: error induced by the abort
+	} {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// isClosedErr reports whether err is (or textually embeds, for recovered
+// panics) the transport-closed failure an SPMD abort induces on the
+// surviving ranks.
+func isClosedErr(err error) bool {
+	return errors.Is(err, msg.ErrClosed) || strings.Contains(err.Error(), ErrClosedText)
 }
 
 // ErrClosedText is the marker of secondary failures induced by an SPMD
@@ -183,7 +207,9 @@ type Ctx struct {
 }
 
 func (m *Machine) newCtx(rank int) *Ctx {
-	return &Ctx{rank: rank, m: m, comm: msg.NewComm(m.transport.Endpoint(rank))}
+	c := &Ctx{rank: rank, m: m, comm: msg.NewComm(m.transport.Endpoint(rank))}
+	c.comm.SetConfig(m.commCfg)
+	return c
 }
 
 // Rank returns this processor's rank in 0..NP-1.
@@ -201,8 +227,17 @@ func (c *Ctx) Comm() *msg.Comm { return c.comm }
 // Endpoint returns this processor's point-to-point endpoint.
 func (c *Ctx) Endpoint() msg.Endpoint { return c.comm.Endpoint() }
 
-// Barrier synchronizes all processors.
-func (c *Ctx) Barrier() {
+// Barrier synchronizes all processors.  A transport failure is returned
+// (wrapped, naming the rank) rather than panicking, so the SPMD driver can
+// exit cleanly with the failing rank.
+func (c *Ctx) Barrier() error {
+	return c.comm.Barrier()
+}
+
+// MustBarrier is Barrier panicking on transport failure.
+//
+// Deprecated: use Barrier and handle the error.
+func (c *Ctx) MustBarrier() {
 	if err := c.comm.Barrier(); err != nil {
 		panic(fmt.Sprintf("machine: barrier failed: %v", err))
 	}

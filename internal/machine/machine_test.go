@@ -1,10 +1,12 @@
 package machine
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/msg"
 )
@@ -237,5 +239,71 @@ func TestWholeSection(t *testing.T) {
 	}
 	if w.String() == "" {
 		t.Fatal("string empty")
+	}
+}
+
+// TestBodyErrorUnblocksPeersInBarrier: one rank's body returns an error
+// while the others sit in a barrier.  The runtime must close the transport
+// so the barrier returns an error instead of deadlocking, and Run must
+// surface the *originating* body error, naming the failing rank.
+func TestBodyErrorUnblocksPeersInBarrier(t *testing.T) {
+	m := New(4)
+	defer m.Close()
+	err := m.Run(func(ctx *Ctx) error {
+		if ctx.Rank() == 2 {
+			return errors.New("disk on fire")
+		}
+		if err := ctx.Barrier(); err == nil {
+			t.Errorf("rank %d: barrier should fail after rank 2 errored", ctx.Rank())
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run should surface the body error")
+	}
+	for _, frag := range []string{"machine: rank 2", "disk on fire"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("err %q missing %q", err, frag)
+		}
+	}
+	if strings.Contains(err.Error(), "panic") {
+		t.Errorf("error propagation must not involve a panic: %q", err)
+	}
+}
+
+// TestBarrierErrorOnClosedTransport: Ctx.Barrier reports transport
+// shutdown as an error value rather than panicking.
+func TestBarrierErrorOnClosedTransport(t *testing.T) {
+	tr := msg.NewChanTransport(2)
+	m := New(2, WithTransport(tr))
+	defer m.Close()
+	err := m.Run(func(ctx *Ctx) error {
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			tr.Close()
+		}
+		err := ctx.Barrier()
+		if err == nil {
+			t.Errorf("rank %d: barrier on closed transport should fail", ctx.Rank())
+		}
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "machine: rank") {
+		t.Fatalf("Run err = %v, want a rank-naming error", err)
+	}
+}
+
+// TestCommConfigInstalled: WithCommConfig must reach every rank's Comm.
+func TestCommConfigInstalled(t *testing.T) {
+	cc := msg.CommConfig{Timeout: 123 * time.Millisecond, Retries: 5, Backoff: time.Millisecond}
+	m := New(2, WithCommConfig(cc))
+	defer m.Close()
+	if err := m.Run(func(ctx *Ctx) error {
+		if got := ctx.Comm().Config(); got != cc {
+			t.Errorf("rank %d: comm config = %+v, want %+v", ctx.Rank(), got, cc)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

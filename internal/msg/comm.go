@@ -1,10 +1,93 @@
 package msg
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/trace"
 )
+
+// CommConfig bounds how long a collective may wait on the transport.  The
+// zero value preserves the historical behaviour: block forever, fail only
+// when the transport errors.
+//
+// With a Timeout set, every receive inside a collective runs under a
+// deadline; a timed-out or failed operation is retried up to Retries times
+// with exponential escalation (the deadline doubles per attempt, and
+// failed sends sleep Backoff<<attempt between attempts) before the
+// collective returns a wrapped error naming the collective and rank.
+// Errors that cannot heal (ErrClosed) are never retried.
+type CommConfig struct {
+	// Timeout is the per-receive deadline inside collectives; 0 means
+	// wait forever.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after the first failure.
+	Retries int
+	// Backoff is the initial sleep between failed send attempts; it
+	// doubles per retry.  0 means retry immediately.
+	Backoff time.Duration
+}
+
+// maxEscalateShift caps the exponential deadline/backoff escalation so the
+// shift cannot overflow a Duration even with absurd retry counts.
+const maxEscalateShift = 16
+
+func escalate(d time.Duration, attempt int) time.Duration {
+	if attempt > maxEscalateShift {
+		attempt = maxEscalateShift
+	}
+	return d << attempt
+}
+
+// SendRetry sends with the config's bounded-retry policy, wrapping any
+// terminal error with the operation name and sending rank.  Each retry is
+// recorded as a "retry:<op>" instant on the tracer (when non-nil).
+func SendRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, to, tag int, data []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := ep.Send(to, tag, data)
+		if err == nil {
+			return nil
+		}
+		if attempt >= cfg.Retries || errors.Is(err, ErrClosed) {
+			return fmt.Errorf("msg: %s: rank %d: send to %d: %w", op, ep.Rank(), to, err)
+		}
+		if tr != nil {
+			tr.Instant(ep.Rank(), trace.CatCollective, "retry:"+op, to, int64(attempt+1))
+		}
+		if cfg.Backoff > 0 {
+			time.Sleep(escalate(cfg.Backoff, attempt))
+		}
+	}
+}
+
+// RecvRetry receives with the config's deadline/bounded-retry policy,
+// wrapping any terminal error with the operation name and receiving rank.
+// With no Timeout configured it blocks forever (but still retries
+// recoverable receive errors up to Retries times).
+func RecvRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, from, tag int) (Packet, error) {
+	for attempt := 0; ; attempt++ {
+		var p Packet
+		var err error
+		if cfg.Timeout > 0 {
+			p, err = ep.RecvTimeout(from, tag, escalate(cfg.Timeout, attempt))
+		} else {
+			p, err = ep.Recv(from, tag)
+		}
+		if err == nil {
+			return p, nil
+		}
+		if attempt >= cfg.Retries || errors.Is(err, ErrClosed) {
+			return Packet{}, fmt.Errorf("msg: %s: rank %d: recv from %d: %w", op, ep.Rank(), from, err)
+		}
+		if tr != nil {
+			tr.Instant(ep.Rank(), trace.CatCollective, "retry:"+op, from, int64(attempt+1))
+		}
+		if cfg.Backoff > 0 {
+			time.Sleep(escalate(cfg.Backoff, attempt))
+		}
+	}
+}
 
 // Comm layers collective operations over an Endpoint.  Each logical
 // processor of an SPMD program owns one Comm; because every processor
@@ -18,6 +101,7 @@ import (
 type Comm struct {
 	ep  Endpoint
 	tr  *trace.Tracer
+	cfg CommConfig
 	seq int64
 }
 
@@ -29,6 +113,24 @@ func NewComm(ep Endpoint) *Comm {
 		c.tr = tp.Tracer()
 	}
 	return c
+}
+
+// SetConfig installs the deadline/retry policy for this Comm's
+// collectives.  Every processor of an SPMD program must install the same
+// config (collective counts stay aligned either way, but retry behaviour
+// should be uniform).
+func (c *Comm) SetConfig(cfg CommConfig) { c.cfg = cfg }
+
+// Config returns the installed deadline/retry policy.
+func (c *Comm) Config() CommConfig { return c.cfg }
+
+// send/recv are the retrying transport ops all collectives go through.
+func (c *Comm) send(op string, to, tag int, data []byte) error {
+	return SendRetry(c.ep, c.cfg, c.tr, op, to, tag, data)
+}
+
+func (c *Comm) recv(op string, from, tag int) (Packet, error) {
+	return RecvRetry(c.ep, c.cfg, c.tr, op, from, tag)
 }
 
 // span opens a collective-category trace span.  Call sites guard on
@@ -48,9 +150,14 @@ func (c *Comm) NP() int { return c.ep.NP() }
 // Endpoint exposes the underlying endpoint for point-to-point traffic.
 func (c *Comm) Endpoint() Endpoint { return c.ep }
 
+// nextTag returns a fresh collective tag.  The sequence is monotonic and
+// never wraps (the tag space above TagCollBase is unbounded and tags are 8
+// bytes on the TCP wire), so a long run can never reuse a tag that still
+// has an unconsumed message sitting in a mailbox — the wraparound bug the
+// old `seq % (1<<20)` fold had.
 func (c *Comm) nextTag() int {
 	c.seq++
-	return TagCollBase + int(c.seq%(1<<20))
+	return TagCollBase + int(c.seq)
 }
 
 // Barrier blocks until all processors have entered it (dissemination
@@ -67,10 +174,10 @@ func (c *Comm) Barrier() error {
 	for k := 1; k < np; k <<= 1 {
 		to := (rank + k) % np
 		from := (rank - k + np) % np
-		if err := c.ep.Send(to, tag, nil); err != nil {
+		if err := c.send("barrier", to, tag, nil); err != nil {
 			return err
 		}
-		if _, err := c.ep.Recv(from, tag); err != nil {
+		if _, err := c.recv("barrier", from, tag); err != nil {
 			return err
 		}
 	}
@@ -92,7 +199,7 @@ func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
 	// vrank = (rank - root + np) % np.
 	vrank := (rank - root + np) % np
 	if vrank != 0 {
-		p, err := c.ep.Recv(AnySource, tag)
+		p, err := c.recv("bcast", AnySource, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +211,7 @@ func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
 		vchild := vrank | mask
 		if vchild < np {
 			child := (vchild + root) % np
-			if err := c.ep.Send(child, tag, buf); err != nil {
+			if err := c.send("bcast", child, tag, buf); err != nil {
 				return nil, err
 			}
 		}
@@ -134,14 +241,14 @@ func (c *Comm) ReduceF64(root int, vals []float64, op func(a, b float64) float64
 	for mask := 1; mask < np; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := ((vrank &^ mask) + root) % np
-			if err := c.ep.Send(parent, tag, EncodeFloat64s(acc)); err != nil {
+			if err := c.send("reduce", parent, tag, EncodeFloat64s(acc)); err != nil {
 				return nil, err
 			}
 			return nil, nil
 		}
 		// I receive from vrank+mask if that rank exists.
 		if vrank|mask < np {
-			p, err := c.ep.Recv(((vrank|mask)+root)%np, tag)
+			p, err := c.recv("reduce", ((vrank|mask)+root)%np, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -225,14 +332,14 @@ func (c *Comm) Gather(root int, buf []byte) ([][]byte, error) {
 	np, rank := c.NP(), c.Rank()
 	tag := c.nextTag()
 	if rank != root {
-		return nil, c.ep.Send(root, tag, buf)
+		return nil, c.send("gather", root, tag, buf)
 	}
 	out := make([][]byte, np)
 	cp := make([]byte, len(buf))
 	copy(cp, buf)
 	out[rank] = cp
 	for i := 0; i < np-1; i++ {
-		p, err := c.ep.Recv(AnySource, tag)
+		p, err := c.recv("gather", AnySource, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -322,18 +429,18 @@ func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
 	}
 	allSizes, err := c.AllgatherInts(sizes)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("msg: alltoallv: rank %d: size exchange: %w", rank, err)
 	}
 	for r := 1; r < np; r++ {
 		to := (rank + r) % np
 		from := (rank - r + np) % np
 		if send[to] != nil {
-			if err := c.ep.Send(to, tag, send[to]); err != nil {
+			if err := c.send("alltoallv", to, tag, send[to]); err != nil {
 				return nil, err
 			}
 		}
 		if allSizes[from][rank] >= 0 {
-			p, err := c.ep.Recv(from, tag)
+			p, err := c.recv("alltoallv", from, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -359,7 +466,7 @@ func (c *Comm) Scatterv(root int, bufs [][]byte) ([]byte, error) {
 			if r == root {
 				continue
 			}
-			if err := c.ep.Send(r, tag, bufs[r]); err != nil {
+			if err := c.send("scatterv", r, tag, bufs[r]); err != nil {
 				return nil, err
 			}
 		}
@@ -367,7 +474,7 @@ func (c *Comm) Scatterv(root int, bufs [][]byte) ([]byte, error) {
 		copy(cp, bufs[root])
 		return cp, nil
 	}
-	p, err := c.ep.Recv(root, tag)
+	p, err := c.recv("scatterv", root, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -399,12 +506,12 @@ func (c *Comm) AlltoallvSched(send [][]byte, recvFrom []bool) ([][]byte, error) 
 		to := (rank + r) % np
 		from := (rank - r + np) % np
 		if send[to] != nil {
-			if err := c.ep.Send(to, tag, send[to]); err != nil {
+			if err := c.send("alltoallv-sched", to, tag, send[to]); err != nil {
 				return nil, err
 			}
 		}
 		if recvFrom[from] {
-			p, err := c.ep.Recv(from, tag)
+			p, err := c.recv("alltoallv-sched", from, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -418,10 +525,10 @@ func (c *Comm) AlltoallvSched(send [][]byte, recvFrom []bool) ([][]byte, error) 
 // step: sends sbuf to `to` while receiving from `from`.  Used by shift
 // communications (ghost-cell exchange).
 func (c *Comm) SendRecv(to int, sbuf []byte, from, tag int) ([]byte, error) {
-	if err := c.ep.Send(to, tag, sbuf); err != nil {
+	if err := c.send("sendrecv", to, tag, sbuf); err != nil {
 		return nil, err
 	}
-	p, err := c.ep.Recv(from, tag)
+	p, err := c.recv("sendrecv", from, tag)
 	if err != nil {
 		return nil, err
 	}

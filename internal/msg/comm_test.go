@@ -3,6 +3,7 @@ package msg
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 // runComms executes body on a Comm per rank over a chan transport.
@@ -326,4 +327,72 @@ func TestBcastLargePayload(t *testing.T) {
 		return nil
 	})
 	tr.Close()
+}
+
+// TestCollectiveTagNeverWraps is the regression test for the old
+// nextTag() fold `TagCollBase + seq%(1<<20)`: after 2^20 collectives the
+// tag sequence restarted, so a stale message still sitting in a mailbox
+// under an early tag could be consumed by a much later collective.  The
+// fixed sequence is monotonic and unbounded, so a poison message planted
+// at the tag the old scheme would reuse must stay untouched.
+func TestCollectiveTagNeverWraps(t *testing.T) {
+	const oldWrap = 1 << 20
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	// Poison rank 1's mailbox at the tag the old folding scheme would
+	// produce for the next collective (seq wraps to 0 -> TagCollBase+0).
+	poisonTag := TagCollBase
+	if err := tr.Endpoint(0).Send(1, poisonTag, EncodeInts([]int{-666})); err != nil {
+		t.Fatal(err)
+	}
+	runCommsOn(t, tr, func(c *Comm) error {
+		c.seq = oldWrap - 1 // next collective crosses the old wrap boundary
+		var buf []byte
+		if c.Rank() == 0 {
+			buf = EncodeInts([]int{12345})
+		}
+		out, err := c.Bcast(0, buf)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInts(out)[0]; got != 12345 {
+			t.Errorf("rank %d: bcast across old wrap boundary got %d, want 12345", c.Rank(), got)
+		}
+		return nil
+	})
+	// The poison message must still be pending — the collective never
+	// reused its tag.
+	p, err := tr.Endpoint(1).RecvTimeout(0, poisonTag, time.Second)
+	if err != nil || DecodeInts(p.Data)[0] != -666 {
+		t.Fatalf("poison message was consumed by a wrapped collective tag: packet %+v err %v", p, err)
+	}
+}
+
+// TestHighCollectiveTagsOverTCP drives tags far past 32 bits through the
+// TCP framing (the wire tag is 8 bytes), as a long-running program's
+// monotonic collective sequence will.
+func TestHighCollectiveTagsOverTCP(t *testing.T) {
+	tcp, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	runCommsOn(t, tcp, func(c *Comm) error {
+		c.seq = 1 << 33 // tag = TagCollBase + 2^33 + ... > 2^32
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		var buf []byte
+		if c.Rank() == 1 {
+			buf = EncodeInts([]int{777})
+		}
+		out, err := c.Bcast(1, buf)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInts(out)[0]; got != 777 {
+			t.Errorf("rank %d: high-tag bcast got %d", c.Rank(), got)
+		}
+		return nil
+	})
 }

@@ -1,0 +1,342 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ErrInjected is the error produced by injected send/recv faults.  An
+// injected send error delivers nothing (the frame never left), so the
+// operation is safe to retry.
+var ErrInjected = errors.New("msg: injected fault")
+
+// FaultKind selects what a FaultRule does when it fires.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultSendErr makes Send return ErrInjected without delivering the
+	// frame (a failed socket write: retrying resends the data).
+	FaultSendErr FaultKind = iota
+	// FaultRecvErr makes Recv/RecvTimeout return ErrInjected without
+	// consuming anything from the mailbox (a failed socket read: the
+	// message is still there on retry).
+	FaultRecvErr
+	// FaultRecvDelay delays delivery of a sent frame by Delay (a slow
+	// link: the receiver's deadline fires, and a retried receive with an
+	// escalated deadline eventually sees the frame).
+	FaultRecvDelay
+	// FaultDrop silently discards a sent frame (a lost packet: no retry
+	// of the receive can ever see it; only a deadline unblocks the
+	// receiver).
+	FaultDrop
+)
+
+var faultKindNames = map[FaultKind]string{
+	FaultSendErr:   "senderr",
+	FaultRecvErr:   "recverr",
+	FaultRecvDelay: "delay",
+	FaultDrop:      "drop",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultRule describes one deterministic fault schedule.  A rule watches the
+// matching operations of one endpoint (sends for FaultSendErr /
+// FaultRecvDelay / FaultDrop, receives for FaultRecvErr) and fires on a
+// subset of them.  Matching operations are counted per endpoint, so a
+// schedule is deterministic for a deterministic program regardless of how
+// ranks interleave.
+type FaultRule struct {
+	Kind FaultKind
+	// Rank restricts the rule to one endpoint's operations (-1 = all).
+	Rank int
+	// Peer restricts by the remote rank: the destination for send-side
+	// kinds, the requested source for FaultRecvErr (-1 = any; a receive
+	// from AnySource matches any Peer).
+	Peer int
+	// After skips the first After matching operations.
+	After int
+	// Count fires on the next Count matches after After; 0 means every
+	// subsequent match (a persistent fault).
+	Count int
+	// Every, when > 0, fires on every Every-th match after After instead
+	// of the Count window.
+	Every int
+	// Prob, when > 0, fires each match after After with this probability
+	// using the plan's seeded per-rank RNG instead of Count/Every.
+	Prob float64
+	// Delay is the injected latency for FaultRecvDelay.
+	Delay time.Duration
+}
+
+// FaultPlan is a set of fault rules plus the RNG seed for probabilistic
+// rules.  The per-rank RNG streams are derived from Seed+rank, so a plan
+// replays identically for a deterministic program.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+	// StartDisarmed builds the transport with injection switched off on
+	// every rank; tests call FaultTransport.Arm(rank) at a point where the
+	// rank's subsequent traffic is exactly the phase under test, keeping
+	// the per-rank operation counts deterministic.
+	StartDisarmed bool
+}
+
+// ParseFaultPlan parses the -fault flag syntax: semicolon-separated rules,
+// each a kind followed by comma-separated key=value options, e.g.
+//
+//	senderr,rank=1,after=3,count=2;drop,peer=2,count=1;delay,delay=20ms,every=5
+//
+// Kinds: senderr, recverr, delay, drop.  Options: rank, peer, after,
+// count, every, prob, delay (a Go duration).  A bare "seed=N" segment sets
+// the plan seed for prob rules.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{}
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(seg, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("msg: fault plan: bad seed %q", v)
+			}
+			plan.Seed = n
+			continue
+		}
+		fields := strings.Split(seg, ",")
+		r := FaultRule{Rank: -1, Peer: -1}
+		switch fields[0] {
+		case "senderr":
+			r.Kind = FaultSendErr
+		case "recverr":
+			r.Kind = FaultRecvErr
+		case "delay":
+			r.Kind = FaultRecvDelay
+		case "drop":
+			r.Kind = FaultDrop
+		default:
+			return nil, fmt.Errorf("msg: fault plan: unknown kind %q (want senderr|recverr|delay|drop)", fields[0])
+		}
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("msg: fault plan: bad option %q (want key=value)", f)
+			}
+			var err error
+			switch k {
+			case "rank":
+				r.Rank, err = strconv.Atoi(v)
+			case "peer":
+				r.Peer, err = strconv.Atoi(v)
+			case "after":
+				r.After, err = strconv.Atoi(v)
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+			case "every":
+				r.Every, err = strconv.Atoi(v)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(v)
+			default:
+				err = fmt.Errorf("unknown option %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("msg: fault plan: option %q: %v", f, err)
+			}
+		}
+		if r.Kind == FaultRecvDelay && r.Delay <= 0 {
+			return nil, fmt.Errorf("msg: fault plan: delay rule needs delay=<duration>")
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	if len(plan.Rules) == 0 {
+		return nil, fmt.Errorf("msg: fault plan: no rules in %q", spec)
+	}
+	return plan, nil
+}
+
+// FaultTransport decorates any Transport with deterministic fault
+// injection.  Faults are injected on the sender side of the wrapped
+// transport (where both the channel and TCP transports still share one
+// code path), which keeps schedules independent of receiver timing:
+//
+//   - FaultSendErr: Send returns ErrInjected, nothing is delivered.
+//   - FaultRecvDelay: the frame is delivered Delay later from a helper
+//     goroutine (the payload is copied first, preserving the Send
+//     buffer-reuse contract).
+//   - FaultDrop: Send returns nil but the frame is never delivered; the
+//     inner transport's Stats never see it.
+//   - FaultRecvErr: injected on the receive side; the mailbox is not
+//     consulted, so the message (if any) survives for the retry.
+type FaultTransport struct {
+	inner Transport
+	plan  *FaultPlan
+	eps   []*faultEndpoint
+}
+
+// NewFaultTransport wraps inner with the plan's fault rules.
+func NewFaultTransport(inner Transport, plan *FaultPlan) *FaultTransport {
+	t := &FaultTransport{inner: inner, plan: plan}
+	t.eps = make([]*faultEndpoint, inner.NP())
+	for r := range t.eps {
+		ep := &faultEndpoint{
+			t:     t,
+			inner: inner.Endpoint(r),
+			rng:   rand.New(rand.NewSource(plan.Seed + int64(r))),
+			armed: !plan.StartDisarmed,
+			seen:  make([]int, len(plan.Rules)),
+		}
+		t.eps[r] = ep
+	}
+	return t
+}
+
+// NP returns the processor count.
+func (t *FaultTransport) NP() int { return t.inner.NP() }
+
+// Endpoint returns rank's fault-injecting endpoint.
+func (t *FaultTransport) Endpoint(rank int) Endpoint { return t.eps[rank] }
+
+// Close closes the wrapped transport.
+func (t *FaultTransport) Close() error { return t.inner.Close() }
+
+// Stats returns the wrapped transport's statistics.  Dropped frames and
+// failed injected sends never reach the inner transport, so they are not
+// counted.
+func (t *FaultTransport) Stats() *Stats { return t.inner.Stats() }
+
+// Cost returns the wrapped transport's cost model.
+func (t *FaultTransport) Cost() *CostModel { return t.inner.Cost() }
+
+// Tracer returns the wrapped transport's tracer.
+func (t *FaultTransport) Tracer() *trace.Tracer { return t.inner.Tracer() }
+
+// Arm enables injection on rank's endpoint.  For plans built with
+// StartDisarmed, a test arms each rank at a point where that rank's next
+// matching operation is the first of the phase under test.
+func (t *FaultTransport) Arm(rank int) { t.eps[rank].setArmed(true) }
+
+// Disarm disables injection on rank's endpoint.
+func (t *FaultTransport) Disarm(rank int) { t.eps[rank].setArmed(false) }
+
+type faultEndpoint struct {
+	t     *FaultTransport
+	inner Endpoint
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	armed bool
+	seen  []int // per-rule count of matching operations
+}
+
+func (e *faultEndpoint) Rank() int { return e.inner.Rank() }
+func (e *faultEndpoint) NP() int   { return e.inner.NP() }
+
+// Tracer exposes the wrapped transport's tracer so Comm still records
+// collective spans when running over a FaultTransport.
+func (e *faultEndpoint) Tracer() *trace.Tracer { return e.t.inner.Tracer() }
+
+func (e *faultEndpoint) setArmed(v bool) {
+	e.mu.Lock()
+	e.armed = v
+	e.mu.Unlock()
+}
+
+// fire decides whether any rule of the given kinds fires for an operation
+// with the given peer, advancing the per-rule match counters.
+func (e *faultEndpoint) fire(peer int, kinds ...FaultKind) *FaultRule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.armed {
+		return nil
+	}
+	var hit *FaultRule
+	for i := range e.t.plan.Rules {
+		r := &e.t.plan.Rules[i]
+		match := false
+		for _, k := range kinds {
+			if r.Kind == k {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		if r.Rank >= 0 && r.Rank != e.inner.Rank() {
+			continue
+		}
+		if r.Peer >= 0 && peer != AnySource && r.Peer != peer {
+			continue
+		}
+		n := e.seen[i]
+		e.seen[i]++
+		if n < r.After {
+			continue
+		}
+		fired := false
+		switch {
+		case r.Prob > 0:
+			fired = e.rng.Float64() < r.Prob
+		case r.Every > 0:
+			fired = (n-r.After)%r.Every == 0
+		case r.Count <= 0:
+			fired = true
+		default:
+			fired = n-r.After < r.Count
+		}
+		if fired && hit == nil {
+			hit = r
+		}
+	}
+	return hit
+}
+
+func (e *faultEndpoint) Send(to, tag int, data []byte) error {
+	if r := e.fire(to, FaultSendErr, FaultRecvDelay, FaultDrop); r != nil {
+		switch r.Kind {
+		case FaultSendErr:
+			return fmt.Errorf("%w: send %d->%d", ErrInjected, e.inner.Rank(), to)
+		case FaultDrop:
+			return nil // frame silently lost
+		case FaultRecvDelay:
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			go func() {
+				time.Sleep(r.Delay)
+				e.inner.Send(to, tag, cp) //nolint:errcheck // late frame on a dead transport is moot
+			}()
+			return nil
+		}
+	}
+	return e.inner.Send(to, tag, data)
+}
+
+func (e *faultEndpoint) Recv(from, tag int) (Packet, error) {
+	if r := e.fire(from, FaultRecvErr); r != nil {
+		return Packet{}, fmt.Errorf("%w: recv %d<-%d", ErrInjected, e.inner.Rank(), from)
+	}
+	return e.inner.Recv(from, tag)
+}
+
+func (e *faultEndpoint) RecvTimeout(from, tag int, d time.Duration) (Packet, error) {
+	if r := e.fire(from, FaultRecvErr); r != nil {
+		return Packet{}, fmt.Errorf("%w: recv %d<-%d", ErrInjected, e.inner.Rank(), from)
+	}
+	return e.inner.RecvTimeout(from, tag, d)
+}

@@ -39,13 +39,18 @@ const (
 	AnyTag    = -1
 )
 
-// Reserved tag ranges.  User-level tags must be < TagCollBase.
+// Reserved tag ranges.  User-level tags must be < TagRMABase.
 const (
-	// TagCollBase is the base of the tag space used by Comm collectives.
-	TagCollBase = 1 << 24
 	// TagRMABase is the base of the tag space used by the one-sided
-	// get/put service of the darray package.
+	// get/put service of the darray package; that space ends below
+	// TagCollBase.
 	TagRMABase = 1 << 26
+	// TagCollBase is the base of the unbounded tag space used by Comm
+	// collectives.  Collective tags are TagCollBase + seq with a
+	// monotonically increasing per-Comm sequence number: they never wrap,
+	// so a tag can never be reused while an earlier collective's message
+	// is still unconsumed in a mailbox (tags are int64-wide on the wire).
+	TagCollBase = 1 << 27
 )
 
 // ErrClosed is returned by operations on a closed transport.

@@ -126,23 +126,26 @@ func TestTagAndSourceMatching(t *testing.T) {
 }
 
 func TestRecvTimeout(t *testing.T) {
-	tr := NewChanTransport(2)
-	defer tr.Close()
-	ep := tr.Endpoint(0)
-	start := time.Now()
-	_, err := ep.RecvTimeout(1, 5, 30*time.Millisecond)
-	if !errors.Is(err, ErrTimeout) {
-		t.Fatalf("err = %v, want timeout", err)
-	}
-	if time.Since(start) > 2*time.Second {
-		t.Fatal("timeout took far too long")
-	}
-	// and a successful timed receive
-	if err := tr.Endpoint(1).Send(0, 5, nil); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := ep.RecvTimeout(1, 5, time.Second); err != nil {
-		t.Fatalf("expected delivery, got %v", err)
+	for name, tr := range transports(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			ep := tr.Endpoint(0)
+			start := time.Now()
+			_, err := ep.RecvTimeout(1, 5, 30*time.Millisecond)
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("err = %v, want timeout", err)
+			}
+			if time.Since(start) > 2*time.Second {
+				t.Fatal("timeout took far too long")
+			}
+			// and a successful timed receive
+			if err := tr.Endpoint(1).Send(0, 5, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ep.RecvTimeout(1, 5, time.Second); err != nil {
+				t.Fatalf("expected delivery, got %v", err)
+			}
+		})
 	}
 }
 

@@ -18,10 +18,11 @@ import (
 //
 // Frame format (little-endian):
 //
-//	[4 bytes tag] [4 bytes payload length] [8 bytes sender clock bits] [payload]
+//	[8 bytes tag] [4 bytes payload length] [8 bytes sender clock bits] [payload]
 //
-// The sender's rank is established once per connection by a 4-byte
-// handshake, not repeated per frame.
+// The tag field is 8 bytes because collective tags grow monotonically and
+// never wrap (see TagCollBase).  The sender's rank is established once per
+// connection by a 4-byte handshake, not repeated per frame.
 type TCPTransport struct {
 	np     int
 	eps    []*tcpEndpoint
@@ -33,7 +34,7 @@ type TCPTransport struct {
 	mu     sync.Mutex
 }
 
-const tcpFrameHeader = 16
+const tcpFrameHeader = 20
 
 // NewTCPTransport builds the mesh on 127.0.0.1 ephemeral ports.
 func NewTCPTransport(np int, opts ...Option) (*TCPTransport, error) {
@@ -133,9 +134,9 @@ func (t *TCPTransport) readLoop(ep *tcpEndpoint, from int, c net.Conn) {
 		if _, err := io.ReadFull(c, hdr); err != nil {
 			return // connection closed
 		}
-		tag := int(int32(GetUint32(hdr, 0)))
-		n := int(GetUint32(hdr, 4))
-		clockBits := uint64(GetUint32(hdr, 8)) | uint64(GetUint32(hdr, 12))<<32
+		tag := int(int64(uint64(GetUint32(hdr, 0)) | uint64(GetUint32(hdr, 4))<<32))
+		n := int(GetUint32(hdr, 8))
+		clockBits := uint64(GetUint32(hdr, 12)) | uint64(GetUint32(hdr, 16))<<32
 		data := make([]byte, n)
 		if _, err := io.ReadFull(c, data); err != nil {
 			return
@@ -207,11 +208,13 @@ func (e *tcpEndpoint) Send(to, tag int, data []byte) error {
 	}
 	oc := e.out[to]
 	frame := make([]byte, tcpFrameHeader+len(data))
-	PutUint32(frame, 0, uint32(int32(tag)))
-	PutUint32(frame, 4, uint32(len(data)))
+	tagBits := uint64(int64(tag))
+	PutUint32(frame, 0, uint32(tagBits))
+	PutUint32(frame, 4, uint32(tagBits>>32))
+	PutUint32(frame, 8, uint32(len(data)))
 	bits := float64bitsSafe(sendClock)
-	PutUint32(frame, 8, uint32(bits))
-	PutUint32(frame, 12, uint32(bits>>32))
+	PutUint32(frame, 12, uint32(bits))
+	PutUint32(frame, 16, uint32(bits>>32))
 	copy(frame[tcpFrameHeader:], data)
 	oc.mu.Lock()
 	_, err := oc.conn.Write(frame)

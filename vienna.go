@@ -101,6 +101,34 @@ func PhaseEnd(ctx *Ctx, name string) { ctx.PhaseEnd(name) }
 // NewTCPTransport builds a TCP-loopback transport for np processors.
 var NewTCPTransport = msg.NewTCPTransport
 
+// NewChanTransport builds the in-process channel transport explicitly
+// (NewMachine defaults to it); useful as the base of a FaultTransport.
+var NewChanTransport = msg.NewChanTransport
+
+// CommConfig bounds how long collectives wait on the transport: a
+// per-receive deadline with bounded retry and exponential escalation.
+// Install it machine-wide with WithCommConfig; the zero value blocks
+// forever (the historical behaviour).
+type CommConfig = msg.CommConfig
+
+// WithCommConfig installs a deadline/retry policy on every processor's
+// collectives.
+var WithCommConfig = machine.WithCommConfig
+
+// FaultTransport decorates any transport with deterministic, seedable
+// injection of send errors, delivery delays, and dropped frames — see
+// msg.ParseFaultPlan for the rule syntax shared with vfrun's -fault flag.
+type FaultTransport = msg.FaultTransport
+
+// FaultPlan is a set of fault rules plus the seed for probabilistic ones.
+type FaultPlan = msg.FaultPlan
+
+// NewFaultTransport wraps a transport with a fault plan.
+var NewFaultTransport = msg.NewFaultTransport
+
+// ParseFaultPlan parses the -fault flag syntax into a FaultPlan.
+var ParseFaultPlan = msg.ParseFaultPlan
+
 // NewCostModel creates a Hockney cost model (alpha seconds per message,
 // beta seconds per byte).
 var NewCostModel = msg.NewCostModel
