@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault bench bench-smoke examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery soak bench bench-smoke examples experiments analyze clean
 
 all: build check test
 
@@ -21,9 +21,24 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault
+check: check-fault check-recovery
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
+
+# The kill-a-rank matrix: checkpoint round-trips across every
+# distribution kind (incl. shrink restores), heartbeat failure
+# detection, goroutine-leak gates, and the end-to-end kill-and-recover
+# apps — all under the race detector.
+check-recovery:
+	$(GO) test -race -run 'TestRoundTrip|TestRestoreOnto|TestEpochs|TestCorrupt|TestInterrupted|TestLiveness|TestSurvivors|TestErroringRun|TestPanickingRun|TestADIKillAndRecover|TestADIRecover|TestSmoothingRecover|TestPICRecover|TestDistributeCheckpointRecover' \
+	  ./internal/ckpt ./internal/machine ./internal/apps ./internal/interp
+
+# Bounded chaos run: seeded-random ADI shapes killed at seeded-random
+# points by a seeded-random permanently silent rank, recovered on the
+# survivors, checked against the serial reference (8 rounds; the plain
+# test suite runs 2).
+soak:
+	SOAK=1 $(GO) test -race -run TestSoakChaos -count=1 -v ./internal/apps
 
 # The fault-injection matrix: every collective pattern under injected
 # send errors, delivery delays, and dropped frames, on both transports,

@@ -36,6 +36,9 @@ func main() {
 	faultSpec := flag.String("fault", "", "inject transport faults, e.g. 'senderr,rank=1,after=3,count=2;drop,peer=2,count=1' (kinds: senderr|recverr|delay|drop; see msg.ParseFaultPlan)")
 	commTimeout := flag.Duration("comm-timeout", 0, "per-receive deadline inside collectives (0 = wait forever)")
 	commRetries := flag.Int("comm-retries", 0, "bounded retries for failed or timed-out collective operations")
+	ckptDir := flag.String("ckpt-dir", "", "take coordinated checkpoints into DIR after DISTRIBUTE statements")
+	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint after every N-th DISTRIBUTE statement")
+	recoverRun := flag.Bool("recover", false, "restore the latest committed checkpoint in -ckpt-dir at the first DISTRIBUTE site (the survivors' rank count may differ from the writer's)")
 	flag.Parse()
 
 	var src, name string
@@ -128,6 +131,13 @@ ENDDO
 	e := core.NewEngine(m)
 	in := interp.New(e)
 	interp.RegisterPICDemo(in)
+	if *recoverRun && *ckptDir == "" {
+		log.Fatal("-recover requires -ckpt-dir")
+	}
+	if *ckptDir != "" {
+		in.SetCheckpoint(*ckptDir, *ckptEvery)
+		in.SetRecover(*recoverRun)
+	}
 
 	type arrInfo struct {
 		name     string

@@ -80,8 +80,24 @@ type ADIConfig struct {
 	Fault string
 	// CommTimeout/CommRetries install a deadline/retry policy on the
 	// collectives so injected faults surface as errors instead of hangs.
+	// The escalated per-receive deadline is capped at 4×CommTimeout.
 	CommTimeout time.Duration
 	CommRetries int
+	// CkptDir enables coordinated checkpoints: after every CkptEvery-th
+	// completed iteration the grid and its distribution descriptor are
+	// written to this directory (see internal/ckpt).
+	CkptDir string
+	// CkptEvery is the checkpoint period in iterations (default 1 when
+	// CkptDir is set).
+	CkptEvery int
+	// Recover resumes from the latest committed checkpoint in CkptDir
+	// instead of the initial grid: the recorded distribution is replayed
+	// onto this run's P processors (shrunken if fewer survive) and the
+	// iteration counter restarts after the checkpointed iteration.
+	Recover bool
+	// Liveness, when non-nil, runs the heartbeat failure detector so a
+	// run killed by a permanent rank loss can report its survivors.
+	Liveness *machine.LivenessConfig
 }
 
 // ADIResult reports an ADI run.
@@ -97,6 +113,15 @@ type ADIResult struct {
 	Checksum    float64
 	CacheHits   int
 	CacheMisses int
+	// Survivors is the failure detector's surviving rank set, populated
+	// (even when Run errors) if Liveness was configured — the processor
+	// count a recovery run should use.
+	Survivors []int
+	// ResumedIter is the checkpointed iteration a Recover run resumed
+	// after, or -1 for a fresh start.
+	ResumedIter int
+	// Epochs counts the checkpoint epochs this run committed.
+	Epochs int
 }
 
 const (
@@ -154,12 +179,19 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	if cfg.CommTimeout > 0 || cfg.CommRetries > 0 {
 		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
 			Timeout: cfg.CommTimeout, Retries: cfg.CommRetries, Backoff: time.Millisecond,
+			MaxTimeout: 4 * cfg.CommTimeout, MaxBackoff: 16 * time.Millisecond,
 		}))
+	}
+	if cfg.Liveness != nil {
+		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
+	}
+	if cfg.CkptDir != "" && cfg.CkptEvery <= 0 {
+		cfg.CkptEvery = 1
 	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
 	e := core.NewEngine(m)
-	res := ADIResult{Mode: cfg.Mode}
+	res := ADIResult{Mode: cfg.Mode, ResumedIter: -1}
 
 	dom := index.Dim(cfg.NX, cfg.NY)
 	initial := func(p index.Point) float64 {
@@ -180,6 +212,8 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	var sweepMsgs, redistMsgs, redistBytes int64
 	var finalErr, checksum float64
 	var hits, misses int
+	var resumedIter = -1
+	var nEpochs int
 	start := time.Now()
 	err := m.Run(func(ctx *machine.Ctx) error {
 		colsDist := core.DistSpec{Type: colsType()}
@@ -193,7 +227,25 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		case ADIStaticRows:
 			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &rowsDist})
 		}
-		v.FillFunc(ctx, initial)
+		// A fresh run starts from the analytic initial grid; a recovery
+		// run replays the last committed checkpoint — values and
+		// distribution descriptor — onto this (possibly smaller) machine
+		// and resumes after the checkpointed iteration.
+		it0 := 0
+		if cfg.Recover {
+			man, err := e.Restore(ctx, cfg.CkptDir)
+			if err != nil {
+				return err
+			}
+			if iter, ok := man.MetaInt("iter"); ok {
+				it0 = iter + 1
+			}
+			if ctx.Rank() == 0 {
+				resumedIter = it0 - 1
+			}
+		} else {
+			v.FillFunc(ctx, initial)
+		}
 		ctx.Barrier()
 
 		// account runs a phase and, after the trailing barrier, adds its
@@ -220,7 +272,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		}
 
 		ctx.PhaseBegin("iterate")
-		for it := 0; it < cfg.Iters; it++ {
+		for it := it0; it < cfg.Iters; it++ {
 			var err error
 			switch cfg.Mode {
 			case ADIDynamic:
@@ -265,6 +317,14 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 					return err
 				}
 			}
+			if cfg.CkptDir != "" && (it+1)%cfg.CkptEvery == 0 {
+				if _, err := e.CheckpointIter(ctx, cfg.CkptDir, it); err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					nEpochs++
+				}
+			}
 		}
 		ctx.PhaseEnd("iterate")
 
@@ -299,10 +359,13 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		}
 		return nil
 	})
+	res.Survivors = m.Survivors()
 	if err != nil {
 		return res, err
 	}
 	res.Wall = time.Since(start)
+	res.ResumedIter = resumedIter
+	res.Epochs = nEpochs
 	sn := m.Stats().Snapshot()
 	res.Msgs, res.Bytes = sn.TotalDataMsgs(), sn.TotalBytes()
 	res.SweepMsgs, res.RedistMsgs, res.RedistBytes = sweepMsgs, redistMsgs, redistBytes

@@ -45,6 +45,14 @@ type PICConfig struct {
 	// UseTCP runs the machine over the TCP loopback transport instead of
 	// the in-process one (same semantics, real sockets).
 	UseTCP bool
+	// CkptDir enables coordinated checkpoints of FIELD and COUNT after
+	// every CkptEvery-th step (default every step when set).
+	CkptDir   string
+	CkptEvery int
+	// Recover resumes from the latest committed checkpoint in CkptDir;
+	// a B_BLOCK(BOUNDS) distribution sized for the lost machine degrades
+	// to BLOCK on the survivors until the next rebalance.
+	Recover bool
 }
 
 // PICResult reports a PIC run.
@@ -127,9 +135,22 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 		field := e.MustDeclare(ctx, core.Decl{Name: "FIELD", Domain: dom, Dynamic: true, Init: &blockInit})
 		count := e.MustDeclare(ctx, core.Decl{Name: "COUNT", Domain: dom, Dynamic: true, ConnectTo: "FIELD"})
 
-		// initpos: uniform loading
-		count.FillFunc(ctx, func(index.Point) float64 { return float64(cfg.InitPerCell) })
-		field.FillFunc(ctx, func(index.Point) float64 { return 0 })
+		// initpos: uniform loading — or, when recovering, replay the last
+		// committed checkpoint (cells, field and distribution descriptor)
+		// onto this run's processors and resume after the recorded step.
+		k0 := 1
+		if cfg.Recover {
+			man, err := e.Restore(ctx, cfg.CkptDir)
+			if err != nil {
+				return err
+			}
+			if step, ok := man.MetaInt("step"); ok {
+				k0 = step + 1
+			}
+		} else {
+			count.FillFunc(ctx, func(index.Point) float64 { return float64(cfg.InitPerCell) })
+			field.FillFunc(ctx, func(index.Point) float64 { return 0 })
+		}
 		ctx.Barrier()
 
 		balance := func() error {
@@ -180,8 +201,10 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 			return mx[0] / avg, nil
 		}
 
-		// initial balance (Figure 2 does this before the time loop)
-		if cfg.Rebalance {
+		// initial balance (Figure 2 does this before the time loop); a
+		// recovered run keeps the restored distribution until the next
+		// in-loop rebalance check.
+		if cfg.Rebalance && !cfg.Recover {
 			if err := balance(); err != nil {
 				return err
 			}
@@ -194,7 +217,7 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 			res.ParticlesStart = sum(startCounts)
 		}
 
-		for k := 1; k <= cfg.Steps; k++ {
+		for k := k0; k <= cfg.Steps; k++ {
 			// update_field: work proportional to local particle count
 			lc, lf := count.Local(ctx), field.Local(ctx)
 			particles := 0.0
@@ -229,6 +252,11 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 			}
 			if cfg.Rebalance && k%cfg.RebalanceEvery == 0 && imb > cfg.RebalanceThreshold {
 				if err := balance(); err != nil {
+					return err
+				}
+			}
+			if cfg.CkptDir != "" && k%max(cfg.CkptEvery, 1) == 0 {
+				if _, err := e.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(k)}); err != nil {
 					return err
 				}
 			}

@@ -53,6 +53,13 @@ type SmoothConfig struct {
 	// Tracer, when non-nil, records the run's spans and messages (the
 	// stepping loop is annotated as the "smooth" phase).
 	Tracer *trace.Tracer
+	// CkptDir enables coordinated checkpoints of both smoothing buffers
+	// after every CkptEvery-th step (default every step when set).
+	CkptDir   string
+	CkptEvery int
+	// Recover resumes from the latest committed checkpoint in CkptDir,
+	// replaying the recorded distribution onto this run's P processors.
+	Recover bool
 }
 
 // SmoothResult reports a smoothing run.
@@ -140,12 +147,29 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		}
 		u := e.MustDeclare(ctx, core.Decl{Name: "U", Domain: dom, Dynamic: true, Init: &spec, Ghost: []int{1, 1}})
 		v := e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, ConnectTo: "U", Ghost: []int{1, 1}})
-		u.FillFunc(ctx, initial)
+		// Fresh runs fill the initial grid; recovery runs replay the last
+		// committed checkpoint — both buffers plus the step parity, so the
+		// double-buffer swap resumes exactly where the lost run stopped.
+		s0 := 0
+		if cfg.Recover {
+			man, err := e.Restore(ctx, cfg.CkptDir)
+			if err != nil {
+				return err
+			}
+			if step, ok := man.MetaInt("step"); ok {
+				s0 = step + 1
+			}
+		} else {
+			u.FillFunc(ctx, initial)
+		}
 		ctx.Barrier()
 
 		src, dst := u, v
+		if s0%2 == 1 {
+			src, dst = v, u
+		}
 		ctx.PhaseBegin("smooth")
-		for s := 0; s < cfg.Steps; s++ {
+		for s := s0; s < cfg.Steps; s++ {
 			var pre msg.Snapshot
 			if ctx.Rank() == 0 {
 				pre = m.Stats().Snapshot() // only rank 0 reads the deltas
@@ -163,6 +187,11 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 			smoothLocal(ctx, src, dst, cfg.FlopTime)
 			ctx.Barrier()
 			src, dst = dst, src
+			if cfg.CkptDir != "" && (s+1)%max(cfg.CkptEvery, 1) == 0 {
+				if _, err := e.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(s)}); err != nil {
+					return err
+				}
+			}
 		}
 		ctx.PhaseEnd("smooth")
 		if cfg.Validate {

@@ -1,0 +1,707 @@
+// Package ckpt implements versioned, coordinated checkpoints of
+// distributed arrays: the durable half of surviving permanent rank loss.
+//
+// A checkpoint *epoch* is one directory, `epoch-<n>`, holding one binary
+// file per rank (that rank's local spans of every array, serialized with
+// the run-based wire codecs the redistribution paths use) plus a
+// `manifest.json` recording the array descriptors — domain bounds and the
+// full distribution expression, including the processor-arrangement
+// extents — and a CRC-32 per rank file.  Epochs commit atomically: all
+// files are written into `epoch-<n>.tmp` and the directory is renamed
+// only after every rank's checksum has been gathered into the manifest,
+// so a crash mid-write leaves either a previous committed epoch or an
+// ignorable `.tmp` directory, never a half-readable one.
+//
+// Restore replays the recorded distribution over a *virtual* processor
+// arrangement of the checkpointed size, intersects its ownership grids
+// with the live machine's, and unpacks exactly the spans each surviving
+// rank now owns — so a checkpoint taken on P ranks restores onto any
+// machine size (elastic shrink-recovery, in the spirit of Sudarsan &
+// Ribbens' redistribution for resizable computations).  On the same rank
+// count the restore is a straight per-rank unpack of the recorded
+// payload: bit-identical.
+//
+// All entry points are SPMD-collective and error-returning; a rank whose
+// local I/O fails propagates the failure to every peer through a status
+// reduction so no rank commits or proceeds alone.
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// Version is the checkpoint format version.
+const Version = 1
+
+const fileMagic = 0x5646434b // "VFCK"
+
+// Manifest describes one committed checkpoint epoch.
+type Manifest struct {
+	Version int
+	Epoch   int
+	// NP is the number of ranks that wrote the epoch.
+	NP int
+	// Meta carries caller state (e.g. the iteration counter) through the
+	// checkpoint, so a recovered run knows where to resume.
+	Meta   map[string]string `json:",omitempty"`
+	Arrays []ArrayMeta
+	Files  []FileMeta
+}
+
+// ArrayMeta records one array's descriptor at checkpoint time.
+type ArrayMeta struct {
+	Name   string
+	Lo, Hi []int // inclusive domain bounds per dimension
+	Dist   DistMeta
+}
+
+// DistMeta is the serialized distribution descriptor: the per-dimension
+// specifiers plus the processor-arrangement extents they were applied to.
+type DistMeta struct {
+	Dims          []DimMeta
+	TargetExtents []int
+}
+
+// DimMeta serializes one dist.DimSpec.
+type DimMeta struct {
+	Kind   string
+	K      int   `json:",omitempty"`
+	Phase  int   `json:",omitempty"`
+	Sizes  []int `json:",omitempty"`
+	Bounds []int `json:",omitempty"`
+}
+
+// FileMeta records one rank file's integrity data.
+type FileMeta struct {
+	Rank int
+	Name string
+	Size int64
+	CRC  uint32
+}
+
+// MetaInt reads an integer entry of the manifest's Meta map; ok is false
+// when absent or malformed.
+func (m *Manifest) MetaInt(key string) (int, bool) {
+	s, ok := m.Meta[key]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	return v, err == nil
+}
+
+func epochDirName(epoch int) string    { return fmt.Sprintf("epoch-%08d", epoch) }
+func rankFileName(rank int) string     { return fmt.Sprintf("rank-%04d.bin", rank) }
+func stagingDirName(epoch int) string  { return epochDirName(epoch) + ".tmp" }
+func manifestPath(dir string) string   { return filepath.Join(dir, "manifest.json") }
+func domainOf(am ArrayMeta) (index.Domain, error) {
+	if len(am.Lo) == 0 || len(am.Lo) != len(am.Hi) {
+		return index.Domain{}, fmt.Errorf("ckpt: array %s: malformed domain bounds", am.Name)
+	}
+	bounds := make([][2]int, len(am.Lo))
+	for k := range am.Lo {
+		bounds[k] = [2]int{am.Lo[k], am.Hi[k]}
+	}
+	return index.NewDomain(bounds...), nil
+}
+
+var epochDirRe = regexp.MustCompile(`^epoch-(\d{8})$`)
+
+// LatestEpoch scans dir for the highest committed epoch (one whose
+// manifest parses).  It returns epoch -1 and a nil manifest when dir
+// holds no committed checkpoint.  Staging (`.tmp`) directories and epochs
+// with unreadable manifests are skipped — an interrupted checkpoint is
+// invisible here.
+func LatestEpoch(dir string) (int, *Manifest, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return -1, nil, nil
+		}
+		return -1, nil, fmt.Errorf("ckpt: scanning %s: %w", dir, err)
+	}
+	var epochs []int
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if m := epochDirRe.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			epochs = append(epochs, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(epochs)))
+	for _, n := range epochs {
+		man, err := readManifest(filepath.Join(dir, epochDirName(n)))
+		if err != nil {
+			continue // uncommitted or damaged epoch: ignore
+		}
+		return n, man, nil
+	}
+	return -1, nil, nil
+}
+
+// maxEpochDir returns the highest epoch number with a directory in dir,
+// committed or not (damaged epochs still occupy their name, and the
+// commit rename must never collide with one).  -1 when none exist.
+func maxEpochDir(dir string) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return -1, nil
+		}
+		return -1, err
+	}
+	max := -1
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if m := epochDirRe.FindStringSubmatch(e.Name()); m != nil {
+			if n, _ := strconv.Atoi(m[1]); n > max {
+				max = n
+			}
+		}
+	}
+	return max, nil
+}
+
+func readManifest(epochDir string) (*Manifest, error) {
+	b, err := os.ReadFile(manifestPath(epochDir))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", manifestPath(epochDir), err)
+	}
+	if man.Version != Version {
+		return nil, fmt.Errorf("ckpt: %s: format version %d, want %d", epochDir, man.Version, Version)
+	}
+	return &man, nil
+}
+
+// distMeta serializes d's descriptor and verifies it replays: the
+// rebuilt distribution (same type over a virtual target of the same
+// extents, standard dimension binding) must own exactly the same grid on
+// every rank.  Distributions that cannot be replayed this way — pinned
+// coordinates, transposed bindings from alignment derivation, targets
+// that are proper sub-sections of the machine — are rejected at *save*
+// time, when the program can still do something about it.
+func distMeta(d *dist.Distribution) (DistMeta, error) {
+	tg := d.Target()
+	dm := DistMeta{TargetExtents: make([]int, tg.NDims())}
+	for k := 0; k < tg.NDims(); k++ {
+		dm.TargetExtents[k] = tg.Extent(k)
+	}
+	for _, spec := range d.DistType().Dims {
+		dm.Dims = append(dm.Dims, DimMeta{
+			Kind:   spec.Kind.String(),
+			K:      spec.K,
+			Phase:  spec.Phase,
+			Sizes:  append([]int(nil), spec.Sizes...),
+			Bounds: append([]int(nil), spec.Bounds...),
+		})
+	}
+	rd, err := replay(dm, d.Domain())
+	if err != nil {
+		return DistMeta{}, fmt.Errorf("ckpt: descriptor does not serialize: %w", err)
+	}
+	for r := 0; r < tg.Size(); r++ {
+		if !gridsEqual(rd.LocalGrid(r), d.LocalGrid(r)) {
+			return DistMeta{}, fmt.Errorf("ckpt: non-standard distribution %v (pinned, sectioned or permuted target binding) is not checkpointable", d)
+		}
+	}
+	return dm, nil
+}
+
+func dimSpecOf(dm DimMeta) (dist.DimSpec, error) {
+	switch dm.Kind {
+	case ":":
+		return dist.ElidedDim(), nil
+	case "BLOCK":
+		return dist.BlockDim(), nil
+	case "CYCLIC":
+		s := dist.CyclicDim(dm.K)
+		s.Phase = dm.Phase
+		return s, nil
+	case "S_BLOCK":
+		return dist.SBlockDim(dm.Sizes...), nil
+	case "B_BLOCK":
+		return dist.BBlockDim(dm.Bounds...), nil
+	}
+	return dist.DimSpec{}, fmt.Errorf("ckpt: unknown distribution kind %q", dm.Kind)
+}
+
+func typeOf(dm DistMeta) (dist.Type, error) {
+	specs := make([]dist.DimSpec, len(dm.Dims))
+	for i, d := range dm.Dims {
+		s, err := dimSpecOf(d)
+		if err != nil {
+			return dist.Type{}, err
+		}
+		specs[i] = s
+	}
+	return dist.NewType(specs...), nil
+}
+
+// replay rebuilds the recorded distribution over a virtual target of the
+// recorded extents.
+func replay(dm DistMeta, dom index.Domain) (*dist.Distribution, error) {
+	typ, err := typeOf(dm)
+	if err != nil {
+		return nil, err
+	}
+	return dist.New(typ, dom, virtualTarget{ext: dm.TargetExtents})
+}
+
+func gridsEqual(a, b index.Grid) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for k := range a.Dims {
+		if !a.Dims[k].Equal(b.Dims[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// agree propagates a local failure to every rank: after it returns nil,
+// every rank knows every other rank succeeded.  The reduction itself runs
+// under the machine's CommConfig, so a rank that died (rather than
+// erred) surfaces as a transport error here.
+func agree(ctx *machine.Ctx, local error) error {
+	v := 0
+	if local != nil {
+		v = 1
+	}
+	out, err := ctx.Comm().AllreduceInts([]int{v}, msg.SumInt)
+	if local != nil {
+		return local
+	}
+	if err != nil {
+		return err
+	}
+	if out[0] > 0 {
+		return errors.New("ckpt: a peer rank failed")
+	}
+	return nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// Save writes one coordinated checkpoint epoch of the given arrays
+// (collective; every rank passes the same arrays in the same order).
+// Every array must currently be distributed.  meta (may be nil) is stored
+// in the manifest for the restoring run.  It returns the committed epoch
+// number.
+func Save(ctx *machine.Ctx, dir string, arrays []*darray.Array, meta map[string]string) (int, error) {
+	rank, np := ctx.Rank(), ctx.NP()
+
+	// Serialize descriptors first (deterministic: every rank fails
+	// identically on a non-checkpointable distribution).
+	metas := make([]ArrayMeta, len(arrays))
+	for i, a := range arrays {
+		d := a.Dist()
+		if d == nil {
+			return -1, fmt.Errorf("ckpt: array %s has no distribution", a.Name())
+		}
+		dm, err := distMeta(d)
+		if err != nil {
+			return -1, fmt.Errorf("ckpt: array %s: %w", a.Name(), err)
+		}
+		dom := a.Domain()
+		am := ArrayMeta{Name: a.Name(), Dist: dm}
+		for k := 0; k < dom.Rank(); k++ {
+			am.Lo = append(am.Lo, dom.Lo[k])
+			am.Hi = append(am.Hi, dom.Hi[k])
+		}
+		metas[i] = am
+	}
+
+	// Rank 0 picks the epoch number and prepares the staging directory.
+	epoch := -1
+	var prepErr error
+	if rank == 0 {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			prepErr = err
+		} else if latest, err := maxEpochDir(dir); err != nil {
+			prepErr = err
+		} else {
+			epoch = latest + 1
+			staging := filepath.Join(dir, stagingDirName(epoch))
+			if err := os.RemoveAll(staging); err != nil {
+				prepErr = err
+			} else if err := os.Mkdir(staging, 0o755); err != nil {
+				prepErr = err
+			}
+		}
+		if prepErr != nil {
+			epoch = -1
+		}
+	}
+	ep, err := ctx.Comm().BcastInts(0, []int{epoch})
+	if err != nil {
+		return -1, fmt.Errorf("ckpt: epoch agreement: %w", err)
+	}
+	epoch = ep[0]
+	if epoch < 0 {
+		if prepErr != nil {
+			return -1, fmt.Errorf("ckpt: preparing %s: %w", dir, prepErr)
+		}
+		return -1, errors.New("ckpt: rank 0 failed to prepare the staging directory")
+	}
+	staging := filepath.Join(dir, stagingDirName(epoch))
+
+	// Each rank serializes and writes its local spans.
+	buf := make([]byte, 0, 4096)
+	buf = appendU32(buf, fileMagic)
+	buf = appendU32(buf, Version)
+	buf = appendU32(buf, uint32(epoch))
+	buf = appendU32(buf, uint32(rank))
+	buf = appendU32(buf, uint32(len(arrays)))
+	for _, a := range arrays {
+		l := a.Local(ctx)
+		g := l.Grid()
+		buf = appendU32(buf, uint32(g.Count()))
+		buf = l.AppendPacked(buf, g)
+	}
+	crc := crc32.ChecksumIEEE(buf)
+	writeErr := os.WriteFile(filepath.Join(staging, rankFileName(rank)), buf, 0o644)
+	if err := agree(ctx, writeErr); err != nil {
+		return -1, fmt.Errorf("ckpt: writing epoch %d: %w", epoch, err)
+	}
+
+	// Gather integrity data; rank 0 writes the manifest and commits.
+	sums, err := ctx.Comm().AllgatherInts([]int{int(crc), len(buf)})
+	if err != nil {
+		return -1, fmt.Errorf("ckpt: checksum gather: %w", err)
+	}
+	var commitErr error
+	if rank == 0 {
+		man := Manifest{Version: Version, Epoch: epoch, NP: np, Meta: meta, Arrays: metas}
+		for r := 0; r < np; r++ {
+			man.Files = append(man.Files, FileMeta{
+				Rank: r, Name: rankFileName(r), Size: int64(sums[r][1]), CRC: uint32(sums[r][0]),
+			})
+		}
+		b, err := json.MarshalIndent(&man, "", "  ")
+		if err == nil {
+			err = os.WriteFile(manifestPath(staging), b, 0o644)
+		}
+		if err == nil {
+			// The rename is the commit point: before it the epoch is an
+			// ignorable .tmp directory, after it the manifest and every
+			// checksummed rank file are in place.
+			err = os.Rename(staging, filepath.Join(dir, epochDirName(epoch)))
+		}
+		commitErr = err
+	}
+	if err := agree(ctx, commitErr); err != nil {
+		return -1, fmt.Errorf("ckpt: committing epoch %d: %w", epoch, err)
+	}
+	return epoch, nil
+}
+
+// rankPayloads parses and integrity-checks one recorded rank file,
+// returning the per-array payloads in manifest order.
+func rankPayloads(epochDir string, man *Manifest, r int) ([][]byte, error) {
+	fm := man.Files[r]
+	data, err := os.ReadFile(filepath.Join(epochDir, fm.Name))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != fm.Size || crc32.ChecksumIEEE(data) != fm.CRC {
+		return nil, fmt.Errorf("ckpt: %s/%s: checksum mismatch (corrupt or interrupted checkpoint)", epochDir, fm.Name)
+	}
+	if len(data) < 20 {
+		return nil, fmt.Errorf("ckpt: %s/%s: truncated header", epochDir, fm.Name)
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(data[off:])) }
+	if u32(0) != fileMagic || u32(4) != Version || u32(8) != man.Epoch || u32(12) != r {
+		return nil, fmt.Errorf("ckpt: %s/%s: header mismatch", epochDir, fm.Name)
+	}
+	narr := u32(16)
+	if narr != len(man.Arrays) {
+		return nil, fmt.Errorf("ckpt: %s/%s: %d arrays recorded, manifest has %d", epochDir, fm.Name, narr, len(man.Arrays))
+	}
+	payloads := make([][]byte, narr)
+	off := 20
+	for i := 0; i < narr; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("ckpt: %s/%s: truncated payload table", epochDir, fm.Name)
+		}
+		n := u32(off)
+		off += 4
+		if off+8*n > len(data) {
+			return nil, fmt.Errorf("ckpt: %s/%s: truncated payload %d", epochDir, fm.Name, i)
+		}
+		payloads[i] = data[off : off+8*n]
+		off += 8 * n
+	}
+	return payloads, nil
+}
+
+// extract pulls the values at want's points (canonical order) out of a
+// payload recorded in from's canonical enumeration order.  want must be a
+// subset of from.
+func extract(payload []byte, from, want index.Grid) []byte {
+	// Column-major position strides over from's per-dimension counts,
+	// dimension 0 innermost — the canonical enumeration of ForEachRun.
+	strd := make([]int, from.Rank())
+	mul := 1
+	for k := range strd {
+		strd[k] = mul
+		mul *= from.Dims[k].Count()
+	}
+	var out []byte
+	out, _ = msg.GrowFloat64s(out, want.Count())
+	off := 0
+	want.ForEachRun(func(p index.Point, r index.Run) bool {
+		row := 0
+		for k := 1; k < len(p); k++ {
+			row += from.Dims[k].IndexOf(p[k]) * strd[k]
+		}
+		for i := r.Lo; i <= r.Hi; i += r.Stride {
+			idx := row + from.Dims[0].IndexOf(i)
+			msg.PutFloat64(out, off, msg.GetFloat64(payload, 8*idx))
+			off += 8
+		}
+		return true
+	})
+	return out
+}
+
+// RestoreResult reports what a restore did.
+type RestoreResult struct {
+	Manifest *Manifest
+	// Resized is true when the checkpoint was written by a different
+	// number of ranks than the restoring machine has.
+	Resized bool
+}
+
+// Restore fills the given arrays from the latest committed epoch in dir
+// (collective).  Arrays are matched to the manifest by name; every
+// manifest array must be present (extra live arrays are left untouched).
+// Each array is first re-associated with the restored distribution
+// descriptor — replayed exactly when the surviving machine can host the
+// recorded processor arrangement, re-factored over the surviving ranks
+// otherwise (np-dependent S_BLOCK/B_BLOCK specifiers degrade to BLOCK) —
+// and then filled with the recorded values.  Ghost areas are left stale;
+// refresh them with ExchangeGhosts before stencil use.
+func Restore(ctx *machine.Ctx, dir string, arrays []*darray.Array) (*RestoreResult, error) {
+	rank, np := ctx.Rank(), ctx.NP()
+
+	// Rank 0 locates the latest committed epoch and broadcasts the
+	// manifest so every rank restores the same one even if a concurrent
+	// writer commits meanwhile.
+	var manBytes []byte
+	var scanErr error
+	if rank == 0 {
+		epoch, man, err := LatestEpoch(dir)
+		switch {
+		case err != nil:
+			scanErr = err
+		case epoch < 0:
+			scanErr = fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
+		default:
+			manBytes, scanErr = json.Marshal(man)
+		}
+		if scanErr != nil {
+			manBytes = nil
+		}
+	}
+	manBytes, err := ctx.Comm().Bcast(0, manBytes)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: manifest broadcast: %w", err)
+	}
+	if len(manBytes) == 0 {
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		return nil, fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manBytes, &man); err != nil {
+		return nil, fmt.Errorf("ckpt: manifest decode: %w", err)
+	}
+	if len(man.Files) != man.NP {
+		return nil, fmt.Errorf("ckpt: manifest lists %d files for %d ranks", len(man.Files), man.NP)
+	}
+	epochDir := filepath.Join(dir, epochDirName(man.Epoch))
+
+	byName := make(map[string]*darray.Array, len(arrays))
+	for _, a := range arrays {
+		byName[a.Name()] = a
+	}
+
+	// Old-rank payloads are loaded (and integrity-checked) on demand,
+	// once per old rank per restoring rank.
+	loaded := make(map[int][][]byte)
+	payloadsOf := func(r int) ([][]byte, error) {
+		if p, ok := loaded[r]; ok {
+			return p, nil
+		}
+		p, err := rankPayloads(epochDir, &man, r)
+		if err != nil {
+			return nil, err
+		}
+		loaded[r] = p
+		return p, nil
+	}
+
+	res := &RestoreResult{Manifest: &man, Resized: man.NP != np}
+	for ai, am := range man.Arrays {
+		arr, ok := byName[am.Name]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: checkpointed array %s is not declared in the restoring program", am.Name)
+		}
+		dom, err := domainOf(am)
+		if err != nil {
+			return nil, err
+		}
+		if !arr.Domain().Equal(dom) {
+			return nil, fmt.Errorf("ckpt: array %s: domain %v in checkpoint, %v declared", am.Name, dom, arr.Domain())
+		}
+
+		// The old distribution, replayed over a virtual arrangement of
+		// the recorded size.  Built once and shared (SPMD) so its
+		// memoized ownership tables exist once.
+		type distOrErr struct {
+			d   *dist.Distribution
+			err error
+		}
+		old := ctx.CollectiveOnce(func() any {
+			d, err := replay(am.Dist, dom)
+			return distOrErr{d, err}
+		}).(distOrErr)
+		if old.err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: %w", am.Name, old.err)
+		}
+		oldD := old.d
+
+		// The destination distribution on the live machine: the recorded
+		// arrangement when it fits, a balanced re-factorization of the
+		// surviving ranks when it does not.
+		oldExt := am.Dist.TargetExtents
+		newExt := oldExt
+		if (virtualTarget{ext: oldExt}).Size() > np {
+			newExt = balancedExtents(np, len(oldExt))
+		}
+		newMeta := am.Dist
+		if !intsEqual(newExt, oldExt) {
+			newMeta = remapDims(am.Dist, newExt)
+		}
+		procName := "$CKPT"
+		for _, e := range newExt {
+			procName += "x" + strconv.Itoa(e)
+		}
+		target := ctx.Machine().ProcsDim(procName, newExt...).Whole()
+		neu := ctx.CollectiveOnce(func() any {
+			typ, err := typeOf(newMeta)
+			if err != nil {
+				return distOrErr{nil, err}
+			}
+			d, err := dist.New(typ, dom, target)
+			return distOrErr{d, err}
+		}).(distOrErr)
+		if neu.err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: rebuilding distribution: %w", am.Name, neu.err)
+		}
+
+		// Adopt the descriptor without moving the (stale) data, then fill
+		// the owned spans from the recorded payloads.
+		if err := arr.RedistributeTo(ctx, neu.d, darray.NoTransfer()); err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: %w", am.Name, err)
+		}
+		l := arr.Local(ctx)
+		myGrid := l.Grid()
+		var fillErr error
+		for r := 0; r < man.NP && fillErr == nil; r++ {
+			if !oldD.IsPrimaryRank(r) {
+				continue // replicated copies are identical; read one
+			}
+			oldGrid := oldD.LocalGrid(r)
+			inter := myGrid.Intersect(oldGrid)
+			if inter.Empty() {
+				continue
+			}
+			payloads, err := payloadsOf(r)
+			if err != nil {
+				fillErr = err
+				break
+			}
+			payload := payloads[ai]
+			if msg.Float64Count(payload) != oldGrid.Count() {
+				fillErr = fmt.Errorf("ckpt: array %s: rank %d payload has %d values, grid has %d",
+					am.Name, r, msg.Float64Count(payload), oldGrid.Count())
+				break
+			}
+			if gridsEqual(inter, oldGrid) && gridsEqual(inter, myGrid) {
+				// Same ownership (the same-rank-count fast path): unpack
+				// the whole recorded payload directly — bit-identical.
+				l.UnpackWire(myGrid, payload)
+				continue
+			}
+			l.UnpackWire(inter, extract(payload, oldGrid, inter))
+		}
+		if err := agree(ctx, fillErr); err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: restore: %w", am.Name, err)
+		}
+	}
+	if err := ctx.Barrier(); err != nil {
+		return nil, fmt.Errorf("ckpt: restore barrier: %w", err)
+	}
+	return res, nil
+}
+
+// remapDims adapts np-dependent per-dimension specifiers to a new
+// processor arrangement: S_BLOCK/B_BLOCK segment tables sized for the old
+// arrangement degrade to BLOCK; BLOCK, CYCLIC and ":" carry over.
+func remapDims(dm DistMeta, newExt []int) DistMeta {
+	out := DistMeta{TargetExtents: newExt, Dims: make([]DimMeta, len(dm.Dims))}
+	copy(out.Dims, dm.Dims)
+	td := 0
+	for i, d := range dm.Dims {
+		if d.Kind == ":" {
+			continue
+		}
+		if d.Kind == "S_BLOCK" || d.Kind == "B_BLOCK" {
+			if td < len(newExt) && td < len(dm.TargetExtents) && newExt[td] != dm.TargetExtents[td] {
+				out.Dims[i] = DimMeta{Kind: "BLOCK"}
+			}
+		}
+		td++
+	}
+	return out
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

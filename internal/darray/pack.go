@@ -117,6 +117,22 @@ func (l *Local) unpackWire(g index.Grid, buf []byte) {
 	})
 }
 
+// AppendPacked appends the wire encoding (8 bytes per element, canonical
+// grid order) of the values at g's points to buf and returns the extended
+// slice.  Every point of g must be addressable on this Local.  This is the
+// exported entry the checkpoint subsystem uses to serialize local spans
+// with the same fused pack+encode path redistribution uses.
+func (l *Local) AppendPacked(buf []byte, g index.Grid) []byte {
+	return l.appendPacked(buf, g)
+}
+
+// UnpackWire stores a wire payload (canonical grid order, as produced by
+// AppendPacked) at g's points — the restore-side counterpart used by the
+// checkpoint subsystem.  The payload length must match the grid exactly.
+func (l *Local) UnpackWire(g index.Grid, buf []byte) {
+	l.unpackWire(g, buf)
+}
+
 // copyGrid copies the values at g's points from src into dst (both must
 // address every point of g) — the span-loop form of the redistribution
 // local move and the NOTRANSFER keep.

@@ -67,7 +67,32 @@ func (a *ArrayArg) SectionDims() []int {
 type Interp struct {
 	Engine   *core.Engine
 	builtins map[string]Builtin
+
+	// Checkpoint hooks (vfrun -ckpt-dir/-ckpt-every/-recover).  DISTRIBUTE
+	// statements are the natural consistency points of a Vienna Fortran
+	// program — the paper's dynamic phase boundaries — so checkpoints are
+	// taken after every ckptEvery-th executed DISTRIBUTE, and a recovery
+	// run replays the latest committed epoch at the first DISTRIBUTE site
+	// (demo-grade: arrays declared after that site are not restored, and
+	// statements before it re-execute on the fresh run).
+	ckptDir    string
+	ckptEvery  int
+	recoverRun bool
 }
+
+// SetCheckpoint enables coordinated checkpoints into dir after every
+// every-th DISTRIBUTE statement (every <= 0 means every one).
+func (in *Interp) SetCheckpoint(dir string, every int) {
+	if every <= 0 {
+		every = 1
+	}
+	in.ckptDir, in.ckptEvery = dir, every
+}
+
+// SetRecover makes the next Run restore the latest committed checkpoint
+// in the SetCheckpoint directory when it reaches the first DISTRIBUTE
+// statement.
+func (in *Interp) SetRecover(on bool) { in.recoverRun = on }
 
 // New creates an interpreter over an engine and registers the standard
 // builtins (TRIDIAG, RESID, plus no-op INITPOS hooks used by demos).
@@ -88,6 +113,12 @@ type State struct {
 	Unit    *sem.Unit
 	Scalars map[string]float64
 	arrays  map[string]*core.Array
+
+	// nDistribute counts executed DISTRIBUTE statements; every rank runs
+	// the same statement sequence in lockstep, so the counters agree and
+	// the checkpoint hooks fire collectively.
+	nDistribute int
+	recovered   bool
 }
 
 // Array resolves a declared array by name.
@@ -483,6 +514,30 @@ func (st *State) dimSpec(d lang.DistDim, dom index.Domain, dimIdx int, target st
 }
 
 func (st *State) distribute(stm *lang.DistributeStmt) error {
+	in := st.In
+	if in.recoverRun && in.ckptDir != "" && !st.recovered {
+		// First DISTRIBUTE site of a recovery run: replay the last
+		// committed epoch over the declared arrays, then let the
+		// statement itself re-establish the program's distribution.
+		st.recovered = true
+		if _, err := in.Engine.Restore(st.Ctx, in.ckptDir); err != nil {
+			return fmt.Errorf("%v: recover: %w", stm.Pos(), err)
+		}
+	}
+	if err := st.distributeExec(stm); err != nil {
+		return err
+	}
+	st.nDistribute++
+	if in.ckptDir != "" && st.nDistribute%in.ckptEvery == 0 {
+		meta := map[string]string{"distribute": fmt.Sprint(st.nDistribute)}
+		if _, err := in.Engine.Checkpoint(st.Ctx, in.ckptDir, meta); err != nil {
+			return fmt.Errorf("%v: checkpoint: %w", stm.Pos(), err)
+		}
+	}
+	return nil
+}
+
+func (st *State) distributeExec(stm *lang.DistributeStmt) error {
 	var arrays []*core.Array
 	for _, n := range stm.Names {
 		a, ok := st.arrays[n]

@@ -33,6 +33,8 @@ type Machine struct {
 	np        int
 	transport msg.Transport
 	commCfg   msg.CommConfig
+	liveness  *LivenessConfig
+	det       *detector
 
 	mu      sync.Mutex
 	objects map[int64]*collEntry
@@ -52,6 +54,7 @@ type config struct {
 	cost      *msg.CostModel
 	tracer    *trace.Tracer
 	comm      msg.CommConfig
+	liveness  *LivenessConfig
 }
 
 // WithTransport runs the machine on the given transport (e.g. a
@@ -108,13 +111,18 @@ func New(np int, opts ...Option) *Machine {
 	if t, c := tr.Tracer(), tr.Cost(); t != nil && c != nil {
 		t.SetClockSource(c.Clock)
 	}
-	return &Machine{
+	m := &Machine{
 		np:        np,
 		transport: tr,
 		commCfg:   cfg.comm,
+		liveness:  cfg.liveness,
 		objects:   make(map[int64]*collEntry),
 		procs:     make(map[string]*ProcArray),
 	}
+	if m.liveness != nil {
+		m.det = newDetector(np, m.liveness.Window)
+	}
+	return m
 }
 
 // NP returns the number of processors (the paper's $NP intrinsic).
@@ -144,6 +152,13 @@ func (m *Machine) Close() error { return m.transport.Close() }
 // that is not itself a secondary ErrClosed consequence of the abort — and
 // its report names the failing rank.
 func (m *Machine) Run(body func(ctx *Ctx) error) error {
+	var lv *livenessRuntime
+	if m.liveness != nil {
+		lv = m.startLiveness()
+		// Joined on every exit path: an erroring Run must not leave
+		// heartbeat goroutines or transport readers behind.
+		defer lv.stop()
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, m.np)
 	panicked := make([]bool, m.np)

@@ -27,17 +27,34 @@ type CommConfig struct {
 	// Backoff is the initial sleep between failed send attempts; it
 	// doubles per retry.  0 means retry immediately.
 	Backoff time.Duration
+	// MaxTimeout caps the escalated per-receive deadline: no retry ever
+	// waits longer than this, however many attempts have failed.  0 means
+	// no explicit cap (the escalation still saturates rather than
+	// overflowing).
+	MaxTimeout time.Duration
+	// MaxBackoff likewise caps the escalated sleep between failed send
+	// attempts.
+	MaxBackoff time.Duration
 }
 
-// maxEscalateShift caps the exponential deadline/backoff escalation so the
-// shift cannot overflow a Duration even with absurd retry counts.
+// maxEscalateShift saturates the exponential deadline/backoff escalation so
+// the shift cannot overflow a Duration even with absurd retry counts.
 const maxEscalateShift = 16
 
-func escalate(d time.Duration, attempt int) time.Duration {
+// escalate returns d doubled attempt times, saturating (never negative or
+// smaller than d on overflow) and clamped to max when max > 0.
+func escalate(d time.Duration, attempt int, max time.Duration) time.Duration {
 	if attempt > maxEscalateShift {
 		attempt = maxEscalateShift
 	}
-	return d << attempt
+	e := d << attempt
+	if e>>attempt != d || e < 0 { // overflow: saturate
+		e = 1<<63 - 1
+	}
+	if max > 0 && e > max {
+		e = max
+	}
+	return e
 }
 
 // SendRetry sends with the config's bounded-retry policy, wrapping any
@@ -56,7 +73,7 @@ func SendRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, to, tag
 			tr.Instant(ep.Rank(), trace.CatCollective, "retry:"+op, to, int64(attempt+1))
 		}
 		if cfg.Backoff > 0 {
-			time.Sleep(escalate(cfg.Backoff, attempt))
+			time.Sleep(escalate(cfg.Backoff, attempt, cfg.MaxBackoff))
 		}
 	}
 }
@@ -70,7 +87,7 @@ func RecvRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, from, t
 		var p Packet
 		var err error
 		if cfg.Timeout > 0 {
-			p, err = ep.RecvTimeout(from, tag, escalate(cfg.Timeout, attempt))
+			p, err = ep.RecvTimeout(from, tag, escalate(cfg.Timeout, attempt, cfg.MaxTimeout))
 		} else {
 			p, err = ep.Recv(from, tag)
 		}
@@ -84,7 +101,7 @@ func RecvRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, from, t
 			tr.Instant(ep.Rank(), trace.CatCollective, "retry:"+op, from, int64(attempt+1))
 		}
 		if cfg.Backoff > 0 {
-			time.Sleep(escalate(cfg.Backoff, attempt))
+			time.Sleep(escalate(cfg.Backoff, attempt, cfg.MaxBackoff))
 		}
 	}
 }

@@ -39,8 +39,12 @@ const (
 	AnyTag    = -1
 )
 
-// Reserved tag ranges.  User-level tags must be < TagRMABase.
+// Reserved tag ranges.  User-level tags must be < TagHeartbeat.
 const (
+	// TagHeartbeat is the single tag used by the machine liveness layer's
+	// heartbeat instants; it sits below the RMA space so a failure
+	// detector's receive loop never matches application traffic.
+	TagHeartbeat = 1 << 25
 	// TagRMABase is the base of the tag space used by the one-sided
 	// get/put service of the darray package; that space ends below
 	// TagCollBase.

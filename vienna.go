@@ -36,6 +36,7 @@
 package vienna
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
@@ -128,6 +129,26 @@ var NewFaultTransport = msg.NewFaultTransport
 
 // ParseFaultPlan parses the -fault flag syntax into a FaultPlan.
 var ParseFaultPlan = msg.ParseFaultPlan
+
+// LivenessConfig configures the heartbeat failure detector: each rank
+// heartbeats every Interval and marks a peer dead after Window of
+// silence (defaults: 10ms / 8×Interval).
+type LivenessConfig = machine.LivenessConfig
+
+// WithLiveness enables the heartbeat failure detector; after a failed
+// run, Machine.Survivors reports the ranks still alive.
+var WithLiveness = machine.WithLiveness
+
+// Manifest describes one committed checkpoint epoch: the arrays, their
+// recorded distributions, and the per-rank file checksums. Take
+// checkpoints with Engine.Checkpoint and replay them — onto the same or
+// a smaller machine — with Engine.Restore; see internal/ckpt and
+// DESIGN.md "Checkpoint & recovery semantics".
+type Manifest = ckpt.Manifest
+
+// LatestEpoch reports the newest committed checkpoint epoch in dir and
+// its manifest (-1 and nil when none exists).
+var LatestEpoch = ckpt.LatestEpoch
 
 // NewCostModel creates a Hockney cost model (alpha seconds per message,
 // beta seconds per byte).
