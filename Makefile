@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault check-recovery soak bench bench-smoke examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery check-online soak bench bench-smoke examples experiments analyze clean
 
 all: build check test
 
@@ -21,9 +21,18 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault check-recovery
+check: check-fault check-recovery check-online
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
+
+# The online-recovery matrix: membership-epoch regroup agreement,
+# epoch-folded tag views, typed epoch revocation, per-message CRC32C
+# integrity (bitflip -> named transport error, zero panics), and the
+# kill-a-rank-mid-run apps that regroup and finish in the same process,
+# bit-for-bit against the serial reference — all under the race detector.
+check-online:
+	$(GO) test -race -run 'TestOnlineRecover|TestOnlineBitflip|TestOnlineIntegrity|TestSoakOnline|TestRegroup|TestEpochRevoked|TestExcluded|TestIntegrity|TestView|TestFoldTag' \
+	  ./internal/msg ./internal/machine ./internal/apps
 
 # The kill-a-rank matrix: checkpoint round-trips across every
 # distribution kind (incl. shrink restores), heartbeat failure
@@ -34,11 +43,12 @@ check-recovery:
 	  ./internal/ckpt ./internal/machine ./internal/apps ./internal/interp
 
 # Bounded chaos run: seeded-random ADI shapes killed at seeded-random
-# points by a seeded-random permanently silent rank, recovered on the
-# survivors, checked against the serial reference (8 rounds; the plain
-# test suite runs 2).
+# points by a seeded-random permanently silent rank, recovered — offline
+# on the survivors (TestSoakChaos) and online in the same process via
+# membership-epoch regroup (TestSoakOnline) — and checked against the
+# serial reference (8/6 rounds; the plain test suite runs 2 of each).
 soak:
-	SOAK=1 $(GO) test -race -run TestSoakChaos -count=1 -v ./internal/apps
+	SOAK=1 $(GO) test -race -run 'TestSoakChaos|TestSoakOnline' -count=1 -v ./internal/apps
 
 # The fault-injection matrix: every collective pattern under injected
 # send errors, delivery delays, and dropped frames, on both transports,

@@ -11,14 +11,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/lang"
@@ -39,7 +42,10 @@ func main() {
 	ckptDir := flag.String("ckpt-dir", "", "take coordinated checkpoints into DIR after DISTRIBUTE statements")
 	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint after every N-th DISTRIBUTE statement")
 	recoverRun := flag.Bool("recover", false, "restore the latest committed checkpoint in -ckpt-dir at the first DISTRIBUTE site (the survivors' rank count may differ from the writer's)")
+	onlineRec := flag.Bool("online-recover", false, "recover from a mid-run rank loss in-process: survivors regroup onto the next membership epoch and replay the last committed checkpoint (requires -ckpt-dir)")
+	deadline := flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
 	flag.Parse()
+	armDeadline(*deadline)
 
 	var src, name string
 	switch {
@@ -121,6 +127,20 @@ ENDDO
 		ft := msg.NewFaultTransport(msg.NewChanTransport(*np, topts...), plan)
 		mopts = append(mopts, machine.WithTransport(ft))
 	}
+	if *onlineRec {
+		if *ckptDir == "" {
+			log.Fatal("-online-recover requires -ckpt-dir")
+		}
+		// The survivors need failure detection to notice a lost rank, and
+		// deadlines so in-flight collectives abort instead of hanging.
+		mopts = append(mopts, machine.WithLiveness(machine.LivenessConfig{}))
+		if *commTimeout == 0 {
+			*commTimeout = 150 * time.Millisecond
+		}
+		if *commRetries == 0 {
+			*commRetries = 2
+		}
+	}
 	if *commTimeout > 0 || *commRetries > 0 {
 		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
 			Timeout: *commTimeout, Retries: *commRetries, Backoff: time.Millisecond,
@@ -148,7 +168,35 @@ ENDDO
 	var arrays []arrInfo
 	var scalars map[string]float64
 	if err := m.Run(func(ctx *machine.Ctx) error {
-		st, err := in.Run(ctx, unit)
+		// With -online-recover, a body error means a rank was lost: the
+		// survivors regroup onto the next membership epoch, share a fresh
+		// engine and interpreter (the old arrays are bound to the revoked
+		// epoch's numbering), and re-run the program replaying the last
+		// committed checkpoint.  The excluded rank returns its error, which
+		// Machine.Run treats as a non-fatal exit.
+		run := in
+		st, err := run.Run(ctx, unit)
+		for attempt := 1; err != nil && *onlineRec && attempt < *np; attempt++ {
+			if errors.Is(err, machine.ErrExcluded) {
+				return err
+			}
+			if rerr := ctx.Regroup(); rerr != nil {
+				return rerr
+			}
+			run = ctx.CollectiveOnce(func() any {
+				e2 := core.NewEngine(m)
+				i2 := interp.New(e2)
+				interp.RegisterPICDemo(i2)
+				i2.SetCheckpoint(*ckptDir, *ckptEvery)
+				// Replay the last committed checkpoint if there is one; a
+				// loss before the first commit restarts from scratch on
+				// the survivor view.
+				ep, _, _ := ckpt.LatestEpoch(*ckptDir)
+				i2.SetRecover(ep >= 0)
+				return i2
+			}).(*interp.Interp)
+			st, err = run.Run(ctx, unit)
+		}
 		if err != nil {
 			return err
 		}
@@ -206,4 +254,19 @@ ENDDO
 		fmt.Printf("\ntrace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
 		fmt.Print(tr.Summarize().String())
 	}
+}
+
+// armDeadline is a hang watchdog: if the run exceeds d, dump every
+// goroutine's stack to stderr and kill the process with a nonzero exit,
+// so a wedged collective is diagnosable instead of an eternal hang.
+func armDeadline(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.AfterFunc(d, func() {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr, "vfrun: -deadline %v exceeded; goroutine dump:\n%s\n", d, buf[:n])
+		os.Exit(2)
+	})
 }

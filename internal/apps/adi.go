@@ -98,6 +98,16 @@ type ADIConfig struct {
 	// Liveness, when non-nil, runs the heartbeat failure detector so a
 	// run killed by a permanent rank loss can report its survivors.
 	Liveness *machine.LivenessConfig
+	// OnlineRecover enables in-process failure recovery: when a rank
+	// dies mid-run, the survivors Regroup onto the next membership
+	// epoch, replay the last committed checkpoint from CkptDir onto the
+	// shrunken processor view, and resume the iteration without leaving
+	// Run.  Requires CkptDir, Liveness, and a CommTimeout.
+	OnlineRecover bool
+	// Integrity appends a CRC32C trailer to every wire message, turning
+	// silent payload corruption into the named msg.ErrIntegrity
+	// transport error.  Implied when Fault has a corrupt/bitflip rule.
+	Integrity bool
 }
 
 // ADIResult reports an ADI run.
@@ -122,6 +132,9 @@ type ADIResult struct {
 	ResumedIter int
 	// Epochs counts the checkpoint epochs this run committed.
 	Epochs int
+	// FinalEpoch is the membership epoch the run completed on: 0 for a
+	// failure-free run, >0 after in-process online recovery.
+	FinalEpoch int
 }
 
 const (
@@ -156,22 +169,9 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
 		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
-	var base msg.Transport
-	if cfg.UseTCP {
-		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
-		if err != nil {
-			return ADIResult{Mode: cfg.Mode}, err
-		}
-		base = tcp
-	} else if cfg.Fault != "" {
-		base = msg.NewChanTransport(cfg.P, topts...)
-	}
-	if cfg.Fault != "" {
-		plan, err := msg.ParseFaultPlan(cfg.Fault)
-		if err != nil {
-			return ADIResult{Mode: cfg.Mode}, err
-		}
-		base = msg.NewFaultTransport(base, plan)
+	base, err := assembleTransport(cfg.P, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
+	if err != nil {
+		return ADIResult{Mode: cfg.Mode}, err
 	}
 	if base != nil {
 		mopts = append(mopts, machine.WithTransport(base))
@@ -213,151 +213,171 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	var finalErr, checksum float64
 	var hits, misses int
 	var resumedIter = -1
-	var nEpochs int
+	var nEpochs, finalEpoch int
 	start := time.Now()
-	err := m.Run(func(ctx *machine.Ctx) error {
-		colsDist := core.DistSpec{Type: colsType()}
-		rowsDist := core.DistSpec{Type: rowsType()}
-		var v *core.Array
-		switch cfg.Mode {
-		case ADIDynamic:
-			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, Init: &colsDist})
-		case ADIStaticCols:
-			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &colsDist})
-		case ADIStaticRows:
-			v = e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &rowsDist})
-		}
-		// A fresh run starts from the analytic initial grid; a recovery
-		// run replays the last committed checkpoint — values and
-		// distribution descriptor — onto this (possibly smaller) machine
-		// and resumes after the checkpointed iteration.
-		it0 := 0
-		if cfg.Recover {
-			man, err := e.Restore(ctx, cfg.CkptDir)
-			if err != nil {
-				return err
+	err = m.Run(func(ctx *machine.Ctx) error {
+		body := func(eng *core.Engine, online bool) error {
+			colsDist := core.DistSpec{Type: colsType()}
+			rowsDist := core.DistSpec{Type: rowsType()}
+			var v *core.Array
+			switch cfg.Mode {
+			case ADIDynamic:
+				v = eng.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, Init: &colsDist})
+			case ADIStaticCols:
+				v = eng.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &colsDist})
+			case ADIStaticRows:
+				v = eng.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Static: &rowsDist})
 			}
-			if iter, ok := man.MetaInt("iter"); ok {
-				it0 = iter + 1
-			}
-			if ctx.Rank() == 0 {
-				resumedIter = it0 - 1
-			}
-		} else {
-			v.FillFunc(ctx, initial)
-		}
-		ctx.Barrier()
-
-		// account runs a phase and, after the trailing barrier, adds its
-		// rank-0-observed global traffic delta to the given counters.
-		account := func(phase func() error, msgs, bytes *int64) error {
-			pre := m.Stats().Snapshot()
-			if err := ctx.Barrier(); err != nil { // no rank may send before pre is taken
-				return err
-			}
-			if err := phase(); err != nil {
-				return err
+			// A fresh run starts from the analytic initial grid; a recovery
+			// run replays the last committed checkpoint — values and
+			// distribution descriptor — onto this (possibly smaller) machine
+			// and resumes after the checkpointed iteration.  An online
+			// recovery attempt does the same in-process, over the regrouped
+			// survivor view.
+			it0 := 0
+			switch {
+			case online:
+				man, err := eng.Recover(ctx, cfg.CkptDir)
+				if err != nil {
+					return err
+				}
+				if iter, ok := man.MetaInt("iter"); ok {
+					it0 = iter + 1
+				}
+				if ctx.Rank() == 0 {
+					resumedIter = it0 - 1
+				}
+			case cfg.Recover:
+				man, err := eng.Restore(ctx, cfg.CkptDir)
+				if err != nil {
+					return err
+				}
+				if iter, ok := man.MetaInt("iter"); ok {
+					it0 = iter + 1
+				}
+				if ctx.Rank() == 0 {
+					resumedIter = it0 - 1
+				}
+			default:
+				v.FillFunc(ctx, initial)
 			}
 			if err := ctx.Barrier(); err != nil {
 				return err
 			}
-			if ctx.Rank() == 0 {
-				d := m.Stats().Snapshot().Sub(pre)
-				*msgs += d.TotalDataMsgs()
-				if bytes != nil {
-					*bytes += d.TotalBytes()
-				}
-			}
-			return nil
-		}
 
-		ctx.PhaseBegin("iterate")
-		for it := it0; it < cfg.Iters; it++ {
-			var err error
-			switch cfg.Mode {
-			case ADIDynamic:
-				if it > 0 {
+			// account runs a phase and, after the trailing barrier, adds its
+			// rank-0-observed global traffic delta to the given counters.
+			account := func(phase func() error, msgs, bytes *int64) error {
+				pre := m.Stats().Snapshot()
+				if err := ctx.Barrier(); err != nil { // no rank may send before pre is taken
+					return err
+				}
+				if err := phase(); err != nil {
+					return err
+				}
+				if err := ctx.Barrier(); err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					d := m.Stats().Snapshot().Sub(pre)
+					*msgs += d.TotalDataMsgs()
+					if bytes != nil {
+						*bytes += d.TotalBytes()
+					}
+				}
+				return nil
+			}
+
+			ctx.PhaseBegin("iterate")
+			for it := it0; it < cfg.Iters; it++ {
+				var err error
+				switch cfg.Mode {
+				case ADIDynamic:
+					if it > 0 {
+						err = account(func() error {
+							return eng.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.ElidedDim(), dist.BlockDim()))
+						}, &redistMsgs, &redistBytes)
+						if err != nil {
+							return err
+						}
+					}
+					localSweep(ctx, v, 0, cfg.FlopTime)
+					if err = ctx.Barrier(); err != nil {
+						return err
+					}
 					err = account(func() error {
-						return e.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.ElidedDim(), dist.BlockDim()))
+						return eng.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.BlockDim(), dist.ElidedDim()))
 					}, &redistMsgs, &redistBytes)
 					if err != nil {
 						return err
 					}
+					localSweep(ctx, v, 1, cfg.FlopTime)
+					if err = ctx.Barrier(); err != nil {
+						return err
+					}
+				case ADIStaticCols:
+					localSweep(ctx, v, 0, cfg.FlopTime)
+					if err = ctx.Barrier(); err != nil {
+						return err
+					}
+					err = account(func() error { return pipelinedSweep(ctx, v, 1, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+					if err != nil {
+						return err
+					}
+				case ADIStaticRows:
+					err = account(func() error { return pipelinedSweep(ctx, v, 0, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
+					if err != nil {
+						return err
+					}
+					localSweep(ctx, v, 1, cfg.FlopTime)
+					if err = ctx.Barrier(); err != nil {
+						return err
+					}
 				}
-				localSweep(ctx, v, 0, cfg.FlopTime)
-				if err = ctx.Barrier(); err != nil {
-					return err
-				}
-				err = account(func() error {
-					return e.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.BlockDim(), dist.ElidedDim()))
-				}, &redistMsgs, &redistBytes)
-				if err != nil {
-					return err
-				}
-				localSweep(ctx, v, 1, cfg.FlopTime)
-				if err = ctx.Barrier(); err != nil {
-					return err
-				}
-			case ADIStaticCols:
-				localSweep(ctx, v, 0, cfg.FlopTime)
-				if err = ctx.Barrier(); err != nil {
-					return err
-				}
-				err = account(func() error { return pipelinedSweep(ctx, v, 1, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
-				if err != nil {
-					return err
-				}
-			case ADIStaticRows:
-				err = account(func() error { return pipelinedSweep(ctx, v, 0, cfg.ChunkRows, cfg.FlopTime) }, &sweepMsgs, nil)
-				if err != nil {
-					return err
-				}
-				localSweep(ctx, v, 1, cfg.FlopTime)
-				if err = ctx.Barrier(); err != nil {
-					return err
+				if cfg.CkptDir != "" && (it+1)%cfg.CkptEvery == 0 {
+					if _, err := eng.CheckpointIter(ctx, cfg.CkptDir, it); err != nil {
+						return err
+					}
+					if ctx.Rank() == 0 {
+						nEpochs++
+					}
 				}
 			}
-			if cfg.CkptDir != "" && (it+1)%cfg.CkptEvery == 0 {
-				if _, err := e.CheckpointIter(ctx, cfg.CkptDir, it); err != nil {
+			ctx.PhaseEnd("iterate")
+
+			if cfg.Validate {
+				got, err := v.GatherTo(ctx, 0)
+				if err != nil {
 					return err
 				}
 				if ctx.Rank() == 0 {
-					nEpochs++
-				}
-			}
-		}
-		ctx.PhaseEnd("iterate")
-
-		if cfg.Validate {
-			got, err := v.GatherTo(ctx, 0)
-			if err != nil {
-				return err
-			}
-			if ctx.Rank() == 0 {
-				for i, x := range got {
-					checksum += x
-					d := x - ref[i]
-					if d < 0 {
-						d = -d
-					}
-					if d > finalErr {
-						finalErr = d
+					for i, x := range got {
+						checksum += x
+						d := x - ref[i]
+						if d < 0 {
+							d = -d
+						}
+						if d > finalErr {
+							finalErr = d
+						}
 					}
 				}
-			}
-		} else {
-			s, err := v.DArray().ReduceSum(ctx)
-			if err != nil {
-				return err
+			} else {
+				s, err := v.DArray().ReduceSum(ctx)
+				if err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					checksum = s
+				}
 			}
 			if ctx.Rank() == 0 {
-				checksum = s
+				hits, misses = v.DArray().ScheduleCacheStats()
+				finalEpoch = ctx.Epoch()
 			}
+			return nil
 		}
-		if ctx.Rank() == 0 {
-			hits, misses = v.DArray().ScheduleCacheStats()
-		}
-		return nil
+		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), body)
 	})
 	res.Survivors = m.Survivors()
 	if err != nil {
@@ -366,6 +386,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	res.Wall = time.Since(start)
 	res.ResumedIter = resumedIter
 	res.Epochs = nEpochs
+	res.FinalEpoch = finalEpoch
 	sn := m.Stats().Snapshot()
 	res.Msgs, res.Bytes = sn.TotalDataMsgs(), sn.TotalBytes()
 	res.SweepMsgs, res.RedistMsgs, res.RedistBytes = sweepMsgs, redistMsgs, redistBytes

@@ -1,0 +1,73 @@
+package apps
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// assembleTransport builds the transport stack an app run asked for:
+// TCP loopback or in-process channels at the base, optionally wrapped in
+// a fault injector (spec per msg.ParseFaultPlan), optionally wrapped —
+// outermost, so injected corruption is caught — in the CRC32C integrity
+// layer.  Integrity is implied by any corrupt/bitflip fault rule.  A nil
+// transport (with nil error) means the machine's default suffices.
+func assembleTransport(p int, useTCP bool, fault string, integrity bool, topts []msg.Option) (msg.Transport, error) {
+	var plan *msg.FaultPlan
+	if fault != "" {
+		var err error
+		plan, err = msg.ParseFaultPlan(fault)
+		if err != nil {
+			return nil, err
+		}
+		integrity = integrity || plan.HasKind(msg.FaultCorrupt)
+	}
+	var base msg.Transport
+	if useTCP {
+		tcp, err := msg.NewTCPTransport(p, topts...)
+		if err != nil {
+			return nil, err
+		}
+		base = tcp
+	} else if plan != nil || integrity {
+		base = msg.NewChanTransport(p, topts...)
+	}
+	if plan != nil {
+		base = msg.NewFaultTransport(base, plan)
+	}
+	if integrity {
+		base = msg.NewIntegrityTransport(base)
+	}
+	return base, nil
+}
+
+// runWithOnlineRecovery drives an app body under the in-process failure
+// recovery policy.  body declares its arrays on eng and runs the
+// iteration loop; online reports whether this attempt must replay the
+// last committed checkpoint (Engine.Recover) instead of filling initial
+// values.  On a body error with recovery enabled, the survivors Regroup
+// onto the next membership epoch, share a fresh engine (the old one's
+// arrays are bound to the revoked epoch's numbering), and re-enter the
+// body.  The rank excluded by the regroup — and any rank that exhausts
+// maxAttempts — returns its error to Machine.Run, which treats
+// ErrExcluded as a non-fatal exit.
+func runWithOnlineRecovery(ctx *machine.Ctx, m *machine.Machine, eng *core.Engine,
+	enabled bool, maxAttempts int, body func(eng *core.Engine, online bool) error) error {
+	online := false
+	for attempt := 0; ; attempt++ {
+		err := body(eng, online)
+		if err == nil || !enabled {
+			return err
+		}
+		if errors.Is(err, machine.ErrExcluded) || attempt+1 >= maxAttempts {
+			return err
+		}
+		if rerr := ctx.Regroup(); rerr != nil {
+			return rerr
+		}
+		eng = ctx.CollectiveOnce(func() any { return core.NewEngine(m) }).(*core.Engine)
+		online = true
+	}
+}

@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/msg"
+)
+
+// onlineADI is the shared shape of the online-recovery kill matrix: a
+// 4-rank dynamic ADI with per-iteration checkpoints, a permanently
+// silent rank, and OnlineRecover — the survivors must regroup and
+// finish in the same process, matching the serial reference
+// bit-for-bit.
+func onlineADI(t *testing.T, useTCP bool, after int) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := ADIConfig{
+		NX: 24, NY: 24, Iters: 8, P: 4, Mode: ADIDynamic, Validate: true,
+		CkptDir: dir, CkptEvery: 1,
+		UseTCP:        useTCP,
+		Fault:         fmt.Sprintf("drop,rank=2,after=%d", after),
+		CommTimeout:   150 * time.Millisecond,
+		CommRetries:   2,
+		Liveness:      testLiveness(),
+		OnlineRecover: true,
+	}
+	res, err := RunADI(cfg)
+	if err != nil {
+		t.Fatalf("online recovery run (tcp=%v after=%d): %v", useTCP, after, err)
+	}
+	if res.FinalEpoch < 1 {
+		t.Fatalf("run finished on epoch %d: the kill never triggered a regroup (raise after=?)", res.FinalEpoch)
+	}
+	if len(res.Survivors) != 3 || res.Survivors[0] != 0 || res.Survivors[1] != 1 || res.Survivors[2] != 3 {
+		t.Fatalf("survivors = %v, want [0 1 3]", res.Survivors)
+	}
+	if res.ResumedIter < 0 {
+		t.Fatal("recovery did not resume from a committed checkpoint")
+	}
+	if res.MaxErr != 0 {
+		t.Fatalf("survivor result deviates from serial reference: MaxErr = %g, want bit-for-bit 0", res.MaxErr)
+	}
+}
+
+// TestOnlineRecoverADIChan: kill early in the run (between collectives)
+// over the in-process transport.
+func TestOnlineRecoverADIChan(t *testing.T) { onlineADI(t, false, 150) }
+
+// TestOnlineRecoverADIChanMidCollective: a later kill point that lands
+// inside the redistribution traffic of a DISTRIBUTE in flight.
+func TestOnlineRecoverADIChanMidCollective(t *testing.T) { onlineADI(t, false, 260) }
+
+// TestOnlineRecoverADITCP: the same regroup over real sockets.
+func TestOnlineRecoverADITCP(t *testing.T) { onlineADI(t, true, 150) }
+
+// TestOnlineRecoverADITCPMidCollective: sockets × late kill.
+func TestOnlineRecoverADITCPMidCollective(t *testing.T) { onlineADI(t, true, 260) }
+
+// TestOnlineRecoverSmoothing: the smoothing app's double-buffered
+// stencil survives a mid-run rank loss in-process and still matches the
+// serial reference.
+func TestOnlineRecoverSmoothing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SmoothConfig{
+		N: 24, Steps: 8, P: 4, Mode: SmoothColumns, Validate: true,
+		CkptDir: dir, CkptEvery: 1,
+		Fault:         "drop,rank=1,after=80",
+		CommTimeout:   150 * time.Millisecond,
+		CommRetries:   2,
+		Liveness:      testLiveness(),
+		OnlineRecover: true,
+	}
+	res, err := RunSmoothing(cfg)
+	if err != nil {
+		t.Fatalf("online smoothing recovery: %v", err)
+	}
+	if res.FinalEpoch < 1 {
+		t.Fatalf("run finished on epoch %d: kill never landed", res.FinalEpoch)
+	}
+	if res.MaxErr > 1e-12 {
+		t.Fatalf("MaxErr = %g after online recovery", res.MaxErr)
+	}
+}
+
+// TestOnlineRecoverPICConservation: PIC regroups in-process; particle
+// conservation holds across the membership change (FIELD and COUNT are
+// one connect class, restored together).
+func TestOnlineRecoverPICConservation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PICConfig{
+		NCell: 32, Steps: 8, P: 4, Rebalance: true, RebalanceEvery: 2, InitPerCell: 16,
+		CkptDir: dir, CkptEvery: 1,
+		Fault:         "drop,rank=3,after=80",
+		CommTimeout:   150 * time.Millisecond,
+		CommRetries:   2,
+		Liveness:      testLiveness(),
+		OnlineRecover: true,
+	}
+	res, err := RunPIC(cfg)
+	if err != nil {
+		t.Fatalf("online PIC recovery: %v", err)
+	}
+	if res.FinalEpoch < 1 {
+		t.Fatalf("run finished on epoch %d: kill never landed", res.FinalEpoch)
+	}
+	if res.ParticlesEnd != float64(32*16) {
+		t.Fatalf("particles not conserved through online recovery: %v, want %v", res.ParticlesEnd, 32*16)
+	}
+}
+
+// TestOnlineBitflipSurfacesIntegrityError: a corrupted payload is caught
+// by the CRC32C trailer and surfaces as the named msg.ErrIntegrity —
+// never a silent wrong answer, never a panic.
+func TestOnlineBitflipSurfacesIntegrityError(t *testing.T) {
+	cfg := ADIConfig{
+		NX: 16, NY: 16, Iters: 2, P: 4, Mode: ADIDynamic,
+		Fault:       "bitflip,rank=1,count=1,after=40",
+		CommTimeout: 100 * time.Millisecond,
+		CommRetries: 2,
+	}
+	_, err := RunADI(cfg)
+	if err == nil {
+		t.Fatal("a corrupted frame must fail the run (it cannot be silently absorbed)")
+	}
+	if !errors.Is(err, msg.ErrIntegrity) {
+		t.Fatalf("err = %v, want wrapped msg.ErrIntegrity", err)
+	}
+}
+
+// TestOnlineIntegrityCleanRun: the CRC layer on a fault-free run is
+// invisible — the result still validates bit-for-bit.
+func TestOnlineIntegrityCleanRun(t *testing.T) {
+	res, err := RunADI(ADIConfig{
+		NX: 16, NY: 16, Iters: 3, P: 4, Mode: ADIDynamic, Validate: true,
+		Integrity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxErr != 0 {
+		t.Fatalf("MaxErr = %g over integrity transport", res.MaxErr)
+	}
+}
+
+// TestSoakOnline is the online arm of `make soak`: seeded-random ADI
+// shapes are killed at seeded-random points and must finish in-process
+// on the survivors.  Kills that land before the first checkpoint commit
+// are legitimately unrecoverable and skipped.
+func TestSoakOnline(t *testing.T) {
+	rounds := 2
+	if os.Getenv("SOAK") != "" {
+		rounds = 6
+	}
+	rng := rand.New(rand.NewSource(17)) // fixed seed: reproducible chaos
+	for round := 0; round < rounds; round++ {
+		dir := t.TempDir()
+		n := 16 + 4*rng.Intn(4)
+		iters := 5 + rng.Intn(4)
+		victim := rng.Intn(4)
+		after := 120 + rng.Intn(250)
+		cfg := ADIConfig{
+			NX: n, NY: n, Iters: iters, P: 4, Mode: ADIDynamic, Validate: true,
+			CkptDir: dir, CkptEvery: 1,
+			Fault:         fmt.Sprintf("drop,rank=%d,after=%d", victim, after),
+			CommTimeout:   150 * time.Millisecond,
+			CommRetries:   2,
+			Liveness:      testLiveness(),
+			OnlineRecover: true,
+		}
+		res, err := RunADI(cfg)
+		if err != nil {
+			if epoch, _, lerr := ckpt.LatestEpoch(dir); lerr == nil && epoch < 0 {
+				continue // killed before the first commit: nothing to recover from
+			}
+			t.Fatalf("round %d (n=%d iters=%d victim=%d after=%d): %v", round, n, iters, victim, after, err)
+		}
+		if res.MaxErr != 0 {
+			t.Fatalf("round %d (n=%d iters=%d victim=%d after=%d): MaxErr = %g", round, n, iters, victim, after, res.MaxErr)
+		}
+	}
+}

@@ -53,6 +53,22 @@ type PICConfig struct {
 	// a B_BLOCK(BOUNDS) distribution sized for the lost machine degrades
 	// to BLOCK on the survivors until the next rebalance.
 	Recover bool
+	// Fault wraps the transport in a fault-injecting decorator built
+	// from msg.ParseFaultPlan.
+	Fault string
+	// CommTimeout/CommRetries install a deadline/retry policy so faults
+	// surface as errors instead of hangs.
+	CommTimeout time.Duration
+	CommRetries int
+	// Liveness, when non-nil, runs the heartbeat failure detector.
+	Liveness *machine.LivenessConfig
+	// OnlineRecover enables in-process failure recovery (see
+	// ADIConfig.OnlineRecover); requires CkptDir, Liveness, and a
+	// CommTimeout.
+	OnlineRecover bool
+	// Integrity appends a CRC32C trailer to every wire message; implied
+	// when Fault has a corrupt/bitflip rule.
+	Integrity bool
 }
 
 // PICResult reports a PIC run.
@@ -70,6 +86,12 @@ type PICResult struct {
 	ParticlesStart  float64
 	ParticlesEnd    float64 // conservation check: must equal start
 	FieldChecksum   float64
+	// Survivors is the failure detector's surviving rank set (when
+	// Liveness was configured), populated even on error.
+	Survivors []int
+	// FinalEpoch is the membership epoch the run completed on: 0 for a
+	// failure-free run, >0 after in-process online recovery.
+	FinalEpoch int
 }
 
 // RunPIC executes the Figure 2 outer loop:
@@ -115,12 +137,21 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 		mopts = append(mopts, machine.WithCostModel(cm))
 		topts = append(topts, msg.WithCost(cm))
 	}
-	if cfg.UseTCP {
-		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
-		if err != nil {
-			return PICResult{Rebalance: cfg.Rebalance}, err
-		}
-		mopts = append(mopts, machine.WithTransport(tcp))
+	base, err := assembleTransport(cfg.P, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
+	if err != nil {
+		return PICResult{Rebalance: cfg.Rebalance}, err
+	}
+	if base != nil {
+		mopts = append(mopts, machine.WithTransport(base))
+	}
+	if cfg.CommTimeout > 0 || cfg.CommRetries > 0 {
+		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
+			Timeout: cfg.CommTimeout, Retries: cfg.CommRetries, Backoff: time.Millisecond,
+			MaxTimeout: 4 * cfg.CommTimeout, MaxBackoff: 16 * time.Millisecond,
+		}))
+	}
+	if cfg.Liveness != nil {
+		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
 	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
@@ -129,157 +160,176 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 
 	dom := index.Dim(cfg.NCell)
 	var redistBytes int64
+	var finalEpoch int
 	start := time.Now()
-	err := m.Run(func(ctx *machine.Ctx) error {
-		blockInit := core.DistSpec{Type: dist.NewType(dist.BlockDim())}
-		field := e.MustDeclare(ctx, core.Decl{Name: "FIELD", Domain: dom, Dynamic: true, Init: &blockInit})
-		count := e.MustDeclare(ctx, core.Decl{Name: "COUNT", Domain: dom, Dynamic: true, ConnectTo: "FIELD"})
+	err = m.Run(func(ctx *machine.Ctx) error {
+		body := func(eng *core.Engine, online bool) error {
+			blockInit := core.DistSpec{Type: dist.NewType(dist.BlockDim())}
+			field := eng.MustDeclare(ctx, core.Decl{Name: "FIELD", Domain: dom, Dynamic: true, Init: &blockInit})
+			count := eng.MustDeclare(ctx, core.Decl{Name: "COUNT", Domain: dom, Dynamic: true, ConnectTo: "FIELD"})
 
-		// initpos: uniform loading — or, when recovering, replay the last
-		// committed checkpoint (cells, field and distribution descriptor)
-		// onto this run's processors and resume after the recorded step.
-		k0 := 1
-		if cfg.Recover {
-			man, err := e.Restore(ctx, cfg.CkptDir)
-			if err != nil {
-				return err
-			}
-			if step, ok := man.MetaInt("step"); ok {
-				k0 = step + 1
-			}
-		} else {
-			count.FillFunc(ctx, func(index.Point) float64 { return float64(cfg.InitPerCell) })
-			field.FillFunc(ctx, func(index.Point) float64 { return 0 })
-		}
-		ctx.Barrier()
-
-		balance := func() error {
-			// compute BOUNDS equalizing particles per processor, then
-			// DISTRIBUTE FIELD :: B_BLOCK(BOUNDS) — moving COUNT with it.
-			counts, err := count.GatherTo(ctx, 0)
-			if err != nil {
-				return err
-			}
-			var bounds []int
-			if ctx.Rank() == 0 {
-				bounds = computeBounds(counts, cfg.P)
-			}
-			bounds, err = ctx.Comm().BcastInts(0, bounds)
-			if err != nil {
-				return err
-			}
-			pre := m.Stats().Snapshot()
-			if err := e.Distribute(ctx, []*core.Array{field},
-				core.DimsOf(dist.BBlockDim(bounds...))); err != nil {
-				return err
-			}
-			if err := ctx.Barrier(); err != nil {
-				return err
-			}
-			if ctx.Rank() == 0 {
-				redistBytes += m.Stats().Snapshot().Sub(pre).TotalBytes()
-				res.Redistributions++
-			}
-			return ctx.Barrier()
-		}
-
-		imbalance := func() (float64, error) {
-			local := 0.0
-			count.Local(ctx).ForEachOwned(func(_ index.Point, v *float64) { local += *v })
-			tot, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
-			if err != nil {
-				return 0, err
-			}
-			mx, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
-			if err != nil {
-				return 0, err
-			}
-			avg := tot[0] / float64(cfg.P)
-			if avg == 0 {
-				return 1, nil
-			}
-			return mx[0] / avg, nil
-		}
-
-		// initial balance (Figure 2 does this before the time loop); a
-		// recovered run keeps the restored distribution until the next
-		// in-loop rebalance check.
-		if cfg.Rebalance && !cfg.Recover {
-			if err := balance(); err != nil {
-				return err
-			}
-		}
-		startCounts, err := count.GatherTo(ctx, 0)
-		if err != nil {
-			return err
-		}
-		if ctx.Rank() == 0 {
-			res.ParticlesStart = sum(startCounts)
-		}
-
-		for k := k0; k <= cfg.Steps; k++ {
-			// update_field: work proportional to local particle count
-			lc, lf := count.Local(ctx), field.Local(ctx)
-			particles := 0.0
-			lc.ForEachOwned(func(p index.Point, v *float64) {
-				n := int(*v)
-				particles += *v
-				acc := lf.At(p)
-				for w := 0; w < n*cfg.WorkPerParticle; w++ {
-					acc += 1e-9 * float64(w%7)
+			// initpos: uniform loading — or, when recovering, replay the last
+			// committed checkpoint (cells, field and distribution descriptor)
+			// onto this run's processors — online, onto the regrouped
+			// survivors — and resume after the recorded step.
+			k0 := 1
+			switch {
+			case online:
+				man, err := eng.Recover(ctx, cfg.CkptDir)
+				if err != nil {
+					return err
 				}
-				lf.SetAt(p, acc+*v)
-			})
-			ctx.Charge(cfg.FlopTime * particles * float64(cfg.WorkPerParticle))
+				if step, ok := man.MetaInt("step"); ok {
+					k0 = step + 1
+				}
+			case cfg.Recover:
+				man, err := eng.Restore(ctx, cfg.CkptDir)
+				if err != nil {
+					return err
+				}
+				if step, ok := man.MetaInt("step"); ok {
+					k0 = step + 1
+				}
+			default:
+				count.FillFunc(ctx, func(index.Point) float64 { return float64(cfg.InitPerCell) })
+				field.FillFunc(ctx, func(index.Point) float64 { return 0 })
+			}
 			if err := ctx.Barrier(); err != nil {
 				return err
 			}
 
-			// update_part: DriftFrac of each cell's particles moves to
-			// cell+1; the last cell reflects (keeps its particles).  The
-			// only cross-processor flow is from my last cell to the
-			// owner of the next cell.
-			if err := moveRight(ctx, count, cfg.DriftFrac); err != nil {
-				return err
+			balance := func() error {
+				// compute BOUNDS equalizing particles per processor, then
+				// DISTRIBUTE FIELD :: B_BLOCK(BOUNDS) — moving COUNT with it.
+				counts, err := count.GatherTo(ctx, 0)
+				if err != nil {
+					return err
+				}
+				var bounds []int
+				if ctx.Rank() == 0 {
+					bounds = computeBounds(counts, ctx.NP())
+				}
+				bounds, err = ctx.Comm().BcastInts(0, bounds)
+				if err != nil {
+					return err
+				}
+				pre := m.Stats().Snapshot()
+				if err := eng.Distribute(ctx, []*core.Array{field},
+					core.DimsOf(dist.BBlockDim(bounds...))); err != nil {
+					return err
+				}
+				if err := ctx.Barrier(); err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					redistBytes += m.Stats().Snapshot().Sub(pre).TotalBytes()
+					res.Redistributions++
+				}
+				return ctx.Barrier()
 			}
 
-			imb, err := imbalance() // identical on every rank (allreduce)
-			if err != nil {
-				return err
+			imbalance := func() (float64, error) {
+				local := 0.0
+				count.Local(ctx).ForEachOwned(func(_ index.Point, v *float64) { local += *v })
+				tot, err := ctx.Comm().AllreduceF64([]float64{local}, msg.SumF64)
+				if err != nil {
+					return 0, err
+				}
+				mx, err := ctx.Comm().AllreduceF64([]float64{local}, msg.MaxF64)
+				if err != nil {
+					return 0, err
+				}
+				avg := tot[0] / float64(ctx.NP())
+				if avg == 0 {
+					return 1, nil
+				}
+				return mx[0] / avg, nil
 			}
-			if ctx.Rank() == 0 {
-				res.ImbalanceSeries[k-1] = imb
-			}
-			if cfg.Rebalance && k%cfg.RebalanceEvery == 0 && imb > cfg.RebalanceThreshold {
+
+			// initial balance (Figure 2 does this before the time loop); a
+			// recovered run keeps the restored distribution until the next
+			// in-loop rebalance check.
+			if cfg.Rebalance && !cfg.Recover {
 				if err := balance(); err != nil {
 					return err
 				}
 			}
-			if cfg.CkptDir != "" && k%max(cfg.CkptEvery, 1) == 0 {
-				if _, err := e.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(k)}); err != nil {
+			startCounts, err := count.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				res.ParticlesStart = sum(startCounts)
+			}
+
+			for k := k0; k <= cfg.Steps; k++ {
+				// update_field: work proportional to local particle count
+				lc, lf := count.Local(ctx), field.Local(ctx)
+				particles := 0.0
+				lc.ForEachOwned(func(p index.Point, v *float64) {
+					n := int(*v)
+					particles += *v
+					acc := lf.At(p)
+					for w := 0; w < n*cfg.WorkPerParticle; w++ {
+						acc += 1e-9 * float64(w%7)
+					}
+					lf.SetAt(p, acc+*v)
+				})
+				ctx.Charge(cfg.FlopTime * particles * float64(cfg.WorkPerParticle))
+				if err := ctx.Barrier(); err != nil {
 					return err
 				}
-			}
-		}
 
-		got, err := count.GatherTo(ctx, 0)
-		if err != nil {
-			return err
+				// update_part: DriftFrac of each cell's particles moves to
+				// cell+1; the last cell reflects (keeps its particles).  The
+				// only cross-processor flow is from my last cell to the
+				// owner of the next cell.
+				if err := moveRight(ctx, count, cfg.DriftFrac); err != nil {
+					return err
+				}
+
+				imb, err := imbalance() // identical on every rank (allreduce)
+				if err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					res.ImbalanceSeries[k-1] = imb
+				}
+				if cfg.Rebalance && k%cfg.RebalanceEvery == 0 && imb > cfg.RebalanceThreshold {
+					if err := balance(); err != nil {
+						return err
+					}
+				}
+				if cfg.CkptDir != "" && k%max(cfg.CkptEvery, 1) == 0 {
+					if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(k)}); err != nil {
+						return err
+					}
+				}
+			}
+
+			got, err := count.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
+			fields, err := field.GatherTo(ctx, 0)
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				res.ParticlesEnd = sum(got)
+				res.FieldChecksum = sum(fields)
+				finalEpoch = ctx.Epoch()
+			}
+			return nil
 		}
-		fields, err := field.GatherTo(ctx, 0)
-		if err != nil {
-			return err
-		}
-		if ctx.Rank() == 0 {
-			res.ParticlesEnd = sum(got)
-			res.FieldChecksum = sum(fields)
-		}
-		return nil
+		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), body)
 	})
+	res.Survivors = m.Survivors()
 	if err != nil {
 		return res, err
 	}
 	res.Wall = time.Since(start)
+	res.FinalEpoch = finalEpoch
 	sn := m.Stats().Snapshot()
 	res.Msgs, res.Bytes = sn.TotalDataMsgs(), sn.TotalBytes()
 	res.RedistBytes = redistBytes

@@ -69,13 +69,21 @@ func RunRedistCost(cfg RedistCostConfig) (RedistCostResult, error) {
 		a := e.MustDeclare(ctx, core.Decl{Name: "A", Domain: dom, Dynamic: true,
 			Init: &core.DistSpec{Type: dist.NewType(cfg.From...)}})
 		a.FillFunc(ctx, val)
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		start := time.Now()
 		for r := 0; r < cfg.Rounds; r++ {
-			e.MustDistribute(ctx, []*core.Array{a}, core.DimsOf(cfg.To...))
-			e.MustDistribute(ctx, []*core.Array{a}, core.DimsOf(cfg.From...))
+			if err := e.Distribute(ctx, []*core.Array{a}, core.DimsOf(cfg.To...)); err != nil {
+				return err
+			}
+			if err := e.Distribute(ctx, []*core.Array{a}, core.DimsOf(cfg.From...)); err != nil {
+				return err
+			}
 		}
-		ctx.Barrier()
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
 		if ctx.Rank() == 0 {
 			wall = time.Since(start)
 			res.CacheHits, res.CacheMisses = a.DArray().ScheduleCacheStats()

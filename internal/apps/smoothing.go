@@ -60,6 +60,23 @@ type SmoothConfig struct {
 	// Recover resumes from the latest committed checkpoint in CkptDir,
 	// replaying the recorded distribution onto this run's P processors.
 	Recover bool
+	// Fault wraps the transport in a fault-injecting decorator built
+	// from msg.ParseFaultPlan.
+	Fault string
+	// CommTimeout/CommRetries install a deadline/retry policy so faults
+	// surface as errors instead of hangs.
+	CommTimeout time.Duration
+	CommRetries int
+	// Liveness, when non-nil, runs the heartbeat failure detector.
+	Liveness *machine.LivenessConfig
+	// OnlineRecover enables in-process failure recovery (see
+	// ADIConfig.OnlineRecover); requires CkptDir, Liveness and a
+	// CommTimeout, and SmoothColumns mode (the 2-D processor grid of
+	// SmoothBlock2D cannot shrink onto a non-square survivor count).
+	OnlineRecover bool
+	// Integrity appends a CRC32C trailer to every wire message; implied
+	// when Fault has a corrupt/bitflip rule.
+	Integrity bool
 }
 
 // SmoothResult reports a smoothing run.
@@ -74,6 +91,12 @@ type SmoothResult struct {
 	Wall             time.Duration
 	MaxErr           float64
 	Checksum         float64
+	// Survivors is the failure detector's surviving rank set (when
+	// Liveness was configured), populated even on error.
+	Survivors []int
+	// FinalEpoch is the membership epoch the run completed on: 0 for a
+	// failure-free run, >0 after in-process online recovery.
+	FinalEpoch int
 }
 
 // RunSmoothing performs Steps Jacobi smoothing steps on an N×N grid under
@@ -102,12 +125,21 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
 		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
-	if cfg.UseTCP {
-		tcp, err := msg.NewTCPTransport(cfg.P, topts...)
-		if err != nil {
-			return res, err
-		}
-		mopts = append(mopts, machine.WithTransport(tcp))
+	base, err := assembleTransport(cfg.P, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
+	if err != nil {
+		return res, err
+	}
+	if base != nil {
+		mopts = append(mopts, machine.WithTransport(base))
+	}
+	if cfg.CommTimeout > 0 || cfg.CommRetries > 0 {
+		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
+			Timeout: cfg.CommTimeout, Retries: cfg.CommRetries, Backoff: time.Millisecond,
+			MaxTimeout: 4 * cfg.CommTimeout, MaxBackoff: 16 * time.Millisecond,
+		}))
+	}
+	if cfg.Liveness != nil {
+		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
 	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
@@ -135,97 +167,118 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 
 	var maxErr, checksum float64
 	var exchMsgs, exchBytes int64
+	var finalEpoch int
 	start := time.Now()
-	err := m.Run(func(ctx *machine.Ctx) error {
-		var spec core.DistSpec
-		switch cfg.Mode {
-		case SmoothColumns:
-			spec = core.DistSpec{Type: dist.NewType(dist.ElidedDim(), dist.BlockDim())}
-		case SmoothBlock2D:
-			g := m.ProcsDim("G", q, q)
-			spec = core.DistSpec{Type: dist.NewType(dist.BlockDim(), dist.BlockDim()), Target: g.Whole()}
-		}
-		u := e.MustDeclare(ctx, core.Decl{Name: "U", Domain: dom, Dynamic: true, Init: &spec, Ghost: []int{1, 1}})
-		v := e.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, ConnectTo: "U", Ghost: []int{1, 1}})
-		// Fresh runs fill the initial grid; recovery runs replay the last
-		// committed checkpoint — both buffers plus the step parity, so the
-		// double-buffer swap resumes exactly where the lost run stopped.
-		s0 := 0
-		if cfg.Recover {
-			man, err := e.Restore(ctx, cfg.CkptDir)
-			if err != nil {
-				return err
+	err = m.Run(func(ctx *machine.Ctx) error {
+		body := func(eng *core.Engine, online bool) error {
+			var spec core.DistSpec
+			switch cfg.Mode {
+			case SmoothColumns:
+				spec = core.DistSpec{Type: dist.NewType(dist.ElidedDim(), dist.BlockDim())}
+			case SmoothBlock2D:
+				g := m.ProcsDim("G", q, q)
+				spec = core.DistSpec{Type: dist.NewType(dist.BlockDim(), dist.BlockDim()), Target: g.Whole()}
 			}
-			if step, ok := man.MetaInt("step"); ok {
-				s0 = step + 1
-			}
-		} else {
-			u.FillFunc(ctx, initial)
-		}
-		ctx.Barrier()
-
-		src, dst := u, v
-		if s0%2 == 1 {
-			src, dst = v, u
-		}
-		ctx.PhaseBegin("smooth")
-		for s := s0; s < cfg.Steps; s++ {
-			var pre msg.Snapshot
-			if ctx.Rank() == 0 {
-				pre = m.Stats().Snapshot() // only rank 0 reads the deltas
-			}
-			ctx.Barrier() // no rank may send before pre is taken
-			if err := src.ExchangeAllGhosts(ctx); err != nil {
-				return err
-			}
-			ctx.Barrier()
-			if ctx.Rank() == 0 {
-				d := m.Stats().Snapshot().Sub(pre)
-				exchMsgs += d.MaxDataMsgsPerProc()
-				exchBytes += d.MaxBytesPerProc()
-			}
-			smoothLocal(ctx, src, dst, cfg.FlopTime)
-			ctx.Barrier()
-			src, dst = dst, src
-			if cfg.CkptDir != "" && (s+1)%max(cfg.CkptEvery, 1) == 0 {
-				if _, err := e.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(s)}); err != nil {
+			u := eng.MustDeclare(ctx, core.Decl{Name: "U", Domain: dom, Dynamic: true, Init: &spec, Ghost: []int{1, 1}})
+			v := eng.MustDeclare(ctx, core.Decl{Name: "V", Domain: dom, Dynamic: true, ConnectTo: "U", Ghost: []int{1, 1}})
+			// Fresh runs fill the initial grid; recovery runs replay the last
+			// committed checkpoint — both buffers plus the step parity, so the
+			// double-buffer swap resumes exactly where the lost run stopped.
+			// An online attempt does the same in-process on the survivors.
+			s0 := 0
+			switch {
+			case online:
+				man, err := eng.Recover(ctx, cfg.CkptDir)
+				if err != nil {
 					return err
 				}
+				if step, ok := man.MetaInt("step"); ok {
+					s0 = step + 1
+				}
+			case cfg.Recover:
+				man, err := eng.Restore(ctx, cfg.CkptDir)
+				if err != nil {
+					return err
+				}
+				if step, ok := man.MetaInt("step"); ok {
+					s0 = step + 1
+				}
+			default:
+				u.FillFunc(ctx, initial)
 			}
-		}
-		ctx.PhaseEnd("smooth")
-		if cfg.Validate {
-			got, err := src.GatherTo(ctx, 0)
-			if err != nil {
+			if err := ctx.Barrier(); err != nil {
 				return err
 			}
-			if ctx.Rank() == 0 {
-				for i, x := range got {
-					checksum += x
-					d := x - ref[i]
-					if d < 0 {
-						d = -d
-					}
-					if d > maxErr {
-						maxErr = d
+
+			src, dst := u, v
+			if s0%2 == 1 {
+				src, dst = v, u
+			}
+			ctx.PhaseBegin("smooth")
+			for s := s0; s < cfg.Steps; s++ {
+				var pre msg.Snapshot
+				if ctx.Rank() == 0 {
+					pre = m.Stats().Snapshot() // only rank 0 reads the deltas
+				}
+				ctx.Barrier() // no rank may send before pre is taken
+				if err := src.ExchangeAllGhosts(ctx); err != nil {
+					return err
+				}
+				ctx.Barrier()
+				if ctx.Rank() == 0 {
+					d := m.Stats().Snapshot().Sub(pre)
+					exchMsgs += d.MaxDataMsgsPerProc()
+					exchBytes += d.MaxBytesPerProc()
+				}
+				smoothLocal(ctx, src, dst, cfg.FlopTime)
+				ctx.Barrier()
+				src, dst = dst, src
+				if cfg.CkptDir != "" && (s+1)%max(cfg.CkptEvery, 1) == 0 {
+					if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(s)}); err != nil {
+						return err
 					}
 				}
 			}
-		} else {
-			s, err := src.DArray().ReduceSum(ctx)
-			if err != nil {
-				return err
+			ctx.PhaseEnd("smooth")
+			if cfg.Validate {
+				got, err := src.GatherTo(ctx, 0)
+				if err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					for i, x := range got {
+						checksum += x
+						d := x - ref[i]
+						if d < 0 {
+							d = -d
+						}
+						if d > maxErr {
+							maxErr = d
+						}
+					}
+				}
+			} else {
+				s, err := src.DArray().ReduceSum(ctx)
+				if err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					checksum = s
+				}
 			}
 			if ctx.Rank() == 0 {
-				checksum = s
+				finalEpoch = ctx.Epoch()
 			}
+			return nil
 		}
-		return nil
+		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), body)
 	})
+	res.Survivors = m.Survivors()
 	if err != nil {
 		return res, err
 	}
 	res.Wall = time.Since(start)
+	res.FinalEpoch = finalEpoch
 	if cfg.Steps > 0 {
 		res.MsgsPerProcStep = float64(exchMsgs) / float64(cfg.Steps)
 		res.BytesPerProcStep = float64(exchBytes) / float64(cfg.Steps)

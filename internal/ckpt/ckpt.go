@@ -105,10 +105,10 @@ func (m *Manifest) MetaInt(key string) (int, bool) {
 	return v, err == nil
 }
 
-func epochDirName(epoch int) string    { return fmt.Sprintf("epoch-%08d", epoch) }
-func rankFileName(rank int) string     { return fmt.Sprintf("rank-%04d.bin", rank) }
-func stagingDirName(epoch int) string  { return epochDirName(epoch) + ".tmp" }
-func manifestPath(dir string) string   { return filepath.Join(dir, "manifest.json") }
+func epochDirName(epoch int) string   { return fmt.Sprintf("epoch-%08d", epoch) }
+func rankFileName(rank int) string    { return fmt.Sprintf("rank-%04d.bin", rank) }
+func stagingDirName(epoch int) string { return epochDirName(epoch) + ".tmp" }
+func manifestPath(dir string) string  { return filepath.Join(dir, "manifest.json") }
 func domainOf(am ArrayMeta) (index.Domain, error) {
 	if len(am.Lo) == 0 || len(am.Lo) != len(am.Hi) {
 		return index.Domain{}, fmt.Errorf("ckpt: array %s: malformed domain bounds", am.Name)

@@ -107,7 +107,11 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) ([]float64, error) {
 //
 // Deprecated: use GatherTo and handle the error.
 func (a *Array) MustGatherTo(ctx *machine.Ctx, root int) []float64 {
-	return a.arr.MustGatherTo(ctx, root)
+	data, err := a.arr.GatherTo(ctx, root)
+	if err != nil {
+		panic(fmt.Sprintf("core: gather of %s: %v", a.Name(), err))
+	}
+	return data
 }
 
 // ScatterFrom distributes a dense global slice from root, returning a
@@ -120,7 +124,9 @@ func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) error {
 //
 // Deprecated: use ScatterFrom and handle the error.
 func (a *Array) MustScatterFrom(ctx *machine.Ctx, root int, data []float64) {
-	a.arr.MustScatterFrom(ctx, root, data)
+	if err := a.arr.ScatterFrom(ctx, root, data); err != nil {
+		panic(fmt.Sprintf("core: scatter of %s: %v", a.Name(), err))
+	}
 }
 
 // ExchangeGhosts refreshes overlap areas along dimension k, returning a
@@ -134,13 +140,21 @@ func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) error { return a.arr.Exchang
 // MustExchangeGhosts is ExchangeGhosts panicking on transport failure.
 //
 // Deprecated: use ExchangeGhosts and handle the error.
-func (a *Array) MustExchangeGhosts(ctx *machine.Ctx, k int) { a.arr.MustExchangeGhosts(ctx, k) }
+func (a *Array) MustExchangeGhosts(ctx *machine.Ctx, k int) {
+	if err := a.arr.ExchangeGhosts(ctx, k); err != nil {
+		panic(fmt.Sprintf("core: ghost exchange of %s: %v", a.Name(), err))
+	}
+}
 
 // MustExchangeAllGhosts is ExchangeAllGhosts panicking on transport
 // failure.
 //
 // Deprecated: use ExchangeAllGhosts and handle the error.
-func (a *Array) MustExchangeAllGhosts(ctx *machine.Ctx) { a.arr.MustExchangeAllGhosts(ctx) }
+func (a *Array) MustExchangeAllGhosts(ctx *machine.Ctx) {
+	if err := a.arr.ExchangeAllGhosts(ctx); err != nil {
+		panic(fmt.Sprintf("core: ghost exchange of %s: %v", a.Name(), err))
+	}
+}
 
 // Epoch returns the number of redistributions so far.
 func (a *Array) Epoch() int { return a.arr.Epoch() }

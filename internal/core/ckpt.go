@@ -70,3 +70,22 @@ func (e *Engine) Restore(ctx *machine.Ctx, dir string) (*ckpt.Manifest, error) {
 	}
 	return res.Manifest, nil
 }
+
+// Recover is the in-process arm of failure recovery: called on the
+// survivors of a Ctx.Regroup, it restores the last committed checkpoint
+// epoch from dir onto the regrouped processor view — the recorded
+// distributions are replayed and shrunk onto the compacted survivor
+// numbering, array payloads are refilled from disk over the live epoch
+// Comm, and ghost regions are re-exchanged — so the iteration loop can
+// resume within the same Run.  It is Restore under a "recover" trace
+// phase; the distinction is the caller's contract (a live regrouped
+// machine, not a fresh relaunch).
+func (e *Engine) Recover(ctx *machine.Ctx, dir string) (*ckpt.Manifest, error) {
+	ctx.PhaseBegin("recover")
+	defer ctx.PhaseEnd("recover")
+	man, err := e.Restore(ctx, dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: online recovery (epoch %d, np %d): %w", ctx.Epoch(), ctx.NP(), err)
+	}
+	return man, nil
+}

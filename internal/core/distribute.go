@@ -95,8 +95,9 @@ func AlignWith(name string, align dist.Alignment) Expr {
 	return Expr{alignWith: name, align: &align}
 }
 
-// evalFor computes the new distribution for primary array b.
-func (x Expr) evalFor(e *Engine, b *Array) (*dist.Distribution, error) {
+// evalFor computes the new distribution for primary array b, resolving
+// an omitted target over the executing view.
+func (x Expr) evalFor(ctx *machine.Ctx, e *Engine, b *Array) (*dist.Distribution, error) {
 	if x.align != nil {
 		other, ok := e.Lookup(x.alignWith)
 		if !ok {
@@ -121,7 +122,7 @@ func (x Expr) evalFor(e *Engine, b *Array) (*dist.Distribution, error) {
 	}
 	tg := x.target
 	if tg == nil {
-		tg = e.DefaultTarget()
+		tg = e.viewTarget(ctx)
 	}
 	return dist.New(typ, b.dom, tg)
 }
@@ -204,7 +205,7 @@ func (e *Engine) Distribute(ctx *machine.Ctx, primaries []*Array, expr Expr, opt
 		if !b.dynamic {
 			return fmt.Errorf("core: DISTRIBUTE applied to statically distributed array %s: %w", b.name, ErrNotPrimary)
 		}
-		newD, err := expr.evalFor(e, b)
+		newD, err := expr.evalFor(ctx, e, b)
 		if err != nil {
 			return err
 		}

@@ -66,6 +66,21 @@ func (e *Engine) DefaultTarget() dist.Target {
 	return e.m.ProcsDim("$P", e.m.NP()).Whole()
 }
 
+// viewTarget is DefaultTarget restricted to the processors that actually
+// execute: on membership epoch 0 the whole machine, after an online
+// regroup the shrunken survivor view.  Distributions resolved over the
+// machine's full width on a smaller view would leave their last blocks
+// owned by no executing rank — data silently dropped at the next
+// DISTRIBUTE — so every declaration and DISTRIBUTE target defaults to
+// the view, not the machine.
+func (e *Engine) viewTarget(ctx *machine.Ctx) dist.Target {
+	np := ctx.NP()
+	if np == e.m.NP() {
+		return e.DefaultTarget()
+	}
+	return e.m.ProcsDim(fmt.Sprintf("$P.%d", ctx.Epoch()), np).Whole()
+}
+
 // Lookup finds a declared array by name.
 func (e *Engine) Lookup(name string) (*Array, bool) {
 	e.mu.Lock()
@@ -153,11 +168,12 @@ type DistSpec struct {
 	Target dist.Target
 }
 
-// resolve applies the spec to a domain.
-func (e *Engine) resolve(s *DistSpec, dom index.Domain) (*dist.Distribution, error) {
+// resolve applies the spec to a domain, defaulting the target to the
+// executing view.
+func (e *Engine) resolve(ctx *machine.Ctx, s *DistSpec, dom index.Domain) (*dist.Distribution, error) {
 	tg := s.Target
 	if tg == nil {
-		tg = e.DefaultTarget()
+		tg = e.viewTarget(ctx)
 	}
 	return dist.New(s.Type, dom, tg)
 }
@@ -193,7 +209,7 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 		if d.Static == nil {
 			return nil, fmt.Errorf("core: %s: static array needs a DIST annotation", d.Name)
 		}
-		d0, err = e.resolve(d.Static, d.Domain)
+		d0, err = e.resolve(ctx, d.Static, d.Domain)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", d.Name, err)
 		}
@@ -203,7 +219,7 @@ func (e *Engine) Declare(ctx *machine.Ctx, d Decl) (*Array, error) {
 			return nil, fmt.Errorf("core: %s: secondary arrays take no RANGE or initial DIST of their own", d.Name)
 		}
 	case d.Init != nil:
-		d0, err = e.resolve(d.Init, d.Domain)
+		d0, err = e.resolve(ctx, d.Init, d.Domain)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", d.Name, err)
 		}

@@ -98,6 +98,29 @@ func (d *detector) sweep() {
 	d.mu.Unlock()
 }
 
+// snapshotDead returns a copy of the sticky dead mask, indexed by
+// physical rank.
+func (d *detector) snapshotDead() []bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]bool, len(d.dead))
+	copy(out, d.dead)
+	return out
+}
+
+// firstDeadOf returns the lowest physical rank among phys that the
+// detector has declared dead, or -1 when all are live.
+func (d *detector) firstDeadOf(phys []int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range phys {
+		if d.dead[r] {
+			return r
+		}
+	}
+	return -1
+}
+
 func (d *detector) survivors() []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()

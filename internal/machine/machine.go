@@ -35,6 +35,12 @@ type Machine struct {
 	commCfg   msg.CommConfig
 	liveness  *LivenessConfig
 	det       *detector
+	// exits[r] is closed when rank r's goroutine of the current Run
+	// returns; Regroup waits on the dead members' channels before
+	// installing a compacted view, so a survivor that takes over a dead
+	// rank's compacted slot has a happens-before edge on everything the
+	// dead rank's goroutine wrote.
+	exits []chan struct{}
 
 	mu      sync.Mutex
 	objects map[int64]*collEntry
@@ -162,10 +168,17 @@ func (m *Machine) Run(body func(ctx *Ctx) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, m.np)
 	panicked := make([]bool, m.np)
+	excluded := make([]bool, m.np)
+	exits := make([]chan struct{}, m.np)
+	for r := range exits {
+		exits[r] = make(chan struct{})
+	}
+	m.exits = exits
 	for r := 0; r < m.np; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			defer close(exits[r])
 			defer func() {
 				if rec := recover(); rec != nil {
 					errs[r] = fmt.Errorf("machine: rank %d panicked: %v\n%s", r, rec, debug.Stack())
@@ -176,6 +189,14 @@ func (m *Machine) Run(body func(ctx *Ctx) error) error {
 			ctx := m.newCtx(r)
 			if err := body(ctx); err != nil {
 				errs[r] = fmt.Errorf("machine: rank %d: %w", r, err)
+				if errors.Is(err, ErrExcluded) {
+					// A rank voted out of the surviving membership is a
+					// casualty the regrouped run expects: it exits
+					// without tearing the transport down under the
+					// survivors.
+					excluded[r] = true
+					return
+				}
 				m.transport.Close()
 			}
 		}(r)
@@ -183,7 +204,7 @@ func (m *Machine) Run(body func(ctx *Ctx) error) error {
 	wg.Wait()
 	pick := func(wantPanic, wantClosed bool) error {
 		for r, err := range errs {
-			if err != nil && panicked[r] == wantPanic && isClosedErr(err) == wantClosed {
+			if err != nil && !excluded[r] && panicked[r] == wantPanic && isClosedErr(err) == wantClosed {
 				return err
 			}
 		}
@@ -199,7 +220,14 @@ func (m *Machine) Run(body func(ctx *Ctx) error) error {
 			return err
 		}
 	}
-	return nil
+	// Exclusions alone don't fail the run — unless nobody survived to
+	// finish it.
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("machine: every rank excluded: %w", errs[0])
 }
 
 // isClosedErr reports whether err is (or textually embeds, for recovered
@@ -213,25 +241,65 @@ func isClosedErr(err error) bool {
 // abort (matching msg.ErrClosed's message).
 const ErrClosedText = "transport closed"
 
-// Ctx is one processor's view of the machine during an SPMD run.
+// Ctx is one processor's view of the machine during an SPMD run.  With
+// liveness enabled the view is epoch-scoped: after a successful Regroup
+// the Ctx is renumbered into the compacted survivor set, its collectives
+// run over an epoch-tagged msg.View, and Rank/NP answer in view
+// coordinates (epoch 0 is the identity view over all np processors).
 type Ctx struct {
-	rank    int
+	rank    int // view rank (== physical rank until a regroup)
 	m       *Machine
 	comm    *msg.Comm
 	collSeq int64
+	epoch   int
+	phys    []int // view rank -> physical rank; nil without liveness
 }
 
 func (m *Machine) newCtx(rank int) *Ctx {
-	c := &Ctx{rank: rank, m: m, comm: msg.NewComm(m.transport.Endpoint(rank))}
+	c := &Ctx{rank: rank, m: m}
+	ep := m.transport.Endpoint(rank)
+	if m.det != nil {
+		// Epoch 0 identity view: rank numbering and tags are unchanged,
+		// but collectives gain the liveness check — an in-flight
+		// operation aborts with ErrEpochRevoked as soon as a member is
+		// declared dead, instead of timing out peer by peer.
+		phys := make([]int, m.np)
+		for i := range phys {
+			phys[i] = i
+		}
+		c.phys = phys
+		c.comm = msg.NewComm(msg.NewView(ep, 0, phys, m.epochCheck(phys)))
+	} else {
+		c.comm = msg.NewComm(ep)
+	}
 	c.comm.SetConfig(m.commCfg)
 	return c
 }
 
-// Rank returns this processor's rank in 0..NP-1.
+// Rank returns this processor's rank in 0..NP-1 of the current
+// membership epoch.
 func (c *Ctx) Rank() int { return c.rank }
 
-// NP returns the number of processors ($NP).
-func (c *Ctx) NP() int { return c.m.np }
+// NP returns the number of processors ($NP) of the current membership
+// epoch.
+func (c *Ctx) NP() int {
+	if c.phys != nil {
+		return len(c.phys)
+	}
+	return c.m.np
+}
+
+// Epoch returns the current membership epoch (0 until a regroup).
+func (c *Ctx) Epoch() int { return c.epoch }
+
+// physRank returns this processor's physical rank — the trace timeline
+// and cost-model slot, which survive renumbering across regroups.
+func (c *Ctx) physRank() int {
+	if c.phys != nil {
+		return c.phys[c.rank]
+	}
+	return c.rank
+}
 
 // Machine returns the owning machine.
 func (c *Ctx) Machine() *Machine { return c.m }
@@ -265,9 +333,13 @@ func (c *Ctx) MustBarrier() {
 // itself — follow with Barrier when the object must be fully visible
 // before unrelated communication.
 func (c *Ctx) CollectiveOnce(create func() any) any {
-	defer c.Tracer().BeginSpan(c.rank, trace.CatCollective, "collective-once").End()
+	defer c.Tracer().BeginSpan(c.physRank(), trace.CatCollective, "collective-once").End()
 	c.collSeq++
-	id := c.collSeq
+	// The epoch is folded into the pairing key: after a regroup the
+	// survivors restart the sequence at 0 in the new epoch, so their
+	// post-recovery call sites can never pair with (and wrongly adopt)
+	// objects created before the membership change.
+	id := c.collSeq | int64(c.epoch)<<40
 	c.m.mu.Lock()
 	e, ok := c.m.objects[id]
 	if !ok {
@@ -283,7 +355,7 @@ func (c *Ctx) CollectiveOnce(create func() any) any {
 // clock (no-op without a cost model).
 func (c *Ctx) Charge(seconds float64) {
 	if cm := c.m.Cost(); cm != nil {
-		cm.Charge(c.rank, seconds)
+		cm.Charge(c.physRank(), seconds)
 	}
 }
 
@@ -295,10 +367,10 @@ func (c *Ctx) Tracer() *trace.Tracer { return c.m.Tracer() }
 // the innermost open phase-like span in the summary.  No-op without a
 // tracer.
 func (c *Ctx) PhaseBegin(name string) {
-	c.Tracer().BeginSpan(c.rank, trace.CatPhase, name)
+	c.Tracer().BeginSpan(c.physRank(), trace.CatPhase, name)
 }
 
 // PhaseEnd closes the named user phase opened by PhaseBegin.
 func (c *Ctx) PhaseEnd(name string) {
-	c.Tracer().EndSpan(c.rank, trace.CatPhase, name)
+	c.Tracer().EndSpan(c.physRank(), trace.CatPhase, name)
 }

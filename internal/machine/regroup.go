@@ -1,0 +1,253 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
+
+// ErrEpochRevoked is the typed abort delivered to every operation of a
+// membership epoch once a member has been declared dead: the epoch
+// View's liveness check fails, SendRetry/RecvRetry stop retrying, and
+// the collective returns a wrapped ErrEpochRevoked instead of timing
+// out peer by peer.  The SPMD body reacts by calling Ctx.Regroup.
+var ErrEpochRevoked = errors.New("machine: membership epoch revoked")
+
+// ErrExcluded is returned by Regroup on a rank that the surviving
+// membership has voted out (including a rank that observes itself in
+// the failure detector's dead set — the fail-stop contract).  The body
+// must return it; Machine.Run treats excluded ranks as expected
+// casualties rather than as an SPMD abort.
+var ErrExcluded = errors.New("machine: rank excluded from surviving membership")
+
+// epochCheck builds the liveness check an epoch View consults before
+// every communication attempt: revoked as soon as any member of the
+// epoch is declared dead.
+func (m *Machine) epochCheck(phys []int) func() error {
+	return func() error {
+		if r := m.det.firstDeadOf(phys); r >= 0 {
+			return fmt.Errorf("%w: member (physical rank %d) declared dead", ErrEpochRevoked, r)
+		}
+		return nil
+	}
+}
+
+// regroupBudget is the per-round agreement deadline: generous enough
+// that a survivor still unwinding from an aborted epoch-e operation (at
+// worst one full escalated receive per the CommConfig) joins the round
+// before anyone suspects it.
+func (m *Machine) regroupBudget() time.Duration {
+	attempt := m.commCfg.MaxTimeout
+	if attempt <= 0 {
+		shift := m.commCfg.Retries
+		if shift > 10 {
+			shift = 10
+		}
+		attempt = m.commCfg.Timeout << shift
+	}
+	budget := time.Duration(m.commCfg.Retries+1)*attempt + m.liveness.Window + 250*time.Millisecond
+	return budget
+}
+
+func encodeMask(mask []bool) []byte {
+	bits := make([]int, len(mask))
+	for i, b := range mask {
+		if b {
+			bits[i] = 1
+		}
+	}
+	return msg.EncodeInts(bits)
+}
+
+func decodeMask(data []byte, np int) []bool {
+	bits := msg.DecodeInts(data)
+	mask := make([]bool, np)
+	for i := 0; i < np && i < len(bits); i++ {
+		mask[i] = bits[i] != 0
+	}
+	return mask
+}
+
+// Regroup transitions this rank from membership epoch e to e+1 after a
+// member death: survivors agree on the dead set via a coordinator-free
+// exchange of suspected-dead bitmasks over the raw (un-viewed)
+// transport, wait for the dead members' goroutines to exit, and install
+// a compacted epoch-(e+1) view — renumbered ranks, epoch-folded tags, a
+// fresh collective sequence.  Stragglers of the revoked epoch can then
+// never match a receive of the new one.
+//
+// On the dead rank itself (the detector is shared, so a rank sees its
+// own death) Regroup returns ErrExcluded, which the body must return.
+// Regroup requires WithLiveness and a CommConfig Timeout (a dead rank's
+// goroutine can only unwind through receive deadlines).
+//
+// All survivors must call Regroup (SPMD discipline); it is collective
+// over the survivor set and ends with a confirmation barrier on the new
+// epoch.
+func (c *Ctx) Regroup() error {
+	m := c.m
+	if m.det == nil {
+		return errors.New("machine: Regroup requires WithLiveness")
+	}
+	if m.commCfg.Timeout <= 0 {
+		return errors.New("machine: Regroup requires a CommConfig Timeout (dead ranks unwind through receive deadlines)")
+	}
+	myPhys := c.phys[c.rank]
+	tr := m.Tracer()
+	tr.BeginSpan(myPhys, trace.CatPhase, "regroup")
+	defer tr.EndSpan(myPhys, trace.CatPhase, "regroup")
+
+	budget := m.regroupBudget()
+
+	// Phase 1: confirm a member death.  Regroup may be entered off any
+	// error; if no member is actually dead within the detection window
+	// there is nothing to regroup from and the caller's original error
+	// stands.
+	waitUntil := time.Now().Add(m.liveness.Window + budget)
+	for m.det.firstDeadOf(c.phys) < 0 {
+		if time.Now().After(waitUntil) {
+			return fmt.Errorf("machine: regroup: no member of epoch %d declared dead within %v", c.epoch, m.liveness.Window+budget)
+		}
+		time.Sleep(m.liveness.Interval)
+	}
+	dead := m.det.snapshotDead()
+	if dead[myPhys] {
+		return fmt.Errorf("machine: physical rank %d: %w", myPhys, ErrExcluded)
+	}
+
+	// Phase 2: coordinator-free agreement.  Every candidate repeatedly
+	// exchanges its suspected-dead mask with the other candidates and
+	// unions what it hears; a candidate that misses a round deadline is
+	// itself suspected.  Masks only grow, so the exchange converges: the
+	// round in which nothing changed and every peer echoed my exact mask
+	// is the decision round — every participant of that round took the
+	// same decision from the same masks.
+	suspect := make([]bool, m.np)
+	for _, p := range c.phys {
+		if dead[p] {
+			suspect[p] = true
+		}
+	}
+	newEpoch := c.epoch + 1
+	ep := m.transport.Endpoint(myPhys)
+	converged := false
+	for round := 0; round < m.np+2 && !converged; round++ {
+		tag := msg.FoldTag(newEpoch, msg.TagMemberBase+round)
+		payload := encodeMask(suspect)
+		mine := append([]bool(nil), suspect...)
+		for _, p := range c.phys {
+			if p == myPhys || suspect[p] {
+				continue
+			}
+			if err := ep.Send(p, tag, payload); err != nil {
+				return fmt.Errorf("machine: regroup: agreement send to %d: %w", p, err)
+			}
+		}
+		changed, allEqual := false, true
+		roundDeadline := time.Now().Add(budget)
+		for _, p := range c.phys {
+			if p == myPhys || mine[p] {
+				continue
+			}
+			left := time.Until(roundDeadline)
+			if left < time.Millisecond {
+				left = time.Millisecond
+			}
+			pkt, err := ep.RecvTimeout(p, tag, left)
+			if err != nil {
+				if isClosedErr(err) {
+					return fmt.Errorf("machine: regroup: agreement recv from %d: %w", p, err)
+				}
+				suspect[p] = true
+				changed = true
+				allEqual = false
+				continue
+			}
+			theirs := decodeMask(pkt.Data, m.np)
+			for r, s := range theirs {
+				if s != mine[r] {
+					allEqual = false
+				}
+				if s && !suspect[r] {
+					suspect[r] = true
+					changed = true
+				}
+			}
+		}
+		converged = !changed && allEqual
+	}
+	if !converged {
+		return fmt.Errorf("machine: regroup: agreement did not converge after %d rounds", m.np+2)
+	}
+	if suspect[myPhys] {
+		return fmt.Errorf("machine: physical rank %d: %w", myPhys, ErrExcluded)
+	}
+	// A rank that limped through the agreement alone (everyone else
+	// converged without it) decides a bogus singleton membership; by the
+	// time that happens the shared detector has long declared it dead.
+	// The fail-stop re-check turns that divergence into an exclusion.
+	if m.det.snapshotDead()[myPhys] {
+		return fmt.Errorf("machine: physical rank %d: %w", myPhys, ErrExcluded)
+	}
+
+	survivors := make([]int, 0, len(c.phys))
+	for _, p := range c.phys {
+		if !suspect[p] {
+			survivors = append(survivors, p)
+		}
+	}
+
+	// Phase 3: wait for the excluded members' goroutines to exit.  A
+	// survivor that takes over a dead member's compacted rank slot will
+	// touch per-rank state (array locals, pack buffers) the dead
+	// goroutine last wrote; the exit-channel join is the happens-before
+	// edge that makes the takeover race-free.  Dead ranks unwind through
+	// their receive deadlines, so the wait is bounded by the same retry
+	// budget the agreement rounds assume.
+	for _, p := range c.phys {
+		if !suspect[p] {
+			continue
+		}
+		select {
+		case <-m.exits[p]:
+		case <-time.After(budget):
+			return fmt.Errorf("machine: regroup: excluded rank %d's goroutine still running after %v", p, budget)
+		}
+	}
+
+	// Phase 4: install the compacted epoch-(e+1) view.
+	myView := -1
+	for i, p := range survivors {
+		if p == myPhys {
+			myView = i
+		}
+	}
+	c.epoch = newEpoch
+	c.phys = survivors
+	c.rank = myView
+	c.comm = msg.NewComm(msg.NewView(ep, newEpoch, survivors, m.epochCheck(survivors)))
+	c.comm.SetConfig(m.commCfg)
+	c.collSeq = 0
+	if tr != nil {
+		tr.Instant(myPhys, trace.CatPhase, fmt.Sprintf("epoch:%d", newEpoch), myView, int64(len(survivors)))
+	}
+
+	// Confirmation barrier on the new epoch: every survivor is present
+	// and renumbered before application traffic resumes.
+	if err := c.comm.Barrier(); err != nil {
+		return fmt.Errorf("machine: regroup: epoch %d confirmation: %w", newEpoch, err)
+	}
+	return nil
+}
+
+// Members returns the physical ranks of the current membership epoch in
+// view-rank order (nil without liveness).
+func (c *Ctx) Members() []int {
+	if c.phys == nil {
+		return nil
+	}
+	return append([]int(nil), c.phys...)
+}

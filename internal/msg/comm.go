@@ -17,7 +17,8 @@ import (
 // with exponential escalation (the deadline doubles per attempt, and
 // failed sends sleep Backoff<<attempt between attempts) before the
 // collective returns a wrapped error naming the collective and rank.
-// Errors that cannot heal (ErrClosed) are never retried.
+// Errors that cannot heal (ErrClosed, ErrIntegrity — the corrupt frame
+// is already consumed) are never retried.
 type CommConfig struct {
 	// Timeout is the per-receive deadline inside collectives; 0 means
 	// wait forever.
@@ -57,16 +58,39 @@ func escalate(d time.Duration, attempt int, max time.Duration) time.Duration {
 	return e
 }
 
+// liveChecker is the optional endpoint facet consulted before every
+// retry attempt: a non-nil error (typically machine.ErrEpochRevoked from
+// an epoch View) aborts the operation immediately instead of letting it
+// time out attempt by attempt against a peer that is already known dead.
+type liveChecker interface{ CheckLive() error }
+
+func checkLive(ep Endpoint) error {
+	if lc, ok := ep.(liveChecker); ok {
+		return lc.CheckLive()
+	}
+	return nil
+}
+
+// terminal reports whether err can never heal by retrying: the
+// transport is closed, or a corrupt frame was already consumed from the
+// mailbox (retrying the receive would just time out on the gap).
+func terminal(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, ErrIntegrity)
+}
+
 // SendRetry sends with the config's bounded-retry policy, wrapping any
 // terminal error with the operation name and sending rank.  Each retry is
 // recorded as a "retry:<op>" instant on the tracer (when non-nil).
 func SendRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, to, tag int, data []byte) error {
 	for attempt := 0; ; attempt++ {
+		if err := checkLive(ep); err != nil {
+			return fmt.Errorf("msg: %s: rank %d: send to %d: %w", op, ep.Rank(), to, err)
+		}
 		err := ep.Send(to, tag, data)
 		if err == nil {
 			return nil
 		}
-		if attempt >= cfg.Retries || errors.Is(err, ErrClosed) {
+		if attempt >= cfg.Retries || terminal(err) {
 			return fmt.Errorf("msg: %s: rank %d: send to %d: %w", op, ep.Rank(), to, err)
 		}
 		if tr != nil {
@@ -84,6 +108,9 @@ func SendRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, to, tag
 // recoverable receive errors up to Retries times).
 func RecvRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, from, tag int) (Packet, error) {
 	for attempt := 0; ; attempt++ {
+		if err := checkLive(ep); err != nil {
+			return Packet{}, fmt.Errorf("msg: %s: rank %d: recv from %d: %w", op, ep.Rank(), from, err)
+		}
 		var p Packet
 		var err error
 		if cfg.Timeout > 0 {
@@ -94,7 +121,7 @@ func RecvRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, from, t
 		if err == nil {
 			return p, nil
 		}
-		if attempt >= cfg.Retries || errors.Is(err, ErrClosed) {
+		if attempt >= cfg.Retries || terminal(err) {
 			return Packet{}, fmt.Errorf("msg: %s: rank %d: recv from %d: %w", op, ep.Rank(), from, err)
 		}
 		if tr != nil {

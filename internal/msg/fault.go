@@ -37,6 +37,12 @@ const (
 	// of the receive can ever see it; only a deadline unblocks the
 	// receiver).
 	FaultDrop
+	// FaultCorrupt flips one payload bit of a sent frame (wire
+	// corruption: undetectable to the transport itself; an
+	// IntegrityTransport layered outside the fault injector catches it
+	// at the receive as ErrIntegrity).  Zero-length frames pass through
+	// untouched.  The plan syntax accepts "corrupt" and "bitflip".
+	FaultCorrupt
 )
 
 var faultKindNames = map[FaultKind]string{
@@ -44,6 +50,7 @@ var faultKindNames = map[FaultKind]string{
 	FaultRecvErr:   "recverr",
 	FaultRecvDelay: "delay",
 	FaultDrop:      "drop",
+	FaultCorrupt:   "corrupt",
 }
 
 func (k FaultKind) String() string {
@@ -95,6 +102,18 @@ type FaultPlan struct {
 	StartDisarmed bool
 }
 
+// HasKind reports whether any rule of the plan is of kind k.  Callers
+// use it to auto-enable the integrity layer when a plan injects
+// corruption.
+func (p *FaultPlan) HasKind(k FaultKind) bool {
+	for _, r := range p.Rules {
+		if r.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
 // ParseFaultPlan parses the -fault flag syntax: semicolon-separated rules,
 // each a kind followed by comma-separated key=value options, e.g.
 //
@@ -129,8 +148,10 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 			r.Kind = FaultRecvDelay
 		case "drop":
 			r.Kind = FaultDrop
+		case "corrupt", "bitflip":
+			r.Kind = FaultCorrupt
 		default:
-			return nil, fmt.Errorf("msg: fault plan: unknown kind %q (want senderr|recverr|delay|drop)", fields[0])
+			return nil, fmt.Errorf("msg: fault plan: unknown kind %q (want senderr|recverr|delay|drop|corrupt)", fields[0])
 		}
 		for _, f := range fields[1:] {
 			k, v, ok := strings.Cut(f, "=")
@@ -308,12 +329,22 @@ func (e *faultEndpoint) fire(peer int, kinds ...FaultKind) *FaultRule {
 }
 
 func (e *faultEndpoint) Send(to, tag int, data []byte) error {
-	if r := e.fire(to, FaultSendErr, FaultRecvDelay, FaultDrop); r != nil {
+	if r := e.fire(to, FaultSendErr, FaultRecvDelay, FaultDrop, FaultCorrupt); r != nil {
 		switch r.Kind {
 		case FaultSendErr:
 			return fmt.Errorf("%w: send %d->%d", ErrInjected, e.inner.Rank(), to)
 		case FaultDrop:
 			return nil // frame silently lost
+		case FaultCorrupt:
+			if len(data) == 0 {
+				return e.inner.Send(to, tag, data)
+			}
+			// Flip one mid-payload bit on a copy (the caller may reuse
+			// its buffer, and must not see the corruption).
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			cp[len(cp)/2] ^= 0x10
+			return e.inner.Send(to, tag, cp)
 		case FaultRecvDelay:
 			cp := make([]byte, len(data))
 			copy(cp, data)

@@ -39,8 +39,14 @@ const (
 	AnyTag    = -1
 )
 
-// Reserved tag ranges.  User-level tags must be < TagHeartbeat.
+// Reserved tag ranges.  User-level tags must be < TagMemberBase.
 const (
+	// TagMemberBase is the base of the small tag space used by the
+	// machine membership layer's survivor-agreement rounds (round k of
+	// the regroup to epoch e uses FoldTag(e, TagMemberBase+k)); it sits
+	// below the heartbeat tag so agreement traffic never matches
+	// application receives.
+	TagMemberBase = 1 << 24
 	// TagHeartbeat is the single tag used by the machine liveness layer's
 	// heartbeat instants; it sits below the RMA space so a failure
 	// detector's receive loop never matches application traffic.

@@ -1,0 +1,155 @@
+package msg
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// epochShift is the bit position where the membership epoch is folded
+// into wire tags.  All reserved tag spaces (TagMemberBase through
+// TagCollBase plus the unbounded collective sequence) live far below
+// bit 40, and tags are 8 bytes on the TCP wire, so folding never
+// collides with an unfolded tag.
+const epochShift = 40
+
+// FoldTag folds a membership epoch into a wire tag.  Epoch 0 is the
+// identity, so pre-regroup traffic is byte-compatible with a machine
+// that never heard of epochs.  Wildcards (negative tags) are returned
+// unchanged.
+func FoldTag(epoch, tag int) int {
+	if tag < 0 || epoch == 0 {
+		return tag
+	}
+	return tag | epoch<<epochShift
+}
+
+// UnfoldTag strips the folded epoch from a wire tag.
+func UnfoldTag(tag int) int {
+	if tag < 0 {
+		return tag
+	}
+	return tag & (1<<epochShift - 1)
+}
+
+// View is an Endpoint restricted to a membership epoch's survivor set:
+// ranks are renumbered to the compacted survivor numbering (view rank i
+// is physical rank Phys[i]) and every tag is folded with the epoch, so
+// stragglers from a revoked epoch never match a receive on the current
+// one — they rot unconsumed in the mailbox instead of corrupting a
+// collective.
+//
+// A View may carry a liveness check; SendRetry/RecvRetry consult it
+// before every attempt, so an operation blocked on a peer that has since
+// been declared dead aborts with the checker's error (typically
+// machine.ErrEpochRevoked) instead of timing out attempt by attempt.
+type View struct {
+	inner Endpoint
+	epoch int
+	phys  []int // view rank -> physical rank
+	virt  []int // physical rank -> view rank (-1: not a member)
+	check func() error
+}
+
+// NewView wraps inner for the given epoch and member set.  phys lists
+// the members' physical ranks in view-rank order and must contain
+// inner's own physical rank.  check may be nil.
+func NewView(inner Endpoint, epoch int, phys []int, check func() error) *View {
+	v := &View{inner: inner, epoch: epoch, phys: phys, check: check}
+	v.virt = make([]int, inner.NP())
+	for i := range v.virt {
+		v.virt[i] = -1
+	}
+	for i, p := range phys {
+		v.virt[p] = i
+	}
+	if v.virt[inner.Rank()] < 0 {
+		panic(fmt.Sprintf("msg: view epoch %d excludes its own physical rank %d", epoch, inner.Rank()))
+	}
+	return v
+}
+
+// Epoch returns the membership epoch this view belongs to.
+func (v *View) Epoch() int { return v.epoch }
+
+// Phys returns the physical rank of view rank r.
+func (v *View) Phys(r int) int { return v.phys[r] }
+
+// Rank returns this endpoint's rank in the view's compacted numbering.
+func (v *View) Rank() int { return v.virt[v.inner.Rank()] }
+
+// NP returns the number of members of the view.
+func (v *View) NP() int { return len(v.phys) }
+
+// Tracer exposes the wrapped endpoint's tracer so Comm still records
+// collective spans over a view.
+func (v *View) Tracer() *trace.Tracer {
+	if tp, ok := v.inner.(interface{ Tracer() *trace.Tracer }); ok {
+		return tp.Tracer()
+	}
+	return nil
+}
+
+// CheckLive reports whether the view's epoch is still valid; a non-nil
+// error means a member has been declared dead and the epoch is revoked.
+func (v *View) CheckLive() error {
+	if v.check == nil {
+		return nil
+	}
+	return v.check()
+}
+
+func (v *View) peer(r int) (int, error) {
+	if r == AnySource {
+		return AnySource, nil
+	}
+	if r < 0 || r >= len(v.phys) {
+		return 0, fmt.Errorf("msg: view epoch %d: rank %d out of range (np=%d)", v.epoch, r, len(v.phys))
+	}
+	return v.phys[r], nil
+}
+
+// translate maps a delivered packet back into view coordinates.  A
+// sender outside the member set cannot match (its tags carry a
+// different epoch fold), so the translation is always defined.
+func (v *View) translate(p Packet) Packet {
+	p.From = v.virt[p.From]
+	p.Tag = UnfoldTag(p.Tag)
+	return p
+}
+
+// Send delivers data to view rank `to` with the epoch-folded tag.
+func (v *View) Send(to, tag int, data []byte) error {
+	pto, err := v.peer(to)
+	if err != nil {
+		return err
+	}
+	return v.inner.Send(pto, FoldTag(v.epoch, tag), data)
+}
+
+// Recv receives a message from view rank `from` on the epoch-folded tag.
+func (v *View) Recv(from, tag int) (Packet, error) {
+	pfrom, err := v.peer(from)
+	if err != nil {
+		return Packet{}, err
+	}
+	p, err := v.inner.Recv(pfrom, FoldTag(v.epoch, tag))
+	if err != nil {
+		return p, err
+	}
+	return v.translate(p), nil
+}
+
+// RecvTimeout is Recv with a deadline.
+func (v *View) RecvTimeout(from, tag int, d time.Duration) (Packet, error) {
+	pfrom, err := v.peer(from)
+	if err != nil {
+		return Packet{}, err
+	}
+	p, err := v.inner.RecvTimeout(pfrom, FoldTag(v.epoch, tag), d)
+	if err != nil {
+		return p, err
+	}
+	return v.translate(p), nil
+}
