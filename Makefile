@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault check-recovery check-online soak bench bench-smoke examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery check-online soak bench bench-smoke bench-overlap examples experiments analyze clean
 
 all: build check test
 
@@ -21,7 +21,7 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault check-recovery check-online
+check: check-fault check-recovery check-online bench-overlap
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
 
@@ -66,6 +66,15 @@ bench-smoke:
 	( $(GO) test -run '^$$' -bench 'BenchmarkSmoothing|BenchmarkRedistribute' -benchtime 1x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCodec' -benchtime 100x -benchmem ./internal/msg ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+# Sync-vs-overlap smoothing comparison: the same shapes timed with the
+# synchronous exchange+sweep loop and with the one-sided overlapped loop
+# (interior while the halo puts fly, no per-step barriers).  Each variant
+# first validates bit-identity against the serial reference (maxerr must
+# be exactly 0); results land in BENCH_PR6.json for diffing.
+bench-overlap:
+	$(GO) test -run '^$$' -bench 'BenchmarkSmoothingOverlap' -benchtime 30x . \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E4).
 experiments:

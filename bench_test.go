@@ -117,6 +117,51 @@ func BenchmarkSmoothing(b *testing.B) {
 	}
 }
 
+// BenchmarkSmoothingOverlap pairs the synchronous smoothing loop with the
+// overlapped one (interior computed while the one-sided halo puts are in
+// flight, no per-step barriers) on the same shapes, so the two ns/op
+// figures are directly comparable.  Before timing, each variant runs once
+// against the serial reference and reports maxerr — overlap must be
+// bit-identical, not just close.
+func BenchmarkSmoothingOverlap(b *testing.B) {
+	for _, mode := range []apps.SmoothMode{apps.SmoothColumns, apps.SmoothBlock2D} {
+		name := "columns"
+		if mode == apps.SmoothBlock2D {
+			name = "block2d"
+		}
+		for _, overlap := range []bool{false, true} {
+			variant := "sync"
+			if overlap {
+				variant = "overlap"
+			}
+			b.Run(fmt.Sprintf("%s/%s/N256/P9", name, variant), func(b *testing.B) {
+				cfg := apps.SmoothConfig{N: 256, Steps: 8, P: 9, Mode: mode, Overlap: overlap}
+				vcfg := cfg
+				vcfg.Validate = true
+				chk, err := apps.RunSmoothing(vcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if chk.MaxErr != 0 {
+					b.Fatalf("MaxErr = %g vs serial, want exactly 0", chk.MaxErr)
+				}
+				var last apps.SmoothResult
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := apps.RunSmoothing(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.MsgsPerProcStep, "msgs/proc/step")
+				b.ReportMetric(last.BytesPerProcStep, "bytes/proc/step")
+				b.ReportMetric(chk.MaxErr, "maxerr")
+			})
+		}
+	}
+}
+
 func BenchmarkRedistribute(b *testing.B) {
 	pairs := []struct {
 		name     string

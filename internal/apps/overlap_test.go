@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmoothingOverlapBitIdentical: the overlapped step (interior while
+// halos fly, edges after Wait) partitions the owned region over the same
+// smoothRect arithmetic as the synchronous sweep, so the two paths must
+// agree bit for bit — on both distributions and both transports.
+func TestSmoothingOverlapBitIdentical(t *testing.T) {
+	for _, mode := range []SmoothMode{SmoothColumns, SmoothBlock2D} {
+		for _, tcp := range []bool{false, true} {
+			name := mode.String()
+			if tcp {
+				name += "/tcp"
+			}
+			t.Run(name, func(t *testing.T) {
+				base := SmoothConfig{N: 33, Steps: 3, P: 9, Mode: mode, UseTCP: tcp, Validate: true}
+				sync, err := RunSmoothing(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				over := base
+				over.Overlap = true
+				ovl, err := RunSmoothing(over)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ovl.Checksum != sync.Checksum {
+					t.Errorf("overlap checksum %v != sync checksum %v", ovl.Checksum, sync.Checksum)
+				}
+				if ovl.MaxErr != sync.MaxErr {
+					t.Errorf("overlap MaxErr %g != sync MaxErr %g", ovl.MaxErr, sync.MaxErr)
+				}
+				if ovl.MaxErr > 1e-12 {
+					t.Errorf("overlap deviates from serial by %g", ovl.MaxErr)
+				}
+			})
+		}
+	}
+}
+
+// TestSmoothingOverlapMessageCounts: the overlapped loop must move
+// exactly the traffic of the synchronous one — claim C1's counts, now
+// measured as a whole-phase total over a barrier-free loop.
+func TestSmoothingOverlapMessageCounts(t *testing.T) {
+	const n, p = 64, 4
+	cols, err := RunSmoothing(SmoothConfig{N: n, Steps: 3, P: p, Mode: SmoothColumns, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.MsgsPerProcStep != 2 {
+		t.Fatalf("columns msgs/proc/step = %v, want 2", cols.MsgsPerProcStep)
+	}
+	if cols.BytesPerProcStep != 2*8*n {
+		t.Fatalf("columns bytes/proc/step = %v, want %d", cols.BytesPerProcStep, 2*8*n)
+	}
+	const n2, p2, q2 = 63, 9, 3
+	blk, err := RunSmoothing(SmoothConfig{N: n2, Steps: 3, P: p2, Mode: SmoothBlock2D, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.MsgsPerProcStep != 4 {
+		t.Fatalf("block msgs/proc/step = %v, want 4", blk.MsgsPerProcStep)
+	}
+	if blk.BytesPerProcStep != 4*8*n2/q2 {
+		t.Fatalf("block bytes/proc/step = %v, want %d", blk.BytesPerProcStep, 4*8*n2/q2)
+	}
+}
+
+// TestSmoothingOverlapUnevenHalos: uneven B_BLOCK-style segments — width-1
+// column strips and a 10-point grid on a 3x3 arrangement — where some
+// interiors degenerate to nothing and the edge strips carry the whole
+// sweep.
+func TestSmoothingOverlapUnevenHalos(t *testing.T) {
+	cases := []SmoothConfig{
+		{N: 13, Steps: 3, P: 9, Mode: SmoothColumns, Validate: true, Overlap: true},
+		{N: 10, Steps: 3, P: 9, Mode: SmoothBlock2D, Validate: true, Overlap: true},
+		{N: 9, Steps: 2, P: 9, Mode: SmoothColumns, Validate: true, Overlap: true},
+	}
+	for _, cfg := range cases {
+		res, err := RunSmoothing(cfg)
+		if err != nil {
+			t.Fatalf("N=%d %v: %v", cfg.N, cfg.Mode, err)
+		}
+		if res.MaxErr > 1e-12 {
+			t.Errorf("N=%d %v: overlap deviates from serial by %g", cfg.N, cfg.Mode, res.MaxErr)
+		}
+	}
+}
+
+// TestOnlineRecoverSmoothingOverlap: a rank dies while the barrier-free
+// overlapped loop is in flight; the counted put/await streams surface the
+// failure as wrapped errors, the survivors regroup, and the re-run from
+// the last checkpoint still matches the serial reference.  Windows from
+// the failed epoch are revoked with the view — no stale-tag traffic leaks
+// into the survivor epoch.
+func TestOnlineRecoverSmoothingOverlap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SmoothConfig{
+		N: 24, Steps: 8, P: 4, Mode: SmoothColumns, Validate: true, Overlap: true,
+		CkptDir: dir, CkptEvery: 1,
+		// The barrier-free loop sends far fewer messages per step than the
+		// synchronous one, so the kill threshold is lower than in the
+		// synchronous online test.
+		Fault:         "drop,rank=1,after=40",
+		CommTimeout:   150 * time.Millisecond,
+		CommRetries:   2,
+		Liveness:      testLiveness(),
+		OnlineRecover: true,
+	}
+	res, err := RunSmoothing(cfg)
+	if err != nil {
+		t.Fatalf("online overlapped smoothing recovery: %v", err)
+	}
+	if res.FinalEpoch < 1 {
+		t.Fatalf("run finished on epoch %d: kill never landed", res.FinalEpoch)
+	}
+	if res.MaxErr > 1e-12 {
+		t.Fatalf("MaxErr = %g after online recovery", res.MaxErr)
+	}
+}

@@ -41,6 +41,13 @@ type SmoothConfig struct {
 	Steps int
 	P     int
 	Mode  SmoothMode
+	// Overlap runs each step with the ghost exchange in flight during the
+	// interior update (the StartExchangeAllGhosts/Wait split) instead of a
+	// synchronous exchange followed by the full sweep.  The step loop then
+	// runs without per-step barriers — neighbour completion is the only
+	// synchronization — so per-step traffic is reported as the phase total
+	// divided by Steps.  Results are bit-identical to the synchronous mode.
+	Overlap bool
 	// Alpha/Beta attach a cost model; FlopTime charges per grid-point
 	// update (default 2ns).
 	Alpha, Beta float64
@@ -215,28 +222,60 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 				src, dst = v, u
 			}
 			ctx.PhaseBegin("smooth")
-			for s := s0; s < cfg.Steps; s++ {
-				var pre msg.Snapshot
+			var phasePre msg.Snapshot
+			if cfg.Overlap {
 				if ctx.Rank() == 0 {
-					pre = m.Stats().Snapshot() // only rank 0 reads the deltas
+					phasePre = m.Stats().Snapshot()
 				}
-				ctx.Barrier() // no rank may send before pre is taken
-				if err := src.ExchangeAllGhosts(ctx); err != nil {
+				// No rank may send before the phase baseline is taken; the
+				// step loop itself runs barrier-free.
+				if err := ctx.Barrier(); err != nil {
 					return err
 				}
-				ctx.Barrier()
-				if ctx.Rank() == 0 {
-					d := m.Stats().Snapshot().Sub(pre)
-					exchMsgs += d.MaxDataMsgsPerProc()
-					exchBytes += d.MaxBytesPerProc()
+			}
+			for s := s0; s < cfg.Steps; s++ {
+				if cfg.Overlap {
+					if err := smoothStepOverlap(ctx, src, dst, cfg.FlopTime); err != nil {
+						return err
+					}
+				} else {
+					var pre msg.Snapshot
+					if ctx.Rank() == 0 {
+						pre = m.Stats().Snapshot() // only rank 0 reads the deltas
+					}
+					ctx.Barrier() // no rank may send before pre is taken
+					if err := src.ExchangeAllGhosts(ctx); err != nil {
+						return err
+					}
+					ctx.Barrier()
+					if ctx.Rank() == 0 {
+						d := m.Stats().Snapshot().Sub(pre)
+						exchMsgs += d.MaxDataMsgsPerProc()
+						exchBytes += d.MaxBytesPerProc()
+					}
+					smoothLocal(ctx, src, dst, cfg.FlopTime)
+					ctx.Barrier()
 				}
-				smoothLocal(ctx, src, dst, cfg.FlopTime)
-				ctx.Barrier()
 				src, dst = dst, src
 				if cfg.CkptDir != "" && (s+1)%max(cfg.CkptEvery, 1) == 0 {
 					if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(s)}); err != nil {
 						return err
 					}
+				}
+			}
+			if cfg.Overlap {
+				if err := ctx.Barrier(); err != nil {
+					return err
+				}
+				if ctx.Rank() == 0 {
+					d := m.Stats().Snapshot().Sub(phasePre)
+					exchMsgs += d.MaxDataMsgsPerProc()
+					exchBytes += d.MaxBytesPerProc()
+				}
+				// No rank may start post-phase traffic (the reduction below)
+				// until the phase totals are read.
+				if err := ctx.Barrier(); err != nil {
+					return err
 				}
 			}
 			ctx.PhaseEnd("smooth")
@@ -308,36 +347,122 @@ func smoothLocal(ctx *machine.Ctx, src, dst *core.Array, flopTime float64) {
 	if !ok || ls.Count() == 0 {
 		return
 	}
-	sd, dd := ls.Data(), ld.Data()
 	strd := ls.Stride()
-	s0, s1 := strd[0], strd[1]
-	if s0 != 1 {
+	if strd[0] != 1 {
 		panic("apps: smoothing needs unit stride along dimension 0")
 	}
-	w := hi[0] - lo[0] + 1
-	rowOff := ls.Offset(index.Point{lo[0], lo[1]})
+	cnt := smoothRect(ld.Data(), ls.Data(), ls.Offset(index.Point{lo[0], lo[1]}), strd[1],
+		lo[0], hi[0], lo[1], hi[1], n0, n1)
+	ctx.Charge(flopTime * float64(4*cnt))
+}
+
+// smoothRect applies one smoothing step to the global sub-rectangle
+// [i0..i1]×[j0..j1] (rows j, unit-stride columns i, rowOff the storage
+// offset of (i0, j0)), copying through points on the global boundary.
+// It returns the number of stencil updates performed.
+func smoothRect(dd, sd []float64, rowOff, s1, i0, i1, j0, j1, n0, n1 int) int {
+	w := i1 - i0 + 1
 	cnt := 0
-	for j := lo[1]; j <= hi[1]; j, rowOff = j+1, rowOff+s1 {
+	for j := j0; j <= j1; j, rowOff = j+1, rowOff+s1 {
 		if j == 1 || j == n1 {
 			copy(dd[rowOff:rowOff+w], sd[rowOff:rowOff+w])
 			continue
 		}
-		off, i0, i1 := rowOff, lo[0], hi[0]
-		if i0 == 1 { // global west edge copies through
+		off, a, b := rowOff, i0, i1
+		if a == 1 { // global west edge copies through
 			dd[off] = sd[off]
-			i0++
+			a++
 			off++
 		}
-		if i1 == n0 { // global east edge copies through
+		if b == n0 { // global east edge copies through
 			dd[rowOff+w-1] = sd[rowOff+w-1]
-			i1--
+			b--
 		}
-		if n := i1 - i0 + 1; n > 0 {
+		if n := b - a + 1; n > 0 {
 			kernels.SmoothRow(dd, sd, off, n, s1)
 			cnt += n
 		}
 	}
+	return cnt
+}
+
+// smoothStepOverlap performs one smoothing step with the ghost exchange
+// in flight during the bulk of the computation: the owned region is
+// split into an interior whose stencil reads no ghost cell and up to
+// four one-point-wide edge strips that do; the interior runs between
+// StartExchangeAllGhosts and Wait, the strips after.  Every point goes
+// through the same smoothRect arithmetic as the synchronous path, so the
+// result is bit-identical.
+//
+// The split is race-free without barriers: inbound puts land only in
+// src's ghost cells, which the interior never reads, and the counted
+// put/await streams bound neighbour skew to one step — a neighbour's
+// next-step put targets the other buffer of the src/dst pair, whose
+// ghost cells nothing is reading.
+func smoothStepOverlap(ctx *machine.Ctx, src, dst *core.Array, flopTime float64) error {
+	h, err := src.StartExchangeAllGhosts(ctx)
+	if err != nil {
+		return err
+	}
+	ls, ld := src.Local(ctx), dst.Local(ctx)
+	dom := src.Domain()
+	n0, n1 := dom.Hi[0], dom.Hi[1]
+	lo, hi, ok := ls.Segment()
+	if !ok || ls.Count() == 0 {
+		return h.Wait()
+	}
+	sd, dd := ls.Data(), ld.Data()
+	strd := ls.Stride()
+	if strd[0] != 1 {
+		panic("apps: smoothing needs unit stride along dimension 0")
+	}
+	s1 := strd[1]
+	off := func(i, j int) int { return ls.Offset(index.Point{i, j}) }
+	lo0, hi0, lo1, hi1 := lo[0], hi[0], lo[1], hi[1]
+
+	// Shrink each side that has a neighbour (and hence a ghost margin the
+	// boundary stencils read) by one point to get the interior box.
+	iILo, iIHi, jILo, jIHi := lo0, hi0, lo1, hi1
+	if lo0 > 1 {
+		iILo++
+	}
+	if hi0 < n0 {
+		iIHi--
+	}
+	if lo1 > 1 {
+		jILo++
+	}
+	if hi1 < n1 {
+		jIHi--
+	}
+
+	cnt := 0
+	if iILo <= iIHi && jILo <= jIHi {
+		cnt += smoothRect(dd, sd, off(iILo, jILo), s1, iILo, iIHi, jILo, jIHi, n0, n1)
+	}
+	if err := h.Wait(); err != nil {
+		return err
+	}
+	// South and north strips span the full owned width; west and east
+	// strips cover the remaining middle rows.  Together with the interior
+	// they partition the owned region (degenerate segments collapse the
+	// empty strips).
+	if jILo-1 >= lo1 {
+		cnt += smoothRect(dd, sd, off(lo0, lo1), s1, lo0, hi0, lo1, jILo-1, n0, n1)
+	}
+	if jN0 := max(jIHi+1, jILo); jN0 <= hi1 {
+		cnt += smoothRect(dd, sd, off(lo0, jN0), s1, lo0, hi0, jN0, hi1, n0, n1)
+	}
+	if jILo <= jIHi {
+		if iILo-1 >= lo0 {
+			cnt += smoothRect(dd, sd, off(lo0, jILo), s1, lo0, iILo-1, jILo, jIHi, n0, n1)
+		}
+		if iE0 := max(iIHi+1, iILo); iE0 <= hi0 {
+			cnt += smoothRect(dd, sd, off(iE0, jILo), s1, iE0, hi0, jILo, jIHi, n0, n1)
+		}
+	}
 	ctx.Charge(flopTime * float64(4*cnt))
+	return nil
 }
 
 // SmoothModelCost returns the modeled per-step communication cost of the

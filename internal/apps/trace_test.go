@@ -111,14 +111,19 @@ func TestSmoothingTraceShape(t *testing.T) {
 		if _, ok := sum.Phase("smooth"); !ok {
 			t.Fatalf("%v: no \"smooth\" phase in summary", tc.mode)
 		}
-		for _, name := range []string{"ghost U", "ghost V"} {
-			ps, ok := sum.Phase(name)
+		for _, arr := range []string{"U", "V"} {
+			// One-sided puts are issued (and traced) in the start span;
+			// the wait span carries only the completion time.
+			ps, ok := sum.Phase("ghost-start " + arr)
 			if !ok {
-				t.Fatalf("%v: no %q row in summary:\n%s", tc.mode, name, sum.String())
+				t.Fatalf("%v: no %q row in summary:\n%s", tc.mode, "ghost-start "+arr, sum.String())
 			}
 			if ps.Msgs != tc.msgs || ps.Bytes != tc.msgs*tc.bytesPerMsg {
-				t.Errorf("%v %s: %d msgs / %d bytes, want %d msgs of %d bytes",
-					tc.mode, name, ps.Msgs, ps.Bytes, tc.msgs, tc.bytesPerMsg)
+				t.Errorf("%v ghost-start %s: %d msgs / %d bytes, want %d msgs of %d bytes",
+					tc.mode, arr, ps.Msgs, ps.Bytes, tc.msgs, tc.bytesPerMsg)
+			}
+			if _, ok := sum.Phase("ghost-wait " + arr); !ok {
+				t.Fatalf("%v: no %q row in summary:\n%s", tc.mode, "ghost-wait "+arr, sum.String())
 			}
 		}
 	}

@@ -103,30 +103,10 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) ([]float64, error) {
 	return a.arr.GatherTo(ctx, root)
 }
 
-// MustGatherTo is GatherTo panicking on failure.
-//
-// Deprecated: use GatherTo and handle the error.
-func (a *Array) MustGatherTo(ctx *machine.Ctx, root int) []float64 {
-	data, err := a.arr.GatherTo(ctx, root)
-	if err != nil {
-		panic(fmt.Sprintf("core: gather of %s: %v", a.Name(), err))
-	}
-	return data
-}
-
 // ScatterFrom distributes a dense global slice from root, returning a
 // wrapped error on transport failure or a wrong-sized slice.
 func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) error {
 	return a.arr.ScatterFrom(ctx, root, data)
-}
-
-// MustScatterFrom is ScatterFrom panicking on failure.
-//
-// Deprecated: use ScatterFrom and handle the error.
-func (a *Array) MustScatterFrom(ctx *machine.Ctx, root int, data []float64) {
-	if err := a.arr.ScatterFrom(ctx, root, data); err != nil {
-		panic(fmt.Sprintf("core: scatter of %s: %v", a.Name(), err))
-	}
 }
 
 // ExchangeGhosts refreshes overlap areas along dimension k, returning a
@@ -137,23 +117,18 @@ func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error { return a.arr.Exc
 // error on transport failure.
 func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) error { return a.arr.ExchangeAllGhosts(ctx) }
 
-// MustExchangeGhosts is ExchangeGhosts panicking on transport failure.
-//
-// Deprecated: use ExchangeGhosts and handle the error.
-func (a *Array) MustExchangeGhosts(ctx *machine.Ctx, k int) {
-	if err := a.arr.ExchangeGhosts(ctx, k); err != nil {
-		panic(fmt.Sprintf("core: ghost exchange of %s: %v", a.Name(), err))
-	}
+// StartExchangeGhosts begins an asynchronous refresh of dimension k's
+// overlap areas; complete it with darray.GhostHandle.Wait before reading
+// the ghost cells.  The start/wait split lets a sweep compute its
+// interior while the halos are in flight.
+func (a *Array) StartExchangeGhosts(ctx *machine.Ctx, k int) (*darray.GhostHandle, error) {
+	return a.arr.StartExchangeGhosts(ctx, k)
 }
 
-// MustExchangeAllGhosts is ExchangeAllGhosts panicking on transport
-// failure.
-//
-// Deprecated: use ExchangeAllGhosts and handle the error.
-func (a *Array) MustExchangeAllGhosts(ctx *machine.Ctx) {
-	if err := a.arr.ExchangeAllGhosts(ctx); err != nil {
-		panic(fmt.Sprintf("core: ghost exchange of %s: %v", a.Name(), err))
-	}
+// StartExchangeAllGhosts begins an asynchronous refresh of every overlap
+// area, returning one handle that completes them all.
+func (a *Array) StartExchangeAllGhosts(ctx *machine.Ctx) (*darray.GhostHandle, error) {
+	return a.arr.StartExchangeAllGhosts(ctx)
 }
 
 // Epoch returns the number of redistributions so far.

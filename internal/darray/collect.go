@@ -58,17 +58,6 @@ func (a *Array) GatherTo(ctx *machine.Ctx, root int) ([]float64, error) {
 	return out, nil
 }
 
-// MustGatherTo is GatherTo panicking on failure.
-//
-// Deprecated: use GatherTo and handle the error.
-func (a *Array) MustGatherTo(ctx *machine.Ctx, root int) []float64 {
-	out, err := a.GatherTo(ctx, root)
-	if err != nil {
-		panic(err.Error())
-	}
-	return out
-}
-
 // ScatterFrom distributes a dense column-major slice (significant on
 // root only) into the array; every owner — including replicas — receives
 // its local part.  A wrong-sized data slice on root and transport
@@ -106,15 +95,6 @@ func (a *Array) ScatterFrom(ctx *machine.Ctx, root int, data []float64) error {
 	return nil
 }
 
-// MustScatterFrom is ScatterFrom panicking on failure.
-//
-// Deprecated: use ScatterFrom and handle the error.
-func (a *Array) MustScatterFrom(ctx *machine.Ctx, root int, data []float64) {
-	if err := a.ScatterFrom(ctx, root, data); err != nil {
-		panic(err.Error())
-	}
-}
-
 // ReduceSum returns the sum of all owned elements across processors on
 // every rank (replicas divide their contribution so each element counts
 // once).
@@ -131,17 +111,6 @@ func (a *Array) ReduceSum(ctx *machine.Ctx) (float64, error) {
 		return 0, fmt.Errorf("darray: %s: reduce at rank %d: %w", a.name, rank, err)
 	}
 	return out[0], nil
-}
-
-// MustReduceSum is ReduceSum panicking on failure.
-//
-// Deprecated: use ReduceSum and handle the error.
-func (a *Array) MustReduceSum(ctx *machine.Ctx) float64 {
-	out, err := a.ReduceSum(ctx)
-	if err != nil {
-		panic(err.Error())
-	}
-	return out
 }
 
 // MaxAbsDiff compares two arrays with identical domains element-wise and
@@ -172,15 +141,4 @@ func MaxAbsDiff(ctx *machine.Ctx, x, y *Array) (float64, error) {
 		return 0, fmt.Errorf("darray: MaxAbsDiff %s/%s at rank %d: %w", x.name, y.name, rank, err)
 	}
 	return out[0], nil
-}
-
-// MustMaxAbsDiff is MaxAbsDiff panicking on failure.
-//
-// Deprecated: use MaxAbsDiff and handle the error.
-func MustMaxAbsDiff(ctx *machine.Ctx, x, y *Array) float64 {
-	out, err := MaxAbsDiff(ctx, x, y)
-	if err != nil {
-		panic(err.Error())
-	}
-	return out
 }

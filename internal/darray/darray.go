@@ -33,6 +33,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/index"
 	"repro/internal/machine"
+	"repro/internal/msg"
 	"repro/internal/redist"
 )
 
@@ -56,6 +57,13 @@ type Array struct {
 	mu   sync.RWMutex
 	dst  *dist.Distribution
 	epoc int // redistribution epoch (diagnostics)
+
+	// win is the one-sided window over the locals' storage, created
+	// lazily by the first ghost exchange (winOnce gives every rank a
+	// consistent view of the shared object without a barrier).  Each
+	// rank re-registers its storage whenever its Local is replaced.
+	winOnce sync.Once
+	win     *msg.Window
 }
 
 // Option configures array creation.

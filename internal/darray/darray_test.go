@@ -125,7 +125,9 @@ func TestFirstAssociationThenAccess(t *testing.T) {
 		tg := ctx.Machine().ProcsDim("P", 2).Whole()
 		a := NewUndistributed(ctx, "U", index.Dim(6))
 		d := dist.MustNew(dist.NewType(dist.CyclicDim(1)), index.Dim(6), tg)
-		a.Redistribute(ctx, d, true)
+		if err := a.RedistributeTo(ctx, d); err != nil {
+			return err
+		}
 		if !a.Distributed() || a.Epoch() != 1 {
 			t.Error("association failed")
 		}

@@ -46,8 +46,7 @@ func TestRedistributeDomainMismatch(t *testing.T) {
 		d := dist.MustNew(dist.NewType(dist.BlockDim()), index.Dim(8), tg)
 		a := New(ctx, "A", index.Dim(8), d)
 		wrong := dist.MustNew(dist.NewType(dist.BlockDim()), index.Dim(9), tg)
-		a.Redistribute(ctx, wrong, true)
-		return nil
+		return a.RedistributeTo(ctx, wrong)
 	})
 }
 
@@ -56,8 +55,7 @@ func TestRedistributeNilDistribution(t *testing.T) {
 		tg := ctx.Machine().ProcsDim("P", 2).Whole()
 		d := dist.MustNew(dist.NewType(dist.BlockDim()), index.Dim(8), tg)
 		a := New(ctx, "A", index.Dim(8), d)
-		a.Redistribute(ctx, nil, true)
-		return nil
+		return a.RedistributeTo(ctx, nil)
 	})
 }
 
@@ -103,8 +101,7 @@ func TestAbortUnblocksPeers(t *testing.T) {
 			panic("injected failure")
 		}
 		// rank 0 blocks in the collective until the abort propagates
-		a.Redistribute(ctx, dist.MustNew(dist.NewType(dist.CyclicDim(1)), index.Dim(8), tg), true)
-		return nil
+		return a.RedistributeTo(ctx, dist.MustNew(dist.NewType(dist.CyclicDim(1)), index.Dim(8), tg))
 	})
 	if err == nil || !strings.Contains(err.Error(), "injected failure") {
 		t.Fatalf("err = %v", err)

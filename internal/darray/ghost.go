@@ -1,139 +1,50 @@
 package darray
 
 import (
-	"fmt"
-
 	"repro/internal/dist"
-	"repro/internal/index"
 	"repro/internal/machine"
-	"repro/internal/msg"
-	"repro/internal/trace"
 )
 
 // ExchangeGhosts refreshes the overlap areas of dimension k: each
-// processor sends its boundary faces to the neighbouring processors along
-// that dimension's target dimension and receives their faces into its
-// ghost margins.  Overlap areas are the mechanism the VFE uses to satisfy
-// nearest-neighbour non-local references (§3.2: "the associated overlap
-// areas"); a 5-point smoothing step needs one exchange per distributed
-// dimension per sweep, which is exactly the message pattern analyzed in
-// §4 (2 messages per processor for a column distribution, 4 for a 2-D
-// block distribution).
+// processor puts its boundary faces into the neighbouring processors'
+// ghost margins along that dimension's target dimension and waits for
+// the neighbours' faces to land in its own.  Overlap areas are the
+// mechanism the VFE uses to satisfy nearest-neighbour non-local
+// references (§3.2: "the associated overlap areas"); a 5-point smoothing
+// step needs one exchange per distributed dimension per sweep, which is
+// exactly the message pattern analyzed in §4 (2 messages per processor
+// for a column distribution, 4 for a 2-D block distribution).
 //
-// The dimension must be contiguous (block-family or elided).  Ghost areas
-// are clipped at the domain boundary (non-periodic), and the exchanged
-// face width is min(ghost width, neighbour segment width) — with
-// degenerate segments thinner than the overlap, the farther ghost rows
-// stay stale (only nearest neighbours exchange).
+// The dimension must be contiguous (block-family or elided).  Ghost
+// areas are clipped at the domain boundary (non-periodic), and the
+// exchanged face width is min(ghost width, neighbour segment width) —
+// with degenerate segments thinner than the overlap, the farther ghost
+// rows stay stale (only nearest neighbours exchange).
 //
-// Faces are packed span-by-span into a per-rank recycled wire buffer
-// (reused for both travel directions — the transport is done with the
-// buffer when Send returns), so steady-state stencil iteration allocates
-// nothing on the send side.  Programmer errors (ghost exchange on a
+// ExchangeGhosts is simply StartExchangeGhosts followed by
+// GhostHandle.Wait; use the start/wait pair directly to overlap local
+// computation with the exchange.  Programmer errors (ghost exchange on a
 // non-contiguous dimension) panic; transport failures are returned as
 // errors wrapping the underlying cause.  The exchange runs under the
-// machine's msg.CommConfig deadline/retry policy, so a lost face frame
+// machine's msg.CommConfig deadline/retry policy, so a lost face
 // surfaces as a wrapped timeout instead of blocking forever.
 func (a *Array) ExchangeGhosts(ctx *machine.Ctx, k int) error {
-	d := a.requireDist()
-	if a.ghost[k] == 0 {
-		return nil
+	h, err := a.StartExchangeGhosts(ctx, k)
+	if err != nil {
+		return err
 	}
-	td := d.ProcDim(k)
-	if td < 0 {
-		return nil // dimension not distributed: the full extent is local
-	}
-	rank := ctx.Rank()
-	l := a.locals[rank]
-	coords, ok := d.Target().CoordsOf(rank)
-	if !ok || l.Count() == 0 {
-		return nil // outside the target or empty segment: nothing to exchange
-	}
-	lo, hi, okSeg := segDim(l, k)
-	if !okSeg {
-		panic(fmt.Sprintf("darray: %s: ghost exchange on non-contiguous dimension %d", a.name, k+1))
-	}
-	w := a.ghost[k]
-	ep := ctx.Endpoint()
-	cfg := ctx.Comm().Config()
-	tr := ctx.Tracer()
-	bufs := &a.bufs[rank]
-	tag := msg.TagRMABase + 4096 + 2*k // per-dimension ghost tag space
-	defer ctx.Tracer().BeginSpan(rank, trace.CatGhost, "ghost "+a.name).End()
-
-	next := neighborRank(d, coords, td, +1)
-	prev := neighborRank(d, coords, td, -1)
-
-	// Phase 1: faces travel upward (I send my top rows to next; I receive
-	// prev's top rows into my low ghost).
-	if next >= 0 {
-		fw := min(w, hi-lo+1)
-		face := l.face(k, 0, index.NewRun(hi-fw+1, hi, 1))
-		bufs.face = l.appendPacked(bufs.face[:0], face)
-		if err := msg.SendRetry(ep, cfg, tr, "ghost-exchange", next, tag, bufs.face); err != nil {
-			return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
-		}
-	}
-	if prev >= 0 {
-		fw := min(w, dimCount(d, k, prev))
-		if fw > 0 {
-			p, err := msg.RecvRetry(ep, cfg, tr, "ghost-exchange", prev, tag)
-			if err != nil {
-				return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
-			}
-			l.unpackWire(l.face(k, 1, index.NewRun(lo-fw, lo-1, 1)), p.Data)
-		}
-	}
-	// Phase 2: faces travel downward.
-	if prev >= 0 {
-		fw := min(w, hi-lo+1)
-		face := l.face(k, 2, index.NewRun(lo, lo+fw-1, 1))
-		bufs.face = l.appendPacked(bufs.face[:0], face)
-		if err := msg.SendRetry(ep, cfg, tr, "ghost-exchange", prev, tag+1, bufs.face); err != nil {
-			return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
-		}
-	}
-	if next >= 0 {
-		fw := min(w, dimCount(d, k, next))
-		if fw > 0 {
-			p, err := msg.RecvRetry(ep, cfg, tr, "ghost-exchange", next, tag+1)
-			if err != nil {
-				return fmt.Errorf("darray: %s: ghost exchange dim %d: %w", a.name, k+1, err)
-			}
-			l.unpackWire(l.face(k, 3, index.NewRun(hi+1, hi+fw, 1)), p.Data)
-		}
-	}
-	return nil
+	return h.Wait()
 }
 
 // ExchangeAllGhosts refreshes every dimension with a non-zero overlap,
-// stopping at the first transport failure.
+// stopping at the first transport failure.  It is StartExchangeAllGhosts
+// followed by GhostHandle.Wait.
 func (a *Array) ExchangeAllGhosts(ctx *machine.Ctx) error {
-	for k := 0; k < a.dom.Rank(); k++ {
-		if err := a.ExchangeGhosts(ctx, k); err != nil {
-			return err
-		}
+	h, err := a.StartExchangeAllGhosts(ctx)
+	if err != nil {
+		return err
 	}
-	return nil
-}
-
-// MustExchangeGhosts is ExchangeGhosts panicking on transport failure.
-//
-// Deprecated: use ExchangeGhosts and handle the error.
-func (a *Array) MustExchangeGhosts(ctx *machine.Ctx, k int) {
-	if err := a.ExchangeGhosts(ctx, k); err != nil {
-		panic(err.Error())
-	}
-}
-
-// MustExchangeAllGhosts is ExchangeAllGhosts panicking on transport
-// failure.
-//
-// Deprecated: use ExchangeAllGhosts and handle the error.
-func (a *Array) MustExchangeAllGhosts(ctx *machine.Ctx) {
-	if err := a.ExchangeAllGhosts(ctx); err != nil {
-		panic(err.Error())
-	}
+	return h.Wait()
 }
 
 // dimCount returns how many indices of array dimension k the given rank

@@ -1,0 +1,202 @@
+package darray
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+)
+
+// TestStartExchangeGhostsOverlapsCompute splits the exchange into
+// start/wait and mutates strictly-interior cells while the halos are in
+// flight: the ghosts must land with the values the neighbours held at
+// start time (unaffected by concurrent interior writes), and the interior
+// writes must survive — the contract that makes compute/comm overlap
+// safe.
+func TestStartExchangeGhostsOverlapsCompute(t *testing.T) {
+	run(t, 4, func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("G", 2, 2).Whole()
+		dom := index.Dim(8, 8)
+		d := dist.MustNew(dist.NewType(dist.BlockDim(), dist.BlockDim()), dom, tg)
+		a := New(ctx, "A", dom, d, WithGhost(1, 1))
+		a.FillFunc(ctx, val2)
+		ctx.Barrier()
+		h, err := a.StartExchangeAllGhosts(ctx)
+		if err != nil {
+			return err
+		}
+		// Overlapped "compute": rewrite every owned cell at least one away
+		// from the segment boundary while the exchange is in flight.
+		l := a.Local(ctx)
+		lo, hi, _ := l.Segment()
+		interior := 0
+		l.ForEachOwned(func(p index.Point, v *float64) {
+			if p[0] > lo[0] && p[0] < hi[0] && p[1] > lo[1] && p[1] < hi[1] {
+				*v = -val2(p)
+				interior++
+			}
+		})
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		// Face-adjacent ghosts hold the neighbours' start-time values.
+		for i := lo[0]; i <= hi[0]; i++ {
+			for _, j := range []int{lo[1] - 1, hi[1] + 1} {
+				if j < 1 || j > 8 {
+					continue
+				}
+				if got := l.At(index.Point{i, j}); got != val2(index.Point{i, j}) {
+					t.Errorf("rank %d ghost (%d,%d) = %v, want %v", ctx.Rank(), i, j, got, val2(index.Point{i, j}))
+				}
+			}
+		}
+		for j := lo[1]; j <= hi[1]; j++ {
+			for _, i := range []int{lo[0] - 1, hi[0] + 1} {
+				if i < 1 || i > 8 {
+					continue
+				}
+				if got := l.At(index.Point{i, j}); got != val2(index.Point{i, j}) {
+					t.Errorf("rank %d ghost (%d,%d) = %v, want %v", ctx.Rank(), i, j, got, val2(index.Point{i, j}))
+				}
+			}
+		}
+		// The overlapped writes survived.
+		bad := 0
+		l.ForEachOwned(func(p index.Point, v *float64) {
+			if p[0] > lo[0] && p[0] < hi[0] && p[1] > lo[1] && p[1] < hi[1] && *v != -val2(p) {
+				bad++
+			}
+		})
+		if interior > 0 && bad != 0 {
+			t.Errorf("rank %d: %d overlapped interior writes lost", ctx.Rank(), bad)
+		}
+		// Wait is idempotent.
+		if err := h.Wait(); err != nil {
+			t.Errorf("second Wait = %v, want nil", err)
+		}
+		return nil
+	})
+}
+
+// TestStartExchangeGhostsThinBBlock drives the async path through the
+// hardest geometry: B_BLOCK segments thinner than the ghost width, where
+// a halo is assembled from partial contributions.
+func TestStartExchangeGhostsThinBBlock(t *testing.T) {
+	run(t, 3, func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("P", 3).Whole()
+		dom := index.Dim(10)
+		// segments: p0: 1-1 (thin), p1: 2-2 (thin), p2: 3-10
+		d := dist.MustNew(dist.NewType(dist.BBlockDim(1, 2, 10)), dom, tg)
+		a := New(ctx, "A", dom, d, WithGhost(2))
+		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0]) })
+		ctx.Barrier()
+		h, err := a.StartExchangeGhosts(ctx, 0)
+		if err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		l := a.Local(ctx)
+		if ctx.Rank() == 2 {
+			if got := l.At(index.Point{2}); got != 2 {
+				t.Errorf("thin neighbour ghost = %v, want 2", got)
+			}
+		}
+		if ctx.Rank() == 1 {
+			if got := l.At(index.Point{1}); got != 1 {
+				t.Errorf("p1 low ghost = %v, want 1", got)
+			}
+			if got := l.At(index.Point{3}); got != 3 {
+				t.Errorf("p1 high ghost = %v, want 3", got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestStartExchangeGhostsUnevenBlock2D: a 7x7 domain on a 2x2 grid gives
+// 4/3 splits in both dimensions — neighbouring halo rects of different
+// extents on the two sides of each boundary.
+func TestStartExchangeGhostsUnevenBlock2D(t *testing.T) {
+	run(t, 4, func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("G", 2, 2).Whole()
+		dom := index.Dim(7, 7)
+		d := dist.MustNew(dist.NewType(dist.BlockDim(), dist.BlockDim()), dom, tg)
+		a := New(ctx, "A", dom, d, WithGhost(2, 2))
+		a.FillFunc(ctx, val2)
+		ctx.Barrier()
+		h, err := a.StartExchangeAllGhosts(ctx)
+		if err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		l := a.Local(ctx)
+		lo, hi, _ := l.Segment()
+		for i := lo[0]; i <= hi[0]; i++ {
+			for _, j := range []int{lo[1] - 2, lo[1] - 1, hi[1] + 1, hi[1] + 2} {
+				if j < 1 || j > 7 {
+					continue
+				}
+				if got := l.At(index.Point{i, j}); got != val2(index.Point{i, j}) {
+					t.Errorf("rank %d ghost (%d,%d) = %v, want %v", ctx.Rank(), i, j, got, val2(index.Point{i, j}))
+				}
+			}
+		}
+		for j := lo[1]; j <= hi[1]; j++ {
+			for _, i := range []int{lo[0] - 2, lo[0] - 1, hi[0] + 1, hi[0] + 2} {
+				if i < 1 || i > 7 {
+					continue
+				}
+				if got := l.At(index.Point{i, j}); got != val2(index.Point{i, j}) {
+					t.Errorf("rank %d ghost (%d,%d) = %v, want %v", ctx.Rank(), i, j, got, val2(index.Point{i, j}))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestStartExchangeGhostsOverTCP runs the async handle over the framed
+// transport, where puts travel as packed payloads instead of direct
+// copies.
+func TestStartExchangeGhostsOverTCP(t *testing.T) {
+	tcp, err := msg.NewTCPTransport(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(3, machine.WithTransport(tcp))
+	defer m.Close()
+	if err := m.Run(func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("P", 3).Whole()
+		dom := index.Dim(12)
+		d := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+		a := New(ctx, "A", dom, d, WithGhost(2))
+		a.FillFunc(ctx, func(p index.Point) float64 { return float64(p[0] * p[0]) })
+		ctx.Barrier()
+		h, err := a.StartExchangeGhosts(ctx, 0)
+		if err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		l := a.Local(ctx)
+		lo, hi, _ := l.Segment()
+		for i := lo[0] - 2; i <= hi[0]+2; i++ {
+			if i < 1 || i > 12 {
+				continue
+			}
+			if got := l.At(index.Point{i}); got != float64(i*i) {
+				t.Errorf("rank %d: ghost/own at %d = %v, want %d", ctx.Rank(), i, got, i*i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -73,6 +73,7 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 			return fmt.Errorf("darray: %s: redistribution barrier: %w", a.name, err)
 		}
 		a.locals[rank] = newLocal
+		a.registerWindow(rank)
 		return a.swapDist(ctx, newD)
 	}
 
@@ -142,23 +143,9 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 		return fmt.Errorf("darray: %s: redistribution commit: %w", a.name, err)
 	}
 	a.locals[rank] = newLocal
+	a.registerWindow(rank)
 	a.retireLocal(rank, oldD, oldLocal)
 	return a.swapDist(ctx, newD)
-}
-
-// Redistribute is the boolean-flag form of RedistributeTo.
-//
-// Deprecated: use RedistributeTo, with the NoTransfer option in place of
-// transfer=false.  This wrapper panics on transport failures the new API
-// reports as errors.
-func (a *Array) Redistribute(ctx *machine.Ctx, newD *dist.Distribution, transfer bool) {
-	var opts []RedistOption
-	if !transfer {
-		opts = append(opts, NoTransfer())
-	}
-	if err := a.RedistributeTo(ctx, newD, opts...); err != nil {
-		panic(err.Error())
-	}
 }
 
 // swapDist publishes the new descriptor; the surrounding barriers give

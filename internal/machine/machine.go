@@ -317,15 +317,6 @@ func (c *Ctx) Barrier() error {
 	return c.comm.Barrier()
 }
 
-// MustBarrier is Barrier panicking on transport failure.
-//
-// Deprecated: use Barrier and handle the error.
-func (c *Ctx) MustBarrier() {
-	if err := c.comm.Barrier(); err != nil {
-		panic(fmt.Sprintf("machine: barrier failed: %v", err))
-	}
-}
-
 // CollectiveOnce runs create on exactly one processor per textual call
 // site and returns the shared result on every processor.  All processors
 // must call it in the same order (SPMD discipline); the sequence number

@@ -103,6 +103,11 @@ type chanEndpoint struct {
 func (e *chanEndpoint) Rank() int { return e.rank }
 func (e *chanEndpoint) NP() int   { return e.t.np }
 
+// SharedMemory reports that sender and receiver share one address space,
+// enabling the one-sided window fast path (direct copies between
+// registered slices; the transport moves only notification tokens).
+func (e *chanEndpoint) SharedMemory() bool { return true }
+
 // Tracer exposes the transport's tracer so Comm can record collective
 // spans without widening the Endpoint interface.
 func (e *chanEndpoint) Tracer() *trace.Tracer { return e.t.tracer }

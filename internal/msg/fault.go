@@ -87,6 +87,10 @@ type FaultRule struct {
 	Prob float64
 	// Delay is the injected latency for FaultRecvDelay.
 	Delay time.Duration
+	// Win restricts the rule to one-sided window traffic (put/get tags in
+	// the RMA tag space), leaving collectives and point-to-point sends
+	// unaffected.  Plan syntax: win=1.
+	Win bool
 }
 
 // FaultPlan is a set of fault rules plus the RNG seed for probabilistic
@@ -174,6 +178,10 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 				r.Prob, err = strconv.ParseFloat(v, 64)
 			case "delay":
 				r.Delay, err = time.ParseDuration(v)
+			case "win":
+				var n int
+				n, err = strconv.Atoi(v)
+				r.Win = n != 0
 			default:
 				err = fmt.Errorf("unknown option %q", k)
 			}
@@ -279,9 +287,19 @@ func (e *faultEndpoint) setArmed(v bool) {
 	e.mu.Unlock()
 }
 
+// isWinTag reports whether a wire tag belongs to the one-sided window
+// tag space (after stripping any folded membership epoch).
+func isWinTag(tag int) bool {
+	if tag < 0 {
+		return false
+	}
+	t := UnfoldTag(tag)
+	return t >= TagRMABase && t < TagCollBase
+}
+
 // fire decides whether any rule of the given kinds fires for an operation
-// with the given peer, advancing the per-rule match counters.
-func (e *faultEndpoint) fire(peer int, kinds ...FaultKind) *FaultRule {
+// with the given peer and tag, advancing the per-rule match counters.
+func (e *faultEndpoint) fire(peer, tag int, kinds ...FaultKind) *FaultRule {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.armed {
@@ -303,6 +321,9 @@ func (e *faultEndpoint) fire(peer int, kinds ...FaultKind) *FaultRule {
 			continue
 		}
 		if r.Peer >= 0 && peer != AnySource && r.Peer != peer {
+			continue
+		}
+		if r.Win && !isWinTag(tag) {
 			continue
 		}
 		n := e.seen[i]
@@ -328,8 +349,14 @@ func (e *faultEndpoint) fire(peer int, kinds ...FaultKind) *FaultRule {
 	return hit
 }
 
+// SharedMemory forwards the one-sided fast-path capability.  Injection
+// still applies to window traffic: the direct copy is published by a
+// notification token that passes through this endpoint, so dropping,
+// delaying or failing the token drops, delays or fails the completion.
+func (e *faultEndpoint) SharedMemory() bool { return sharedMemory(e.inner) }
+
 func (e *faultEndpoint) Send(to, tag int, data []byte) error {
-	if r := e.fire(to, FaultSendErr, FaultRecvDelay, FaultDrop, FaultCorrupt); r != nil {
+	if r := e.fire(to, tag, FaultSendErr, FaultRecvDelay, FaultDrop, FaultCorrupt); r != nil {
 		switch r.Kind {
 		case FaultSendErr:
 			return fmt.Errorf("%w: send %d->%d", ErrInjected, e.inner.Rank(), to)
@@ -359,14 +386,14 @@ func (e *faultEndpoint) Send(to, tag int, data []byte) error {
 }
 
 func (e *faultEndpoint) Recv(from, tag int) (Packet, error) {
-	if r := e.fire(from, FaultRecvErr); r != nil {
+	if r := e.fire(from, tag, FaultRecvErr); r != nil {
 		return Packet{}, fmt.Errorf("%w: recv %d<-%d", ErrInjected, e.inner.Rank(), from)
 	}
 	return e.inner.Recv(from, tag)
 }
 
 func (e *faultEndpoint) RecvTimeout(from, tag int, d time.Duration) (Packet, error) {
-	if r := e.fire(from, FaultRecvErr); r != nil {
+	if r := e.fire(from, tag, FaultRecvErr); r != nil {
 		return Packet{}, fmt.Errorf("%w: recv %d<-%d", ErrInjected, e.inner.Rank(), from)
 	}
 	return e.inner.RecvTimeout(from, tag, d)

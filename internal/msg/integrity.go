@@ -76,6 +76,11 @@ func (e *integrityEndpoint) NP() int   { return e.inner.NP() }
 // Tracer exposes the wrapped transport's tracer for Comm.
 func (e *integrityEndpoint) Tracer() *trace.Tracer { return e.tr }
 
+// SharedMemory forwards the one-sided fast-path capability; the CRC
+// trailer still covers every notification token, so a bitflipped token
+// surfaces as ErrIntegrity at the completion.
+func (e *integrityEndpoint) SharedMemory() bool { return sharedMemory(e.inner) }
+
 // CheckLive delegates to the wrapped endpoint when it carries a
 // liveness check (a View stacked under the integrity layer).
 func (e *integrityEndpoint) CheckLive() error {

@@ -91,6 +91,10 @@ func (v *View) Tracer() *trace.Tracer {
 	return nil
 }
 
+// SharedMemory forwards the one-sided fast-path capability of the
+// wrapped endpoint (windows over a view keep the direct-copy path).
+func (v *View) SharedMemory() bool { return sharedMemory(v.inner) }
+
 // CheckLive reports whether the view's epoch is still valid; a non-nil
 // error means a member has been declared dead and the epoch is revoked.
 func (v *View) CheckLive() error {

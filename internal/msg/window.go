@@ -1,0 +1,668 @@
+package msg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// One-sided communication windows.
+//
+// A Window exposes each processor's registered []float64 storage for
+// remote put/get access — the PGAS model layered over the repo's
+// two-sided transports.  Every rank registers its own storage slice;
+// afterwards any rank may Put into (or Get out of) a peer's registered
+// region described by a Rect, without the target posting a matching
+// receive for the data.
+//
+// Two completion disciplines are offered:
+//
+//   - Counted streams (PutAsync / AwaitPut, subtags 1..63): the initiator
+//     puts into a known target region and the target later consumes
+//     exactly one completion per expected put.  This is the ghost-exchange
+//     discipline — both sides can derive the transfer geometry from the
+//     (replicated) distribution descriptor, so the wire carries payload
+//     only and the message/byte accounting is identical to the two-sided
+//     exchange it replaces.
+//   - Fence epochs (Put / Get / Fence, subtag 0): MPI-style active-target
+//     synchronization.  Operations are buffered logically into an access
+//     epoch; Fence announces per-peer operation counts, drains and applies
+//     every incoming operation, services get requests, and returns when
+//     both sides of every pairing are complete.
+//
+// Transport interplay:
+//
+//   - On a transport whose endpoints report SharedMemory() (the in-process
+//     chan transport, possibly under fault/integrity/view wrappers), data
+//     moves by a bounds-checked direct copy between the registered slices;
+//     the transport moves only a notification token.  The token carries
+//     the happens-before edge (matcher mutex) that makes the direct copy
+//     race-free, and the payload bytes are accounted on both sides so
+//     Stats and CostModel parity with the framed path is preserved.
+//   - On other transports (TCP loopback) the initiator packs the region
+//     span by span into a recycled wire buffer (the PR-2 pack engine) and
+//     the target applies it bounds-checked at its synchronization point.
+//
+// Epoch safety: window operations go through the caller's endpoint, so
+// when that endpoint is a *View the tags are epoch-folded and every
+// retry consults the liveness checker — a put or await on a revoked
+// epoch aborts with the view's error instead of matching stale traffic.
+//
+// Failure semantics: on the shared-memory path the direct copy happens
+// before the notification token is sent, so a put whose token is lost
+// may leave target memory updated while the completion errors out — as
+// with MPI RMA, window contents are undefined after a failed epoch.
+
+// Rect describes a strided hyper-rectangular region of a window's
+// registered storage: element offset Off plus per-dimension (stride,
+// count) pairs, innermost (fastest-varying) dimension first.  This is
+// the affine span addressing of the darray pack engine lifted to the
+// transport layer.
+type Rect struct {
+	Off  int
+	Dims []RectDim
+}
+
+// RectDim is one dimension of a Rect.
+type RectDim struct {
+	Stride int
+	Count  int
+}
+
+// RectRun builds a one-dimensional contiguous Rect.
+func RectRun(off, count int) Rect {
+	return Rect{Off: off, Dims: []RectDim{{Stride: 1, Count: count}}}
+}
+
+// Count returns the number of elements the rect covers.
+func (r Rect) Count() int {
+	n := 1
+	for _, d := range r.Dims {
+		n *= d.Count
+	}
+	return n
+}
+
+// bounds returns the inclusive min/max element offsets the rect touches.
+func (r Rect) bounds() (lo, hi int) {
+	lo, hi = r.Off, r.Off
+	for _, d := range r.Dims {
+		span := (d.Count - 1) * d.Stride
+		if span < 0 {
+			lo += span
+		} else {
+			hi += span
+		}
+	}
+	return lo, hi
+}
+
+// validate checks the rect against a storage of n elements.
+func (r Rect) validate(n int) error {
+	for _, d := range r.Dims {
+		if d.Count <= 0 {
+			return fmt.Errorf("msg: rect dimension with count %d", d.Count)
+		}
+	}
+	lo, hi := r.bounds()
+	if lo < 0 || hi >= n {
+		return fmt.Errorf("msg: rect [%d,%d] outside storage of %d elements", lo, hi, n)
+	}
+	return nil
+}
+
+// forEachRun walks the rect as innermost runs: f(off, stride, count) for
+// each run, where off is the element offset of the run's first element.
+func (r Rect) forEachRun(f func(off, stride, count int)) {
+	if len(r.Dims) == 0 {
+		f(r.Off, 1, 1)
+		return
+	}
+	in := r.Dims[0]
+	outer := r.Dims[1:]
+	idx := make([]int, len(outer))
+	for {
+		off := r.Off
+		for k, d := range outer {
+			off += idx[k] * d.Stride
+		}
+		f(off, in.Stride, in.Count)
+		k := 0
+		for ; k < len(outer); k++ {
+			idx[k]++
+			if idx[k] < outer[k].Count {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == len(outer) {
+			return
+		}
+	}
+}
+
+// copyRect copies src's sr region into dst's dr region directly (the
+// shared-memory fast path).  Counts must match; contiguous innermost
+// runs degrade to copy().
+func copyRect(dst []float64, dr Rect, src []float64, sr Rect) {
+	type run struct{ off, stride, count int }
+	var druns []run
+	dr.forEachRun(func(off, stride, count int) {
+		druns = append(druns, run{off, stride, count})
+	})
+	di, dpos := 0, 0
+	d := druns[0]
+	sr.forEachRun(func(off, stride, count int) {
+		for n := 0; n < count; {
+			if dpos == d.count {
+				di++
+				d = druns[di]
+				dpos = 0
+			}
+			take := min(count-n, d.count-dpos)
+			so := off + n*stride
+			do := d.off + dpos*d.stride
+			if stride == 1 && d.stride == 1 {
+				copy(dst[do:do+take], src[so:so+take])
+			} else {
+				for i := 0; i < take; i++ {
+					dst[do+i*d.stride] = src[so+i*stride]
+				}
+			}
+			n += take
+			dpos += take
+		}
+	})
+}
+
+// PackRect appends the wire encoding of src's r region to buf in rect
+// enumeration order (innermost dimension fastest) and returns the
+// extended slice — the transport-level counterpart of the darray span
+// pack engine; recycled buffers make the steady state allocation-free.
+func PackRect(buf []byte, src []float64, r Rect) []byte {
+	var off int
+	buf, off = GrowFloat64s(buf, r.Count())
+	r.forEachRun(func(ro, stride, count int) {
+		for i := 0; i < count; i++ {
+			PutFloat64(buf, off, src[ro+i*stride])
+			off += 8
+		}
+	})
+	return buf
+}
+
+// ApplyRect decodes a payload written by PackRect into dst's r region.
+func ApplyRect(dst []float64, r Rect, payload []byte) error {
+	if want := 8 * r.Count(); len(payload) != want {
+		return fmt.Errorf("msg: put payload %d bytes, rect wants %d", len(payload), want)
+	}
+	if err := r.validate(len(dst)); err != nil {
+		return err
+	}
+	off := 0
+	r.forEachRun(func(ro, stride, count int) {
+		for i := 0; i < count; i++ {
+			dst[ro+i*stride] = GetFloat64(payload, off)
+			off += 8
+		}
+	})
+	return nil
+}
+
+// Window tag layout: each window owns winTagSlots consecutive tags above
+// winTagBase; subtag 0 is the fence-epoch stream, subtags 1..63 are
+// counted put streams.  The window id rotates through the space, which
+// holds ~1M concurrently-live windows per transport.
+const (
+	winTagSlots = 64
+	winTagBase  = TagRMABase + 8192
+	maxWindows  = (TagCollBase - winTagBase) / winTagSlots
+)
+
+// MaxSubtag is the largest counted-stream subtag a window supports.
+const MaxSubtag = winTagSlots - 1
+
+var winSeq atomic.Int64
+
+// fence frame kinds (first payload byte of a subtag-0 frame).
+const (
+	frPut      = 1 // put: [kind][rect?][payload?] (rect+payload absent on the shared path)
+	frAnnounce = 2 // fence announcement: [kind][u32 ops-sent-to-you]
+	frGetReq   = 3 // get request: [kind][rect]
+	frGetRep   = 4 // get reply: [kind][payload]
+	frAck      = 5 // fence completion ack: [kind]
+)
+
+// Window is a one-sided access window over per-rank registered storage.
+// The object is shared by all ranks of a transport (SPMD discipline);
+// per-rank state is indexed by rank.
+type Window struct {
+	id     int
+	name   string
+	np     int
+	stats  *Stats
+	cost   *CostModel
+	shared []winShared
+	fence  []winFence
+}
+
+// winShared is per-rank hot-path state.
+type winShared struct {
+	data    []float64 // registered storage (written by Register under program barriers)
+	sendBuf []byte    // recycled pack buffer (framed path)
+	_       [40]byte  // keep ranks off each other's cache lines
+}
+
+// winFence is per-rank fence-epoch state, allocated lazily on first use.
+type winFence struct {
+	once sync.Once
+	sent []int  // ops sent to each peer this epoch (subtag-0 puts + get requests)
+	pend []Rect // flattened pending gets: destination rects, FIFO per peer
+	from []int  // pending gets: target rank per entry (parallel to pend)
+}
+
+// NewWindow creates a window for np ranks.  stats must be non-nil; cost
+// may be nil.  All ranks must share the returned object (create it once
+// and publish it, e.g. via a collective constructor).
+func NewWindow(np int, name string, stats *Stats, cost *CostModel) *Window {
+	return &Window{
+		id:     int(winSeq.Add(1)),
+		name:   name,
+		np:     np,
+		stats:  stats,
+		cost:   cost,
+		shared: make([]winShared, np),
+		fence:  make([]winFence, np),
+	}
+}
+
+// Name returns the window's diagnostic name.
+func (w *Window) Name() string { return w.name }
+
+// Register associates rank's storage with the window.  Call it whenever
+// the rank's storage is (re)allocated, strictly before the next barrier
+// or collective that precedes remote access — registration is published
+// to peers by that synchronization, not by Register itself.
+func (w *Window) Register(rank int, data []float64) {
+	w.shared[rank].data = data
+}
+
+// Registered returns rank's registered storage (nil if none).
+func (w *Window) Registered(rank int) []float64 { return w.shared[rank].data }
+
+func (w *Window) tag(subtag int) int {
+	return winTagBase + (w.id%maxWindows)*winTagSlots + subtag
+}
+
+// sharedMemory reports whether the endpoint's transport chain delivers
+// within one address space (the chan transport, under any wrappers).
+func sharedMemory(ep Endpoint) bool {
+	s, ok := ep.(interface{ SharedMemory() bool })
+	return ok && s.SharedMemory()
+}
+
+// physOf maps an endpoint-relative rank to the physical rank the Stats
+// and CostModel are indexed by (identity except under a *View).
+func physOf(ep Endpoint, r int) int {
+	if v, ok := ep.(interface{ Phys(int) int }); ok {
+		return v.Phys(r)
+	}
+	return r
+}
+
+// accountDirect records the payload bytes of one direct-copy transfer:
+// the notification token already counted as one (zero-byte) message on
+// each side, so adding the payload bytes to both ends makes the counters
+// match the framed path exactly (one data message of n bytes).
+func (w *Window) accountDirect(ep Endpoint, from, to, n int) {
+	pf, pt := physOf(ep, from), physOf(ep, to)
+	w.stats.bytesSent[pf].Add(int64(n))
+	w.stats.dataSent[pf].Add(1)
+	w.stats.bytesRecv[pt].Add(int64(n))
+}
+
+// chargeRecvBytes advances the calling rank's cost clock by the per-byte
+// transfer cost the token's zero-byte arrival did not carry.  Only the
+// clock's owner may call it (single-writer clocks).
+func (w *Window) chargeRecvBytes(ep Endpoint, rank, n int) {
+	if w.cost != nil {
+		w.cost.Charge(physOf(ep, rank), w.cost.Beta*float64(n))
+	}
+}
+
+func (w *Window) opErr(op string, peer int, err error) error {
+	return fmt.Errorf("msg: window %s: %s rank %d: %w", w.name, op, peer, err)
+}
+
+// PutAsync initiates a counted one-sided put: the elements of src (in
+// the caller's registered storage) are stored into dst (in rank to's
+// registered storage).  The target completes it with a matching
+// AwaitPut(from, subtag, dst).  src and dst must cover the same element
+// count; subtag must be in 1..MaxSubtag.  The call returns when the
+// local buffers are reusable; remote completion is the target's await.
+func (w *Window) PutAsync(c *Comm, to, subtag int, src, dst Rect) error {
+	if subtag < 1 || subtag > MaxSubtag {
+		panic(fmt.Sprintf("msg: window %s: put subtag %d outside 1..%d", w.name, subtag, MaxSubtag))
+	}
+	if sc, dc := src.Count(), dst.Count(); sc != dc {
+		panic(fmt.Sprintf("msg: window %s: put count mismatch: src %d, dst %d", w.name, sc, dc))
+	}
+	rank := c.Rank()
+	sh := &w.shared[rank]
+	if err := src.validate(len(sh.data)); err != nil {
+		return w.opErr("put to", to, err)
+	}
+	tag := w.tag(subtag)
+	if sharedMemory(c.ep) {
+		tbuf := w.shared[to].data
+		if err := dst.validate(len(tbuf)); err != nil {
+			return w.opErr("put to", to, err)
+		}
+		// Direct copy first, then the notification token: the token's
+		// delivery is the happens-before edge that publishes the copy.
+		copyRect(tbuf, dst, sh.data, src)
+		if err := SendRetry(c.ep, c.cfg, c.tr, "win-put "+w.name, to, tag, nil); err != nil {
+			return w.opErr("put to", to, err)
+		}
+		w.accountDirect(c.ep, rank, to, 8*src.Count())
+		// The zero-byte token is invisible to the trace; record the data
+		// transfer the direct copy performed.
+		c.tr.Send(physOf(c.ep, rank), physOf(c.ep, to), 8*src.Count())
+		return nil
+	}
+	sh.sendBuf = PackRect(sh.sendBuf[:0], sh.data, src)
+	if err := SendRetry(c.ep, c.cfg, c.tr, "win-put "+w.name, to, tag, sh.sendBuf); err != nil {
+		return w.opErr("put to", to, err)
+	}
+	return nil
+}
+
+// AwaitPut completes one counted put from rank from on the given
+// subtag, applying the payload into dst of the caller's registered
+// storage (already in place on the shared-memory path).  Completions on
+// one (from, subtag) stream match puts in their issue order.
+func (w *Window) AwaitPut(c *Comm, from, subtag int, dst Rect) error {
+	if subtag < 1 || subtag > MaxSubtag {
+		panic(fmt.Sprintf("msg: window %s: await subtag %d outside 1..%d", w.name, subtag, MaxSubtag))
+	}
+	p, err := RecvRetry(c.ep, c.cfg, c.tr, "win-await "+w.name, from, w.tag(subtag))
+	if err != nil {
+		return w.opErr("await put from", from, err)
+	}
+	rank := c.Rank()
+	if len(p.Data) == 0 {
+		// Shared-path token: data already in place; charge the transfer
+		// bytes the zero-byte token did not carry and record the arrival
+		// the trace's zero-byte recv instant omitted.
+		w.chargeRecvBytes(c.ep, rank, 8*dst.Count())
+		c.tr.Recv(physOf(c.ep, rank), physOf(c.ep, from), 8*dst.Count())
+		return nil
+	}
+	if err := ApplyRect(w.shared[rank].data, dst, p.Data); err != nil {
+		return w.opErr("await put from", from, err)
+	}
+	return nil
+}
+
+func (w *Window) fenceState(rank int) *winFence {
+	f := &w.fence[rank]
+	f.once.Do(func() { f.sent = make([]int, w.np) })
+	return f
+}
+
+// appendRectWire appends a rect's wire encoding: [u8 ndims][i64 off]
+// then (stride, count) i64 pairs.
+func appendRectWire(buf []byte, r Rect) []byte {
+	buf = append(buf, byte(len(r.Dims)))
+	vals := make([]uint64, 0, 1+2*len(r.Dims))
+	vals = append(vals, uint64(int64(r.Off)))
+	for _, d := range r.Dims {
+		vals = append(vals, uint64(int64(d.Stride)), uint64(int64(d.Count)))
+	}
+	return AppendUint64s(buf, vals)
+}
+
+// decodeRectWire decodes a rect, returning it and the remaining bytes.
+func decodeRectWire(buf []byte) (Rect, []byte, error) {
+	if len(buf) < 1 {
+		return Rect{}, nil, fmt.Errorf("msg: truncated rect header")
+	}
+	nd := int(buf[0])
+	need := 8 * (1 + 2*nd)
+	buf = buf[1:]
+	if len(buf) < need {
+		return Rect{}, nil, fmt.Errorf("msg: truncated rect (%d bytes, want %d)", len(buf), need)
+	}
+	vals := DecodeInt64s(buf[:need])
+	r := Rect{Off: int(vals[0]), Dims: make([]RectDim, nd)}
+	for i := 0; i < nd; i++ {
+		r.Dims[i] = RectDim{Stride: int(vals[1+2*i]), Count: int(vals[2+2*i])}
+	}
+	return r, buf[need:], nil
+}
+
+// Put stores the caller's src region into rank to's dst region within
+// the current fence epoch.  The target observes the data after its next
+// Fence that pairs with the caller's.
+func (w *Window) Put(c *Comm, to int, src, dst Rect) error {
+	if sc, dc := src.Count(), dst.Count(); sc != dc {
+		panic(fmt.Sprintf("msg: window %s: put count mismatch: src %d, dst %d", w.name, sc, dc))
+	}
+	rank := c.Rank()
+	sh := &w.shared[rank]
+	if err := src.validate(len(sh.data)); err != nil {
+		return w.opErr("put to", to, err)
+	}
+	st := w.fenceState(rank)
+	var frame []byte
+	if sharedMemory(c.ep) {
+		tbuf := w.shared[to].data
+		if err := dst.validate(len(tbuf)); err != nil {
+			return w.opErr("put to", to, err)
+		}
+		copyRect(tbuf, dst, sh.data, src)
+		frame = []byte{frPut}
+	} else {
+		frame = append(sh.sendBuf[:0], frPut)
+		frame = appendRectWire(frame, dst)
+		frame = PackRect(frame, sh.data, src)
+		sh.sendBuf = frame
+	}
+	if err := SendRetry(c.ep, c.cfg, c.tr, "win-put "+w.name, to, w.tag(0), frame); err != nil {
+		return w.opErr("put to", to, err)
+	}
+	if sharedMemory(c.ep) {
+		w.accountDirect(c.ep, rank, to, 8*src.Count())
+	}
+	st.sent[to]++
+	return nil
+}
+
+// Get fetches rank from's src region into the caller's dst region.  On
+// shared memory the data is read directly (and is whatever the source
+// epoch last published); on framed transports the value arrives by the
+// end of the caller's next Fence.
+func (w *Window) Get(c *Comm, from int, src, dst Rect) error {
+	if sc, dc := src.Count(), dst.Count(); sc != dc {
+		panic(fmt.Sprintf("msg: window %s: get count mismatch: src %d, dst %d", w.name, sc, dc))
+	}
+	rank := c.Rank()
+	sh := &w.shared[rank]
+	if err := dst.validate(len(sh.data)); err != nil {
+		return w.opErr("get from", from, err)
+	}
+	if sharedMemory(c.ep) {
+		fbuf := w.shared[from].data
+		if err := src.validate(len(fbuf)); err != nil {
+			return w.opErr("get from", from, err)
+		}
+		copyRect(sh.data, dst, fbuf, src)
+		// Simulated one-sided fetch: account a request/reply round trip's
+		// payload on both sides and charge the caller its modeled cost
+		// (the accounting convention of darray's element-level RMA).
+		n := 8 * src.Count()
+		w.accountDirect(c.ep, from, rank, n)
+		if w.cost != nil {
+			w.cost.Charge(physOf(c.ep, rank), 2*w.cost.Alpha+w.cost.Beta*float64(n))
+		}
+		return nil
+	}
+	st := w.fenceState(rank)
+	frame := append(sh.sendBuf[:0], frGetReq)
+	frame = appendRectWire(frame, src)
+	sh.sendBuf = frame
+	if err := SendRetry(c.ep, c.cfg, c.tr, "win-get "+w.name, from, w.tag(0), frame); err != nil {
+		return w.opErr("get from", from, err)
+	}
+	st.sent[from]++
+	st.pend = append(st.pend, dst)
+	st.from = append(st.from, from)
+	return nil
+}
+
+// Fence completes the current access epoch against the given peers:
+// announces how many operations the caller issued toward each, drains
+// and applies every incoming operation, services incoming get requests,
+// collects the caller's own get replies, and exchanges a final ack round
+// so no peer starts its next epoch before everyone in this one has
+// drained.  Every listed peer must call Fence listing the caller
+// symmetrically.  After Fence returns, all puts toward the caller from
+// fenced peers are visible and all the caller's gets have completed.
+func (w *Window) Fence(c *Comm, peers []int) error {
+	rank := c.Rank()
+	st := w.fenceState(rank)
+	var hdr [5]byte
+	for _, p := range peers {
+		hdr[0] = frAnnounce
+		PutUint32(hdr[:], 1, uint32(st.sent[p]))
+		if err := SendRetry(c.ep, c.cfg, c.tr, "win-fence "+w.name, p, w.tag(0), hdr[:]); err != nil {
+			return w.opErr("fence announce to", p, err)
+		}
+		st.sent[p] = 0
+	}
+	// Drain from all peers at once (AnySource): a fixed per-peer drain
+	// order can deadlock a get cycle, since a peer's reply only arrives
+	// once that peer drains us.  Frames from one peer arrive in send
+	// order (per-(from,tag) FIFO), so its operations precede its
+	// announce; replies and acks may arrive in any interleaving after.
+	need := make(map[int]int, len(peers)) // announced op count per peer (-1: not yet announced)
+	got := make(map[int]int, len(peers))  // ops consumed per peer
+	reps := make(map[int]int, len(peers)) // get replies received per peer
+	acked := make(map[int]bool, len(peers))
+	wantReps := make(map[int]int, len(peers))
+	for _, p := range peers {
+		need[p] = -1
+	}
+	for _, p := range st.from {
+		wantReps[p]++
+	}
+	pending := func() bool {
+		for _, p := range peers {
+			if need[p] < 0 || got[p] < need[p] || reps[p] < wantReps[p] {
+				return true
+			}
+		}
+		return false
+	}
+	for pending() {
+		p, err := RecvRetry(c.ep, c.cfg, c.tr, "win-fence "+w.name, AnySource, w.tag(0))
+		if err != nil {
+			return w.opErr("fence drain from", AnySource, err)
+		}
+		if _, ok := need[p.From]; !ok {
+			return w.opErr("fence drain from", p.From, fmt.Errorf("msg: frame from rank outside fence group"))
+		}
+		if len(p.Data) == 0 {
+			return w.opErr("fence drain from", p.From, fmt.Errorf("msg: empty fence frame"))
+		}
+		kind, body := p.Data[0], p.Data[1:]
+		switch kind {
+		case frPut:
+			if len(body) > 0 {
+				dst, payload, err := decodeRectWire(body)
+				if err != nil {
+					return w.opErr("fence put from", p.From, err)
+				}
+				if err := ApplyRect(w.shared[rank].data, dst, payload); err != nil {
+					return w.opErr("fence put from", p.From, err)
+				}
+			}
+			// On the shared path the sender already applied the data; the
+			// token only carries the count and the happens-before edge.
+			got[p.From]++
+		case frGetReq:
+			src, rest, err := decodeRectWire(body)
+			if err != nil {
+				return w.opErr("fence get-request from", p.From, err)
+			}
+			if len(rest) != 0 {
+				return w.opErr("fence get-request from", p.From, fmt.Errorf("msg: trailing bytes"))
+			}
+			sh := &w.shared[rank]
+			if err := src.validate(len(sh.data)); err != nil {
+				return w.opErr("fence get-request from", p.From, err)
+			}
+			rep := append([]byte{frGetRep}, PackRect(nil, sh.data, src)...)
+			if err := SendRetry(c.ep, c.cfg, c.tr, "win-fence "+w.name, p.From, w.tag(0), rep); err != nil {
+				return w.opErr("fence get-reply to", p.From, err)
+			}
+			got[p.From]++
+		case frGetRep:
+			// Match this peer's reps-th pending get on that peer (FIFO:
+			// the peer services requests in the order they were sent).
+			idx, seen := -1, 0
+			for i, fp := range st.from {
+				if fp == p.From {
+					if seen == reps[p.From] {
+						idx = i
+						break
+					}
+					seen++
+				}
+			}
+			if idx < 0 {
+				return w.opErr("fence get-reply from", p.From, fmt.Errorf("msg: unexpected reply"))
+			}
+			if err := ApplyRect(w.shared[rank].data, st.pend[idx], body); err != nil {
+				return w.opErr("fence get-reply from", p.From, err)
+			}
+			reps[p.From]++
+		case frAnnounce:
+			if len(body) != 4 {
+				return w.opErr("fence announce from", p.From, fmt.Errorf("msg: malformed announce"))
+			}
+			need[p.From] = int(GetUint32(p.Data, 1))
+		case frAck:
+			// A peer that finished draining before we did; remember it so
+			// the ack round below does not wait for it again.
+			acked[p.From] = true
+		default:
+			return w.opErr("fence drain from", p.From, fmt.Errorf("msg: unknown frame kind %d", kind))
+		}
+	}
+	st.pend = st.pend[:0]
+	st.from = st.from[:0]
+	// Ack round: a peer may only leave the fence (and start next-epoch
+	// traffic) once every peer has acked, i.e. finished draining.  Acks
+	// are awaited per peer — by FIFO the first unconsumed frame from a
+	// finished peer is its ack, never a next-epoch operation.
+	ack := [1]byte{frAck}
+	for _, p := range peers {
+		if err := SendRetry(c.ep, c.cfg, c.tr, "win-fence "+w.name, p, w.tag(0), ack[:]); err != nil {
+			return w.opErr("fence ack to", p, err)
+		}
+	}
+	for _, p := range peers {
+		if acked[p] {
+			continue
+		}
+		pk, err := RecvRetry(c.ep, c.cfg, c.tr, "win-fence "+w.name, p, w.tag(0))
+		if err != nil {
+			return w.opErr("fence ack from", p, err)
+		}
+		if len(pk.Data) != 1 || pk.Data[0] != frAck {
+			return w.opErr("fence ack from", p, fmt.Errorf("msg: unexpected frame kind %d", pk.Data[0]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,576 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withWindowTransports runs f as a subtest over both built-in transports,
+// so every window behaviour is exercised on the shared-memory fast path
+// (chan) and the framed wire path (tcp).
+func withWindowTransports(t *testing.T, np int, f func(t *testing.T, tr Transport)) {
+	t.Run("chan", func(t *testing.T) {
+		tr := NewChanTransport(np)
+		defer tr.Close()
+		f(t, tr)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		tr, err := NewTCPTransport(np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		f(t, tr)
+	})
+}
+
+// runWindowRanks is runCommsOn without the fatal-on-error policy: fault
+// tests need the per-rank errors back to assert on their shape.
+func runWindowRanks(tr Transport, cfg CommConfig, body func(c *Comm) error) []error {
+	errs := make([]error, tr.NP())
+	var wg sync.WaitGroup
+	for r := 0; r < tr.NP(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := NewComm(tr.Endpoint(r))
+			c.SetConfig(cfg)
+			errs[r] = body(c)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+func TestWindowRectRoundTrip(t *testing.T) {
+	src := make([]float64, 48)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	cases := []struct {
+		name string
+		r    Rect
+	}{
+		{"run", RectRun(5, 7)},
+		{"strided", Rect{Off: 2, Dims: []RectDim{{Stride: 3, Count: 5}}}},
+		{"2d", Rect{Off: 1, Dims: []RectDim{{Stride: 1, Count: 4}, {Stride: 8, Count: 5}}}},
+		{"2d-strided", Rect{Off: 0, Dims: []RectDim{{Stride: 2, Count: 3}, {Stride: 12, Count: 4}}}},
+		{"scalar", Rect{Off: 47}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := PackRect(nil, src, tc.r)
+			if len(wire) != 8*tc.r.Count() {
+				t.Fatalf("packed %d bytes, want %d", len(wire), 8*tc.r.Count())
+			}
+			// Apply into a same-shaped region of a fresh slice and compare
+			// element by element through the rect enumeration.
+			viaWire := make([]float64, len(src))
+			if err := ApplyRect(viaWire, tc.r, wire); err != nil {
+				t.Fatal(err)
+			}
+			viaCopy := make([]float64, len(src))
+			copyRect(viaCopy, tc.r, src, tc.r)
+			touched := 0
+			tc.r.forEachRun(func(off, stride, count int) {
+				for i := 0; i < count; i++ {
+					at := off + i*stride
+					if viaWire[at] != src[at] || viaCopy[at] != src[at] {
+						t.Fatalf("element %d: wire=%v copy=%v want %v", at, viaWire[at], viaCopy[at], src[at])
+					}
+					touched++
+				}
+			})
+			if touched != tc.r.Count() {
+				t.Fatalf("enumerated %d elements, Count()=%d", touched, tc.r.Count())
+			}
+			// Untouched elements must stay zero.
+			zeros := 0
+			for _, v := range viaWire {
+				if v == 0 {
+					zeros++
+				}
+			}
+			if zeros < len(src)-touched {
+				t.Fatalf("apply touched elements outside the rect (%d zeros, want >= %d)", zeros, len(src)-touched)
+			}
+		})
+	}
+}
+
+func TestWindowRectValidate(t *testing.T) {
+	if err := RectRun(0, 8).validate(8); err != nil {
+		t.Fatalf("in-bounds rect rejected: %v", err)
+	}
+	if err := RectRun(1, 8).validate(8); err == nil {
+		t.Fatal("overrunning rect accepted")
+	}
+	if err := RectRun(-1, 2).validate(8); err == nil {
+		t.Fatal("negative-offset rect accepted")
+	}
+	if err := (Rect{Off: 0, Dims: []RectDim{{Stride: 1, Count: 0}}}).validate(8); err == nil {
+		t.Fatal("zero-count rect accepted")
+	}
+	// A put whose payload disagrees with the rect must be rejected.
+	if err := ApplyRect(make([]float64, 8), RectRun(0, 4), make([]byte, 24)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+// TestWindowPutAsyncRing drives the counted-stream discipline on both
+// transports: every rank puts a block into its successor's storage and
+// awaits the matching put from its predecessor.  The same traffic must
+// produce identical Stats on the direct-copy and framed paths.
+func TestWindowPutAsyncRing(t *testing.T) {
+	const np, n = 4, 8
+	snapshots := map[string]Snapshot{}
+	withWindowTransports(t, np, func(t *testing.T, tr Transport) {
+		win := NewWindow(np, "ring", tr.Stats(), tr.Cost())
+		runCommsOn(t, tr, func(c *Comm) error {
+			r := c.Rank()
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(100*r + i)
+			}
+			win.Register(r, data)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			next, prev := (r+1)%np, (r+np-1)%np
+			// Lower half of my storage -> upper half of next's.
+			if err := win.PutAsync(c, next, 1, RectRun(0, n/2), RectRun(n/2, n/2)); err != nil {
+				return err
+			}
+			if err := win.AwaitPut(c, prev, 1, RectRun(n/2, n/2)); err != nil {
+				return err
+			}
+			for i := 0; i < n/2; i++ {
+				if want := float64(100*prev + i); data[n/2+i] != want {
+					t.Errorf("rank %d element %d: got %v, want %v", r, n/2+i, data[n/2+i], want)
+				}
+			}
+			return c.Barrier()
+		})
+		// The run is over, so the whole-run totals (barriers plus puts) are
+		// deterministic and directly comparable across transports.
+		snapshots[t.Name()] = tr.Stats().Snapshot()
+	})
+	ch, ok1 := snapshots["TestWindowPutAsyncRing/chan"]
+	tc, ok2 := snapshots["TestWindowPutAsyncRing/tcp"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing snapshots: %v", snapshots)
+	}
+	// One data message of 8*n/2 bytes per rank, plus identical barrier
+	// traffic: the fast path must be accounting-equivalent to the wire.
+	if ch.TotalDataMsgs() != tc.TotalDataMsgs() || ch.TotalBytes() != tc.TotalBytes() {
+		t.Errorf("stats parity: chan %d msgs/%d bytes, tcp %d msgs/%d bytes",
+			ch.TotalDataMsgs(), ch.TotalBytes(), tc.TotalDataMsgs(), tc.TotalBytes())
+	}
+	if ch.TotalDataMsgs() < np || ch.TotalBytes() < int64(np*8*n/2) {
+		t.Errorf("chan put traffic unaccounted: %d msgs / %d bytes", ch.TotalDataMsgs(), ch.TotalBytes())
+	}
+}
+
+// TestWindowPutAsyncStrided puts a strided 2-D sub-block (a column strip,
+// the B_BLOCK ghost shape) and checks only the rect's elements change.
+func TestWindowPutAsyncStrided(t *testing.T) {
+	const np, rows, cols = 2, 5, 6
+	withWindowTransports(t, np, func(t *testing.T, tr Transport) {
+		win := NewWindow(np, "strided", tr.Stats(), tr.Cost())
+		runCommsOn(t, tr, func(c *Comm) error {
+			r := c.Rank()
+			data := make([]float64, rows*cols)
+			for i := range data {
+				data[i] = float64(1000*r + i)
+			}
+			win.Register(r, data)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// Column 1 of rank 0 -> column 4 of rank 1 (row-major, stride
+			// cols between consecutive column elements).
+			srcCol := Rect{Off: 1, Dims: []RectDim{{Stride: cols, Count: rows}}}
+			dstCol := Rect{Off: 4, Dims: []RectDim{{Stride: cols, Count: rows}}}
+			if r == 0 {
+				if err := win.PutAsync(c, 1, 2, srcCol, dstCol); err != nil {
+					return err
+				}
+			} else {
+				if err := win.AwaitPut(c, 0, 2, dstCol); err != nil {
+					return err
+				}
+				for i := 0; i < rows*cols; i++ {
+					want := float64(1000 + i)
+					if i%cols == 4 {
+						want = float64(i - 3) // rank 0's column 1, same row
+					}
+					if data[i] != want {
+						t.Errorf("element %d: got %v, want %v", i, data[i], want)
+					}
+				}
+			}
+			return c.Barrier()
+		})
+	})
+}
+
+// TestWindowFencePutGet exercises the fence-epoch discipline, including a
+// mutual get cycle (every rank gets from its successor) that would
+// deadlock a fixed-order drain, and a second epoch to prove the counters
+// reset cleanly.
+func TestWindowFencePutGet(t *testing.T) {
+	const np, n = 3, 10
+	withWindowTransports(t, np, func(t *testing.T, tr Transport) {
+		win := NewWindow(np, "fence", tr.Stats(), tr.Cost())
+		runCommsOn(t, tr, func(c *Comm) error {
+			c.SetConfig(CommConfig{Timeout: 2 * time.Second, Retries: 2})
+			r := c.Rank()
+			data := make([]float64, n)
+			for i := 0; i < 2; i++ {
+				data[i] = float64(100*r + i)
+			}
+			win.Register(r, data)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			var peers []int
+			for p := 0; p < np; p++ {
+				if p != r {
+					peers = append(peers, p)
+				}
+			}
+			next, prev := (r+1)%np, (r+np-1)%np
+			// Epoch 1: put my [0,2) into next's [2,4) and get next's [0,2)
+			// into my [6,8) — a full get cycle around the ring.
+			if err := win.Put(c, next, RectRun(0, 2), RectRun(2, 2)); err != nil {
+				return err
+			}
+			if err := win.Get(c, next, RectRun(0, 2), RectRun(6, 2)); err != nil {
+				return err
+			}
+			if err := win.Fence(c, peers); err != nil {
+				return err
+			}
+			for i := 0; i < 2; i++ {
+				if want := float64(100*prev + i); data[2+i] != want {
+					t.Errorf("rank %d put-in element %d: got %v, want %v", r, 2+i, data[2+i], want)
+				}
+				if want := float64(100*next + i); data[6+i] != want {
+					t.Errorf("rank %d got element %d: got %v, want %v", r, 6+i, data[6+i], want)
+				}
+			}
+			// Epoch 2: fresh values through the same window; stale epoch-1
+			// counts must not leak in.
+			data[0] = float64(100*r) + 0.5
+			if err := win.Put(c, prev, RectRun(0, 1), RectRun(9, 1)); err != nil {
+				return err
+			}
+			if err := win.Fence(c, peers); err != nil {
+				return err
+			}
+			if want := float64(100*next) + 0.5; data[9] != want {
+				t.Errorf("rank %d epoch-2 element: got %v, want %v", r, data[9], want)
+			}
+			return c.Barrier()
+		})
+	})
+}
+
+// TestWindowFenceIdlePeer: a rank that issued no operations still fences
+// collectively (count-0 announces) without hanging.
+func TestWindowFenceIdlePeer(t *testing.T) {
+	const np = 3
+	withWindowTransports(t, np, func(t *testing.T, tr Transport) {
+		win := NewWindow(np, "idle", tr.Stats(), tr.Cost())
+		runCommsOn(t, tr, func(c *Comm) error {
+			c.SetConfig(CommConfig{Timeout: 2 * time.Second, Retries: 2})
+			r := c.Rank()
+			data := make([]float64, 4)
+			data[0] = float64(r + 1)
+			win.Register(r, data)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			peers := []int{(r + 1) % np, (r + 2) % np}
+			if r == 0 { // only rank 0 communicates
+				if err := win.Put(c, 1, RectRun(0, 1), RectRun(3, 1)); err != nil {
+					return err
+				}
+			}
+			if err := win.Fence(c, peers); err != nil {
+				return err
+			}
+			if r == 1 && data[3] != 1 {
+				t.Errorf("rank 1: got %v, want 1", data[3])
+			}
+			return nil
+		})
+	})
+}
+
+// TestWindowRevokedEpochAborts: window operations through a View whose
+// liveness check fails must abort with the checker's error, wrapped with
+// the window name and peer rank.
+func TestWindowRevokedEpochAborts(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	win := NewWindow(2, "revoked", tr.Stats(), tr.Cost())
+	win.Register(0, make([]float64, 8))
+	win.Register(1, make([]float64, 8))
+	revoked := errors.New("membership epoch revoked")
+	v := NewView(tr.Endpoint(0), 1, []int{0, 1}, func() error { return revoked })
+	c := NewComm(v)
+	c.SetConfig(CommConfig{Timeout: 50 * time.Millisecond, Retries: 1})
+
+	err := win.PutAsync(c, 1, 1, RectRun(0, 2), RectRun(0, 2))
+	if !errors.Is(err, revoked) {
+		t.Fatalf("put on revoked epoch = %v, want the checker's error", err)
+	}
+	if !strings.Contains(err.Error(), "window revoked") || !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("put error %q does not name the window and rank", err)
+	}
+	if err := win.AwaitPut(c, 1, 1, RectRun(0, 2)); !errors.Is(err, revoked) {
+		t.Fatalf("await on revoked epoch = %v, want the checker's error", err)
+	}
+	if err := win.Fence(c, []int{1}); !errors.Is(err, revoked) {
+		t.Fatalf("fence on revoked epoch = %v, want the checker's error", err)
+	}
+}
+
+// TestWindowStaleEpochTagNeverMatches: a put token sent under epoch 0
+// must not satisfy an await posted under epoch 1 — the fold keeps the tag
+// spaces disjoint, so the stale token rots in the mailbox and the await
+// times out instead of consuming wrong-epoch traffic.
+func TestWindowStaleEpochTagNeverMatches(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	win := NewWindow(2, "stale", tr.Stats(), tr.Cost())
+	store0 := []float64{1, 2, 3, 4}
+	store1 := make([]float64, 4)
+	win.Register(0, store0)
+	win.Register(1, store1)
+
+	// Rank 0 puts under epoch 0 (bare endpoint: unfolded tags).
+	c0 := NewComm(tr.Endpoint(0))
+	if err := win.PutAsync(c0, 1, 1, RectRun(0, 2), RectRun(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 awaits under epoch 1: the epoch-0 token must not match.
+	v1 := NewView(tr.Endpoint(1), 1, []int{0, 1}, nil)
+	c1 := NewComm(v1)
+	c1.SetConfig(CommConfig{Timeout: 30 * time.Millisecond, Retries: 1})
+	err := win.AwaitPut(c1, 0, 1, RectRun(0, 2))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("await across epochs = %v, want ErrTimeout (stale tag must not match)", err)
+	}
+	// The epoch-0 token is still there for an epoch-0 await.
+	c1e0 := NewComm(tr.Endpoint(1))
+	if err := win.AwaitPut(c1e0, 0, 1, RectRun(0, 2)); err != nil {
+		t.Fatalf("same-epoch await after cross-epoch miss: %v", err)
+	}
+	if store1[0] != 1 || store1[1] != 2 {
+		t.Fatalf("put data not applied: %v", store1[:2])
+	}
+}
+
+// faultMatrixSetup builds the layered transport for a window fault case:
+// base transport per mode, fault injector from the plan, and an integrity
+// layer outside the injector when the plan corrupts frames (mirroring
+// apps.assembleTransport).
+func faultMatrixSetup(t *testing.T, tcp bool, plan string) (Transport, func()) {
+	t.Helper()
+	p, err := ParseFaultPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Transport
+	if tcp {
+		base, err = NewTCPTransport(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		base = NewChanTransport(2)
+	}
+	var tr Transport = NewFaultTransport(base, p)
+	if p.HasKind(FaultCorrupt) {
+		tr = NewIntegrityTransport(tr)
+	}
+	return tr, func() { tr.Close() }
+}
+
+// windowFaultCfg keeps fault-matrix cases fast: short deadlines, a couple
+// of escalating retries.
+var windowFaultCfg = CommConfig{
+	Timeout:    25 * time.Millisecond,
+	Retries:    3,
+	Backoff:    time.Millisecond,
+	MaxTimeout: 200 * time.Millisecond,
+}
+
+// windowFaultBody is the canonical two-rank put/await exchange used by
+// the fault-matrix cases.  The leading barrier proves win=1 rules leave
+// collective traffic alone — an unscoped rule would fire on the barrier
+// and desynchronize the schedule.
+func windowFaultBody(win *Window) func(c *Comm) error {
+	return func(c *Comm) error {
+		r := c.Rank()
+		data := make([]float64, 8)
+		for i := range data {
+			data[i] = float64(10*r + i)
+		}
+		win.Register(r, data)
+		if err := c.Barrier(); err != nil {
+			return fmt.Errorf("pre-exchange barrier: %w", err)
+		}
+		if r == 0 {
+			return win.PutAsync(c, 1, 1, RectRun(0, 4), RectRun(4, 4))
+		}
+		if err := win.AwaitPut(c, 0, 1, RectRun(4, 4)); err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if data[4+i] != float64(i) {
+				return fmt.Errorf("element %d: got %v, want %v", 4+i, data[4+i], float64(i))
+			}
+		}
+		return nil
+	}
+}
+
+// TestFaultMatrixWindowSendErr: a persistent injected send fault on the
+// put token/frame exhausts the sender's retries with a wrapped error
+// naming the window and peer; the starved awaiter times out.  No panics,
+// no hangs, on either transport.
+func TestFaultMatrixWindowSendErr(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := map[bool]string{false: "chan", true: "tcp"}[tcp]
+		t.Run(name, func(t *testing.T) {
+			tr, closeTr := faultMatrixSetup(t, tcp, "senderr,rank=0,win=1")
+			defer closeTr()
+			win := NewWindow(2, "senderr", tr.Stats(), tr.Cost())
+			errs := runWindowRanks(tr, windowFaultCfg, windowFaultBody(win))
+			if !errors.Is(errs[0], ErrInjected) {
+				t.Errorf("rank 0 = %v, want wrapped ErrInjected", errs[0])
+			}
+			for _, frag := range []string{"window senderr", "rank 1"} {
+				if errs[0] == nil || !strings.Contains(errs[0].Error(), frag) {
+					t.Errorf("rank 0 error %q does not contain %q", errs[0], frag)
+				}
+			}
+			if !errors.Is(errs[1], ErrTimeout) {
+				t.Errorf("rank 1 = %v, want wrapped ErrTimeout", errs[1])
+			}
+		})
+	}
+}
+
+// TestFaultMatrixWindowDrop: one silently dropped put leaves the sender
+// successful and the awaiter timing out with an error naming the window —
+// the lost-packet asymmetry, scoped by win=1 so the barrier is untouched.
+func TestFaultMatrixWindowDrop(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := map[bool]string{false: "chan", true: "tcp"}[tcp]
+		t.Run(name, func(t *testing.T) {
+			tr, closeTr := faultMatrixSetup(t, tcp, "drop,rank=0,count=1,win=1")
+			defer closeTr()
+			win := NewWindow(2, "dropwin", tr.Stats(), tr.Cost())
+			errs := runWindowRanks(tr, windowFaultCfg, windowFaultBody(win))
+			if errs[0] != nil {
+				t.Errorf("rank 0 = %v, want nil (drop is silent at the sender)", errs[0])
+			}
+			if !errors.Is(errs[1], ErrTimeout) {
+				t.Errorf("rank 1 = %v, want wrapped ErrTimeout", errs[1])
+			}
+			if errs[1] == nil || !strings.Contains(errs[1].Error(), "window dropwin") {
+				t.Errorf("rank 1 error %q does not name the window", errs[1])
+			}
+		})
+	}
+}
+
+// TestFaultMatrixWindowDelay: a delayed put completion heals under the
+// escalating receive deadline — the await retries until the late frame
+// lands, and the data is intact.
+func TestFaultMatrixWindowDelay(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := map[bool]string{false: "chan", true: "tcp"}[tcp]
+		t.Run(name, func(t *testing.T) {
+			tr, closeTr := faultMatrixSetup(t, tcp, "delay,rank=0,delay=40ms,count=1,win=1")
+			defer closeTr()
+			win := NewWindow(2, "delaywin", tr.Stats(), tr.Cost())
+			errs := runWindowRanks(tr, windowFaultCfg, windowFaultBody(win))
+			for r, err := range errs {
+				if err != nil {
+					t.Errorf("rank %d = %v, want heal via retry", r, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultMatrixWindowBitflip: wire corruption of window traffic under
+// an integrity layer surfaces ErrIntegrity at the awaiter instead of
+// silently corrupt data.  On the shared-memory path the corruptible frame
+// is the CRC-trailed notification token; on TCP it is the payload itself.
+func TestFaultMatrixWindowBitflip(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := map[bool]string{false: "chan", true: "tcp"}[tcp]
+		t.Run(name, func(t *testing.T) {
+			tr, closeTr := faultMatrixSetup(t, tcp, "bitflip,rank=0,count=1,win=1")
+			defer closeTr()
+			win := NewWindow(2, "flipwin", tr.Stats(), tr.Cost())
+			errs := runWindowRanks(tr, windowFaultCfg, windowFaultBody(win))
+			if errs[0] != nil {
+				t.Errorf("rank 0 = %v, want nil (corruption is invisible to the sender)", errs[0])
+			}
+			if !errors.Is(errs[1], ErrIntegrity) {
+				t.Errorf("rank 1 = %v, want wrapped ErrIntegrity", errs[1])
+			}
+			if errs[1] == nil || !strings.Contains(errs[1].Error(), "window flipwin") {
+				t.Errorf("rank 1 error %q does not name the window", errs[1])
+			}
+		})
+	}
+}
+
+// TestFaultMatrixWindowFenceDrop: dropping a fence-epoch put starves the
+// target's drain; both ranks unwind with wrapped fence errors instead of
+// deadlocking — the sender because its peer never acks, the target
+// because the announced operation never arrives.
+func TestFaultMatrixWindowFenceDrop(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := map[bool]string{false: "chan", true: "tcp"}[tcp]
+		t.Run(name, func(t *testing.T) {
+			tr, closeTr := faultMatrixSetup(t, tcp, "drop,rank=0,count=1,win=1")
+			defer closeTr()
+			win := NewWindow(2, "fencedrop", tr.Stats(), tr.Cost())
+			errs := runWindowRanks(tr, windowFaultCfg, func(c *Comm) error {
+				r := c.Rank()
+				win.Register(r, make([]float64, 4))
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if r == 0 {
+					if err := win.Put(c, 1, RectRun(0, 2), RectRun(0, 2)); err != nil {
+						return err
+					}
+				}
+				return win.Fence(c, []int{1 - r})
+			})
+			for r, err := range errs {
+				if err == nil {
+					t.Errorf("rank %d = nil, want a fence error", r)
+					continue
+				}
+				if !strings.Contains(err.Error(), "fence") || !strings.Contains(err.Error(), "window fencedrop") {
+					t.Errorf("rank %d error %q does not name the fence and window", r, err)
+				}
+			}
+		})
+	}
+}

@@ -31,6 +31,25 @@
 //		return nil
 //	})
 //
+// # Overlapping computation with communication
+//
+// Ghost (overlap) areas refresh through one-sided windows: each put lands
+// directly in the neighbour's halo, so the exchange can stay in flight
+// while the owning processor computes its interior:
+//
+//	h, err := u.StartExchangeAllGhosts(ctx) // halos leave as one-sided puts
+//	if err != nil {
+//		return err
+//	}
+//	// ... update points whose stencil reads no ghost cell ...
+//	if err := h.Wait(); err != nil {        // halos are now readable
+//		return err
+//	}
+//	// ... update the segment-boundary points ...
+//
+// The synchronous u.ExchangeAllGhosts(ctx) is the start+wait pair in one
+// call.
+//
 // See examples/ for complete programs (the paper's ADI and PIC codes among
 // them) and DESIGN.md for the architecture.
 package vienna
@@ -297,6 +316,36 @@ type Q = query.Q
 
 // Local is one processor's storage for its part of an array.
 type Local = darray.Local
+
+// GhostHandle is an in-flight asynchronous ghost exchange, returned by
+// Array.StartExchangeGhosts / Array.StartExchangeAllGhosts.  The halos
+// travel as one-sided puts into the neighbours' overlap areas; call Wait
+// before reading the refreshed ghost cells.  See "Overlapping computation
+// with communication" in the package documentation.
+type GhostHandle = darray.GhostHandle
+
+// Window is a one-sided communication window: each processor registers
+// its []float64 storage, after which any processor may Put into (or Get
+// out of) a peer's registered region without the peer posting a receive.
+// It offers counted put streams (PutAsync/AwaitPut — the ghost-exchange
+// discipline) and MPI-style fence epochs (Put/Get/Fence).  The ghost
+// machinery uses windows internally; they are exported for custom
+// one-sided protocols over the same transports.
+type Window = msg.Window
+
+// NewWindow creates a one-sided window shared by np processors; every
+// rank registers its storage with Window.Register before remote access.
+var NewWindow = msg.NewWindow
+
+// Rect describes a strided hyper-rectangular region of a window's
+// registered storage (offset plus per-dimension stride/count pairs).
+type Rect = msg.Rect
+
+// RectDim is one dimension of a Rect.
+type RectDim = msg.RectDim
+
+// RectRun builds a one-dimensional contiguous Rect.
+var RectRun = msg.RectRun
 
 // WithGhost declares overlap (ghost) areas on an array declaration;
 // pass the widths through Decl.Ghost instead when using Declare.
