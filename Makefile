@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault check-recovery check-online soak bench bench-smoke bench-overlap examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery check-online check-redist soak bench bench-smoke bench-overlap bench-redist examples experiments analyze clean
 
 all: build check test
 
@@ -21,9 +21,19 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault check-recovery check-online bench-overlap
+check: check-fault check-recovery check-online check-redist bench-overlap bench-redist
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
+
+# The memory-bounded redistribution matrix: planner candidates simulated
+# bit-identical to the direct alltoallv across distribution crossings,
+# measured peak-wire-bytes <= budget end to end (array 8x the budget),
+# exact byte/message parity on the unbounded path, the symmetric
+# no-plan failure, the np-keyed schedule cache, and the streaming
+# collective + wire gauge — all under the race detector.
+check-redist:
+	$(GO) test -race -run 'TestPlan|TestRedistributeMemBudget|TestRedistributeUnboundedExactCounts|TestRedistributeBudgetInfeasible|TestCacheKeyedOnView|TestParseBudget|TestWireGauge|TestAlltoallvStream' \
+	  ./internal/redist ./internal/darray ./internal/msg
 
 # The online-recovery matrix: membership-epoch regroup agreement,
 # epoch-folded tag views, typed epoch revocation, per-message CRC32C
@@ -61,11 +71,13 @@ bench:
 
 # Quick allocation/latency regression sweep over the data-movement hot
 # paths: E3 (smoothing ghost exchange), E4 (DISTRIBUTE), and the wire
-# codec micros, captured as BENCH_PR2.json for diffing across changes.
+# codec micros.  Results land in BENCH_SMOKE.json — the committed
+# BENCH_PR2.json is the frozen PR-2 baseline to diff against, not a
+# file this target overwrites.
 bench-smoke:
 	( $(GO) test -run '^$$' -bench 'BenchmarkSmoothing|BenchmarkRedistribute' -benchtime 1x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCodec' -benchtime 100x -benchmem ./internal/msg ) \
-	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	| $(GO) run ./cmd/benchjson -o BENCH_SMOKE.json
 
 # Sync-vs-overlap smoothing comparison: the same shapes timed with the
 # synchronous exchange+sweep loop and with the one-sided overlapped loop
@@ -75,6 +87,15 @@ bench-smoke:
 bench-overlap:
 	$(GO) test -run '^$$' -bench 'BenchmarkSmoothingOverlap' -benchtime 30x . \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+
+# Redistribution under a memory budget: the E4 DISTRIBUTE pairs plus
+# the budgeted variant (unbounded vs array/8 budget).  The benchmark
+# itself asserts measured peak wire bytes <= budget; results land in
+# BENCH_PR7.json for diffing against the BENCH_PR2.json redistribute
+# baselines.
+bench-redist:
+	$(GO) test -run '^$$' -bench 'BenchmarkRedistribute$$|BenchmarkRedistributeBudget' -benchtime 200x . \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E4).
 experiments:

@@ -204,6 +204,43 @@ func BenchmarkRedistribute(b *testing.B) {
 	}
 }
 
+// BenchmarkRedistributeBudget times the same block->cyclic crossing as
+// BenchmarkRedistribute with the planner capped at an eighth of the
+// array: throughput should hold (pairwise/chunked move the same bytes)
+// while the reported peak wire residency drops below the budget.
+func BenchmarkRedistributeBudget(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		bytesTotal := int64(n * 8)
+		for _, budget := range []int64{0, bytesTotal / 8} {
+			name := fmt.Sprintf("blockToCyclic/N%d/P4/unbounded", n)
+			if budget > 0 {
+				name = fmt.Sprintf("blockToCyclic/N%d/P4/budget%dK", n, budget>>10)
+			}
+			b.Run(name, func(b *testing.B) {
+				var last apps.RedistCostResult
+				for i := 0; i < b.N; i++ {
+					res, err := apps.RunRedistCost(apps.RedistCostConfig{
+						N0: n, P: 4, Rounds: 2,
+						From:      []dist.DimSpec{dist.BlockDim()},
+						To:        []dist.DimSpec{dist.CyclicDim(1)},
+						Alpha:     benchAlpha, Beta: benchBeta,
+						MemBudget: budget,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if budget > 0 && res.PeakWireBytes > budget {
+						b.Fatalf("peak wire %d exceeds budget %d", res.PeakWireBytes, budget)
+					}
+					last = res
+				}
+				b.ReportMetric(last.BytesPerRound, "bytes/redist")
+				b.ReportMetric(float64(last.PeakWireBytes), "peakwire")
+			})
+		}
+	}
+}
+
 func BenchmarkPointToPoint(b *testing.B) {
 	for _, size := range []int{64, 4096, 65536} {
 		b.Run(fmt.Sprintf("chan/%dB", size), func(b *testing.B) {

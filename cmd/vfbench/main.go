@@ -22,6 +22,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/dist"
 	"repro/internal/machine"
+	"repro/internal/redist"
 	"repro/internal/trace"
 )
 
@@ -38,6 +39,7 @@ var (
 	recoverRun  = flag.Bool("recover", false, "resume the ADI runs from the latest committed checkpoint in -ckpt-dir")
 	onlineRec   = flag.Bool("online-recover", false, "recover from a mid-run rank loss in-process: survivors regroup onto the next membership epoch and replay the last committed checkpoint (ADI runs; requires -ckpt-dir)")
 	deadline    = flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
+	redistBgt   = flag.String("redist-budget", "", "bound each redistribution's peak resident wire bytes per rank in -exp redist, e.g. 64K, 2M (empty/0 = unbounded)")
 
 	// Deprecated aliases, kept so existing invocations stay valid.
 	faultTimeout = flag.Duration("fault-timeout", 0, "deprecated alias for -comm-timeout")
@@ -401,11 +403,18 @@ func runOnlineRecover() {
 }
 
 func runRedist() {
+	budget, err := redist.ParseBudget(*redistBgt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n== E4: DISTRIBUTE cost (claim C4) ==\n")
 	fmt.Println("Redistribution moves real data and maintains descriptors; the schedule")
 	fmt.Println("cache makes phase-alternating patterns cheap after the first round.")
+	if budget > 0 {
+		fmt.Printf("memory budget: peak resident wire bytes per rank bounded to %d\n", budget)
+	}
 	w := tab()
-	fmt.Fprintln(w, "transition\tN\tP\tbytes/redist\tmsgs/redist\twall/redist\tcache h/m")
+	fmt.Fprintln(w, "transition\tN\tP\tbytes/redist\tmsgs/redist\twall/redist\tcache h/m\tpeak wire B")
 	type pair struct {
 		name     string
 		from, to []dist.DimSpec
@@ -423,14 +432,17 @@ func runRedist() {
 	for _, pr := range pairs {
 		res, err := apps.RunRedistCost(apps.RedistCostConfig{
 			N0: pr.n0, N1: pr.n1, P: 4, Rounds: 4, From: pr.from, To: pr.to,
-			Alpha: *alpha, Beta: *beta,
+			Alpha: *alpha, Beta: *beta, MemBudget: budget,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(w, "%s\t%d\t4\t%.0f\t%.0f\t%v\t%d/%d\n",
+		fmt.Fprintf(w, "%s\t%d\t4\t%.0f\t%.0f\t%v\t%d/%d\t%d\n",
 			pr.name, n, res.BytesPerRound, res.MsgsPerRound, res.WallPerRound,
-			res.CacheHits, res.CacheMisses)
+			res.CacheHits, res.CacheMisses, res.PeakWireBytes)
+		if budget > 0 && res.PeakWireBytes > budget {
+			log.Fatalf("measured peak wire bytes %d exceed the -redist-budget %d", res.PeakWireBytes, budget)
+		}
 		if !res.ValuesPreserved {
 			log.Fatal("value preservation violated")
 		}

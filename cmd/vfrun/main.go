@@ -27,6 +27,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/redist"
 	"repro/internal/sem"
 	"repro/internal/trace"
 )
@@ -44,8 +45,13 @@ func main() {
 	recoverRun := flag.Bool("recover", false, "restore the latest committed checkpoint in -ckpt-dir at the first DISTRIBUTE site (the survivors' rank count may differ from the writer's)")
 	onlineRec := flag.Bool("online-recover", false, "recover from a mid-run rank loss in-process: survivors regroup onto the next membership epoch and replay the last committed checkpoint (requires -ckpt-dir)")
 	deadline := flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
+	redistBudget := flag.String("redist-budget", "", "bound each DISTRIBUTE's peak resident wire bytes per rank, e.g. 64K, 2M (empty/0 = unbounded)")
 	flag.Parse()
 	armDeadline(*deadline)
+	budget, err := redist.ParseBudget(*redistBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var src, name string
 	switch {
@@ -151,6 +157,7 @@ ENDDO
 	e := core.NewEngine(m)
 	in := interp.New(e)
 	interp.RegisterPICDemo(in)
+	in.SetMemBudget(budget)
 	if *recoverRun && *ckptDir == "" {
 		log.Fatal("-recover requires -ckpt-dir")
 	}
@@ -187,6 +194,7 @@ ENDDO
 				e2 := core.NewEngine(m)
 				i2 := interp.New(e2)
 				interp.RegisterPICDemo(i2)
+				i2.SetMemBudget(budget)
 				i2.SetCheckpoint(*ckptDir, *ckptEvery)
 				// Replay the last committed checkpoint if there is one; a
 				// loss before the first commit restarts from scratch on

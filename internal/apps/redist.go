@@ -21,6 +21,9 @@ type RedistCostConfig struct {
 	Rounds int
 	// Alpha/Beta attach a cost model.
 	Alpha, Beta float64
+	// MemBudget bounds each redistribution's peak resident wire bytes per
+	// rank (0 = unbounded: always the direct alltoallv plan).
+	MemBudget int64
 }
 
 // RedistCostResult reports per-round averages.
@@ -32,6 +35,10 @@ type RedistCostResult struct {
 	CacheHits       int
 	CacheMisses     int
 	ValuesPreserved bool
+	// PeakWireBytes is the measured high-water mark of resident wire
+	// bytes on any rank over the whole run (msg.Stats gauge) — with a
+	// MemBudget set it must come in at or under the budget.
+	PeakWireBytes int64
 }
 
 // RunRedistCost measures the cost of the DISTRIBUTE statement itself.
@@ -48,6 +55,7 @@ func RunRedistCost(cfg RedistCostConfig) (RedistCostResult, error) {
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
 	e := core.NewEngine(m)
+	e.SetMemBudget(cfg.MemBudget)
 
 	var dom index.Domain
 	if cfg.N1 > 0 {
@@ -103,6 +111,7 @@ func RunRedistCost(cfg RedistCostConfig) (RedistCostResult, error) {
 		return res, err
 	}
 	sn := m.Stats().Snapshot()
+	res.PeakWireBytes = m.Stats().PeakWireBytes()
 	rounds := float64(2 * cfg.Rounds) // two redistributions per round
 	res.BytesPerRound = float64(sn.TotalBytes()) / rounds
 	res.MsgsPerRound = float64(sn.TotalDataMsgs()) / rounds

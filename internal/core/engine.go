@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/darray"
 	"repro/internal/dist"
@@ -42,7 +43,23 @@ type Engine struct {
 	mu     sync.Mutex
 	arrays map[string]*Array
 	order  []string
+
+	// memBudget is the default peak-resident-wire-bytes bound applied to
+	// every DISTRIBUTE data transfer (0 = unbounded; see darray.MemBudget).
+	memBudget atomic.Int64
 }
+
+// SetMemBudget installs a default redistribution memory budget: every
+// DISTRIBUTE (and CallWith restore) executed through this engine bounds
+// its peak resident wire bytes per rank to n, unless a statement-level
+// core.MemBudget option overrides it.  n <= 0 restores the unbounded
+// default.  Safe to call from any rank, but the SPMD contract applies:
+// every rank must observe the same value at each collective.
+func (e *Engine) SetMemBudget(n int64) { e.memBudget.Store(n) }
+
+// MemBudgetDefault returns the engine's default redistribution memory
+// budget (0 = unbounded).
+func (e *Engine) MemBudgetDefault() int64 { return e.memBudget.Load() }
 
 // NewEngine creates a scope on the given machine.  Collective-by-
 // convention: create it before Machine.Run (it is plain construction, no

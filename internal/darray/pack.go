@@ -133,6 +133,52 @@ func (l *Local) UnpackWire(g index.Grid, buf []byte) {
 	l.unpackWire(g, buf)
 }
 
+// unpackSelect stores at g's points the values found in buf, where buf is
+// the canonical wire packing of the (super)grid src with g ⊆ src — the
+// local-select half of allgather-based redistribution: a peer published
+// its whole owned part, and this rank picks out just the spans it needs.
+// Positions are the src enumeration's linear indices (dimension 0
+// fastest, matching appendPacked's order).
+func (l *Local) unpackSelect(g, src index.Grid, buf []byte) error {
+	if n := msg.Float64Count(buf); n != src.Count() {
+		return fmt.Errorf("darray: select: %d values for a %d-point source grid", n, src.Count())
+	}
+	rank := g.Rank()
+	strides := make([]int, rank)
+	mult := 1
+	for k := 0; k < rank; k++ {
+		strides[k] = mult
+		mult *= src.Dims[k].Count()
+	}
+	data := l.data
+	outside := false
+	g.ForEachRun(func(p index.Point, r index.Run) bool {
+		rowPos := 0
+		for k := 1; k < rank; k++ {
+			pos := src.Dims[k].IndexOf(p[k])
+			if pos < 0 {
+				outside = true
+				return false
+			}
+			rowPos += pos * strides[k]
+		}
+		row := l.rowOffset(p)
+		for i := r.Lo; i <= r.Hi; i += r.Stride {
+			pos := src.Dims[0].IndexOf(i)
+			if pos < 0 {
+				outside = true
+				return false
+			}
+			data[row+l.li(0, i)*l.strd[0]] = msg.GetFloat64(buf, 8*(rowPos+pos))
+		}
+		return true
+	})
+	if outside {
+		return fmt.Errorf("darray: select: transfer grid not contained in source grid")
+	}
+	return nil
+}
+
 // copyGrid copies the values at g's points from src into dst (both must
 // address every point of g) — the span-loop form of the redistribution
 // local move and the NOTRANSFER keep.
@@ -175,6 +221,7 @@ type commBufs struct {
 	views    [][]byte // per-call send views handed to AlltoallvSched
 	recvFrom []bool
 	face     []byte // ghost-face pack buffer
+	stream   []byte // single just-in-time pack buffer for streamed rounds
 }
 
 // sendBuf returns the peer's recycled pack buffer, emptied, with capacity
@@ -189,6 +236,18 @@ func (b *commBufs) sendBuf(np, peer, count int) []byte {
 		b.send[peer] = buf
 	}
 	return buf[:0]
+}
+
+// streamBuf returns the single recycled streaming pack buffer, emptied,
+// with capacity for count elements.  Unlike sendBuf there is one buffer
+// total, not one per peer: streamed (pairwise) rounds pack one peer at a
+// time and hand the buffer to Send before packing the next, which is
+// exactly what keeps their peak residency to a single transfer.
+func (b *commBufs) streamBuf(count int) []byte {
+	if cap(b.stream) < 8*count {
+		b.stream = make([]byte, 0, 8*count)
+	}
+	return b.stream[:0]
 }
 
 // alltoallScratch returns the cleared per-call send views and expected-

@@ -6,6 +6,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/index"
 	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/redist"
 	"repro/internal/trace"
 )
 
@@ -14,6 +16,7 @@ type RedistOption func(*redistConfig)
 
 type redistConfig struct {
 	noTransfer bool
+	memBudget  int64
 }
 
 // NoTransfer requests the paper's NOTRANSFER semantics: "only the access
@@ -22,6 +25,16 @@ type redistConfig struct {
 // the processor already owned, which are kept in place.
 func NoTransfer() RedistOption {
 	return func(c *redistConfig) { c.noTransfer = true }
+}
+
+// MemBudget bounds the peak resident wire bytes per rank during the
+// redistribution.  The planner decomposes the move into bounded steps
+// that fit; if even the finest decomposition exceeds the budget the
+// redistribution fails (on every rank symmetrically, before any data
+// moves) and the old distribution stays fully readable.  n <= 0 means
+// unbounded, which guarantees the single direct alltoallv plan.
+func MemBudget(n int64) RedistOption {
+	return func(c *redistConfig) { c.memBudget = n }
 }
 
 // RedistributeTo collectively re-associates the array with newD and moves
@@ -84,45 +97,81 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 		schedEv = "sched:hit"
 	}
 
-	if !cfg.noTransfer {
-		// Pack each remote transfer straight into its peer's recycled
-		// wire buffer (fused pack+encode, span loops); steady-state
-		// phase alternation reuses the same buffers every iteration.
-		bufs := &a.bufs[rank]
-		send, recvFrom := bufs.alltoallScratch(np)
-		var packed int64
+	switch {
+	case !cfg.noTransfer && cfg.memBudget <= 0:
+		// No budget: the plan is by definition the single direct
+		// alltoallv, so skip plan construction entirely — this keeps the
+		// default path byte-, message-, and work-identical to the
+		// pre-planner execution (plan enumeration builds every rank's
+		// schedule, which matters on redistribute-heavy loops).
+		tr.Instant(rank, trace.CatDistribute, schedEv, -1, int64(sched.SendBytes()))
+		tr.Instant(rank, trace.CatRedist, "plan:direct", -1, -1)
 		for _, t := range sched.Sends {
 			if t.Peer == rank {
-				// local move: straight copy old storage -> new storage
 				copyGrid(newLocal, oldLocal, t.Grid)
-				continue
-			}
-			buf := oldLocal.appendPacked(bufs.sendBuf(np, t.Peer, t.Count), t.Grid)
-			bufs.send[t.Peer] = buf
-			send[t.Peer] = buf
-			packed += int64(len(buf))
-		}
-		for _, t := range sched.Recvs {
-			if t.Peer != rank {
-				recvFrom[t.Peer] = true
 			}
 		}
-		tr.Instant(rank, trace.CatDistribute, schedEv, -1, packed)
-		recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
+		ssp := tr.BeginSpan(rank, trace.CatRedist, "redist:step[0] direct")
+		err := a.stepDirect(ctx, sched, oldLocal, newLocal, a.m.Stats())
+		ssp.End()
 		if err != nil {
-			return fmt.Errorf("darray: %s: redistribution exchange failed: %w", a.name, err)
+			return fmt.Errorf("darray: %s: redistribution step 1/1 (direct): %w", a.name, err)
 		}
-		for _, t := range sched.Recvs {
+
+	case !cfg.noTransfer:
+		// Plan the move: decompose it into bounded collective steps that
+		// fit the memory budget.  The plan is computed identically on
+		// every rank from the distributions alone (and cached), so no
+		// coordination is needed.
+		psp := tr.BeginSpan(rank, trace.CatRedist, "redist:plan")
+		opt := redist.PlanOptions{MemBudget: cfg.memBudget}
+		if cm := a.m.Cost(); cm != nil {
+			opt.Alpha, opt.Beta = cm.Alpha, cm.Beta
+		}
+		plan, perr := a.cache.GetPlan(oldD, newD, np, opt)
+		psp.End()
+		if perr != nil {
+			// Every rank fails here symmetrically before any data moves:
+			// the old distribution stays published and readable.
+			a.retireLocal(rank, newD, newLocal)
+			return fmt.Errorf("darray: %s: redistribution planning: %w", a.name, perr)
+		}
+		tr.Instant(rank, trace.CatDistribute, schedEv, -1, int64(sched.SendBytes()))
+		tr.Instant(rank, trace.CatRedist, "plan:"+plan.Kind, -1, plan.PeakBytes)
+
+		// The self-transfer never touches the wire: copy it whole before
+		// the stepped exchange (still only into newLocal — two-phase
+		// commit semantics are unchanged).
+		for _, t := range sched.Sends {
 			if t.Peer == rank {
-				continue
+				copyGrid(newLocal, oldLocal, t.Grid)
 			}
-			buf := recvd[t.Peer]
-			if buf == nil {
-				return fmt.Errorf("darray: %s: missing redistribution payload from %d", a.name, t.Peer)
-			}
-			newLocal.unpackWire(t.Grid, buf)
 		}
-	} else {
+
+		st := a.m.Stats()
+		for k := range plan.Steps {
+			step := &plan.Steps[k]
+			ssp := tr.BeginSpan(rank, trace.CatRedist, fmt.Sprintf("redist:step[%d] %s", k, step.Kind))
+			sub := plan.StepSchedule(sched, k)
+			var err error
+			switch step.Kind {
+			case redist.StepDirect:
+				err = a.stepDirect(ctx, sub, oldLocal, newLocal, st)
+			case redist.StepPairwise:
+				err = a.stepPairwise(ctx, sub, oldLocal, newLocal, st)
+			case redist.StepAllgather:
+				err = a.stepAllgather(ctx, oldD, sub, oldLocal, newLocal, st)
+			default:
+				err = fmt.Errorf("unknown step kind %v", step.Kind)
+			}
+			ssp.End()
+			if err != nil {
+				return fmt.Errorf("darray: %s: redistribution step %d/%d (%s): %w",
+					a.name, k+1, len(plan.Steps), step.Kind, err)
+			}
+		}
+
+	default:
 		// NOTRANSFER: keep whatever was already in place.
 		tr.Instant(rank, trace.CatDistribute, schedEv, -1, 0)
 		if keep := sched.LocalKeep; !keep.Empty() {
@@ -191,6 +240,161 @@ func unpackGrid(l *Local, g index.Grid, vals []float64) {
 	if i != len(vals) {
 		panic(fmt.Sprintf("darray: unpack count mismatch: %d points, %d values", i, len(vals)))
 	}
+}
+
+// stepDirect executes one monolithic alltoallv over the step's schedule:
+// every remote send is packed into its peer's recycled wire buffer before
+// the exchange, and every received payload stays resident until unpacked
+// — the legacy (maximal-peak) execution, kept byte- and message-identical
+// for the unbounded plan.  Wire residency is reported to the Stats gauge
+// so the planner's peak estimate is checkable against measurement.
+func (a *Array) stepDirect(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, newLocal *Local, st *msg.Stats) error {
+	rank, np := ctx.Rank(), ctx.NP()
+	bufs := &a.bufs[rank]
+	send, recvFrom := bufs.alltoallScratch(np)
+	var packed int64
+	for _, t := range sched.Sends {
+		if t.Peer == rank {
+			continue
+		}
+		buf := oldLocal.appendPacked(bufs.sendBuf(np, t.Peer, t.Count), t.Grid)
+		bufs.send[t.Peer] = buf
+		send[t.Peer] = buf
+		packed += int64(len(buf))
+	}
+	for _, t := range sched.Recvs {
+		if t.Peer != rank {
+			recvFrom[t.Peer] = true
+		}
+	}
+	st.WireAcquire(rank, packed)
+	recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
+	if err != nil {
+		st.WireRelease(rank, packed)
+		return fmt.Errorf("exchange failed: %w", err)
+	}
+	var rb int64
+	for _, t := range sched.Recvs {
+		if t.Peer != rank && recvd[t.Peer] != nil {
+			rb += int64(len(recvd[t.Peer]))
+		}
+	}
+	st.WireAcquire(rank, rb)
+	defer st.WireRelease(rank, packed+rb)
+	for _, t := range sched.Recvs {
+		if t.Peer == rank {
+			continue
+		}
+		buf := recvd[t.Peer]
+		if buf == nil {
+			return fmt.Errorf("missing payload from %d", t.Peer)
+		}
+		newLocal.unpackWire(t.Grid, buf)
+	}
+	return nil
+}
+
+// stepPairwise executes the step's schedule as staggered ring rounds with
+// just-in-time buffers: each round packs exactly one peer's spans into
+// one recycled buffer immediately before the send, and unpacks each
+// received payload immediately on arrival — at most one outgoing and one
+// incoming buffer resident per round, which is what bounds the peak.
+// Messages and bytes on the wire are identical to stepDirect; only
+// residency differs.
+func (a *Array) stepPairwise(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, newLocal *Local, st *msg.Stats) error {
+	rank, np := ctx.Rank(), ctx.NP()
+	bufs := &a.bufs[rank]
+	_, recvFrom := bufs.alltoallScratch(np)
+	sendT := make([]*redist.Transfer, np)
+	recvT := make([]*redist.Transfer, np)
+	for i := range sched.Sends {
+		if t := &sched.Sends[i]; t.Peer != rank {
+			sendT[t.Peer] = t
+		}
+	}
+	for i := range sched.Recvs {
+		if t := &sched.Recvs[i]; t.Peer != rank {
+			recvT[t.Peer] = t
+			recvFrom[t.Peer] = true
+		}
+	}
+	var resident int64 // bytes of the round's packed send still accounted
+	pack := func(to int) ([]byte, error) {
+		if resident > 0 {
+			// The previous round's send buffer is reusable as soon as its
+			// Send returned (see msg.Endpoint); packing over it now ends
+			// its residency.
+			st.WireRelease(rank, resident)
+			resident = 0
+		}
+		t := sendT[to]
+		if t == nil {
+			return nil, nil
+		}
+		buf := oldLocal.appendPacked(bufs.streamBuf(t.Count), t.Grid)
+		bufs.stream = buf
+		resident = int64(len(buf))
+		st.WireAcquire(rank, resident)
+		return buf, nil
+	}
+	consume := func(from int, data []byte) error {
+		t := recvT[from]
+		if t == nil {
+			return fmt.Errorf("unexpected payload from %d", from)
+		}
+		n := int64(len(data))
+		st.WireAcquire(rank, n)
+		newLocal.unpackWire(t.Grid, data)
+		st.WireRelease(rank, n)
+		return nil
+	}
+	err := ctx.Comm().AlltoallvStream(pack, recvFrom, consume)
+	if resident > 0 {
+		st.WireRelease(rank, resident)
+	}
+	if err != nil {
+		return fmt.Errorf("pairwise exchange failed: %w", err)
+	}
+	return nil
+}
+
+// stepAllgather publishes every primary rank's whole old-distribution
+// part and selects this rank's incoming spans locally from the gathered
+// frame — 2(np-1) messages total, peak memory on the order of the whole
+// array (the planner only picks it when that fits the budget and beats
+// the alternatives on message count).
+func (a *Array) stepAllgather(ctx *machine.Ctx, oldD *dist.Distribution, sched *redist.Schedule, oldLocal, newLocal *Local, st *msg.Stats) error {
+	rank, np := ctx.Rank(), ctx.NP()
+	bufs := &a.bufs[rank]
+	var mine []byte
+	myGrid := oldD.LocalGrid(rank)
+	if oldD.IsPrimaryRank(rank) && !myGrid.Empty() {
+		mine = oldLocal.appendPacked(bufs.streamBuf(myGrid.Count()), myGrid)
+		bufs.stream = mine
+	}
+	own := int64(len(mine))
+	st.WireAcquire(rank, own)
+	parts, err := ctx.Comm().Allgather(mine)
+	if err != nil {
+		st.WireRelease(rank, own)
+		return fmt.Errorf("allgather failed: %w", err)
+	}
+	frame := int64(4 * np)
+	for _, p := range parts {
+		frame += int64(len(p))
+	}
+	st.WireAcquire(rank, frame)
+	st.WireRelease(rank, own)
+	defer st.WireRelease(rank, frame)
+	for _, t := range sched.Recvs {
+		if t.Peer == rank {
+			continue
+		}
+		if err := newLocal.unpackSelect(t.Grid, oldD.LocalGrid(t.Peer), parts[t.Peer]); err != nil {
+			return fmt.Errorf("select from %d: %w", t.Peer, err)
+		}
+	}
+	return nil
 }
 
 // ScheduleCacheStats returns (hits, misses) of the redistribution

@@ -1,0 +1,186 @@
+package darray
+
+// End-to-end memory-budget tests: the planner's peak estimate is checked
+// against the measured wire-buffer gauge on a live machine, and budgeted
+// redistributions are compared bit-for-bit against unbounded ones.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/redist"
+)
+
+// gatherAfterRedist runs fill -> redistribute(opts) -> gather on a fresh
+// 4-rank machine and returns the gathered contents and the machine's peak
+// resident wire bytes.
+func gatherAfterRedist(t *testing.T, dom index.Domain, mk1, mk2 func(m *machine.Machine) *dist.Distribution, opts ...RedistOption) ([]float64, int64) {
+	t.Helper()
+	var out []float64
+	m := run(t, 4, func(ctx *machine.Ctx) error {
+		d1 := mk1(ctx.Machine())
+		d2 := mk2(ctx.Machine())
+		a := New(ctx, "B", dom, d1)
+		a.FillFunc(ctx, val2)
+		ctx.Barrier()
+		if err := a.RedistributeTo(ctx, d2, opts...); err != nil {
+			return err
+		}
+		got, err := a.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			out = got
+		}
+		return nil
+	})
+	return out, m.Stats().PeakWireBytes()
+}
+
+// TestRedistributeMemBudgetBounded redistributes an array eight times the
+// budget: the measured peak must respect the bound and the result must be
+// bit-identical to the unbounded redistribution.
+func TestRedistributeMemBudgetBounded(t *testing.T) {
+	dom := index.Dim(4096, 1) // 32 KiB of float64 data
+	const budget = 4096       // array is 8x the budget
+	mk1 := func(m *machine.Machine) *dist.Distribution {
+		return dist.MustNew(dist.NewType(dist.BlockDim(), dist.ElidedDim()), dom, m.ProcsDim("P", 4).Whole())
+	}
+	mk2 := func(m *machine.Machine) *dist.Distribution {
+		return dist.MustNew(dist.NewType(dist.CyclicDim(1), dist.ElidedDim()), dom, m.ProcsDim("P", 4).Whole())
+	}
+
+	free, freePeak := gatherAfterRedist(t, dom, mk1, mk2)
+	if freePeak <= budget {
+		t.Fatalf("unbounded peak %d not above budget %d; test would be vacuous", freePeak, budget)
+	}
+
+	bounded, boundedPeak := gatherAfterRedist(t, dom, mk1, mk2, MemBudget(budget))
+	if boundedPeak > budget {
+		t.Fatalf("measured peak wire bytes %d exceeds budget %d", boundedPeak, budget)
+	}
+	if len(free) != len(bounded) {
+		t.Fatalf("gather lengths differ: %d vs %d", len(free), len(bounded))
+	}
+	for i := range free {
+		if free[i] != bounded[i] {
+			t.Fatalf("budgeted result differs from unbounded at %d: %v vs %v", i, bounded[i], free[i])
+		}
+	}
+}
+
+// TestRedistributeMemBudget1Dto2D crosses processor arrangements (1-D
+// block -> 2-D block/block) under a budget an eighth of the array.
+func TestRedistributeMemBudget1Dto2D(t *testing.T) {
+	dom := index.Dim(64, 64) // 32 KiB
+	const budget = 4096
+	mk1 := func(m *machine.Machine) *dist.Distribution {
+		return dist.MustNew(dist.NewType(dist.BlockDim(), dist.ElidedDim()), dom, m.ProcsDim("P", 4).Whole())
+	}
+	mk2 := func(m *machine.Machine) *dist.Distribution {
+		return dist.MustNew(dist.NewType(dist.BlockDim(), dist.BlockDim()), dom, m.ProcsDim("G", 2, 2).Whole())
+	}
+
+	free, _ := gatherAfterRedist(t, dom, mk1, mk2)
+	bounded, boundedPeak := gatherAfterRedist(t, dom, mk1, mk2, MemBudget(budget))
+	if boundedPeak > budget {
+		t.Fatalf("measured peak wire bytes %d exceeds budget %d", boundedPeak, budget)
+	}
+	for i := range free {
+		if free[i] != bounded[i] {
+			t.Fatalf("budgeted result differs from unbounded at %d", i)
+		}
+	}
+}
+
+// TestRedistributeUnboundedExactCounts pins the no-budget path to the
+// legacy direct alltoallv: payload bytes and data-message counts must
+// equal the schedule-derived sums exactly.
+func TestRedistributeUnboundedExactCounts(t *testing.T) {
+	dom := index.Dim(50, 3)
+	var before, after msg.Snapshot
+	var wantBytes, wantMsgs int64
+	run(t, 4, func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("P", 4).Whole()
+		d1 := dist.MustNew(dist.NewType(dist.BlockDim(), dist.ElidedDim()), dom, tg)
+		d2 := dist.MustNew(dist.NewType(dist.CyclicDim(3), dist.ElidedDim()), dom, tg)
+		a := New(ctx, "C", dom, d1)
+		a.FillFunc(ctx, val2)
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			before = ctx.Machine().Stats().Snapshot()
+			for r := 0; r < 4; r++ {
+				s := redist.Build(d1, d2, r, 4)
+				wantBytes += int64(s.SendBytes())
+				wantMsgs += int64(s.RemoteSendCount())
+			}
+		}
+		ctx.Barrier()
+		if err := a.RedistributeTo(ctx, d2); err != nil {
+			return err
+		}
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			after = ctx.Machine().Stats().Snapshot()
+		}
+		ctx.Barrier()
+		return nil
+	})
+	// Barrier messages are zero-byte, so the payload/data-message deltas
+	// isolate the redistribution itself.
+	if got := after.TotalBytes() - before.TotalBytes(); got != wantBytes {
+		t.Errorf("unbounded redistribution moved %d payload bytes, schedules say %d", got, wantBytes)
+	}
+	if got := after.TotalDataMsgs() - before.TotalDataMsgs(); got != wantMsgs {
+		t.Errorf("unbounded redistribution sent %d data messages, schedules say %d", got, wantMsgs)
+	}
+}
+
+// TestRedistributeBudgetInfeasible: a budget no candidate can satisfy
+// fails symmetrically before any data moves, leaving the old
+// distribution and all values intact.
+func TestRedistributeBudgetInfeasible(t *testing.T) {
+	dom := index.Dim(32)
+	run(t, 4, func(ctx *machine.Ctx) error {
+		tg := ctx.Machine().ProcsDim("P", 4).Whole()
+		d1 := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+		d2 := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg)
+		a := New(ctx, "D", dom, d1)
+		a.FillFunc(ctx, func(p index.Point) float64 { return float64(7 * p[0]) })
+		ctx.Barrier()
+		err := a.RedistributeTo(ctx, d2, MemBudget(1))
+		if !errors.Is(err, redist.ErrNoPlan) {
+			t.Errorf("rank %d: budget of 1 byte: got %v, want ErrNoPlan", ctx.Rank(), err)
+		}
+		ctx.Barrier()
+		// The array must still be fully usable under the old distribution.
+		if a.Epoch() != 0 {
+			t.Errorf("rank %d: epoch advanced to %d on failed plan", ctx.Rank(), a.Epoch())
+		}
+		l := a.Local(ctx)
+		l.ForEachOwned(func(p index.Point, v *float64) {
+			if *v != float64(7*p[0]) {
+				t.Errorf("rank %d: value at %v clobbered: %v", ctx.Rank(), p, *v)
+			}
+		})
+		// And a feasible retry succeeds.
+		if err := a.RedistributeTo(ctx, d2); err != nil {
+			return err
+		}
+		bad := 0
+		a.Local(ctx).ForEachOwned(func(p index.Point, v *float64) {
+			if *v != float64(7*p[0]) {
+				bad++
+			}
+		})
+		if bad != 0 {
+			t.Errorf("rank %d: %d wrong values after retry", ctx.Rank(), bad)
+		}
+		return nil
+	})
+}

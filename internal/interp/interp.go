@@ -94,6 +94,11 @@ func (in *Interp) SetCheckpoint(dir string, every int) {
 // statement.
 func (in *Interp) SetRecover(on bool) { in.recoverRun = on }
 
+// SetMemBudget bounds the peak resident wire bytes per rank of every
+// DISTRIBUTE the interpreted program executes (vfrun -redist-budget);
+// n <= 0 means unbounded.  Delegates to Engine.SetMemBudget.
+func (in *Interp) SetMemBudget(n int64) { in.Engine.SetMemBudget(n) }
+
 // New creates an interpreter over an engine and registers the standard
 // builtins (TRIDIAG, RESID, plus no-op INITPOS hooks used by demos).
 func New(e *core.Engine) *Interp {

@@ -565,6 +565,55 @@ func (c *Comm) AlltoallvSched(send [][]byte, recvFrom []bool) ([][]byte, error) 
 	return recv, nil
 }
 
+// AlltoallvStream is AlltoallvSched with just-in-time buffers: the same
+// staggered ring order and the same messages on the wire, but each
+// round's send buffer is produced by pack immediately before the send
+// and each received payload is handed to consume immediately after the
+// receive — so at most one outgoing and one incoming buffer per peer are
+// resident at any time.  This is the executor primitive of
+// memory-bounded redistribution (pairwise-exchange rounds).
+//
+// pack(to) returns the payload for peer `to`, or nil for "no message";
+// it is only called for remote peers (to != rank — callers handle the
+// self-transfer as a local copy).  consume(from, data) is likewise only
+// called for remote peers, once per expected message; data is the
+// transport's buffer and must be fully used (or copied) before consume
+// returns.  Tag discipline matches the other collectives: one fresh
+// collective tag for the whole exchange, identical on every rank.
+func (c *Comm) AlltoallvStream(pack func(to int) ([]byte, error), recvFrom []bool, consume func(from int, data []byte) error) error {
+	np, rank := c.NP(), c.Rank()
+	if len(recvFrom) != np {
+		return fmt.Errorf("msg: alltoallv-stream needs %d recv flags, got %d", np, len(recvFrom))
+	}
+	if c.tr != nil {
+		defer c.span("alltoallv-stream").End()
+	}
+	tag := c.nextTag()
+	for r := 1; r < np; r++ {
+		to := (rank + r) % np
+		from := (rank - r + np) % np
+		buf, err := pack(to)
+		if err != nil {
+			return fmt.Errorf("msg: alltoallv-stream: rank %d: pack for %d: %w", rank, to, err)
+		}
+		if buf != nil {
+			if err := c.send("alltoallv-stream", to, tag, buf); err != nil {
+				return err
+			}
+		}
+		if recvFrom[from] {
+			p, err := c.recv("alltoallv-stream", from, tag)
+			if err != nil {
+				return err
+			}
+			if err := consume(from, p.Data); err != nil {
+				return fmt.Errorf("msg: alltoallv-stream: rank %d: consume from %d: %w", rank, from, err)
+			}
+		}
+	}
+	return nil
+}
+
 // SendRecv exchanges buffers with two (possibly different) peers in one
 // step: sends sbuf to `to` while receiving from `from`.  Used by shift
 // communications (ghost-cell exchange).

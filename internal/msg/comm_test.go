@@ -229,6 +229,102 @@ func TestAlltoallvSched(t *testing.T) {
 	tr.Close()
 }
 
+func TestAlltoallvStream(t *testing.T) {
+	// Streamed exchange must deliver the same traffic as AlltoallvSched:
+	// pack is called lazily per peer, consume per arriving payload, and
+	// nil packs mean no message.
+	for _, np := range []int{1, 2, 4, 5} {
+		var mu sync.Mutex
+		packs := map[int]int{}
+		tr := runComms(t, np, func(c *Comm) error {
+			recvFrom := make([]bool, np)
+			for from := 0; from < np; from++ {
+				recvFrom[from] = (c.Rank()-from+np)%np%2 == 0
+			}
+			seen := map[int]bool{}
+			err := c.AlltoallvStream(
+				func(to int) ([]byte, error) {
+					mu.Lock()
+					packs[c.Rank()]++
+					mu.Unlock()
+					if (to-c.Rank()+np)%np%2 != 0 {
+						return nil, nil
+					}
+					return EncodeInts([]int{c.Rank()*100 + to}), nil
+				},
+				recvFrom,
+				func(from int, data []byte) error {
+					if seen[from] {
+						t.Errorf("np=%d rank %d: duplicate consume from %d", np, c.Rank(), from)
+					}
+					seen[from] = true
+					if got := DecodeInts(data)[0]; got != from*100+c.Rank() {
+						t.Errorf("np=%d rank %d: stream payload from %d = %d", np, c.Rank(), from, got)
+					}
+					return nil
+				})
+			if err != nil {
+				return err
+			}
+			for from := 0; from < np; from++ {
+				if from == c.Rank() {
+					continue
+				}
+				if want := recvFrom[from]; seen[from] != want {
+					t.Errorf("np=%d rank %d: consume from %d = %v, want %v", np, c.Rank(), from, seen[from], want)
+				}
+			}
+			return nil
+		})
+		// pack is invoked once per remote peer, never for self.
+		for r := 0; r < np; r++ {
+			if packs[r] != np-1 {
+				t.Errorf("np=%d rank %d: pack called %d times, want %d", np, r, packs[r], np-1)
+			}
+		}
+		tr.Close()
+	}
+}
+
+func TestWireGauge(t *testing.T) {
+	s := NewStats(3)
+	if s.PeakWireBytes() != 0 {
+		t.Fatal("fresh stats should have zero peak")
+	}
+	s.WireAcquire(0, 100)
+	s.WireAcquire(0, 50) // rank 0 resident 150
+	s.WireAcquire(1, 120)
+	s.WireRelease(0, 100) // rank 0 resident 50, peak stays 150
+	s.WireAcquire(0, 40)  // resident 90 < peak
+	if got := s.PeakWireBytesRank(0); got != 150 {
+		t.Errorf("rank 0 peak = %d, want 150", got)
+	}
+	if got := s.PeakWireBytes(); got != 150 {
+		t.Errorf("global peak = %d, want 150", got)
+	}
+	// ResetWirePeak rewinds to current residency (90 on rank 0, 120 on 1)
+	// without touching traffic counters.
+	s.OnSend(0, 1, 8)
+	s.ResetWirePeak()
+	if got := s.PeakWireBytesRank(0); got != 90 {
+		t.Errorf("after reset, rank 0 peak = %d, want current residency 90", got)
+	}
+	if got := s.PeakWireBytes(); got != 120 {
+		t.Errorf("after reset, global peak = %d, want 120", got)
+	}
+	if sn := s.Snapshot(); sn.TotalBytes() != 8 {
+		t.Errorf("ResetWirePeak disturbed traffic counters: %d bytes", sn.TotalBytes())
+	}
+	s.WireAcquire(0, 100) // resident 190 -> new peak
+	if got := s.PeakWireBytesRank(0); got != 190 {
+		t.Errorf("peak after re-acquire = %d, want 190", got)
+	}
+	s.Reset()
+	if s.PeakWireBytes() != 0 || s.PeakWireBytesRank(1) != 0 {
+		t.Error("Reset should zero wire gauges")
+	}
+}
+
 func TestCollectivesOverTCP(t *testing.T) {
 	tcp, err := NewTCPTransport(4)
 	if err != nil {

@@ -23,6 +23,13 @@ type Stats struct {
 	// messages" of the paper's cost arguments, excluding zero-byte
 	// synchronization traffic (barriers).
 	dataSent []atomic.Int64
+	// wireCur/wirePeak track resident wire-buffer bytes per rank: packed
+	// send buffers and received-but-not-yet-unpacked payloads held by the
+	// data-movement layer.  The peak is the measured counterpart of the
+	// redistribution planner's peak-bytes estimate — tests assert the
+	// memory bound against this gauge rather than trusting the model.
+	wireCur  []atomic.Int64
+	wirePeak []atomic.Int64
 }
 
 // NewStats creates a collector for np processors.
@@ -34,6 +41,50 @@ func NewStats(np int) *Stats {
 		msgsRecv:  make([]atomic.Int64, np),
 		bytesRecv: make([]atomic.Int64, np),
 		dataSent:  make([]atomic.Int64, np),
+		wireCur:   make([]atomic.Int64, np),
+		wirePeak:  make([]atomic.Int64, np),
+	}
+}
+
+// WireAcquire records n wire-buffer bytes becoming resident on rank and
+// updates the rank's high-water mark.
+func (s *Stats) WireAcquire(rank int, n int64) {
+	cur := s.wireCur[rank].Add(n)
+	for {
+		peak := s.wirePeak[rank].Load()
+		if cur <= peak || s.wirePeak[rank].CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// WireRelease records n wire-buffer bytes leaving residency on rank.
+func (s *Stats) WireRelease(rank int, n int64) {
+	s.wireCur[rank].Add(-n)
+}
+
+// PeakWireBytes returns the high-water mark of resident wire-buffer
+// bytes over all ranks since the last Reset/ResetWirePeak.
+func (s *Stats) PeakWireBytes() int64 {
+	var m int64
+	for i := 0; i < s.np; i++ {
+		if p := s.wirePeak[i].Load(); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// PeakWireBytesRank returns rank's high-water mark of resident
+// wire-buffer bytes.
+func (s *Stats) PeakWireBytesRank(rank int) int64 { return s.wirePeak[rank].Load() }
+
+// ResetWirePeak rewinds every rank's high-water mark to its current
+// residency (so a phase can be measured in isolation without disturbing
+// the traffic counters).
+func (s *Stats) ResetWirePeak() {
+	for i := 0; i < s.np; i++ {
+		s.wirePeak[i].Store(s.wireCur[i].Load())
 	}
 }
 
@@ -62,6 +113,8 @@ func (s *Stats) Reset() {
 		s.msgsRecv[i].Store(0)
 		s.bytesRecv[i].Store(0)
 		s.dataSent[i].Store(0)
+		s.wireCur[i].Store(0)
+		s.wirePeak[i].Store(0)
 	}
 }
 

@@ -1,0 +1,315 @@
+package redist_test
+
+// Planner property tests.  They run without a machine: distributions are
+// built over ckpt's virtual replay target (a dense column-major processor
+// array with no transport behind it), every candidate plan is executed as
+// a schedule-level simulation, and the delivered element set is checked
+// for exact equality with the new distribution's ownership — the
+// bit-identity property the byte-level executor tests in internal/darray
+// then confirm end to end on a live machine.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/redist"
+)
+
+type crossing struct {
+	name string
+	dom  index.Domain
+	oldD *dist.Distribution
+	newD *dist.Distribution
+	np   int
+}
+
+// planCrossings covers the distribution-kind matrix of the acceptance
+// criteria: block/cyclic/B_BLOCK/2-D crossings, uneven extents, and a
+// 1-D -> 2-D processor-arrangement change.
+func planCrossings(t *testing.T) []crossing {
+	t.Helper()
+	line := ckpt.NewVirtualTarget(4)
+	grid := ckpt.NewVirtualTarget(2, 2)
+	mk := func(typ dist.Type, dom index.Domain, tg dist.Target) *dist.Distribution {
+		d, err := dist.New(typ, dom, tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d64 := index.Dim(64)
+	d23 := index.Dim(23) // uneven: 23 = 4*5+3
+	d2d := index.Dim(12, 10)
+	dun := index.Dim(13, 7) // uneven 2-D
+	return []crossing{
+		{"block->cyclic", d64,
+			mk(dist.NewType(dist.BlockDim()), d64, line),
+			mk(dist.NewType(dist.CyclicDim(1)), d64, line), 4},
+		{"block->cyclic uneven", d23,
+			mk(dist.NewType(dist.BlockDim()), d23, line),
+			mk(dist.NewType(dist.CyclicDim(1)), d23, line), 4},
+		{"cyclic(3)->block uneven", d23,
+			mk(dist.NewType(dist.CyclicDim(3)), d23, line),
+			mk(dist.NewType(dist.BlockDim()), d23, line), 4},
+		{"bblock->cyclic(2)", d23,
+			mk(dist.NewType(dist.BBlockDim(2, 9, 15, 23)), d23, line),
+			mk(dist.NewType(dist.CyclicDim(2)), d23, line), 4},
+		{"cols->rows 2-D", d2d,
+			mk(dist.NewType(dist.ElidedDim(), dist.BlockDim()), d2d, line),
+			mk(dist.NewType(dist.BlockDim(), dist.ElidedDim()), d2d, line), 4},
+		{"1-D block -> 2-D block", d2d,
+			mk(dist.NewType(dist.BlockDim(), dist.ElidedDim()), d2d, line),
+			mk(dist.NewType(dist.BlockDim(), dist.BlockDim()), d2d, grid), 4},
+		{"2-D block -> cyclic uneven", dun,
+			mk(dist.NewType(dist.BlockDim(), dist.BlockDim()), dun, grid),
+			mk(dist.NewType(dist.CyclicDim(1), dist.ElidedDim()), dun, line), 4},
+	}
+}
+
+func planVal(p index.Point) float64 {
+	v := float64(p[0])
+	if len(p) > 1 {
+		v += 1000 * float64(p[1])
+	}
+	return v
+}
+
+// simulatePlan replays every step of the plan at the schedule level:
+// deliveries follow each step's (panel-restricted) receive transfers, so
+// panel overlap shows up as a duplicate delivery and a panel gap as a
+// missing element — exactness, not just coverage.
+func simulatePlan(t *testing.T, c crossing, plan *redist.Plan) {
+	t.Helper()
+	scheds := make([]*redist.Schedule, c.np)
+	for r := 0; r < c.np; r++ {
+		scheds[r] = redist.Build(c.oldD, c.newD, r, c.np)
+	}
+	got := make([]map[string]float64, c.np)
+	for r := range got {
+		got[r] = map[string]float64{}
+	}
+	deliver := func(rank int, p index.Point) {
+		key := p.String()
+		if _, dup := got[rank][key]; dup {
+			t.Fatalf("%s/%s: %v delivered to rank %d twice", c.name, plan.Kind, p, rank)
+		}
+		got[rank][key] = planVal(p)
+	}
+	// The self-transfer is local and whole-domain in every plan.
+	for r := 0; r < c.np; r++ {
+		for _, snd := range scheds[r].Sends {
+			if snd.Peer == r {
+				r := r
+				snd.Grid.ForEach(func(p index.Point) bool { deliver(r, p); return true })
+			}
+		}
+	}
+	for k := range plan.Steps {
+		for r := 0; r < c.np; r++ {
+			sub := plan.StepSchedule(scheds[r], k)
+			for _, rcv := range sub.Recvs {
+				if rcv.Peer == r {
+					continue
+				}
+				peer, rank := rcv.Peer, r
+				rcv.Grid.ForEach(func(p index.Point) bool {
+					if !c.oldD.IsLocal(peer, p) {
+						t.Fatalf("%s/%s step %d: rank %d receives %v from %d, who never owned it",
+							c.name, plan.Kind, k, rank, p, peer)
+					}
+					deliver(rank, p)
+					return true
+				})
+			}
+		}
+	}
+	for r := 0; r < c.np; r++ {
+		g := c.newD.LocalGrid(r)
+		n := 0
+		r := r
+		g.ForEach(func(p index.Point) bool {
+			v, ok := got[r][p.String()]
+			if !ok {
+				t.Fatalf("%s/%s: rank %d missing %v", c.name, plan.Kind, r, p)
+			}
+			if v != planVal(p) {
+				t.Fatalf("%s/%s: rank %d wrong value at %v", c.name, plan.Kind, r, p)
+			}
+			n++
+			return true
+		})
+		if n != len(got[r]) {
+			t.Fatalf("%s/%s: rank %d got %d deliveries for %d owned points", c.name, plan.Kind, r, len(got[r]), n)
+		}
+	}
+}
+
+// TestPlanCandidatesBitIdentical simulates every candidate decomposition
+// for every crossing at several budgets: whatever the planner could pick,
+// the moved element set must equal the direct alltoallv's exactly.
+func TestPlanCandidatesBitIdentical(t *testing.T) {
+	for _, c := range planCrossings(t) {
+		seen := map[string]bool{}
+		// Budgets chosen to materialize different chunk counts (chunked
+		// candidates only exist when panel stepping is needed to fit).
+		for _, budget := range []int64{0, 1 << 20, 512, 64, 16} {
+			for _, plan := range redist.Candidates(c.oldD, c.newD, c.np, redist.PlanOptions{MemBudget: budget}) {
+				if seen[plan.Kind] {
+					continue
+				}
+				seen[plan.Kind] = true
+				t.Run(fmt.Sprintf("%s/%s", c.name, plan.Kind), func(t *testing.T) {
+					simulatePlan(t, c, plan)
+				})
+			}
+		}
+	}
+}
+
+// TestPlanEstimatesConsistent checks the candidate cost bookkeeping:
+// pairwise and chunked move exactly the direct plan's bytes; nothing
+// beats direct on messages except allgather; plan totals equal the sums
+// of their steps.
+func TestPlanEstimatesConsistent(t *testing.T) {
+	for _, c := range planCrossings(t) {
+		cands := redist.Candidates(c.oldD, c.newD, c.np, redist.PlanOptions{MemBudget: 64})
+		var direct *redist.Plan
+		for _, p := range cands {
+			if p.Kind == "direct" {
+				direct = p
+			}
+		}
+		if direct == nil {
+			t.Fatalf("%s: no direct candidate", c.name)
+		}
+		// Direct's totals must equal the schedule-level sums the legacy
+		// executor produces.
+		var wantMsgs, wantBytes int64
+		for r := 0; r < c.np; r++ {
+			s := redist.Build(c.oldD, c.newD, r, c.np)
+			wantMsgs += int64(s.RemoteSendCount())
+			wantBytes += int64(s.SendBytes())
+		}
+		if direct.Msgs != wantMsgs || direct.Bytes != wantBytes {
+			t.Fatalf("%s: direct plan %d msgs/%d bytes, schedules say %d/%d",
+				c.name, direct.Msgs, direct.Bytes, wantMsgs, wantBytes)
+		}
+		for _, p := range cands {
+			var stepPeak, stepMsgs, stepBytes int64
+			for _, s := range p.Steps {
+				if s.PeakBytes > stepPeak {
+					stepPeak = s.PeakBytes
+				}
+				stepMsgs += s.Msgs
+				stepBytes += s.Bytes
+			}
+			if stepPeak != p.PeakBytes || stepMsgs != p.Msgs || stepBytes != p.Bytes {
+				t.Errorf("%s/%s: plan totals (%d,%d,%d) != step sums (%d,%d,%d)",
+					c.name, p.Kind, p.PeakBytes, p.Msgs, p.Bytes, stepPeak, stepMsgs, stepBytes)
+			}
+			switch p.Kind {
+			case "pairwise":
+				if p.Bytes != direct.Bytes || p.Msgs != direct.Msgs {
+					t.Errorf("%s/pairwise: %d msgs/%d bytes, want direct's %d/%d",
+						c.name, p.Msgs, p.Bytes, direct.Msgs, direct.Bytes)
+				}
+				if p.PeakBytes > direct.PeakBytes {
+					t.Errorf("%s/pairwise: peak %d exceeds direct's %d", c.name, p.PeakBytes, direct.PeakBytes)
+				}
+			case "allgather":
+			default:
+				if p.Bytes != direct.Bytes {
+					t.Errorf("%s/%s: moves %d bytes, direct moves %d", c.name, p.Kind, p.Bytes, direct.Bytes)
+				}
+				if p.Msgs < direct.Msgs {
+					t.Errorf("%s/%s: %d msgs beat direct's %d without publishing", c.name, p.Kind, p.Msgs, direct.Msgs)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSelection pins the selection rule: no budget -> always direct;
+// a budget picks the lowest-peak/fewest-message feasible candidate; an
+// impossible budget is a typed, enforced error.
+func TestPlanSelection(t *testing.T) {
+	tg := ckpt.NewVirtualTarget(4)
+	dom := index.Dim(256)
+	oldD, err := dist.New(dist.NewType(dist.BlockDim()), dom, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newD, err := dist.New(dist.NewType(dist.CyclicDim(1)), dom, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := redist.PlanMove(oldD, newD, 4, redist.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Kind != "direct" || len(direct.Steps) != 1 {
+		t.Fatalf("no budget must select the direct plan, got %v", direct)
+	}
+
+	// A budget at the direct peak admits pairwise, which strictly lowers
+	// the peak at the same message count.
+	p, err := redist.PlanMove(oldD, newD, 4, redist.PlanOptions{MemBudget: direct.PeakBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakBytes > direct.PeakBytes || p.Msgs != direct.Msgs || p.Bytes != direct.Bytes {
+		t.Fatalf("budgeted plan %v worse than direct (peak %d msgs %d bytes %d)",
+			p, direct.PeakBytes, direct.Msgs, direct.Bytes)
+	}
+	if p.Budget != direct.PeakBytes {
+		t.Fatalf("plan does not echo its budget: %d", p.Budget)
+	}
+
+	// An eighth of the transfer forces panel chunking: still all the
+	// bytes, more messages, peak within budget.
+	small := direct.PeakBytes / 8
+	ch, err := redist.PlanMove(oldD, newD, 4, redist.PlanOptions{MemBudget: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.PeakBytes > small {
+		t.Fatalf("plan peak %d exceeds budget %d", ch.PeakBytes, small)
+	}
+	if ch.Bytes != direct.Bytes {
+		t.Fatalf("budgeted plan moves %d bytes, direct moves %d", ch.Bytes, direct.Bytes)
+	}
+	if len(ch.Steps) < 2 {
+		t.Fatalf("budget %d of peak %d should need multiple steps, got %v", small, direct.PeakBytes, ch)
+	}
+
+	// Impossible budget: typed error, no plan.
+	if _, err := redist.PlanMove(oldD, newD, 4, redist.PlanOptions{MemBudget: 1}); !errors.Is(err, redist.ErrNoPlan) {
+		t.Fatalf("budget 1 byte: got %v, want ErrNoPlan", err)
+	}
+}
+
+// TestPlanDeterministic: the plan is a pure function of its arguments —
+// the SPMD contract that lets every rank plan independently.
+func TestPlanDeterministic(t *testing.T) {
+	for _, c := range planCrossings(t) {
+		for _, budget := range []int64{0, 4096, 128} {
+			a, errA := redist.PlanMove(c.oldD, c.newD, c.np, redist.PlanOptions{MemBudget: budget})
+			b, errB := redist.PlanMove(c.oldD, c.newD, c.np, redist.PlanOptions{MemBudget: budget})
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s budget %d: nondeterministic error %v vs %v", c.name, budget, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if a.Kind != b.Kind || len(a.Steps) != len(b.Steps) || a.PeakBytes != b.PeakBytes ||
+				a.Msgs != b.Msgs || a.Bytes != b.Bytes {
+				t.Fatalf("%s budget %d: plans differ: %v vs %v", c.name, budget, a, b)
+			}
+		}
+	}
+}

@@ -100,34 +100,50 @@ func Build(oldD, newD *dist.Distribution, rank, np int) *Schedule {
 	return s
 }
 
-// cacheKey identifies a (old,new,rank) schedule structurally: SPMD ranks
-// build their own logically-equal Distribution objects, so fingerprints
-// rather than pointers key the cache.
+// cacheKey identifies a (old,new,rank,view) schedule structurally: SPMD
+// ranks build their own logically-equal Distribution objects, so
+// fingerprints rather than pointers key the cache.  np is part of the
+// key because the schedule enumerates peers 0..np-1: after a membership
+// Regroup shrinks the view, a schedule built for the wider epoch would
+// address ranks that no longer exist.
 type cacheKey struct {
 	oldFP string
 	newFP string
 	rank  int
+	np    int
 }
 
-// Cache memoizes schedules.  The VFE keeps redistribution schedules
-// around because phase-structured codes (ADI, PIC) alternate between the
-// same pair of distributions every iteration.
+// planKey identifies a selected Plan: plans are rank-independent (every
+// SPMD rank computes the same one), so only the distribution pair, the
+// view width and the budget distinguish them.  α/β are deliberately not
+// in the key — within one run they are fixed machine parameters.
+type planKey struct {
+	oldFP  string
+	newFP  string
+	np     int
+	budget int64
+}
+
+// Cache memoizes schedules and plans.  The VFE keeps redistribution
+// schedules around because phase-structured codes (ADI, PIC) alternate
+// between the same pair of distributions every iteration.
 type Cache struct {
 	mu sync.Mutex
 	m  map[cacheKey]*Schedule
+	p  map[planKey]*Plan
 
 	hits, misses int
 }
 
 // NewCache creates an empty schedule cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[cacheKey]*Schedule)}
+	return &Cache{m: make(map[cacheKey]*Schedule), p: make(map[planKey]*Plan)}
 }
 
 // Get returns the cached schedule or builds and caches it; hit reports
 // whether the schedule was served from the cache.
 func (c *Cache) Get(oldD, newD *dist.Distribution, rank, np int) (s *Schedule, hit bool) {
-	k := cacheKey{oldD.Fingerprint(), newD.Fingerprint(), rank}
+	k := cacheKey{oldD.Fingerprint(), newD.Fingerprint(), rank, np}
 	c.mu.Lock()
 	if s, ok := c.m[k]; ok {
 		c.hits++
@@ -141,6 +157,37 @@ func (c *Cache) Get(oldD, newD *dist.Distribution, rank, np int) (s *Schedule, h
 	c.m[k] = s
 	c.mu.Unlock()
 	return s, false
+}
+
+// GetPlan returns the cached plan for (oldD, newD, np, opt) or computes
+// and caches it.  Like Get, it is keyed structurally and safe to call
+// concurrently from every SPMD rank; all ranks of one view receive the
+// same *Plan, so the per-step sub-schedule memoization inside the plan is
+// shared too.
+func (c *Cache) GetPlan(oldD, newD *dist.Distribution, np int, opt PlanOptions) (*Plan, error) {
+	budget := opt.MemBudget
+	if budget < 0 {
+		budget = 0
+	}
+	k := planKey{oldD.Fingerprint(), newD.Fingerprint(), np, budget}
+	c.mu.Lock()
+	if p, ok := c.p[k]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	p, err := PlanMove(oldD, newD, np, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.p[k]; ok {
+		p = prev // another rank raced us; share its memoization
+	} else {
+		c.p[k] = p
+	}
+	c.mu.Unlock()
+	return p, nil
 }
 
 // Stats returns (hits, misses).

@@ -210,3 +210,81 @@ func TestCache(t *testing.T) {
 		t.Fatal("different key should build a different schedule")
 	}
 }
+
+func TestCacheKeyedOnView(t *testing.T) {
+	// Regression: a schedule built for one membership view must not be
+	// served on a shrunken view.  Both distributions fingerprint
+	// identically across the two Get calls — only np differs — and the
+	// np=4 schedule addresses rank 3, which no longer exists after a
+	// Regroup onto a 3-rank view.  The old cache key (oldFP, newFP, rank)
+	// returned the stale schedule as a hit.
+	tg := targets(t, 4)
+	dom := index.Dim(16)
+	oldD := dist.MustNew(dist.NewType(dist.BlockDim()), dom, tg)
+	newD := dist.MustNew(dist.NewType(dist.CyclicDim(1)), dom, tg)
+	c := NewCache()
+
+	wide, hit := c.Get(oldD, newD, 0, 4)
+	if hit {
+		t.Fatal("first build should miss")
+	}
+	peers := func(s *Schedule) map[int]bool {
+		out := map[int]bool{}
+		for _, tr := range s.Recvs {
+			out[tr.Peer] = true
+		}
+		return out
+	}
+	if !peers(wide)[3] {
+		t.Fatalf("np=4 schedule should receive from rank 3, got peers %v", peers(wide))
+	}
+
+	narrow, hit := c.Get(oldD, newD, 0, 3)
+	if hit {
+		t.Fatal("shrunken view must not be served the wider view's schedule")
+	}
+	if narrow == wide {
+		t.Fatal("np=3 schedule aliases the np=4 schedule")
+	}
+	if peers(narrow)[3] {
+		t.Fatalf("np=3 schedule addresses departed rank 3: %v", peers(narrow))
+	}
+
+	// Re-asking for either view is a hit on its own entry.
+	if s, hit := c.Get(oldD, newD, 0, 4); !hit || s != wide {
+		t.Fatal("np=4 entry lost")
+	}
+	if s, hit := c.Get(oldD, newD, 0, 3); !hit || s != narrow {
+		t.Fatal("np=3 entry lost")
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"4096", 4096, false},
+		{"4K", 4 << 10, false},
+		{"4k", 4 << 10, false},
+		{"2M", 2 << 20, false},
+		{"1G", 1 << 30, false},
+		{" 64K ", 64 << 10, false},
+		{"-1", 0, true},
+		{"x", 0, true},
+		{"4T", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBudget(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseBudget(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseBudget(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

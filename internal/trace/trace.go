@@ -51,6 +51,12 @@ const (
 	// CatCollective marks a collective operation (barrier, bcast,
 	// reduce, alltoallv, ...).
 	CatCollective = "collective"
+	// CatRedist marks redistribution planner/executor detail — the
+	// "redist:plan" span naming the chosen decomposition and one
+	// "redist:step[k]" span per bounded step.  Deliberately NOT
+	// attributable: the enclosing CatDistribute span keeps the whole
+	// DISTRIBUTE cost, and these nested spans only show the breakdown.
+	CatRedist = "redist"
 	// CatMsg marks point-to-point message instants ("send"/"recv").
 	CatMsg = "msg"
 )
