@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault check-recovery check-online check-redist soak bench bench-smoke bench-overlap bench-redist examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery check-online check-redist check-expand soak bench bench-smoke bench-overlap bench-redist bench-expand examples experiments analyze clean
 
 all: build check test
 
@@ -21,7 +21,7 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault check-recovery check-online check-redist bench-overlap bench-redist
+check: check-fault check-recovery check-online check-redist check-expand bench-overlap bench-redist
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
 
@@ -34,6 +34,16 @@ check: check-fault check-recovery check-online check-redist bench-overlap bench-
 check-redist:
 	$(GO) test -race -run 'TestPlan|TestRedistributeMemBudget|TestRedistributeUnboundedExactCounts|TestRedistributeBudgetInfeasible|TestCacheKeyedOnView|TestParseBudget|TestWireGauge|TestAlltoallvStream' \
 	  ./internal/redist ./internal/darray ./internal/msg
+
+# The elastic scale-OUT matrix: the join protocol (admit, reject-by-
+# timeout, a join racing a death, two deaths in one liveness window),
+# expand-restores onto more ranks, the epoch-headroom and budget-parse
+# overflow guards, physical-rank gauge attribution across epochs, the
+# grow/shrink policy arithmetic, and the end-to-end apps that admit a
+# joiner mid-run and finish bit-exact — all under the race detector.
+check-expand:
+	$(GO) test -race -run 'TestJoin|TestAdmit|TestRegroupTwoDead|TestExpand|TestRestoreOnto|TestFoldTagBoundary|TestParseBudgetOverflow|TestWireGaugeCrossEpoch|TestStepTime|TestRecommend|TestFromSummary|TestRedistCost' \
+	  ./internal/machine ./internal/ckpt ./internal/msg ./internal/redist ./internal/darray ./internal/scale ./internal/apps
 
 # The online-recovery matrix: membership-epoch regroup agreement,
 # epoch-folded tag views, typed epoch revocation, per-message CRC32C
@@ -96,6 +106,14 @@ bench-overlap:
 bench-redist:
 	$(GO) test -run '^$$' -bench 'BenchmarkRedistribute$$|BenchmarkRedistributeBudget' -benchtime 200x . \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+
+# Elastic scale-out: the mid-run join + expand-replay path timed next
+# to the same problem run statically at the grown size (the benchmark
+# asserts bit-exactness and admission on every run).  Results land in
+# BENCH_PR8.json for diffing.
+bench-expand:
+	$(GO) test -run '^$$' -bench 'BenchmarkExpandADI' -benchtime 5x . \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E4).
 experiments:

@@ -16,6 +16,7 @@ package vienna
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/dist"
@@ -239,6 +240,62 @@ func BenchmarkRedistributeBudget(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkExpandADI times elastic scale-OUT end to end: a 3-rank
+// dynamic ADI with one reserved joiner admits it at iteration boundary
+// 2, replays the checkpoint onto the grown 4-rank view, and finishes
+// bit-exact ("elastic"), next to the same problem run on 4 ranks from
+// the start ("static4") — the price of growing mid-run versus having
+// the capacity up front.
+func BenchmarkExpandADI(b *testing.B) {
+	base := apps.ADIConfig{
+		NX: 32, NY: 32, Iters: 6, Mode: apps.ADIDynamic, Validate: true,
+		Alpha: benchAlpha, Beta: benchBeta,
+	}
+	b.Run("elastic/N32/P3+1", func(b *testing.B) {
+		var last apps.ADIResult
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.P = 3
+			cfg.CkptDir, cfg.CkptEvery = b.TempDir(), 1
+			cfg.CommTimeout, cfg.CommRetries = 150*time.Millisecond, 2
+			cfg.Liveness = &machine.LivenessConfig{}
+			cfg.Join, cfg.Elastic, cfg.JoinAfterIter = 1, true, 2
+			res, err := apps.RunADI(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.FinalEpoch < 1 {
+				b.Fatal("joiner never admitted")
+			}
+			if res.MaxErr != 0 {
+				b.Fatalf("MaxErr = %g after expansion, want exactly 0", res.MaxErr)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Msgs), "msgs/run")
+		b.ReportMetric(float64(last.Bytes), "bytes/run")
+		b.ReportMetric(float64(last.PeakWireBytes), "peakwire")
+	})
+	b.Run("static4/N32/P4", func(b *testing.B) {
+		var last apps.ADIResult
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.P = 4
+			res, err := apps.RunADI(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.MaxErr != 0 {
+				b.Fatalf("MaxErr = %g, want exactly 0", res.MaxErr)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Msgs), "msgs/run")
+		b.ReportMetric(float64(last.Bytes), "bytes/run")
+		b.ReportMetric(float64(last.PeakWireBytes), "peakwire")
+	})
 }
 
 func BenchmarkPointToPoint(b *testing.B) {

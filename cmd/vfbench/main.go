@@ -6,6 +6,7 @@
 //	vfbench -exp pic        Figure 2 / claim C3
 //	vfbench -exp smoothing  §4 claim C1 (N/p crossover)
 //	vfbench -exp redist     §4 claim C4 (DISTRIBUTE cost, amortization)
+//	vfbench -exp expand     elastic scale-out (rank join + grow policy)
 //	vfbench -exp all        everything
 package main
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/machine"
 	"repro/internal/redist"
+	"repro/internal/scale"
 	"repro/internal/trace"
 )
 
@@ -40,6 +42,8 @@ var (
 	onlineRec   = flag.Bool("online-recover", false, "recover from a mid-run rank loss in-process: survivors regroup onto the next membership epoch and replay the last committed checkpoint (ADI runs; requires -ckpt-dir)")
 	deadline    = flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
 	redistBgt   = flag.String("redist-budget", "", "bound each redistribution's peak resident wire bytes per rank in -exp redist, e.g. 64K, 2M (empty/0 = unbounded)")
+	elastic     = flag.Int("elastic", 0, "reserve N joiner ranks in the ADI runs and admit them at the first elastic iteration boundary (requires -ckpt-dir; see -exp expand for the full demo)")
+	joinAfter   = flag.Int("join-after", 2, "first iteration boundary at which elastic runs poll for pending joiners (with -elastic / -exp expand)")
 
 	// Deprecated aliases, kept so existing invocations stay valid.
 	faultTimeout = flag.Duration("fault-timeout", 0, "deprecated alias for -comm-timeout")
@@ -63,7 +67,7 @@ func armDeadline(d time.Duration) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: adi|pic|smoothing|redist|recover|online-recover|all")
+	exp := flag.String("exp", "all", "experiment: adi|pic|smoothing|redist|recover|online-recover|expand|all")
 	flag.Parse()
 	armDeadline(*deadline)
 	if *commTimeout == 0 {
@@ -85,6 +89,8 @@ func main() {
 		runRecover()
 	case "online-recover":
 		runOnlineRecover()
+	case "expand":
+		runExpand()
 	case "all":
 		runSmoothing()
 		runADI()
@@ -103,6 +109,12 @@ func runADI() {
 	fmt.Printf("\n== E1: ADI (paper Figure 1, claim C2) — alpha=%.0e beta=%.0e ==\n", *alpha, *beta)
 	fmt.Println("Dynamic confines all communication to DISTRIBUTE; the static distribution")
 	fmt.Println("pays pipelined solver communication inside one sweep every iteration.")
+	if *elastic > 0 {
+		if *ckptDir == "" {
+			log.Fatal("-elastic requires -ckpt-dir")
+		}
+		fmt.Printf("elastic: %d reserved joiner(s) admitted from iteration boundary %d\n", *elastic, *joinAfter)
+	}
 	w := tab()
 	fmt.Fprintln(w, "N\tP\tstrategy\tdata msgs\tbytes\tsweep msgs\tredist msgs\tmodel(ms)\twall(ms)\tmax|err|")
 	sizes := []int{128, 256}
@@ -121,16 +133,28 @@ func runADI() {
 					CkptDir: *ckptDir, CkptEvery: *ckptEvery, Recover: *recoverRun,
 					OnlineRecover: *onlineRec,
 				}
-				if *onlineRec && cfg.Liveness == nil {
+				if (*onlineRec || *elastic > 0) && cfg.Liveness == nil {
 					cfg.Liveness = &machine.LivenessConfig{}
 				}
+				if *elastic > 0 {
+					cfg.Join, cfg.Elastic, cfg.JoinAfterIter = *elastic, true, *joinAfter
+					if cfg.CommTimeout == 0 {
+						cfg.CommTimeout = 150 * time.Millisecond
+					}
+					if cfg.CommRetries == 0 {
+						cfg.CommRetries = 2
+					}
+				}
 				if *traceFile != "" && mode == apps.ADIDynamic && tr == nil {
-					tr = trace.New(p)
+					tr = trace.New(p + *elastic)
 					cfg.Tracer = tr
 				}
 				res, err := apps.RunADI(cfg)
 				if err != nil {
 					log.Fatal(err)
+				}
+				if cfg.Elastic && res.FinalEpoch < 1 {
+					log.Fatalf("elastic ADI run finished on epoch %d: the joiner was never admitted", res.FinalEpoch)
 				}
 				fmt.Fprintf(w, "%d\t%d\t%v\t%d\t%d\t%d\t%d\t%.2f\t%.1f\t%.1e\n",
 					n, p, mode, res.Msgs, res.Bytes, res.SweepMsgs, res.RedistMsgs,
@@ -400,6 +424,136 @@ func runOnlineRecover() {
 		log.Fatalf("survivor result deviates from the serial reference (want bit-for-bit 0)")
 	}
 	fmt.Println("  survivors' result matches the fault-free reference bit for bit")
+}
+
+// runExpand demonstrates elastic scale-OUT end to end on all three
+// applications: a reserved rank parks in AwaitJoin, the active members
+// agree at an iteration boundary, checkpoint, admit it onto membership
+// epoch 1, and replay onto the grown view — finishing bit-exact (ADI),
+// within float tolerance (smoothing), and particle-conserving (PIC).
+// The measured ADI trace then feeds the cost-driven grow policy
+// (internal/scale), printing whether the join would have been
+// recommended on cost grounds alone.
+func runExpand() {
+	budget, err := redist.ParseBudget(*redistBgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== E7: elastic scale-out (rank join, expand-recovery, grow policy) ==\n")
+	n, iters, p, join := 32, 8, 3, 1
+	if *quick {
+		n, iters = 24, 6
+	}
+	dir := *ckptDir
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "vfckpt-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	to, retries := *commTimeout, *commRetries
+	if to == 0 {
+		to = 150 * time.Millisecond
+	}
+	if retries == 0 {
+		retries = 2
+	}
+
+	fmt.Printf("ADI %dx%d, %d iters on %d ranks + %d reserved joiner, ckpt every iter, join polled from boundary %d\n",
+		n, n, iters, p, join, *joinAfter)
+	tr := trace.New(p + join)
+	cfg := apps.ADIConfig{
+		NX: n, NY: n, Iters: iters, P: p, Mode: apps.ADIDynamic, Validate: true,
+		Alpha: *alpha, Beta: *beta, Tracer: tr,
+		CkptDir: dir, CkptEvery: *ckptEvery,
+		Fault: *faultSpec, CommTimeout: to, CommRetries: retries,
+		Liveness:      &machine.LivenessConfig{},
+		OnlineRecover: *faultSpec != "",
+		Join:          join,
+		Elastic:       true,
+		JoinAfterIter: *joinAfter,
+		MemBudget:     budget,
+	}
+	res, err := apps.RunADI(cfg)
+	if err != nil {
+		log.Fatalf("elastic ADI run: %v", err)
+	}
+	if res.FinalEpoch < 1 {
+		log.Fatalf("run finished on epoch %d: the joiner was never admitted", res.FinalEpoch)
+	}
+	fmt.Printf("  joiner admitted; members %v now run membership epoch %d on %d ranks\n",
+		res.Survivors, res.FinalEpoch, len(res.Survivors))
+	fmt.Printf("  replayed checkpointed iteration %d onto the grown view, ran to %d\n", res.ResumedIter, iters)
+	fmt.Printf("  max|err| vs fault-free serial reference = %g\n", res.MaxErr)
+	if res.MaxErr != 0 {
+		log.Fatal("grown-view result deviates from the serial reference (want bit-for-bit 0)")
+	}
+	fmt.Println("  grown view's result matches the fault-free reference bit for bit")
+	if budget > 0 {
+		fmt.Printf("  peak resident wire bytes %d (budget %d)\n", res.PeakWireBytes, budget)
+		if res.PeakWireBytes > budget {
+			log.Fatalf("expand redistribution broke the -redist-budget: %d > %d", res.PeakWireBytes, budget)
+		}
+	}
+
+	// The grow policy, fed by the run's own measurements: would the
+	// cost model have recommended admitting the joiner?
+	sum := tr.Summarize()
+	if st, ok := sum.Phase("iterate"); ok && st.Count > 0 {
+		ps, _ := scale.FromSummary(sum, "iterate", st.Count, p, *alpha, *beta)
+		adv := scale.Recommend(scale.Params{
+			NP: p, NPNew: p + join,
+			StepsLeft: iters - *joinAfter,
+			Step:      ps,
+			Redist:    scale.RedistCost(sum),
+		})
+		fmt.Printf("  grow policy (%d ranks -> %d, %d steps left at the boundary): %s\n",
+			p, p+join, iters-*joinAfter, adv)
+	}
+
+	fmt.Printf("\nsmoothing %dx%d, %d steps on %d+%d ranks (columns)\n", n, n, iters, p, join)
+	sres, err := apps.RunSmoothing(apps.SmoothConfig{
+		N: n, Steps: iters, P: p, Mode: apps.SmoothColumns, Validate: true,
+		CkptDir: dir, CkptEvery: *ckptEvery,
+		CommTimeout: to, CommRetries: retries,
+		Liveness:      &machine.LivenessConfig{},
+		Join:          join,
+		Elastic:       true,
+		JoinAfterIter: *joinAfter,
+	})
+	if err != nil {
+		log.Fatalf("elastic smoothing run: %v", err)
+	}
+	if sres.FinalEpoch < 1 {
+		log.Fatal("smoothing joiner was never admitted")
+	}
+	fmt.Printf("  grown to epoch %d; max|err| vs serial reference = %.2e\n", sres.FinalEpoch, sres.MaxErr)
+	if sres.MaxErr > 1e-12 {
+		log.Fatalf("smoothing deviates after expansion (%.3e > 1e-12)", sres.MaxErr)
+	}
+
+	fmt.Printf("\nPIC %d cells, %d steps on %d+%d ranks, B_BLOCK rebalance every 2\n", n, iters, p, join)
+	pres, err := apps.RunPIC(apps.PICConfig{
+		NCell: n, Steps: iters, P: p, Rebalance: true, RebalanceEvery: 2, InitPerCell: 16,
+		CkptDir: dir, CkptEvery: *ckptEvery,
+		CommTimeout: to, CommRetries: retries,
+		Liveness:      &machine.LivenessConfig{},
+		Join:          join,
+		Elastic:       true,
+		JoinAfterIter: *joinAfter,
+	})
+	if err != nil {
+		log.Fatalf("elastic PIC run: %v", err)
+	}
+	if pres.FinalEpoch < 1 {
+		log.Fatal("PIC joiner was never admitted")
+	}
+	fmt.Printf("  grown to epoch %d; particles %v -> %v across the membership change\n",
+		pres.FinalEpoch, pres.ParticlesStart, pres.ParticlesEnd)
+	if pres.ParticlesEnd != pres.ParticlesStart {
+		log.Fatal("particle conservation violated across the expansion")
+	}
+	fmt.Println("\nall three applications grew onto the admitted rank and finished correct")
 }
 
 func runRedist() {

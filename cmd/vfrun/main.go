@@ -28,6 +28,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/msg"
 	"repro/internal/redist"
+	"repro/internal/scale"
 	"repro/internal/sem"
 	"repro/internal/trace"
 )
@@ -46,6 +47,7 @@ func main() {
 	onlineRec := flag.Bool("online-recover", false, "recover from a mid-run rank loss in-process: survivors regroup onto the next membership epoch and replay the last committed checkpoint (requires -ckpt-dir)")
 	deadline := flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
 	redistBudget := flag.String("redist-budget", "", "bound each DISTRIBUTE's peak resident wire bytes per rank, e.g. 64K, 2M (empty/0 = unbounded)")
+	elastic := flag.Bool("elastic", false, "after the run, print the cost-driven grow/shrink advice for P±1 ranks from the run's measured trace (see internal/scale)")
 	flag.Parse()
 	armDeadline(*deadline)
 	budget, err := redist.ParseBudget(*redistBudget)
@@ -120,7 +122,7 @@ ENDDO
 	var mopts []machine.Option
 	var topts []msg.Option
 	var tr *trace.Tracer
-	if *traceFile != "" {
+	if *traceFile != "" || *elastic {
 		tr = trace.New(*np)
 		mopts = append(mopts, machine.WithTrace(tr))
 		topts = append(topts, msg.WithTracer(tr))
@@ -174,6 +176,7 @@ ENDDO
 	}
 	var arrays []arrInfo
 	var scalars map[string]float64
+	start := time.Now()
 	if err := m.Run(func(ctx *machine.Ctx) error {
 		// With -online-recover, a body error means a rank was lost: the
 		// survivors regroup onto the next membership epoch, share a fresh
@@ -233,6 +236,7 @@ ENDDO
 	}); err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
+	wall := time.Since(start)
 
 	fmt.Printf("== %s on %d processors ==\n", name, *np)
 	fmt.Println("arrays:")
@@ -255,12 +259,50 @@ ENDDO
 	}
 	sn := m.Stats().Snapshot()
 	fmt.Printf("traffic: %d data messages, %d bytes\n", sn.TotalDataMsgs(), sn.TotalBytes())
-	if tr != nil {
+	if *elastic {
+		printScaleAdvice(tr.Summarize(), *np, wall)
+	}
+	if tr != nil && *traceFile != "" {
 		if err := tr.WriteJSONFile(*traceFile); err != nil {
 			log.Fatalf("writing trace: %v", err)
 		}
 		fmt.Printf("\ntrace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
 		fmt.Print(tr.Summarize().String())
+	}
+}
+
+// printScaleAdvice feeds the run's own measurements to the cost-driven
+// grow/shrink policy (internal/scale): each executed DISTRIBUTE marks a
+// computational phase boundary, so the program's phase count is the
+// policy horizon, the trace's per-phase DISTRIBUTE cost is the one-time
+// resize price, and the α/β-modeled share of the traffic is the
+// np-invariant communication component.
+func printScaleAdvice(sum *trace.Summary, np int, wall time.Duration) {
+	const alpha, beta = 1e-4, 1e-8 // modeled machine, as in vfbench defaults
+	steps := 0
+	for _, p := range sum.Phases {
+		if p.Cat == trace.CatDistribute {
+			steps += p.Count
+		}
+	}
+	if steps == 0 {
+		steps = 1
+	}
+	comm := (alpha*float64(sum.TotalMsgs) + beta*float64(sum.TotalBytes)) / float64(np)
+	compute := wall.Seconds() - comm
+	if compute < 0 {
+		compute = 0
+	}
+	inv := 1 / float64(steps)
+	ps := scale.PerStep{Compute: compute * inv, Comm: comm * inv}
+	rc := scale.RedistCost(sum)
+	fmt.Printf("elastic advice (%d phases, modeled alpha=%.0e beta=%.0e):\n", steps, alpha, beta)
+	for _, npNew := range []int{np + 1, np - 1} {
+		if npNew < 1 {
+			continue
+		}
+		adv := scale.Recommend(scale.Params{NP: np, NPNew: npNew, StepsLeft: steps, Step: ps, Redist: rc})
+		fmt.Printf("  %d -> %d ranks: %s\n", np, npNew, adv)
 	}
 }
 

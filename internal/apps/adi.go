@@ -108,6 +108,22 @@ type ADIConfig struct {
 	// silent payload corruption into the named msg.ErrIntegrity
 	// transport error.  Implied when Fault has a corrupt/bitflip rule.
 	Integrity bool
+	// Join reserves this many extra ranks beyond P; they park in
+	// AwaitJoin and are admitted mid-run when Elastic is set (see
+	// machine.WithReserve).  Requires Liveness and a CommTimeout.
+	Join int
+	// Elastic lets the active members poll for pending joiners at every
+	// iteration boundary at or after JoinAfterIter; on a hit they
+	// checkpoint, admit the joiner into the next membership epoch, and
+	// replay onto the grown view.  Requires CkptDir and Join > 0.
+	Elastic bool
+	// JoinAfterIter is the first iteration boundary at which the members
+	// poll for joiners (0 = poll from the first).
+	JoinAfterIter int
+	// MemBudget bounds each rank's peak resident wire bytes during
+	// redistributions (Engine.SetMemBudget), surviving every recovery
+	// and expansion transition.  <= 0 means unbounded.
+	MemBudget int64
 }
 
 // ADIResult reports an ADI run.
@@ -135,6 +151,10 @@ type ADIResult struct {
 	// FinalEpoch is the membership epoch the run completed on: 0 for a
 	// failure-free run, >0 after in-process online recovery.
 	FinalEpoch int
+	// PeakWireBytes is the highest per-rank resident wire-buffer
+	// residency any redistribution reached — the quantity MemBudget
+	// bounds.
+	PeakWireBytes int64
 }
 
 const (
@@ -154,14 +174,20 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	if cfg.FlopTime == 0 {
 		cfg.FlopTime = 2e-9
 	}
-	if cfg.NX < cfg.P || cfg.NY < cfg.P {
-		return ADIResult{}, fmt.Errorf("apps: ADI needs NX,NY >= P (%dx%d on %d)", cfg.NX, cfg.NY, cfg.P)
+	// Reserved joiners share the cost model, transport, and detector, so
+	// every physical-rank-indexed structure is sized to the capacity.
+	total := cfg.P + cfg.Join
+	if cfg.NX < total || cfg.NY < total {
+		return ADIResult{}, fmt.Errorf("apps: ADI needs NX,NY >= P+Join (%dx%d on %d)", cfg.NX, cfg.NY, total)
+	}
+	if cfg.Elastic && (cfg.Join <= 0 || cfg.CkptDir == "") {
+		return ADIResult{}, fmt.Errorf("apps: Elastic requires Join > 0 and a CkptDir")
 	}
 	var mopts []machine.Option
 	var cm *msg.CostModel
 	var topts []msg.Option
 	if cfg.Alpha != 0 || cfg.Beta != 0 {
-		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
+		cm = msg.NewCostModel(total, cfg.Alpha, cfg.Beta)
 		mopts = append(mopts, machine.WithCostModel(cm))
 		topts = append(topts, msg.WithCost(cm))
 	}
@@ -169,7 +195,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
 		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
-	base, err := assembleTransport(cfg.P, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
+	base, err := assembleTransport(total, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
 	if err != nil {
 		return ADIResult{Mode: cfg.Mode}, err
 	}
@@ -188,9 +214,13 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	if cfg.CkptDir != "" && cfg.CkptEvery <= 0 {
 		cfg.CkptEvery = 1
 	}
+	if cfg.Join > 0 {
+		mopts = append(mopts, machine.WithReserve(cfg.Join))
+	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
 	e := core.NewEngine(m)
+	e.SetMemBudget(cfg.MemBudget)
 	res := ADIResult{Mode: cfg.Mode, ResumedIter: -1}
 
 	dom := index.Dim(cfg.NX, cfg.NY)
@@ -342,6 +372,22 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 						nEpochs++
 					}
 				}
+				// Elastic scale-out: every member takes the same agreed
+				// poll at the iteration boundary; on a pending joiner the
+				// body checkpoints here and bails out so the recovery
+				// driver can Admit it and replay onto the grown view.
+				if cfg.Elastic && it+1 >= cfg.JoinAfterIter && it+1 < cfg.Iters {
+					grow, gerr := ctx.PollJoin()
+					if gerr != nil {
+						return gerr
+					}
+					if grow {
+						if _, err := eng.CheckpointIter(ctx, cfg.CkptDir, it); err != nil {
+							return err
+						}
+						return errGrow
+					}
+				}
 			}
 			ctx.PhaseEnd("iterate")
 
@@ -377,7 +423,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 			}
 			return nil
 		}
-		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), body)
+		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), cfg.MemBudget, body)
 	})
 	res.Survivors = m.Survivors()
 	if err != nil {
@@ -389,6 +435,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	res.FinalEpoch = finalEpoch
 	sn := m.Stats().Snapshot()
 	res.Msgs, res.Bytes = sn.TotalDataMsgs(), sn.TotalBytes()
+	res.PeakWireBytes = m.Stats().PeakWireBytes()
 	res.SweepMsgs, res.RedistMsgs, res.RedistBytes = sweepMsgs, redistMsgs, redistBytes
 	if cm != nil {
 		res.ModelTime = cm.Makespan()

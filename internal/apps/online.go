@@ -43,31 +43,75 @@ func assembleTransport(p int, useTCP bool, fault string, integrity bool, topts [
 	return base, nil
 }
 
-// runWithOnlineRecovery drives an app body under the in-process failure
-// recovery policy.  body declares its arrays on eng and runs the
-// iteration loop; online reports whether this attempt must replay the
-// last committed checkpoint (Engine.Recover) instead of filling initial
-// values.  On a body error with recovery enabled, the survivors Regroup
-// onto the next membership epoch, share a fresh engine (the old one's
-// arrays are bound to the revoked epoch's numbering), and re-enter the
-// body.  The rank excluded by the regroup — and any rank that exhausts
-// maxAttempts — returns its error to Machine.Run, which treats
-// ErrExcluded as a non-fatal exit.
+// errGrow is the sentinel an app body returns after checkpointing when
+// PollJoin reported a reserved rank waiting: the members leave the body
+// at a common iteration boundary, Admit the joiner into epoch e+1, and
+// re-enter the body in recovery mode so the checkpoint replays onto the
+// grown view.
+var errGrow = errors.New("apps: grow onto pending joiner")
+
+// runWithOnlineRecovery drives an app body under the in-process
+// elasticity policy — both directions of it.  body declares its arrays
+// on eng and runs the iteration loop; online reports whether this
+// attempt must replay the last committed checkpoint (Engine.Recover)
+// instead of filling initial values.
+//
+// Scale-in: on a body error with recovery enabled, the survivors
+// Regroup onto the next membership epoch, share a fresh engine (the old
+// one's arrays are bound to the revoked epoch's numbering), and
+// re-enter the body.  The rank excluded by the regroup — and any rank
+// that exhausts maxAttempts — returns its error to Machine.Run, which
+// treats ErrExcluded as a non-fatal exit.
+//
+// Scale-out: a reserved rank (machine.WithReserve) parks in AwaitJoin
+// until the members admit it; a body that returns errGrow (after
+// checkpointing) triggers that admission, and members and joiner alike
+// re-enter the body on a fresh engine spanning the grown view.  A
+// joiner that is never admitted returns ErrNeverJoined, also a
+// non-fatal exit.
+//
+// memBudget is re-installed (Engine.SetMemBudget) on every fresh engine
+// a transition creates, so post-transition redistributions keep the
+// run's planner bound; <= 0 means unbounded.
 func runWithOnlineRecovery(ctx *machine.Ctx, m *machine.Machine, eng *core.Engine,
-	enabled bool, maxAttempts int, body func(eng *core.Engine, online bool) error) error {
+	enabled bool, maxAttempts int, memBudget int64,
+	body func(eng *core.Engine, online bool) error) error {
+	freshEngine := func() *core.Engine {
+		e := ctx.CollectiveOnce(func() any { return core.NewEngine(m) }).(*core.Engine)
+		e.SetMemBudget(memBudget)
+		return e
+	}
 	online := false
+	if ctx.Reserved() {
+		// Joiner arm: park until admitted, then build the grown epoch's
+		// engine together with the members (the CollectiveOnce pairs with
+		// theirs — both sides enter the new epoch with a fresh collective
+		// sequence) and replay the checkpoint like any recovery attempt.
+		if err := ctx.AwaitJoin(); err != nil {
+			return err
+		}
+		eng = freshEngine()
+		online = true
+	}
 	for attempt := 0; ; attempt++ {
 		err := body(eng, online)
-		if err == nil || !enabled {
+		switch {
+		case errors.Is(err, errGrow):
+			// The body checkpointed and bailed out at an agreed iteration
+			// boundary: admit every pending joiner into epoch e+1.
+			if rerr := ctx.Admit(); rerr != nil {
+				return rerr
+			}
+		case err == nil || !enabled:
 			return err
-		}
-		if errors.Is(err, machine.ErrExcluded) || attempt+1 >= maxAttempts {
+		case errors.Is(err, machine.ErrExcluded) || attempt+1 >= maxAttempts:
 			return err
+		default:
+			if rerr := ctx.Regroup(); rerr != nil {
+				return rerr
+			}
 		}
-		if rerr := ctx.Regroup(); rerr != nil {
-			return rerr
-		}
-		eng = ctx.CollectiveOnce(func() any { return core.NewEngine(m) }).(*core.Engine)
+		eng = freshEngine()
 		online = true
 	}
 }

@@ -69,6 +69,19 @@ type PICConfig struct {
 	// Integrity appends a CRC32C trailer to every wire message; implied
 	// when Fault has a corrupt/bitflip rule.
 	Integrity bool
+	// Join reserves this many extra ranks beyond P; they park in
+	// AwaitJoin and are admitted mid-run when Elastic is set.
+	Join int
+	// Elastic polls for pending joiners at step boundaries at or after
+	// JoinAfterIter; on a hit the members checkpoint, admit the joiner,
+	// and replay onto the grown view (the next rebalance then spreads
+	// B_BLOCK bounds over it).  Requires CkptDir and Join > 0.
+	Elastic bool
+	// JoinAfterIter is the first step boundary at which members poll.
+	JoinAfterIter int
+	// MemBudget bounds each rank's peak resident wire bytes during
+	// redistributions; <= 0 means unbounded.
+	MemBudget int64
 }
 
 // PICResult reports a PIC run.
@@ -126,18 +139,22 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 	if cfg.FlopTime == 0 {
 		cfg.FlopTime = 2e-9
 	}
-	if cfg.NCell < cfg.P {
-		return PICResult{}, fmt.Errorf("apps: PIC needs NCell >= P")
+	capacity := cfg.P + cfg.Join
+	if cfg.NCell < capacity {
+		return PICResult{}, fmt.Errorf("apps: PIC needs NCell >= P+Join")
+	}
+	if cfg.Elastic && (cfg.Join <= 0 || cfg.CkptDir == "") {
+		return PICResult{}, fmt.Errorf("apps: Elastic requires Join > 0 and a CkptDir")
 	}
 	var mopts []machine.Option
 	var cm *msg.CostModel
 	var topts []msg.Option
 	if cfg.Alpha != 0 || cfg.Beta != 0 {
-		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
+		cm = msg.NewCostModel(capacity, cfg.Alpha, cfg.Beta)
 		mopts = append(mopts, machine.WithCostModel(cm))
 		topts = append(topts, msg.WithCost(cm))
 	}
-	base, err := assembleTransport(cfg.P, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
+	base, err := assembleTransport(capacity, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
 	if err != nil {
 		return PICResult{Rebalance: cfg.Rebalance}, err
 	}
@@ -153,9 +170,13 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 	if cfg.Liveness != nil {
 		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
 	}
+	if cfg.Join > 0 {
+		mopts = append(mopts, machine.WithReserve(cfg.Join))
+	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
 	e := core.NewEngine(m)
+	e.SetMemBudget(cfg.MemBudget)
 	res := PICResult{Rebalance: cfg.Rebalance, ImbalanceSeries: make([]float64, cfg.Steps)}
 
 	dom := index.Dim(cfg.NCell)
@@ -305,6 +326,20 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 						return err
 					}
 				}
+				// Elastic scale-out: agreed joiner poll at the step
+				// boundary; checkpoint and bail so the driver can Admit.
+				if cfg.Elastic && k >= cfg.JoinAfterIter && k < cfg.Steps {
+					grow, gerr := ctx.PollJoin()
+					if gerr != nil {
+						return gerr
+					}
+					if grow {
+						if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(k)}); err != nil {
+							return err
+						}
+						return errGrow
+					}
+				}
 			}
 
 			got, err := count.GatherTo(ctx, 0)
@@ -322,7 +357,7 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 			}
 			return nil
 		}
-		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), body)
+		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), cfg.MemBudget, body)
 	})
 	res.Survivors = m.Survivors()
 	if err != nil {

@@ -84,6 +84,18 @@ type SmoothConfig struct {
 	// Integrity appends a CRC32C trailer to every wire message; implied
 	// when Fault has a corrupt/bitflip rule.
 	Integrity bool
+	// Join reserves this many extra ranks beyond P; they park in
+	// AwaitJoin and are admitted mid-run when Elastic is set.
+	Join int
+	// Elastic polls for pending joiners at step boundaries at or after
+	// JoinAfterIter and grows the view onto them (SmoothColumns only,
+	// for the same reason as OnlineRecover).  Requires CkptDir, Join.
+	Elastic bool
+	// JoinAfterIter is the first step boundary at which members poll.
+	JoinAfterIter int
+	// MemBudget bounds each rank's peak resident wire bytes during
+	// redistributions; <= 0 means unbounded.
+	MemBudget int64
 }
 
 // SmoothResult reports a smoothing run.
@@ -117,14 +129,18 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	if cfg.Mode == SmoothBlock2D && q*q != cfg.P {
 		return res, fmt.Errorf("apps: 2-D smoothing needs a square processor count, got %d", cfg.P)
 	}
-	if cfg.N < cfg.P {
-		return res, fmt.Errorf("apps: smoothing needs N >= P")
+	total := cfg.P + cfg.Join
+	if cfg.N < total {
+		return res, fmt.Errorf("apps: smoothing needs N >= P+Join")
+	}
+	if cfg.Elastic && (cfg.Join <= 0 || cfg.CkptDir == "" || cfg.Mode != SmoothColumns) {
+		return res, fmt.Errorf("apps: Elastic smoothing requires Join > 0, a CkptDir, and SmoothColumns")
 	}
 	var mopts []machine.Option
 	var cm *msg.CostModel
 	var topts []msg.Option
 	if cfg.Alpha != 0 || cfg.Beta != 0 {
-		cm = msg.NewCostModel(cfg.P, cfg.Alpha, cfg.Beta)
+		cm = msg.NewCostModel(total, cfg.Alpha, cfg.Beta)
 		mopts = append(mopts, machine.WithCostModel(cm))
 		topts = append(topts, msg.WithCost(cm))
 	}
@@ -132,7 +148,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		mopts = append(mopts, machine.WithTrace(cfg.Tracer))
 		topts = append(topts, msg.WithTracer(cfg.Tracer))
 	}
-	base, err := assembleTransport(cfg.P, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
+	base, err := assembleTransport(total, cfg.UseTCP, cfg.Fault, cfg.Integrity, topts)
 	if err != nil {
 		return res, err
 	}
@@ -148,9 +164,13 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	if cfg.Liveness != nil {
 		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
 	}
+	if cfg.Join > 0 {
+		mopts = append(mopts, machine.WithReserve(cfg.Join))
+	}
 	m := machine.New(cfg.P, mopts...)
 	defer m.Close()
 	e := core.NewEngine(m)
+	e.SetMemBudget(cfg.MemBudget)
 
 	dom := index.Dim(cfg.N, cfg.N)
 	initial := func(p index.Point) float64 {
@@ -262,6 +282,20 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 						return err
 					}
 				}
+				// Elastic scale-out: agreed joiner poll at the step
+				// boundary; checkpoint and bail so the driver can Admit.
+				if cfg.Elastic && s+1 >= cfg.JoinAfterIter && s+1 < cfg.Steps {
+					grow, gerr := ctx.PollJoin()
+					if gerr != nil {
+						return gerr
+					}
+					if grow {
+						if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(s)}); err != nil {
+							return err
+						}
+						return errGrow
+					}
+				}
 			}
 			if cfg.Overlap {
 				if err := ctx.Barrier(); err != nil {
@@ -310,7 +344,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 			}
 			return nil
 		}
-		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), body)
+		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), cfg.MemBudget, body)
 	})
 	res.Survivors = m.Survivors()
 	if err != nil {

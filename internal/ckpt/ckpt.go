@@ -16,8 +16,9 @@
 // arrangement of the checkpointed size, intersects its ownership grids
 // with the live machine's, and unpacks exactly the spans each surviving
 // rank now owns — so a checkpoint taken on P ranks restores onto any
-// machine size (elastic shrink-recovery, in the spirit of Sudarsan &
-// Ribbens' redistribution for resizable computations).  On the same rank
+// machine size, fewer *or more* ranks (elastic shrink- and
+// expand-recovery, in the spirit of Sudarsan & Ribbens' redistribution
+// for resizable computations).  On the same rank
 // count the restore is a straight per-rank unpack of the recorded
 // payload: bit-identical.
 //
@@ -599,11 +600,15 @@ func Restore(ctx *machine.Ctx, dir string, arrays []*darray.Array) (*RestoreResu
 		oldD := old.d
 
 		// The destination distribution on the live machine: the recorded
-		// arrangement when it fits, a balanced re-factorization of the
-		// surviving ranks when it does not.
+		// arrangement when the sizes match exactly, a balanced
+		// re-factorization over all np ranks otherwise.  Both directions
+		// resize: a restore onto fewer ranks (shrink recovery) compacts
+		// the arrangement, and a restore onto more ranks (expand
+		// recovery after a join) spreads it so the new members own data
+		// instead of idling.
 		oldExt := am.Dist.TargetExtents
 		newExt := oldExt
-		if (virtualTarget{ext: oldExt}).Size() > np {
+		if (virtualTarget{ext: oldExt}).Size() != np {
 			newExt = balancedExtents(np, len(oldExt))
 		}
 		newMeta := am.Dist

@@ -149,13 +149,43 @@ func TestRoundTripAllKinds(t *testing.T) {
 	}
 }
 
-// TestRestoreOntoMoreRanks: growing is also allowed — the recorded
-// arrangement fits, so the descriptor replays exactly and the extra
-// ranks hold no data (or fresh blocks, depending on kind).
+// TestRestoreOntoMoreRanks: expand-recovery — a checkpoint saved on
+// fewer ranks re-factors onto the larger machine, so every rank of the
+// grown view owns a share of the data (rather than replaying the old
+// arrangement and leaving the new ranks empty).
 func TestRestoreOntoMoreRanks(t *testing.T) {
+	for _, kind := range []string{"block", "cyclic", "bblock", "block2d"} {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			saveOn(t, 2, dir, kind, nil)
+			restoreOn(t, 4, dir, kind, true)
+		})
+	}
+
+	// The values survive bit-exactly (restoreOn checks); additionally the
+	// re-factored distribution must put data on the grown ranks.
 	dir := t.TempDir()
 	saveOn(t, 2, dir, "block", nil)
-	restoreOn(t, 4, dir, "block", true)
+	m := machine.New(4)
+	defer m.Close()
+	owned := make([]int, 4)
+	err := m.Run(func(ctx *machine.Ctx) error {
+		dom := domFor("block")
+		a := darray.NewUndistributed(ctx, "A", dom)
+		if _, err := Restore(ctx, dir, []*darray.Array{a}); err != nil {
+			return err
+		}
+		owned[ctx.Rank()] = a.Local(ctx).Count()
+		return ctx.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("restore on 4 ranks: %v", err)
+	}
+	for r, n := range owned {
+		if n == 0 {
+			t.Errorf("rank %d owns no data after expand-recovery (owned=%v)", r, owned)
+		}
+	}
 }
 
 // TestMetaRoundTrip: caller state stored at save time is visible to the

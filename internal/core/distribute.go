@@ -127,9 +127,8 @@ func (x Expr) evalFor(ctx *machine.Ctx, e *Engine, b *Array) (*dist.Distribution
 	return dist.New(typ, b.dom, tg)
 }
 
-// DistOption configures a DISTRIBUTE statement.  A bare *Array is also
-// accepted as an option and marks that array NOTRANSFER (the deprecated
-// positional form); new code should write core.NoTransfer(c1, c2, ...).
+// DistOption configures a DISTRIBUTE statement; mark arrays NOTRANSFER
+// with core.NoTransfer(c1, c2, ...).
 type DistOption interface {
 	applyDist(*distConfig)
 }
@@ -159,14 +158,6 @@ func NoTransfer(arrays ...*Array) DistOption {
 	return distOptionFunc(func(c *distConfig) {
 		c.noTransfer = append(c.noTransfer, arrays...)
 	})
-}
-
-// applyDist lets a bare *Array act as a DistOption marking itself
-// NOTRANSFER, keeping the pre-option call sites compiling.
-//
-// Deprecated: pass core.NoTransfer(a) instead.
-func (a *Array) applyDist(c *distConfig) {
-	c.noTransfer = append(c.noTransfer, a)
 }
 
 // Distribute executes

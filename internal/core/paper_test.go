@@ -263,10 +263,6 @@ func TestNoTransferAttribute(t *testing.T) {
 		if err := e.Distribute(ctx, []*Array{b}, DimsOf(dist.BlockDim()), NoTransfer(b)); err == nil {
 			t.Error("NOTRANSFER of the primary itself accepted")
 		}
-		// the deprecated positional form still compiles and behaves the same
-		if err := e.Distribute(ctx, []*Array{b}, DimsOf(dist.BlockDim()), b); err == nil {
-			t.Error("positional NOTRANSFER of the primary itself accepted")
-		}
 		return nil
 	})
 }

@@ -224,19 +224,22 @@ func (a *Array) Set(ctx *machine.Ctx, p index.Point, v float64) {
 }
 
 // accountRMA records the traffic and modeled cost of one simulated
-// one-sided element access (request + reply).
+// one-sided element access (request + reply).  owner is a view rank;
+// stats, trace, and cost slots are physical-rank indexed, so both ends
+// are translated before charging — otherwise a post-regroup access
+// would land in another (possibly dead) rank's slot.
 func (a *Array) accountRMA(ctx *machine.Ctx, owner int) {
-	rank := ctx.Rank()
+	rank, powner := ctx.PhysRank(), ctx.PhysOf(owner)
 	st := a.m.Stats()
-	st.OnSend(rank, owner, 16)
-	st.OnRecv(owner, rank, 16)
-	st.OnSend(owner, rank, 8)
-	st.OnRecv(rank, owner, 8)
+	st.OnSend(rank, powner, 16)
+	st.OnRecv(powner, rank, 16)
+	st.OnSend(powner, rank, 8)
+	st.OnRecv(rank, powner, 8)
 	tr := a.m.Tracer()
-	tr.Send(rank, owner, 16)
-	tr.Recv(owner, rank, 16)
-	tr.Send(owner, rank, 8)
-	tr.Recv(rank, owner, 8)
+	tr.Send(rank, powner, 16)
+	tr.Recv(powner, rank, 16)
+	tr.Send(powner, rank, 8)
+	tr.Recv(rank, powner, 8)
 	if cm := a.m.Cost(); cm != nil {
 		cm.Charge(rank, 2*cm.Alpha+cm.Beta*24)
 	}

@@ -75,7 +75,8 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 	}
 
 	tr := ctx.Tracer()
-	sp := tr.BeginSpan(rank, trace.CatDistribute, "DISTRIBUTE "+a.name)
+	prank := ctx.PhysRank() // trace timelines are physical-rank indexed
+	sp := tr.BeginSpan(prank, trace.CatDistribute, "DISTRIBUTE "+a.name)
 	defer sp.End()
 
 	newLocal := a.takeLocal(rank, newD)
@@ -104,14 +105,14 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 		// default path byte-, message-, and work-identical to the
 		// pre-planner execution (plan enumeration builds every rank's
 		// schedule, which matters on redistribute-heavy loops).
-		tr.Instant(rank, trace.CatDistribute, schedEv, -1, int64(sched.SendBytes()))
-		tr.Instant(rank, trace.CatRedist, "plan:direct", -1, -1)
+		tr.Instant(prank, trace.CatDistribute, schedEv, -1, int64(sched.SendBytes()))
+		tr.Instant(prank, trace.CatRedist, "plan:direct", -1, -1)
 		for _, t := range sched.Sends {
 			if t.Peer == rank {
 				copyGrid(newLocal, oldLocal, t.Grid)
 			}
 		}
-		ssp := tr.BeginSpan(rank, trace.CatRedist, "redist:step[0] direct")
+		ssp := tr.BeginSpan(prank, trace.CatRedist, "redist:step[0] direct")
 		err := a.stepDirect(ctx, sched, oldLocal, newLocal, a.m.Stats())
 		ssp.End()
 		if err != nil {
@@ -123,7 +124,7 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 		// fit the memory budget.  The plan is computed identically on
 		// every rank from the distributions alone (and cached), so no
 		// coordination is needed.
-		psp := tr.BeginSpan(rank, trace.CatRedist, "redist:plan")
+		psp := tr.BeginSpan(prank, trace.CatRedist, "redist:plan")
 		opt := redist.PlanOptions{MemBudget: cfg.memBudget}
 		if cm := a.m.Cost(); cm != nil {
 			opt.Alpha, opt.Beta = cm.Alpha, cm.Beta
@@ -136,8 +137,8 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 			a.retireLocal(rank, newD, newLocal)
 			return fmt.Errorf("darray: %s: redistribution planning: %w", a.name, perr)
 		}
-		tr.Instant(rank, trace.CatDistribute, schedEv, -1, int64(sched.SendBytes()))
-		tr.Instant(rank, trace.CatRedist, "plan:"+plan.Kind, -1, plan.PeakBytes)
+		tr.Instant(prank, trace.CatDistribute, schedEv, -1, int64(sched.SendBytes()))
+		tr.Instant(prank, trace.CatRedist, "plan:"+plan.Kind, -1, plan.PeakBytes)
 
 		// The self-transfer never touches the wire: copy it whole before
 		// the stepped exchange (still only into newLocal — two-phase
@@ -151,7 +152,7 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 		st := a.m.Stats()
 		for k := range plan.Steps {
 			step := &plan.Steps[k]
-			ssp := tr.BeginSpan(rank, trace.CatRedist, fmt.Sprintf("redist:step[%d] %s", k, step.Kind))
+			ssp := tr.BeginSpan(prank, trace.CatRedist, fmt.Sprintf("redist:step[%d] %s", k, step.Kind))
 			sub := plan.StepSchedule(sched, k)
 			var err error
 			switch step.Kind {
@@ -173,7 +174,7 @@ func (a *Array) RedistributeTo(ctx *machine.Ctx, newD *dist.Distribution, opts .
 
 	default:
 		// NOTRANSFER: keep whatever was already in place.
-		tr.Instant(rank, trace.CatDistribute, schedEv, -1, 0)
+		tr.Instant(prank, trace.CatDistribute, schedEv, -1, 0)
 		if keep := sched.LocalKeep; !keep.Empty() {
 			copyGrid(newLocal, oldLocal, keep)
 		}
@@ -250,6 +251,11 @@ func unpackGrid(l *Local, g index.Grid, vals []float64) {
 // so the planner's peak estimate is checkable against measurement.
 func (a *Array) stepDirect(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, newLocal *Local, st *msg.Stats) error {
 	rank, np := ctx.Rank(), ctx.NP()
+	// Stats slices are physical-rank indexed (sized to the transport);
+	// after a regroup/join the view rank diverges from the physical one,
+	// and charging the view rank would misattribute the gauge to another
+	// (possibly dead) rank's slot.
+	prank := ctx.PhysRank()
 	bufs := &a.bufs[rank]
 	send, recvFrom := bufs.alltoallScratch(np)
 	var packed int64
@@ -267,10 +273,10 @@ func (a *Array) stepDirect(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, n
 			recvFrom[t.Peer] = true
 		}
 	}
-	st.WireAcquire(rank, packed)
+	st.WireAcquire(prank, packed)
 	recvd, err := ctx.Comm().AlltoallvSched(send, recvFrom)
 	if err != nil {
-		st.WireRelease(rank, packed)
+		st.WireRelease(prank, packed)
 		return fmt.Errorf("exchange failed: %w", err)
 	}
 	var rb int64
@@ -279,8 +285,8 @@ func (a *Array) stepDirect(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, n
 			rb += int64(len(recvd[t.Peer]))
 		}
 	}
-	st.WireAcquire(rank, rb)
-	defer st.WireRelease(rank, packed+rb)
+	st.WireAcquire(prank, rb)
+	defer st.WireRelease(prank, packed+rb)
 	for _, t := range sched.Recvs {
 		if t.Peer == rank {
 			continue
@@ -303,6 +309,7 @@ func (a *Array) stepDirect(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, n
 // residency differs.
 func (a *Array) stepPairwise(ctx *machine.Ctx, sched *redist.Schedule, oldLocal, newLocal *Local, st *msg.Stats) error {
 	rank, np := ctx.Rank(), ctx.NP()
+	prank := ctx.PhysRank() // stats gauge slots are physical-rank indexed
 	bufs := &a.bufs[rank]
 	_, recvFrom := bufs.alltoallScratch(np)
 	sendT := make([]*redist.Transfer, np)
@@ -324,7 +331,7 @@ func (a *Array) stepPairwise(ctx *machine.Ctx, sched *redist.Schedule, oldLocal,
 			// The previous round's send buffer is reusable as soon as its
 			// Send returned (see msg.Endpoint); packing over it now ends
 			// its residency.
-			st.WireRelease(rank, resident)
+			st.WireRelease(prank, resident)
 			resident = 0
 		}
 		t := sendT[to]
@@ -334,7 +341,7 @@ func (a *Array) stepPairwise(ctx *machine.Ctx, sched *redist.Schedule, oldLocal,
 		buf := oldLocal.appendPacked(bufs.streamBuf(t.Count), t.Grid)
 		bufs.stream = buf
 		resident = int64(len(buf))
-		st.WireAcquire(rank, resident)
+		st.WireAcquire(prank, resident)
 		return buf, nil
 	}
 	consume := func(from int, data []byte) error {
@@ -343,14 +350,14 @@ func (a *Array) stepPairwise(ctx *machine.Ctx, sched *redist.Schedule, oldLocal,
 			return fmt.Errorf("unexpected payload from %d", from)
 		}
 		n := int64(len(data))
-		st.WireAcquire(rank, n)
+		st.WireAcquire(prank, n)
 		newLocal.unpackWire(t.Grid, data)
-		st.WireRelease(rank, n)
+		st.WireRelease(prank, n)
 		return nil
 	}
 	err := ctx.Comm().AlltoallvStream(pack, recvFrom, consume)
 	if resident > 0 {
-		st.WireRelease(rank, resident)
+		st.WireRelease(prank, resident)
 	}
 	if err != nil {
 		return fmt.Errorf("pairwise exchange failed: %w", err)
@@ -365,6 +372,7 @@ func (a *Array) stepPairwise(ctx *machine.Ctx, sched *redist.Schedule, oldLocal,
 // the alternatives on message count).
 func (a *Array) stepAllgather(ctx *machine.Ctx, oldD *dist.Distribution, sched *redist.Schedule, oldLocal, newLocal *Local, st *msg.Stats) error {
 	rank, np := ctx.Rank(), ctx.NP()
+	prank := ctx.PhysRank() // stats gauge slots are physical-rank indexed
 	bufs := &a.bufs[rank]
 	var mine []byte
 	myGrid := oldD.LocalGrid(rank)
@@ -373,19 +381,19 @@ func (a *Array) stepAllgather(ctx *machine.Ctx, oldD *dist.Distribution, sched *
 		bufs.stream = mine
 	}
 	own := int64(len(mine))
-	st.WireAcquire(rank, own)
+	st.WireAcquire(prank, own)
 	parts, err := ctx.Comm().Allgather(mine)
 	if err != nil {
-		st.WireRelease(rank, own)
+		st.WireRelease(prank, own)
 		return fmt.Errorf("allgather failed: %w", err)
 	}
 	frame := int64(4 * np)
 	for _, p := range parts {
 		frame += int64(len(p))
 	}
-	st.WireAcquire(rank, frame)
-	st.WireRelease(rank, own)
-	defer st.WireRelease(rank, frame)
+	st.WireAcquire(prank, frame)
+	st.WireRelease(prank, own)
+	defer st.WireRelease(prank, frame)
 	for _, t := range sched.Recvs {
 		if t.Peer == rank {
 			continue

@@ -23,28 +23,59 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/msg"
 	"repro/internal/trace"
 )
 
-// Machine is a set of P logical processors sharing a transport.
+// Machine is a set of P logical processors sharing a transport, plus an
+// optional pool of reserved processors that may join a running epoch
+// (WithReserve).
 type Machine struct {
-	np        int
+	np        int // total physical ranks: base + reserved
+	base      int // initially active ranks (epoch 0 membership)
 	transport msg.Transport
 	commCfg   msg.CommConfig
 	liveness  *LivenessConfig
 	det       *detector
+	joins     *joinReg
 	// exits[r] is closed when rank r's goroutine of the current Run
 	// returns; Regroup waits on the dead members' channels before
 	// installing a compacted view, so a survivor that takes over a dead
 	// rank's compacted slot has a happens-before edge on everything the
 	// dead rank's goroutine wrote.
 	exits []chan struct{}
+	// run is the engagement state of the current Run: which ranks count
+	// toward run completion, and the signal that tells never-admitted
+	// reserved ranks to give up.  Written once before the goroutines
+	// spawn.
+	run *runState
 
 	mu      sync.Mutex
 	objects map[int64]*collEntry
 	procs   map[string]*ProcArray
+}
+
+// runState tracks which ranks of the current Run are "engaged" — their
+// goroutine's return is required before the run is over.  The base ranks
+// are engaged from the start; a reserved rank becomes engaged the moment
+// a survivor admits it into an epoch.  When the last engaged rank
+// returns, stop closes and the reserved ranks still parked in AwaitJoin
+// unwind with ErrNeverJoined.
+type runState struct {
+	engaged []atomic.Bool
+	wg      sync.WaitGroup
+	stop    chan struct{}
+}
+
+// engage marks rank r as required for run completion.  Only called from
+// a rank that is itself engaged and still running, so the WaitGroup
+// counter cannot be concurrently drained to zero.
+func (rs *runState) engage(r int) {
+	if rs.engaged[r].CompareAndSwap(false, true) {
+		rs.wg.Add(1)
+	}
 }
 
 type collEntry struct {
@@ -61,6 +92,7 @@ type config struct {
 	tracer    *trace.Tracer
 	comm      msg.CommConfig
 	liveness  *LivenessConfig
+	reserve   int
 }
 
 // WithTransport runs the machine on the given transport (e.g. a
@@ -91,13 +123,33 @@ func WithCommConfig(cc msg.CommConfig) Option {
 	return func(c *config) { c.comm = cc }
 }
 
+// WithReserve provisions extra transport slots for processors that may
+// join the running machine: the transport (and failure detector) are
+// sized base+extra, the reserved ranks run the SPMD body with
+// Ctx.Reserved() == true and park in Ctx.AwaitJoin until the active
+// membership admits them into an epoch (Ctx.Admit, or a Regroup that
+// finds them pending).  Requires WithLiveness and a CommConfig Timeout —
+// the same machinery a Regroup needs.
+func WithReserve(extra int) Option {
+	return func(c *config) { c.reserve = extra }
+}
+
 // New creates a machine with np logical processors on an in-process
-// transport (unless overridden by WithTransport).
+// transport (unless overridden by WithTransport).  With WithReserve(k)
+// the transport carries np+k endpoints; the extra ranks are inactive
+// until admitted by a join transition.
 func New(np int, opts ...Option) *Machine {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.reserve < 0 {
+		panic(fmt.Sprintf("machine: negative reserve %d", cfg.reserve))
+	}
+	if cfg.reserve > 0 && cfg.liveness == nil {
+		panic("machine: WithReserve requires WithLiveness (join transitions run over the liveness/epoch machinery)")
+	}
+	total := np + cfg.reserve
 	tr := cfg.transport
 	if tr == nil {
 		var topts []msg.Option
@@ -107,10 +159,10 @@ func New(np int, opts ...Option) *Machine {
 		if cfg.tracer != nil {
 			topts = append(topts, msg.WithTracer(cfg.tracer))
 		}
-		tr = msg.NewChanTransport(np, topts...)
+		tr = msg.NewChanTransport(total, topts...)
 	}
-	if tr.NP() != np {
-		panic(fmt.Sprintf("machine: transport has %d endpoints, machine wants %d", tr.NP(), np))
+	if tr.NP() != total {
+		panic(fmt.Sprintf("machine: transport has %d endpoints, machine wants %d (%d active + %d reserved)", tr.NP(), total, np, cfg.reserve))
 	}
 	// Timestamp events with the cost model's virtual clock as well as wall
 	// time, so summaries can report α/β seconds per phase.
@@ -118,7 +170,8 @@ func New(np int, opts ...Option) *Machine {
 		t.SetClockSource(c.Clock)
 	}
 	m := &Machine{
-		np:        np,
+		np:        total,
+		base:      np,
 		transport: tr,
 		commCfg:   cfg.comm,
 		liveness:  cfg.liveness,
@@ -126,13 +179,21 @@ func New(np int, opts ...Option) *Machine {
 		procs:     make(map[string]*ProcArray),
 	}
 	if m.liveness != nil {
-		m.det = newDetector(np, m.liveness.Window)
+		m.det = newDetector(total, m.liveness.Window)
+		m.joins = newJoinReg()
 	}
 	return m
 }
 
-// NP returns the number of processors (the paper's $NP intrinsic).
-func (m *Machine) NP() int { return m.np }
+// NP returns the number of initially active processors (the paper's $NP
+// intrinsic; the epoch-0 membership).  Reserved join slots are not
+// counted — see Capacity.
+func (m *Machine) NP() int { return m.base }
+
+// Capacity returns the total number of physical ranks the machine's
+// transport carries: the initially active processors plus any reserved
+// join slots (WithReserve).
+func (m *Machine) Capacity() int { return m.np }
 
 // Transport returns the underlying transport.
 func (m *Machine) Transport() msg.Transport { return m.transport }
@@ -174,11 +235,33 @@ func (m *Machine) Run(body func(ctx *Ctx) error) error {
 		exits[r] = make(chan struct{})
 	}
 	m.exits = exits
+	// Engagement state: the run is over when every *engaged* rank has
+	// returned — the base ranks from the start, reserved ranks once
+	// admitted.  The watcher then tells never-admitted reserved ranks to
+	// stop waiting.
+	rs := &runState{engaged: make([]atomic.Bool, m.np), stop: make(chan struct{})}
+	for r := 0; r < m.base; r++ {
+		rs.engaged[r].Store(true)
+		rs.wg.Add(1)
+	}
+	m.run = rs
+	go func() {
+		rs.wg.Wait()
+		close(rs.stop)
+	}()
 	for r := 0; r < m.np; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			defer close(exits[r])
+			defer func() {
+				// An admitted joiner's exit counts toward run completion;
+				// engagement happens-before the welcome message, which
+				// happens-before AwaitJoin returns, so the load is ordered.
+				if rs.engaged[r].Load() {
+					rs.wg.Done()
+				}
+			}()
 			defer func() {
 				if rec := recover(); rec != nil {
 					errs[r] = fmt.Errorf("machine: rank %d panicked: %v\n%s", r, rec, debug.Stack())
@@ -247,23 +330,33 @@ const ErrClosedText = "transport closed"
 // run over an epoch-tagged msg.View, and Rank/NP answer in view
 // coordinates (epoch 0 is the identity view over all np processors).
 type Ctx struct {
-	rank    int // view rank (== physical rank until a regroup)
-	m       *Machine
-	comm    *msg.Comm
-	collSeq int64
-	epoch   int
-	phys    []int // view rank -> physical rank; nil without liveness
+	rank     int // view rank (== physical rank until a regroup)
+	m        *Machine
+	comm     *msg.Comm
+	collSeq  int64
+	epoch    int
+	phys     []int // view rank -> physical rank; nil without liveness
+	reserved bool  // a join slot not yet admitted into any epoch
 }
 
 func (m *Machine) newCtx(rank int) *Ctx {
 	c := &Ctx{rank: rank, m: m}
 	ep := m.transport.Endpoint(rank)
+	if rank >= m.base {
+		// A reserved join slot: no epoch membership yet.  The rank field
+		// holds the physical rank; collectives are meaningless until
+		// AwaitJoin installs the first admitted view.
+		c.reserved = true
+		c.comm = msg.NewComm(ep)
+		c.comm.SetConfig(m.commCfg)
+		return c
+	}
 	if m.det != nil {
-		// Epoch 0 identity view: rank numbering and tags are unchanged,
-		// but collectives gain the liveness check — an in-flight
-		// operation aborts with ErrEpochRevoked as soon as a member is
-		// declared dead, instead of timing out peer by peer.
-		phys := make([]int, m.np)
+		// Epoch 0 identity view over the active ranks: rank numbering and
+		// tags are unchanged, but collectives gain the liveness check — an
+		// in-flight operation aborts with ErrEpochRevoked as soon as a
+		// member is declared dead, instead of timing out peer by peer.
+		phys := make([]int, m.base)
 		for i := range phys {
 			phys[i] = i
 		}
@@ -286,20 +379,41 @@ func (c *Ctx) NP() int {
 	if c.phys != nil {
 		return len(c.phys)
 	}
-	return c.m.np
+	return c.m.base
 }
 
-// Epoch returns the current membership epoch (0 until a regroup).
+// Epoch returns the current membership epoch (0 until a regroup or
+// join).
 func (c *Ctx) Epoch() int { return c.epoch }
 
-// physRank returns this processor's physical rank — the trace timeline
-// and cost-model slot, which survive renumbering across regroups.
-func (c *Ctx) physRank() int {
+// Reserved reports whether this processor is an unadmitted join slot
+// (WithReserve): it has no epoch membership and must call AwaitJoin
+// before touching collectives.
+func (c *Ctx) Reserved() bool { return c.reserved }
+
+// PhysRank returns this processor's physical rank — the transport
+// endpoint, trace timeline, per-rank statistics, and cost-model slot,
+// all of which survive view renumbering across regroups and joins.
+// Per-physical-rank gauges (e.g. msg.Stats wire residency) must be
+// indexed with this, never with the view Rank.
+func (c *Ctx) PhysRank() int {
 	if c.phys != nil {
 		return c.phys[c.rank]
 	}
 	return c.rank
 }
+
+// PhysOf translates a view rank of the current epoch to its physical
+// rank (identity without liveness).
+func (c *Ctx) PhysOf(viewRank int) int {
+	if c.phys != nil {
+		return c.phys[viewRank]
+	}
+	return viewRank
+}
+
+// physRank is the historical unexported spelling of PhysRank.
+func (c *Ctx) physRank() int { return c.PhysRank() }
 
 // Machine returns the owning machine.
 func (c *Ctx) Machine() *Machine { return c.m }

@@ -52,23 +52,33 @@ func (m *Machine) regroupBudget() time.Duration {
 	return budget
 }
 
-func encodeMask(mask []bool) []byte {
-	bits := make([]int, len(mask))
-	for i, b := range mask {
+// encodeMasks packs the suspected-dead and pending-join masks of one
+// agreement round into a single payload: 2·np bits, dead first.
+func encodeMasks(suspect, join []bool) []byte {
+	bits := make([]int, len(suspect)+len(join))
+	for i, b := range suspect {
 		if b {
 			bits[i] = 1
+		}
+	}
+	for i, b := range join {
+		if b {
+			bits[len(suspect)+i] = 1
 		}
 	}
 	return msg.EncodeInts(bits)
 }
 
-func decodeMask(data []byte, np int) []bool {
+func decodeMasks(data []byte, np int) (suspect, join []bool) {
 	bits := msg.DecodeInts(data)
-	mask := make([]bool, np)
+	suspect, join = make([]bool, np), make([]bool, np)
 	for i := 0; i < np && i < len(bits); i++ {
-		mask[i] = bits[i] != 0
+		suspect[i] = bits[i] != 0
 	}
-	return mask
+	for i := 0; i < np && np+i < len(bits); i++ {
+		join[i] = bits[np+i] != 0
+	}
+	return suspect, join
 }
 
 // Regroup transitions this rank from membership epoch e to e+1 after a
@@ -86,8 +96,23 @@ func decodeMask(data []byte, np int) []bool {
 //
 // All survivors must call Regroup (SPMD discipline); it is collective
 // over the survivor set and ends with a confirmation barrier on the new
-// epoch.
+// epoch.  Reserved ranks pending in AwaitJoin at the time of the
+// regroup are admitted into the new epoch by the same transition, so a
+// join racing a concurrent death resolves in one agreement.
 func (c *Ctx) Regroup() error {
+	return c.transition(true)
+}
+
+// transition moves this rank from membership epoch e to e+1: survivors
+// agree on the dead set AND the admitted-joiner set via a
+// coordinator-free exchange of (dead, join) bitmask pairs, wait for the
+// dead members' goroutines to exit, and install a compacted epoch-(e+1)
+// view — survivors first in their epoch-e order, admitted joiners
+// appended in ascending physical rank.  requireDeath distinguishes the
+// two entry points: Regroup (a death must be confirmed; pending joiners
+// ride along) and Admit (a pending joiner must exist; deaths discovered
+// mid-agreement are excluded all the same).
+func (c *Ctx) transition(requireDeath bool) error {
 	m := c.m
 	if m.det == nil {
 		return errors.New("machine: Regroup requires WithLiveness")
@@ -101,17 +126,30 @@ func (c *Ctx) Regroup() error {
 	defer tr.EndSpan(myPhys, trace.CatPhase, "regroup")
 
 	budget := m.regroupBudget()
+	newEpoch := c.epoch + 1
+	// The epoch must stay representable in folded wire tags; past the
+	// fold capacity a new epoch's traffic would collide with (or
+	// wildcard-match) other epochs'.  Fail loudly here, at the membership
+	// layer, rather than corrupting tags downstream.
+	if err := msg.CheckEpoch(newEpoch); err != nil {
+		return fmt.Errorf("machine: transition to epoch %d: %w", newEpoch, err)
+	}
 
-	// Phase 1: confirm a member death.  Regroup may be entered off any
-	// error; if no member is actually dead within the detection window
-	// there is nothing to regroup from and the caller's original error
-	// stands.
-	waitUntil := time.Now().Add(m.liveness.Window + budget)
-	for m.det.firstDeadOf(c.phys) < 0 {
-		if time.Now().After(waitUntil) {
-			return fmt.Errorf("machine: regroup: no member of epoch %d declared dead within %v", c.epoch, m.liveness.Window+budget)
+	// Phase 1: confirm the transition's trigger.  A Regroup may be
+	// entered off any error; if no member is actually dead within the
+	// detection window there is nothing to regroup from and the caller's
+	// original error stands.  An Admit needs at least one registered
+	// joiner.
+	if requireDeath {
+		waitUntil := time.Now().Add(m.liveness.Window + budget)
+		for m.det.firstDeadOf(c.phys) < 0 {
+			if time.Now().After(waitUntil) {
+				return fmt.Errorf("machine: regroup: no member of epoch %d declared dead within %v", c.epoch, m.liveness.Window+budget)
+			}
+			time.Sleep(m.liveness.Interval)
 		}
-		time.Sleep(m.liveness.Interval)
+	} else if len(m.pendingJoiners(c.phys)) == 0 {
+		return fmt.Errorf("machine: admit: no joiner registered with epoch %d", c.epoch)
 	}
 	dead := m.det.snapshotDead()
 	if dead[myPhys] {
@@ -119,25 +157,30 @@ func (c *Ctx) Regroup() error {
 	}
 
 	// Phase 2: coordinator-free agreement.  Every candidate repeatedly
-	// exchanges its suspected-dead mask with the other candidates and
-	// unions what it hears; a candidate that misses a round deadline is
-	// itself suspected.  Masks only grow, so the exchange converges: the
-	// round in which nothing changed and every peer echoed my exact mask
-	// is the decision round — every participant of that round took the
-	// same decision from the same masks.
+	// exchanges its (suspected-dead, pending-join) mask pair with the
+	// other candidates and unions what it hears; a candidate that misses
+	// a round deadline is itself suspected.  Masks only grow, so the
+	// exchange converges: the round in which nothing changed and every
+	// peer echoed my exact masks is the decision round — every
+	// participant of that round took the same decision from the same
+	// masks.
 	suspect := make([]bool, m.np)
 	for _, p := range c.phys {
 		if dead[p] {
 			suspect[p] = true
 		}
 	}
-	newEpoch := c.epoch + 1
+	join := make([]bool, m.np)
+	for _, p := range m.pendingJoiners(c.phys) {
+		join[p] = true
+	}
 	ep := m.transport.Endpoint(myPhys)
 	converged := false
 	for round := 0; round < m.np+2 && !converged; round++ {
 		tag := msg.FoldTag(newEpoch, msg.TagMemberBase+round)
-		payload := encodeMask(suspect)
-		mine := append([]bool(nil), suspect...)
+		payload := encodeMasks(suspect, join)
+		mineS := append([]bool(nil), suspect...)
+		mineJ := append([]bool(nil), join...)
 		for _, p := range c.phys {
 			if p == myPhys || suspect[p] {
 				continue
@@ -149,7 +192,7 @@ func (c *Ctx) Regroup() error {
 		changed, allEqual := false, true
 		roundDeadline := time.Now().Add(budget)
 		for _, p := range c.phys {
-			if p == myPhys || mine[p] {
+			if p == myPhys || mineS[p] {
 				continue
 			}
 			left := time.Until(roundDeadline)
@@ -166,13 +209,22 @@ func (c *Ctx) Regroup() error {
 				allEqual = false
 				continue
 			}
-			theirs := decodeMask(pkt.Data, m.np)
-			for r, s := range theirs {
-				if s != mine[r] {
+			theirS, theirJ := decodeMasks(pkt.Data, m.np)
+			for r, s := range theirS {
+				if s != mineS[r] {
 					allEqual = false
 				}
 				if s && !suspect[r] {
 					suspect[r] = true
+					changed = true
+				}
+			}
+			for r, s := range theirJ {
+				if s != mineJ[r] {
+					allEqual = false
+				}
+				if s && !join[r] {
+					join[r] = true
 					changed = true
 				}
 			}
@@ -199,6 +251,22 @@ func (c *Ctx) Regroup() error {
 			survivors = append(survivors, p)
 		}
 	}
+	// Admitted joiners: registered, agreed on, and not themselves
+	// declared dead while waiting.  Reserved slots carry the highest
+	// physical ranks, so appending them in ascending order keeps the
+	// whole member list ascending — and keeps every survivor's view rank
+	// unchanged when nobody died.
+	isMember := make([]bool, m.np)
+	for _, p := range c.phys {
+		isMember[p] = true
+	}
+	var admitted []int
+	for p := 0; p < m.np; p++ {
+		if join[p] && !suspect[p] && !isMember[p] && !dead[p] {
+			admitted = append(admitted, p)
+		}
+	}
+	members := append(append([]int(nil), survivors...), admitted...)
 
 	// Phase 3: wait for the excluded members' goroutines to exit.  A
 	// survivor that takes over a dead member's compacted rank slot will
@@ -218,24 +286,40 @@ func (c *Ctx) Regroup() error {
 		}
 	}
 
-	// Phase 4: install the compacted epoch-(e+1) view.
+	// Phase 4: install the epoch-(e+1) view — compacted survivors plus
+	// admitted joiners.
 	myView := -1
-	for i, p := range survivors {
+	for i, p := range members {
 		if p == myPhys {
 			myView = i
 		}
 	}
 	c.epoch = newEpoch
-	c.phys = survivors
+	c.phys = members
 	c.rank = myView
-	c.comm = msg.NewComm(msg.NewView(ep, newEpoch, survivors, m.epochCheck(survivors)))
+	c.comm = msg.NewComm(msg.NewView(ep, newEpoch, members, m.epochCheck(members)))
 	c.comm.SetConfig(m.commCfg)
 	c.collSeq = 0
 	if tr != nil {
-		tr.Instant(myPhys, trace.CatPhase, fmt.Sprintf("epoch:%d", newEpoch), myView, int64(len(survivors)))
+		tr.Instant(myPhys, trace.CatPhase, fmt.Sprintf("epoch:%d", newEpoch), myView, int64(len(members)))
 	}
 
-	// Confirmation barrier on the new epoch: every survivor is present
+	// Welcome the admitted joiners: the new epoch's view rank 0 marks
+	// each as engaged (its exit now counts toward run completion) and
+	// hands it the member list; every survivor clears them from the
+	// pending registry.  The welcome precedes the confirmation barrier,
+	// which the joiners take part in.
+	if myView == 0 {
+		for _, p := range admitted {
+			m.run.engage(p)
+			if err := ep.Send(p, msg.TagJoinWelcome, msg.EncodeInts(append([]int{newEpoch}, members...))); err != nil {
+				return fmt.Errorf("machine: join welcome to %d: %w", p, err)
+			}
+		}
+	}
+	m.joins.remove(admitted)
+
+	// Confirmation barrier on the new epoch: every member is present
 	// and renumbered before application traffic resumes.
 	if err := c.comm.Barrier(); err != nil {
 		return fmt.Errorf("machine: regroup: epoch %d confirmation: %w", newEpoch, err)

@@ -51,6 +51,13 @@ const (
 	// heartbeat instants; it sits below the RMA space so a failure
 	// detector's receive loop never matches application traffic.
 	TagHeartbeat = 1 << 25
+	// TagJoinWelcome is the single tag used by the machine membership
+	// layer to hand an admitted joiner its first epoch view (the welcome
+	// carries [epoch, members...]).  It is sent unfolded — a joiner does
+	// not know the epoch it is being admitted into — and lives in the
+	// reserved space next to the heartbeat tag, so a waiting joiner's
+	// receive loop never matches application or agreement traffic.
+	TagJoinWelcome = TagHeartbeat + 1
 	// TagRMABase is the base of the tag space used by the one-sided
 	// get/put service of the darray package; that space ends below
 	// TagCollBase.

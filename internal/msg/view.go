@@ -14,13 +14,38 @@ import (
 // collides with an unfolded tag.
 const epochShift = 40
 
+// MaxEpoch is the largest membership epoch that fits in a folded wire
+// tag: epochs occupy bits epochShift..62, and bit 63 must stay clear
+// because a negative tag is the receive wildcard.  An epoch beyond this
+// would silently collide with (or wildcard-match!) other epochs' tags,
+// so the membership layer refuses to transition past it — see
+// CheckEpoch.
+const MaxEpoch = 1<<(63-epochShift) - 1
+
+// CheckEpoch reports whether a membership epoch can be represented in
+// folded wire tags.  Regroup/join transitions call it before installing
+// a new epoch so the capacity limit fails loudly at the membership
+// layer instead of as tag corruption deep in a collective.
+func CheckEpoch(epoch int) error {
+	if epoch < 0 || epoch > MaxEpoch {
+		return fmt.Errorf("msg: membership epoch %d outside the foldable range 0..%d (folded tags would collide or go negative)", epoch, MaxEpoch)
+	}
+	return nil
+}
+
 // FoldTag folds a membership epoch into a wire tag.  Epoch 0 is the
 // identity, so pre-regroup traffic is byte-compatible with a machine
 // that never heard of epochs.  Wildcards (negative tags) are returned
-// unchanged.
+// unchanged.  Epochs beyond MaxEpoch panic: a fold that flips bit 63
+// produces a negative tag — the wildcard — and would match *anything*,
+// so this is a programming error the transition layer must have caught
+// with CheckEpoch.
 func FoldTag(epoch, tag int) int {
 	if tag < 0 || epoch == 0 {
 		return tag
+	}
+	if epoch < 0 || epoch > MaxEpoch {
+		panic(fmt.Sprintf("msg: FoldTag epoch %d outside the foldable range 0..%d", epoch, MaxEpoch))
 	}
 	return tag | epoch<<epochShift
 }

@@ -31,6 +31,34 @@ func TestFoldTag(t *testing.T) {
 	}
 }
 
+// TestFoldTagBoundary: the fold has exactly MaxEpoch epochs of headroom.
+// The last representable epoch folds and unfolds cleanly and stays
+// non-negative (a negative folded tag would alias the AnyTag wildcard);
+// one past it must fail loudly — CheckEpoch as an error for transition
+// time, FoldTag as a panic for the can't-happen path.
+func TestFoldTagBoundary(t *testing.T) {
+	if got := FoldTag(MaxEpoch, TagCollBase); got < 0 {
+		t.Fatalf("FoldTag(MaxEpoch, TagCollBase) = %#x, negative (wildcard alias)", got)
+	} else if UnfoldTag(got) != TagCollBase {
+		t.Fatalf("UnfoldTag(FoldTag(MaxEpoch, TagCollBase)) = %#x, want %#x", UnfoldTag(got), TagCollBase)
+	}
+	if err := CheckEpoch(MaxEpoch); err != nil {
+		t.Errorf("CheckEpoch(MaxEpoch) = %v, want nil", err)
+	}
+	if err := CheckEpoch(MaxEpoch + 1); err == nil {
+		t.Error("CheckEpoch(MaxEpoch+1) accepted an unfoldable epoch")
+	}
+	if err := CheckEpoch(-1); err == nil {
+		t.Error("CheckEpoch(-1) accepted a negative epoch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FoldTag(MaxEpoch+1, tag) did not panic")
+		}
+	}()
+	FoldTag(MaxEpoch+1, TagCollBase)
+}
+
 // TestViewRenumbering: a 4-rank transport viewed as the 3 survivors
 // [0 1 3] renumbers ranks, translates delivered From fields back to view
 // coordinates, and isolates epochs by tag fold.

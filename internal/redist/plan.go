@@ -3,6 +3,7 @@ package redist
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -568,6 +569,11 @@ func ParseBudget(s string) (int64, error) {
 	}
 	if n < 0 {
 		return 0, fmt.Errorf("redist: negative budget %q", s)
+	}
+	// The suffix multiply must not wrap: "99999999999999G" is out of
+	// range, not a silently huge (or negative) budget.
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("redist: budget %q out of range: %w", s, strconv.ErrRange)
 	}
 	return n * mult, nil
 }

@@ -1,7 +1,12 @@
 package redist
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/dist"
@@ -282,6 +287,47 @@ func TestParseBudget(t *testing.T) {
 		if (err != nil) != c.err {
 			t.Errorf("ParseBudget(%q) err = %v, want err=%v", c.in, err, c.err)
 			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseBudget(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseBudgetOverflow: n × multiplier must not wrap around int64 —
+// before the range check, "99999999999999G" silently overflowed to a
+// bogus (possibly negative) budget.  Every suffix is probed just above
+// and just below its overflow point, with and without whitespace.
+func TestParseBudgetOverflow(t *testing.T) {
+	const maxI64 = math.MaxInt64
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		// the historical overflow reproducer
+		{"99999999999999G", 0, true},
+		// per-suffix boundaries: the largest n that still fits, and n+1
+		{fmt.Sprintf("%d", int64(maxI64)), maxI64, false},
+		{"9223372036854775808", 0, true}, // MaxInt64+1: strconv range error
+		{fmt.Sprintf("%dK", maxI64>>10), (maxI64 >> 10) << 10, false},
+		{fmt.Sprintf("%dK", maxI64>>10+1), 0, true},
+		{fmt.Sprintf("%dM", maxI64>>20), (maxI64 >> 20) << 20, false},
+		{fmt.Sprintf("%dM", maxI64>>20+1), 0, true},
+		{fmt.Sprintf("%dG", maxI64>>30), (maxI64 >> 30) << 30, false},
+		{fmt.Sprintf("%dG", maxI64>>30+1), 0, true},
+		// whitespace must not change the verdict either way
+		{fmt.Sprintf("  %dG  ", maxI64>>30), (maxI64 >> 30) << 30, false},
+		{"  99999999999999G  ", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBudget(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseBudget(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err != nil && !errors.Is(err, strconv.ErrRange) && !strings.Contains(err.Error(), "range") {
+			t.Errorf("ParseBudget(%q) error %v is not a range error", c.in, err)
 		}
 		if !c.err && got != c.want {
 			t.Errorf("ParseBudget(%q) = %d, want %d", c.in, got, c.want)
