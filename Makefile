@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault check-recovery check-online check-redist check-expand soak bench bench-smoke bench-overlap bench-redist bench-expand examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery check-online check-redist check-expand check-io soak bench bench-smoke bench-overlap bench-redist bench-expand bench-io examples experiments analyze clean
 
 all: build check test
 
@@ -21,7 +21,7 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault check-recovery check-online check-redist check-expand bench-overlap bench-redist
+check: check-fault check-recovery check-online check-redist check-expand check-io bench-overlap bench-redist
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
 
@@ -70,6 +70,17 @@ check-recovery:
 soak:
 	SOAK=1 $(GO) test -race -run 'TestSoakChaos|TestSoakOnline' -count=1 -v ./internal/apps
 
+# The crash-safe parallel-I/O matrix: the FaultFS schedules (eio/short/
+# torn/bitrot/stall, seeded prob, per-rank counters), stripe assembly and
+# parity/replica reconstruction, the crash-during-Save abort stages (no
+# partial epoch ever commits), the disk-damage x restore matrix on both
+# transports, v1 compatibility, retention pruning, epoch fallback, the
+# scrub pass, and the degraded end-to-end apps — all under the race
+# detector (the I/O servers and retry paths add goroutines).
+check-io:
+	$(GO) test -race -count=1 ./internal/pario ./internal/ckpt
+	$(GO) test -race -count=1 -run 'Degraded|DoubleDamage' ./internal/apps
+
 # The fault-injection matrix: every collective pattern under injected
 # send errors, delivery delays, and dropped frames, on both transports,
 # with the race detector on (the retry/deadline paths add goroutines).
@@ -114,6 +125,15 @@ bench-redist:
 bench-expand:
 	$(GO) test -run '^$$' -bench 'BenchmarkExpandADI' -benchtime 5x . \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+
+# Crash-safe parallel I/O: the striped two-phase collective writer next
+# to the per-rank flat layout (the v1-era shape), the parity surcharge,
+# and restore from a clean epoch vs restore that reconstructs a deleted
+# stripe from parity and heals it on disk.  Results land in
+# BENCH_PR9.json for diffing.
+bench-io:
+	$(GO) test -run '^$$' -bench 'BenchmarkCkptIO' -benchtime 20x -benchmem . \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E4).
 experiments:

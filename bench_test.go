@@ -15,14 +15,19 @@ package vienna
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/pario"
 	"repro/internal/parti"
 )
 
@@ -222,9 +227,9 @@ func BenchmarkRedistributeBudget(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					res, err := apps.RunRedistCost(apps.RedistCostConfig{
 						N0: n, P: 4, Rounds: 2,
-						From:      []dist.DimSpec{dist.BlockDim()},
-						To:        []dist.DimSpec{dist.CyclicDim(1)},
-						Alpha:     benchAlpha, Beta: benchBeta,
+						From:  []dist.DimSpec{dist.BlockDim()},
+						To:    []dist.DimSpec{dist.CyclicDim(1)},
+						Alpha: benchAlpha, Beta: benchBeta,
 						MemBudget: budget,
 					})
 					if err != nil {
@@ -296,6 +301,117 @@ func BenchmarkExpandADI(b *testing.B) {
 		b.ReportMetric(float64(last.Bytes), "bytes/run")
 		b.ReportMetric(float64(last.PeakWireBytes), "peakwire")
 	})
+}
+
+// BenchmarkCkptIO times the crash-safe checkpoint paths.  The save
+// variants compare the per-rank flat layout (one stripe per rank over
+// the distributed dimension — the exchange degenerates to self-copies,
+// the v1-era file shape) against the striped two-phase collective write
+// (4 ranks funnel into 2 I/O servers), without and with the parity
+// stripe.  The restore variants read a committed parity epoch back —
+// clean, and with one stripe file deleted before every iteration so each
+// restore must reconstruct it from parity and heal it on disk.
+func BenchmarkCkptIO(b *testing.B) {
+	const np = 4
+	dom := index.Dim(256, 256) // 512 KiB of float64s, divisible by both stripe counts
+	bytesTotal := int64(dom.Size() * 8)
+	fill := func(p index.Point) float64 { return float64(1000*p[0] + p[1]) }
+
+	declare := func(ctx *machine.Ctx) *darray.Array {
+		tg := ctx.Machine().ProcsDim("$io", np).Whole()
+		d := dist.MustNew(dist.NewType(dist.ElidedDim(), dist.BlockDim()), dom, tg)
+		a := darray.New(ctx, "A", dom, d)
+		a.FillFunc(ctx, fill)
+		return a
+	}
+
+	save := func(b *testing.B, opts ckpt.Options) {
+		dir := b.TempDir()
+		m := machine.New(np)
+		defer m.Close()
+		b.SetBytes(bytesTotal)
+		if err := m.Run(func(ctx *machine.Ctx) error {
+			a := declare(ctx)
+			if err := ctx.Barrier(); err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := ckpt.SaveOpts(ctx, dir, []*darray.Array{a}, nil, opts); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("save/perRankFlat/P4", func(b *testing.B) {
+		save(b, ckpt.Options{Servers: np, Redundancy: pario.RedundancyNone, Keep: 2})
+	})
+	b.Run("save/striped2/P4", func(b *testing.B) {
+		save(b, ckpt.Options{Servers: 2, Redundancy: pario.RedundancyNone, Keep: 2})
+	})
+	b.Run("save/striped2parity/P4", func(b *testing.B) {
+		save(b, ckpt.Options{Servers: 2, Redundancy: pario.RedundancyParity, Keep: 2})
+	})
+
+	restore := func(b *testing.B, damage bool) {
+		dir := b.TempDir()
+		met := &pario.Metrics{}
+		opts := ckpt.Options{Servers: 2, Redundancy: pario.RedundancyParity, IO: pario.Config{Metrics: met}}
+		m := machine.New(np)
+		defer m.Close()
+		b.SetBytes(bytesTotal)
+		var lost string
+		if err := m.Run(func(ctx *machine.Ctx) error {
+			a := declare(ctx)
+			if err := ctx.Barrier(); err != nil {
+				return err
+			}
+			if _, err := ckpt.SaveOpts(ctx, dir, []*darray.Array{a}, nil, opts); err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				epoch, man, err := ckpt.LatestEpoch(dir)
+				if err != nil {
+					return err
+				}
+				lost = filepath.Join(ckpt.EpochDir(dir, epoch), man.Stripes[1].Name)
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				if damage && ctx.Rank() == 0 {
+					if err := os.Remove(lost); err != nil {
+						return err
+					}
+				}
+				if err := ctx.Barrier(); err != nil {
+					return err
+				}
+				r := darray.NewUndistributed(ctx, "A", dom)
+				if _, err := ckpt.RestoreOpts(ctx, dir, []*darray.Array{r}, opts); err != nil {
+					return err
+				}
+				// The reconstruction also heals the stripe on disk, so the
+				// next iteration's damage starts from a whole epoch again.
+				if err := ctx.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if damage && met.Reconstructions.Load() < int64(b.N) {
+			b.Fatalf("reconstructions = %d over %d damaged restores", met.Reconstructions.Load(), b.N)
+		}
+		b.ReportMetric(float64(met.Repairs.Load())/float64(b.N), "repairs/run")
+	}
+	b.Run("restore/clean/P4", func(b *testing.B) { restore(b, false) })
+	b.Run("restore/repairLostStripe/P4", func(b *testing.B) { restore(b, true) })
 }
 
 func BenchmarkPointToPoint(b *testing.B) {

@@ -43,6 +43,9 @@ func main() {
 	commRetries := flag.Int("comm-retries", 0, "bounded retries for failed or timed-out collective operations")
 	ckptDir := flag.String("ckpt-dir", "", "take coordinated checkpoints into DIR after DISTRIBUTE statements")
 	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint after every N-th DISTRIBUTE statement")
+	ioServers := flag.Int("io-servers", 0, "number of I/O server ranks (stripe files) per checkpoint epoch (0 = min(P,4))")
+	ioRedundancy := flag.String("io-redundancy", "", "checkpoint redundancy mode: parity (default), replica, or none")
+	ckptKeep := flag.Int("ckpt-keep", 0, "keep only the newest N committed checkpoint epochs (0 = keep all)")
 	recoverRun := flag.Bool("recover", false, "restore the latest committed checkpoint in -ckpt-dir at the first DISTRIBUTE site (the survivors' rank count may differ from the writer's)")
 	onlineRec := flag.Bool("online-recover", false, "recover from a mid-run rank loss in-process: survivors regroup onto the next membership epoch and replay the last committed checkpoint (requires -ckpt-dir)")
 	deadline := flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
@@ -166,6 +169,7 @@ ENDDO
 	if *ckptDir != "" {
 		in.SetCheckpoint(*ckptDir, *ckptEvery)
 		in.SetRecover(*recoverRun)
+		in.SetIO(*ioServers, *ioRedundancy, *ckptKeep)
 	}
 
 	type arrInfo struct {
@@ -199,6 +203,7 @@ ENDDO
 				interp.RegisterPICDemo(i2)
 				i2.SetMemBudget(budget)
 				i2.SetCheckpoint(*ckptDir, *ckptEvery)
+				i2.SetIO(*ioServers, *ioRedundancy, *ckptKeep)
 				// Replay the last committed checkpoint if there is one; a
 				// loss before the first commit restarts from scratch on
 				// the survivor view.

@@ -90,6 +90,9 @@ type ADIConfig struct {
 	// CkptEvery is the checkpoint period in iterations (default 1 when
 	// CkptDir is set).
 	CkptEvery int
+	// IO selects the parallel-I/O options (striping, redundancy,
+	// retention, disk-fault injection) for the checkpoints.
+	IO IOConfig
 	// Recover resumes from the latest committed checkpoint in CkptDir
 	// instead of the initial grid: the recorded distribution is replayed
 	// onto this run's P processors (shrunken if fewer survive) and the
@@ -221,6 +224,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	defer m.Close()
 	e := core.NewEngine(m)
 	e.SetMemBudget(cfg.MemBudget)
+	e.SetCkptOptions(cfg.IO.options())
 	res := ADIResult{Mode: cfg.Mode, ResumedIter: -1}
 
 	dom := index.Dim(cfg.NX, cfg.NY)

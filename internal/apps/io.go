@@ -1,0 +1,34 @@
+package apps
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/pario"
+)
+
+// IOConfig selects the parallel-I/O options for an app's checkpoints:
+// how many I/O server ranks stripe each epoch, which redundancy mode
+// protects it, how many epochs to retain, and — for fault-injection
+// runs — the filesystem and retry policy every checkpoint operation
+// goes through.  The zero value keeps the ckpt defaults (min(np, 4)
+// servers, parity redundancy, keep-all, the real filesystem).
+type IOConfig struct {
+	// Servers is the number of I/O server ranks (stripe files) per epoch.
+	Servers int
+	// Redundancy is the self-healing mode: "parity" (default), "replica"
+	// or "none".
+	Redundancy string
+	// Keep prunes all but the newest Keep committed epochs after each
+	// successful checkpoint (<= 0: keep everything).
+	Keep int
+	// FS supplies each rank's filesystem (nil: the real one).  Pass
+	// (*pario.FaultFS).Rank to put a seeded disk-fault plan under every
+	// checkpoint read and write.
+	FS func(rank int) pario.FS
+	// IO is the per-operation deadline/retry/backoff policy and metrics
+	// sink.
+	IO pario.Config
+}
+
+func (c IOConfig) options() ckpt.Options {
+	return ckpt.Options{Servers: c.Servers, Redundancy: c.Redundancy, Keep: c.Keep, FS: c.FS, IO: c.IO}
+}

@@ -72,13 +72,18 @@ var errGrow = errors.New("apps: grow onto pending joiner")
 //
 // memBudget is re-installed (Engine.SetMemBudget) on every fresh engine
 // a transition creates, so post-transition redistributions keep the
-// run's planner bound; <= 0 means unbounded.
+// run's planner bound; <= 0 means unbounded.  The incoming engine's
+// checkpoint I/O options are re-installed the same way, so recovery
+// attempts keep writing (and healing) checkpoints under the run's
+// striping, redundancy and fault-injection setup.
 func runWithOnlineRecovery(ctx *machine.Ctx, m *machine.Machine, eng *core.Engine,
 	enabled bool, maxAttempts int, memBudget int64,
 	body func(eng *core.Engine, online bool) error) error {
+	ckptOpts := eng.CkptOptions()
 	freshEngine := func() *core.Engine {
 		e := ctx.CollectiveOnce(func() any { return core.NewEngine(m) }).(*core.Engine)
 		e.SetMemBudget(memBudget)
+		e.SetCkptOptions(ckptOpts)
 		return e
 	}
 	online := false

@@ -49,6 +49,9 @@ type PICConfig struct {
 	// every CkptEvery-th step (default every step when set).
 	CkptDir   string
 	CkptEvery int
+	// IO selects the parallel-I/O options (striping, redundancy,
+	// retention, disk-fault injection) for the checkpoints.
+	IO IOConfig
 	// Recover resumes from the latest committed checkpoint in CkptDir;
 	// a B_BLOCK(BOUNDS) distribution sized for the lost machine degrades
 	// to BLOCK on the survivors until the next rebalance.
@@ -177,6 +180,7 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 	defer m.Close()
 	e := core.NewEngine(m)
 	e.SetMemBudget(cfg.MemBudget)
+	e.SetCkptOptions(cfg.IO.options())
 	res := PICResult{Rebalance: cfg.Rebalance, ImbalanceSeries: make([]float64, cfg.Steps)}
 
 	dom := index.Dim(cfg.NCell)

@@ -64,6 +64,9 @@ type SmoothConfig struct {
 	// after every CkptEvery-th step (default every step when set).
 	CkptDir   string
 	CkptEvery int
+	// IO selects the parallel-I/O options (striping, redundancy,
+	// retention, disk-fault injection) for the checkpoints.
+	IO IOConfig
 	// Recover resumes from the latest committed checkpoint in CkptDir,
 	// replaying the recorded distribution onto this run's P processors.
 	Recover bool
@@ -171,6 +174,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	defer m.Close()
 	e := core.NewEngine(m)
 	e.SetMemBudget(cfg.MemBudget)
+	e.SetCkptOptions(cfg.IO.options())
 
 	dom := index.Dim(cfg.N, cfg.N)
 	initial := func(p index.Point) float64 {

@@ -1,26 +1,45 @@
 // Package ckpt implements versioned, coordinated checkpoints of
 // distributed arrays: the durable half of surviving permanent rank loss.
 //
-// A checkpoint *epoch* is one directory, `epoch-<n>`, holding one binary
-// file per rank (that rank's local spans of every array, serialized with
-// the run-based wire codecs the redistribution paths use) plus a
-// `manifest.json` recording the array descriptors — domain bounds and the
-// full distribution expression, including the processor-arrangement
-// extents — and a CRC-32 per rank file.  Epochs commit atomically: all
-// files are written into `epoch-<n>.tmp` and the directory is renamed
-// only after every rank's checksum has been gathered into the manifest,
-// so a crash mid-write leaves either a previous committed epoch or an
-// ignorable `.tmp` directory, never a half-readable one.
+// Since PR 9 the storage engine underneath is internal/pario, a
+// ViPIOS-style parallel I/O subsystem.  A checkpoint *epoch* is one
+// directory, `epoch-<n>`, holding:
+//
+//   - `stripe-<s>.bin` — NS stripe files in a canonical *file order*
+//     decoupled from the in-memory distribution: each array's domain is
+//     split into NS contiguous slabs of its canonical enumeration
+//     (pario.StripeGrids), and a two-phase collective write first
+//     exchanges every rank's local spans into the stripe owners (the
+//     I/O server ranks) and only then touches disk — however the arrays
+//     are distributed, each stripe is written exactly once, sequentially,
+//     by one rank;
+//   - optional redundancy: a parity stripe (byte-wise XOR) or a full
+//     replica of every stripe, so any single lost or corrupt stripe file
+//     of an epoch is reconstructed at restore time — and repaired in
+//     place (self-healing); a Scrub pass detects and fixes rot before it
+//     is needed;
+//   - `manifest.json` recording the array descriptors (domain bounds and
+//     the full distribution expression), the stripe map with a CRC-32
+//     per stripe, and the redundancy mode.
+//
+// Epochs commit atomically: all files are written into `epoch-<n>.tmp`
+// and the directory is renamed only after every stripe's checksum has
+// been gathered into the manifest.  A crash mid-write leaves either a
+// previous committed epoch or a stale `.tmp` directory, which the next
+// Save garbage-collects.  Restore — and LatestEpoch — trust no epoch
+// blindly: they verify completeness (manifest parses, every stripe file
+// checks out or is recoverable through redundancy) and fall back epoch
+// by epoch to the newest verifiably complete one.
+//
+// The format-1 layout (one flat file per rank, PR 4) is still readable;
+// Save always writes format 2.
 //
 // Restore replays the recorded distribution over a *virtual* processor
 // arrangement of the checkpointed size, intersects its ownership grids
 // with the live machine's, and unpacks exactly the spans each surviving
 // rank now owns — so a checkpoint taken on P ranks restores onto any
-// machine size, fewer *or more* ranks (elastic shrink- and
-// expand-recovery, in the spirit of Sudarsan & Ribbens' redistribution
-// for resizable computations).  On the same rank
-// count the restore is a straight per-rank unpack of the recorded
-// payload: bit-identical.
+// machine size, fewer *or more* ranks.  On the same rank count the
+// restore is bit-identical.
 //
 // All entry points are SPMD-collective and error-returning; a rank whose
 // local I/O fails propagates the failure to every peer through a status
@@ -39,17 +58,76 @@ import (
 	"sort"
 	"strconv"
 
-	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/pario"
+	"repro/internal/trace"
 )
 
-// Version is the checkpoint format version.
-const Version = 1
+// Version is the checkpoint format version Save writes.
+const Version = 2
 
-const fileMagic = 0x5646434b // "VFCK"
+// VersionV1 is the PR-4 format: one flat file per writing rank, no
+// redundancy.  Still readable by Restore and LatestEpoch.
+const VersionV1 = 1
+
+const (
+	fileMagic   = 0x5646434b // "VFCK": v1 per-rank files
+	stripeMagic = 0x56465354 // "VFST": v2 stripe files
+)
+
+// Options configures the parallel-I/O side of Save/Restore.  The zero
+// value means: min(np, 4) I/O servers, parity redundancy, keep all
+// epochs, the real filesystem, no I/O deadline or retries.
+type Options struct {
+	// Servers is the number of I/O server ranks — and therefore stripe
+	// files — per epoch (<= 0: min(np, 4); capped at np).
+	Servers int
+	// Redundancy selects the self-healing mode: pario.RedundancyParity
+	// (default), pario.RedundancyReplica, or pario.RedundancyNone.
+	Redundancy string
+	// Keep, when > 0, prunes all but the newest Keep committed epochs
+	// after each successful Save (<= 0: keep everything).  The epoch just
+	// committed is never pruned.
+	Keep int
+	// FS returns the filesystem rank performs its I/O through (nil: the
+	// real filesystem for every rank).  Per-rank resolution keeps
+	// injected fault schedules deterministic: pass (*pario.FaultFS).Rank
+	// to put a seeded fault plan under every read and write.
+	FS func(rank int) pario.FS
+	// IO is the per-operation deadline/retry/backoff policy (and metrics
+	// sink) applied to every filesystem operation.
+	IO pario.Config
+}
+
+func (o Options) withDefaults(np int) Options {
+	if o.Servers <= 0 {
+		o.Servers = 4
+	}
+	if o.Servers > np {
+		o.Servers = np
+	}
+	if np < o.Servers {
+		o.Servers = np
+	}
+	if o.Redundancy == "" {
+		o.Redundancy = pario.RedundancyParity
+	}
+	if o.FS == nil {
+		o.FS = func(int) pario.FS { return pario.OS{} }
+	}
+	return o
+}
+
+// Validate rejects malformed options deterministically on every rank.
+func (o Options) Validate() error {
+	if o.Redundancy != "" && !pario.ValidRedundancy(o.Redundancy) {
+		return fmt.Errorf("ckpt: unknown redundancy mode %q (want none|parity|replica)", o.Redundancy)
+	}
+	return nil
+}
 
 // Manifest describes one committed checkpoint epoch.
 type Manifest struct {
@@ -61,7 +139,17 @@ type Manifest struct {
 	// checkpoint, so a recovered run knows where to resume.
 	Meta   map[string]string `json:",omitempty"`
 	Arrays []ArrayMeta
-	Files  []FileMeta
+	// Files lists the per-rank data files of a format-1 epoch.
+	Files []FileMeta `json:",omitempty"`
+	// NS is the stripe count of a format-2 epoch.
+	NS int `json:",omitempty"`
+	// Redundancy is the format-2 self-healing mode (none|parity|replica).
+	Redundancy string `json:",omitempty"`
+	// Stripes lists the stripe files of a format-2 epoch (Rank is the
+	// stripe index).
+	Stripes []FileMeta `json:",omitempty"`
+	// Parity is the parity stripe of a parity-redundant epoch.
+	Parity *FileMeta `json:",omitempty"`
 }
 
 // ArrayMeta records one array's descriptor at checkpoint time.
@@ -87,7 +175,8 @@ type DimMeta struct {
 	Bounds []int `json:",omitempty"`
 }
 
-// FileMeta records one rank file's integrity data.
+// FileMeta records one data file's integrity data.  Rank is the writing
+// rank for format-1 files and the stripe index for format-2 stripes.
 type FileMeta struct {
 	Rank int
 	Name string
@@ -106,8 +195,29 @@ func (m *Manifest) MetaInt(key string) (int, bool) {
 	return v, err == nil
 }
 
+// stripeSet builds the pario view of a format-2 epoch's files.
+func (m *Manifest) stripeSet(epochDir string) pario.StripeSet {
+	set := pario.StripeSet{Dir: epochDir, Redundancy: m.Redundancy}
+	for _, fm := range m.Stripes {
+		set.Stripes = append(set.Stripes, pario.StripeInfo{Name: fm.Name, Size: fm.Size, CRC: fm.CRC})
+	}
+	if m.Parity != nil {
+		set.Parity = &pario.StripeInfo{Name: m.Parity.Name, Size: m.Parity.Size, CRC: m.Parity.CRC}
+	}
+	return set
+}
+
+// EpochDir returns the directory a committed epoch lives in — the path
+// tools (and fault-injection tests) damage to exercise degraded-mode
+// restore.
+func EpochDir(dir string, epoch int) string {
+	return filepath.Join(dir, epochDirName(epoch))
+}
+
 func epochDirName(epoch int) string   { return fmt.Sprintf("epoch-%08d", epoch) }
 func rankFileName(rank int) string    { return fmt.Sprintf("rank-%04d.bin", rank) }
+func stripeFileName(s int) string     { return fmt.Sprintf("stripe-%04d.bin", s) }
+func parityFileName() string          { return "parity.bin" }
 func stagingDirName(epoch int) string { return epochDirName(epoch) + ".tmp" }
 func manifestPath(dir string) string  { return filepath.Join(dir, "manifest.json") }
 func domainOf(am ArrayMeta) (index.Domain, error) {
@@ -121,20 +231,19 @@ func domainOf(am ArrayMeta) (index.Domain, error) {
 	return index.NewDomain(bounds...), nil
 }
 
-var epochDirRe = regexp.MustCompile(`^epoch-(\d{8})$`)
+var (
+	epochDirRe   = regexp.MustCompile(`^epoch-(\d{8})$`)
+	stagingDirRe = regexp.MustCompile(`^epoch-\d{8}\.tmp$`)
+)
 
-// LatestEpoch scans dir for the highest committed epoch (one whose
-// manifest parses).  It returns epoch -1 and a nil manifest when dir
-// holds no committed checkpoint.  Staging (`.tmp`) directories and epochs
-// with unreadable manifests are skipped — an interrupted checkpoint is
-// invisible here.
-func LatestEpoch(dir string) (int, *Manifest, error) {
-	ents, err := os.ReadDir(dir)
+// epochsIn lists the committed epoch numbers in dir, descending.
+func epochsIn(f pario.FS, dir string) ([]int, error) {
+	ents, err := f.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return -1, nil, nil
+			return nil, nil
 		}
-		return -1, nil, fmt.Errorf("ckpt: scanning %s: %w", dir, err)
+		return nil, fmt.Errorf("ckpt: scanning %s: %w", dir, err)
 	}
 	var epochs []int
 	for _, e := range ents {
@@ -147,10 +256,58 @@ func LatestEpoch(dir string) (int, *Manifest, error) {
 		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(epochs)))
+	return epochs, nil
+}
+
+// verifyEpoch reports whether an epoch is *verifiably complete*: every
+// data file integrity-checks against the manifest, or — for a
+// redundant format-2 epoch — the damage is within what redundancy can
+// reconstruct.
+func verifyEpoch(f pario.FS, cfg pario.Config, tr *trace.Tracer, rank int, epochDir string, man *Manifest) bool {
+	if man.Version == VersionV1 {
+		if len(man.Files) != man.NP {
+			return false
+		}
+		for _, fm := range man.Files {
+			data, err := cfg.ReadFile(f, tr, rank, filepath.Join(epochDir, fm.Name))
+			if err != nil || int64(len(data)) != fm.Size || crc32IEEE(data) != fm.CRC {
+				return false
+			}
+		}
+		return true
+	}
+	if man.NS <= 0 || len(man.Stripes) != man.NS {
+		return false
+	}
+	set := man.stripeSet(epochDir)
+	return set.Verify(f, cfg, tr, rank).Recoverable
+}
+
+// LatestEpoch scans dir for the newest *verifiably complete* epoch: its
+// manifest parses and every data file checks out (or, for a redundant
+// epoch, is reconstructible).  It returns epoch -1 and a nil manifest
+// when dir holds no usable checkpoint.  Staging (`.tmp`) directories,
+// epochs with unreadable manifests, and epochs with missing or corrupt
+// data files beyond redundancy are all skipped — an interrupted or
+// bit-rotted checkpoint is invisible here, and the newest complete
+// predecessor wins.
+func LatestEpoch(dir string) (int, *Manifest, error) {
+	return latestUsable(pario.OS{}, pario.Config{}, nil, 0, dir)
+}
+
+func latestUsable(f pario.FS, cfg pario.Config, tr *trace.Tracer, rank int, dir string) (int, *Manifest, error) {
+	epochs, err := epochsIn(f, dir)
+	if err != nil {
+		return -1, nil, err
+	}
 	for _, n := range epochs {
-		man, err := readManifest(filepath.Join(dir, epochDirName(n)))
+		epochDir := filepath.Join(dir, epochDirName(n))
+		man, err := readManifest(f, cfg, tr, rank, epochDir)
 		if err != nil {
 			continue // uncommitted or damaged epoch: ignore
+		}
+		if !verifyEpoch(f, cfg, tr, rank, epochDir, man) {
+			continue // incomplete (lost/corrupt data files): fall back
 		}
 		return n, man, nil
 	}
@@ -160,30 +317,19 @@ func LatestEpoch(dir string) (int, *Manifest, error) {
 // maxEpochDir returns the highest epoch number with a directory in dir,
 // committed or not (damaged epochs still occupy their name, and the
 // commit rename must never collide with one).  -1 when none exist.
-func maxEpochDir(dir string) (int, error) {
-	ents, err := os.ReadDir(dir)
+func maxEpochDir(f pario.FS, dir string) (int, error) {
+	epochs, err := epochsIn(f, dir)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return -1, nil
-		}
 		return -1, err
 	}
-	max := -1
-	for _, e := range ents {
-		if !e.IsDir() {
-			continue
-		}
-		if m := epochDirRe.FindStringSubmatch(e.Name()); m != nil {
-			if n, _ := strconv.Atoi(m[1]); n > max {
-				max = n
-			}
-		}
+	if len(epochs) == 0 {
+		return -1, nil
 	}
-	return max, nil
+	return epochs[0], nil
 }
 
-func readManifest(epochDir string) (*Manifest, error) {
-	b, err := os.ReadFile(manifestPath(epochDir))
+func readManifest(f pario.FS, cfg pario.Config, tr *trace.Tracer, rank int, epochDir string) (*Manifest, error) {
+	b, err := cfg.ReadFile(f, tr, rank, manifestPath(epochDir))
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +337,8 @@ func readManifest(epochDir string) (*Manifest, error) {
 	if err := json.Unmarshal(b, &man); err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", manifestPath(epochDir), err)
 	}
-	if man.Version != Version {
-		return nil, fmt.Errorf("ckpt: %s: format version %d, want %d", epochDir, man.Version, Version)
+	if man.Version != Version && man.Version != VersionV1 {
+		return nil, fmt.Errorf("ckpt: %s: format version %d, want %d or %d", epochDir, man.Version, VersionV1, Version)
 	}
 	return &man, nil
 }
@@ -309,374 +455,11 @@ func appendU32(b []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(b, v)
 }
 
-// Save writes one coordinated checkpoint epoch of the given arrays
-// (collective; every rank passes the same arrays in the same order).
-// Every array must currently be distributed.  meta (may be nil) is stored
-// in the manifest for the restoring run.  It returns the committed epoch
-// number.
-func Save(ctx *machine.Ctx, dir string, arrays []*darray.Array, meta map[string]string) (int, error) {
-	rank, np := ctx.Rank(), ctx.NP()
-
-	// Serialize descriptors first (deterministic: every rank fails
-	// identically on a non-checkpointable distribution).
-	metas := make([]ArrayMeta, len(arrays))
-	for i, a := range arrays {
-		d := a.Dist()
-		if d == nil {
-			return -1, fmt.Errorf("ckpt: array %s has no distribution", a.Name())
-		}
-		dm, err := distMeta(d)
-		if err != nil {
-			return -1, fmt.Errorf("ckpt: array %s: %w", a.Name(), err)
-		}
-		dom := a.Domain()
-		am := ArrayMeta{Name: a.Name(), Dist: dm}
-		for k := 0; k < dom.Rank(); k++ {
-			am.Lo = append(am.Lo, dom.Lo[k])
-			am.Hi = append(am.Hi, dom.Hi[k])
-		}
-		metas[i] = am
-	}
-
-	// Rank 0 picks the epoch number and prepares the staging directory.
-	epoch := -1
-	var prepErr error
-	if rank == 0 {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			prepErr = err
-		} else if latest, err := maxEpochDir(dir); err != nil {
-			prepErr = err
-		} else {
-			epoch = latest + 1
-			staging := filepath.Join(dir, stagingDirName(epoch))
-			if err := os.RemoveAll(staging); err != nil {
-				prepErr = err
-			} else if err := os.Mkdir(staging, 0o755); err != nil {
-				prepErr = err
-			}
-		}
-		if prepErr != nil {
-			epoch = -1
-		}
-	}
-	ep, err := ctx.Comm().BcastInts(0, []int{epoch})
-	if err != nil {
-		return -1, fmt.Errorf("ckpt: epoch agreement: %w", err)
-	}
-	epoch = ep[0]
-	if epoch < 0 {
-		if prepErr != nil {
-			return -1, fmt.Errorf("ckpt: preparing %s: %w", dir, prepErr)
-		}
-		return -1, errors.New("ckpt: rank 0 failed to prepare the staging directory")
-	}
-	staging := filepath.Join(dir, stagingDirName(epoch))
-
-	// Each rank serializes and writes its local spans.
-	buf := make([]byte, 0, 4096)
-	buf = appendU32(buf, fileMagic)
-	buf = appendU32(buf, Version)
-	buf = appendU32(buf, uint32(epoch))
-	buf = appendU32(buf, uint32(rank))
-	buf = appendU32(buf, uint32(len(arrays)))
-	for _, a := range arrays {
-		l := a.Local(ctx)
-		g := l.Grid()
-		buf = appendU32(buf, uint32(g.Count()))
-		buf = l.AppendPacked(buf, g)
-	}
-	crc := crc32.ChecksumIEEE(buf)
-	writeErr := os.WriteFile(filepath.Join(staging, rankFileName(rank)), buf, 0o644)
-	if err := agree(ctx, writeErr); err != nil {
-		return -1, fmt.Errorf("ckpt: writing epoch %d: %w", epoch, err)
-	}
-
-	// Gather integrity data; rank 0 writes the manifest and commits.
-	sums, err := ctx.Comm().AllgatherInts([]int{int(crc), len(buf)})
-	if err != nil {
-		return -1, fmt.Errorf("ckpt: checksum gather: %w", err)
-	}
-	var commitErr error
-	if rank == 0 {
-		man := Manifest{Version: Version, Epoch: epoch, NP: np, Meta: meta, Arrays: metas}
-		for r := 0; r < np; r++ {
-			man.Files = append(man.Files, FileMeta{
-				Rank: r, Name: rankFileName(r), Size: int64(sums[r][1]), CRC: uint32(sums[r][0]),
-			})
-		}
-		b, err := json.MarshalIndent(&man, "", "  ")
-		if err == nil {
-			err = os.WriteFile(manifestPath(staging), b, 0o644)
-		}
-		if err == nil {
-			// The rename is the commit point: before it the epoch is an
-			// ignorable .tmp directory, after it the manifest and every
-			// checksummed rank file are in place.
-			err = os.Rename(staging, filepath.Join(dir, epochDirName(epoch)))
-		}
-		commitErr = err
-	}
-	if err := agree(ctx, commitErr); err != nil {
-		return -1, fmt.Errorf("ckpt: committing epoch %d: %w", epoch, err)
-	}
-	return epoch, nil
+func getU32(b []byte, off int) uint32 {
+	return binary.LittleEndian.Uint32(b[off:])
 }
 
-// rankPayloads parses and integrity-checks one recorded rank file,
-// returning the per-array payloads in manifest order.
-func rankPayloads(epochDir string, man *Manifest, r int) ([][]byte, error) {
-	fm := man.Files[r]
-	data, err := os.ReadFile(filepath.Join(epochDir, fm.Name))
-	if err != nil {
-		return nil, err
-	}
-	if int64(len(data)) != fm.Size || crc32.ChecksumIEEE(data) != fm.CRC {
-		return nil, fmt.Errorf("ckpt: %s/%s: checksum mismatch (corrupt or interrupted checkpoint)", epochDir, fm.Name)
-	}
-	if len(data) < 20 {
-		return nil, fmt.Errorf("ckpt: %s/%s: truncated header", epochDir, fm.Name)
-	}
-	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(data[off:])) }
-	if u32(0) != fileMagic || u32(4) != Version || u32(8) != man.Epoch || u32(12) != r {
-		return nil, fmt.Errorf("ckpt: %s/%s: header mismatch", epochDir, fm.Name)
-	}
-	narr := u32(16)
-	if narr != len(man.Arrays) {
-		return nil, fmt.Errorf("ckpt: %s/%s: %d arrays recorded, manifest has %d", epochDir, fm.Name, narr, len(man.Arrays))
-	}
-	payloads := make([][]byte, narr)
-	off := 20
-	for i := 0; i < narr; i++ {
-		if off+4 > len(data) {
-			return nil, fmt.Errorf("ckpt: %s/%s: truncated payload table", epochDir, fm.Name)
-		}
-		n := u32(off)
-		off += 4
-		if off+8*n > len(data) {
-			return nil, fmt.Errorf("ckpt: %s/%s: truncated payload %d", epochDir, fm.Name, i)
-		}
-		payloads[i] = data[off : off+8*n]
-		off += 8 * n
-	}
-	return payloads, nil
-}
-
-// extract pulls the values at want's points (canonical order) out of a
-// payload recorded in from's canonical enumeration order.  want must be a
-// subset of from.
-func extract(payload []byte, from, want index.Grid) []byte {
-	// Column-major position strides over from's per-dimension counts,
-	// dimension 0 innermost — the canonical enumeration of ForEachRun.
-	strd := make([]int, from.Rank())
-	mul := 1
-	for k := range strd {
-		strd[k] = mul
-		mul *= from.Dims[k].Count()
-	}
-	var out []byte
-	out, _ = msg.GrowFloat64s(out, want.Count())
-	off := 0
-	want.ForEachRun(func(p index.Point, r index.Run) bool {
-		row := 0
-		for k := 1; k < len(p); k++ {
-			row += from.Dims[k].IndexOf(p[k]) * strd[k]
-		}
-		for i := r.Lo; i <= r.Hi; i += r.Stride {
-			idx := row + from.Dims[0].IndexOf(i)
-			msg.PutFloat64(out, off, msg.GetFloat64(payload, 8*idx))
-			off += 8
-		}
-		return true
-	})
-	return out
-}
-
-// RestoreResult reports what a restore did.
-type RestoreResult struct {
-	Manifest *Manifest
-	// Resized is true when the checkpoint was written by a different
-	// number of ranks than the restoring machine has.
-	Resized bool
-}
-
-// Restore fills the given arrays from the latest committed epoch in dir
-// (collective).  Arrays are matched to the manifest by name; every
-// manifest array must be present (extra live arrays are left untouched).
-// Each array is first re-associated with the restored distribution
-// descriptor — replayed exactly when the surviving machine can host the
-// recorded processor arrangement, re-factored over the surviving ranks
-// otherwise (np-dependent S_BLOCK/B_BLOCK specifiers degrade to BLOCK) —
-// and then filled with the recorded values.  Ghost areas are left stale;
-// refresh them with ExchangeGhosts before stencil use.
-func Restore(ctx *machine.Ctx, dir string, arrays []*darray.Array) (*RestoreResult, error) {
-	rank, np := ctx.Rank(), ctx.NP()
-
-	// Rank 0 locates the latest committed epoch and broadcasts the
-	// manifest so every rank restores the same one even if a concurrent
-	// writer commits meanwhile.
-	var manBytes []byte
-	var scanErr error
-	if rank == 0 {
-		epoch, man, err := LatestEpoch(dir)
-		switch {
-		case err != nil:
-			scanErr = err
-		case epoch < 0:
-			scanErr = fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
-		default:
-			manBytes, scanErr = json.Marshal(man)
-		}
-		if scanErr != nil {
-			manBytes = nil
-		}
-	}
-	manBytes, err := ctx.Comm().Bcast(0, manBytes)
-	if err != nil {
-		return nil, fmt.Errorf("ckpt: manifest broadcast: %w", err)
-	}
-	if len(manBytes) == 0 {
-		if scanErr != nil {
-			return nil, scanErr
-		}
-		return nil, fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
-	}
-	var man Manifest
-	if err := json.Unmarshal(manBytes, &man); err != nil {
-		return nil, fmt.Errorf("ckpt: manifest decode: %w", err)
-	}
-	if len(man.Files) != man.NP {
-		return nil, fmt.Errorf("ckpt: manifest lists %d files for %d ranks", len(man.Files), man.NP)
-	}
-	epochDir := filepath.Join(dir, epochDirName(man.Epoch))
-
-	byName := make(map[string]*darray.Array, len(arrays))
-	for _, a := range arrays {
-		byName[a.Name()] = a
-	}
-
-	// Old-rank payloads are loaded (and integrity-checked) on demand,
-	// once per old rank per restoring rank.
-	loaded := make(map[int][][]byte)
-	payloadsOf := func(r int) ([][]byte, error) {
-		if p, ok := loaded[r]; ok {
-			return p, nil
-		}
-		p, err := rankPayloads(epochDir, &man, r)
-		if err != nil {
-			return nil, err
-		}
-		loaded[r] = p
-		return p, nil
-	}
-
-	res := &RestoreResult{Manifest: &man, Resized: man.NP != np}
-	for ai, am := range man.Arrays {
-		arr, ok := byName[am.Name]
-		if !ok {
-			return nil, fmt.Errorf("ckpt: checkpointed array %s is not declared in the restoring program", am.Name)
-		}
-		dom, err := domainOf(am)
-		if err != nil {
-			return nil, err
-		}
-		if !arr.Domain().Equal(dom) {
-			return nil, fmt.Errorf("ckpt: array %s: domain %v in checkpoint, %v declared", am.Name, dom, arr.Domain())
-		}
-
-		// The old distribution, replayed over a virtual arrangement of
-		// the recorded size.  Built once and shared (SPMD) so its
-		// memoized ownership tables exist once.
-		type distOrErr struct {
-			d   *dist.Distribution
-			err error
-		}
-		old := ctx.CollectiveOnce(func() any {
-			d, err := replay(am.Dist, dom)
-			return distOrErr{d, err}
-		}).(distOrErr)
-		if old.err != nil {
-			return nil, fmt.Errorf("ckpt: array %s: %w", am.Name, old.err)
-		}
-		oldD := old.d
-
-		// The destination distribution on the live machine: the recorded
-		// arrangement when the sizes match exactly, a balanced
-		// re-factorization over all np ranks otherwise.  Both directions
-		// resize: a restore onto fewer ranks (shrink recovery) compacts
-		// the arrangement, and a restore onto more ranks (expand
-		// recovery after a join) spreads it so the new members own data
-		// instead of idling.
-		oldExt := am.Dist.TargetExtents
-		newExt := oldExt
-		if (virtualTarget{ext: oldExt}).Size() != np {
-			newExt = balancedExtents(np, len(oldExt))
-		}
-		newMeta := am.Dist
-		if !intsEqual(newExt, oldExt) {
-			newMeta = remapDims(am.Dist, newExt)
-		}
-		procName := "$CKPT"
-		for _, e := range newExt {
-			procName += "x" + strconv.Itoa(e)
-		}
-		target := ctx.Machine().ProcsDim(procName, newExt...).Whole()
-		neu := ctx.CollectiveOnce(func() any {
-			typ, err := typeOf(newMeta)
-			if err != nil {
-				return distOrErr{nil, err}
-			}
-			d, err := dist.New(typ, dom, target)
-			return distOrErr{d, err}
-		}).(distOrErr)
-		if neu.err != nil {
-			return nil, fmt.Errorf("ckpt: array %s: rebuilding distribution: %w", am.Name, neu.err)
-		}
-
-		// Adopt the descriptor without moving the (stale) data, then fill
-		// the owned spans from the recorded payloads.
-		if err := arr.RedistributeTo(ctx, neu.d, darray.NoTransfer()); err != nil {
-			return nil, fmt.Errorf("ckpt: array %s: %w", am.Name, err)
-		}
-		l := arr.Local(ctx)
-		myGrid := l.Grid()
-		var fillErr error
-		for r := 0; r < man.NP && fillErr == nil; r++ {
-			if !oldD.IsPrimaryRank(r) {
-				continue // replicated copies are identical; read one
-			}
-			oldGrid := oldD.LocalGrid(r)
-			inter := myGrid.Intersect(oldGrid)
-			if inter.Empty() {
-				continue
-			}
-			payloads, err := payloadsOf(r)
-			if err != nil {
-				fillErr = err
-				break
-			}
-			payload := payloads[ai]
-			if msg.Float64Count(payload) != oldGrid.Count() {
-				fillErr = fmt.Errorf("ckpt: array %s: rank %d payload has %d values, grid has %d",
-					am.Name, r, msg.Float64Count(payload), oldGrid.Count())
-				break
-			}
-			if gridsEqual(inter, oldGrid) && gridsEqual(inter, myGrid) {
-				// Same ownership (the same-rank-count fast path): unpack
-				// the whole recorded payload directly — bit-identical.
-				l.UnpackWire(myGrid, payload)
-				continue
-			}
-			l.UnpackWire(inter, extract(payload, oldGrid, inter))
-		}
-		if err := agree(ctx, fillErr); err != nil {
-			return nil, fmt.Errorf("ckpt: array %s: restore: %w", am.Name, err)
-		}
-	}
-	if err := ctx.Barrier(); err != nil {
-		return nil, fmt.Errorf("ckpt: restore barrier: %w", err)
-	}
-	return res, nil
-}
+func crc32IEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 
 // remapDims adapts np-dependent per-dimension specifiers to a new
 // processor arrangement: S_BLOCK/B_BLOCK segment tables sized for the old

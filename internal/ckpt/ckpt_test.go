@@ -200,8 +200,11 @@ func TestMetaRoundTrip(t *testing.T) {
 	if it, ok := man.MetaInt("iter"); !ok || it != 7 {
 		t.Fatalf("MetaInt(iter) = %d, %v", it, ok)
 	}
-	if man.NP != 2 || len(man.Files) != 2 || len(man.Arrays) != 1 {
+	if man.NP != 2 || len(man.Arrays) != 1 {
 		t.Fatalf("manifest shape: %+v", man)
+	}
+	if man.NS != 2 || len(man.Stripes) != 2 || man.Redundancy != "parity" || man.Parity == nil {
+		t.Fatalf("stripe map: %+v", man)
 	}
 }
 
@@ -253,29 +256,35 @@ func TestEpochsAccumulate(t *testing.T) {
 	}
 }
 
-// TestCorruptFileRejected: a flipped byte in a rank file must fail the
-// restore with a checksum error on every rank.
+// TestCorruptFileRejected: damage beyond what redundancy can rebuild (a
+// data stripe AND the parity stripe) must make the epoch invisible — a
+// bit-rotted checkpoint is never silently restored.
 func TestCorruptFileRejected(t *testing.T) {
 	dir := t.TempDir()
 	saveOn(t, 2, dir, "block", nil)
-	path := filepath.Join(dir, epochDirName(0), rankFileName(1))
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
+	for _, name := range []string{stripeFileName(1), parityFileName()} {
+		path := filepath.Join(dir, epochDirName(0), name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	data[len(data)-1] ^= 0xff
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		t.Fatal(err)
+	if epoch, _, err := LatestEpoch(dir); err != nil || epoch != -1 {
+		t.Fatalf("LatestEpoch sees unrecoverable epoch: %d, %v", epoch, err)
 	}
 	m := machine.New(1)
 	defer m.Close()
-	err = m.Run(func(ctx *machine.Ctx) error {
+	err := m.Run(func(ctx *machine.Ctx) error {
 		a := darray.NewUndistributed(ctx, "A", domFor("block"))
 		_, err := Restore(ctx, dir, []*darray.Array{a})
 		return err
 	})
-	if err == nil || !strings.Contains(err.Error(), "checksum") {
-		t.Fatalf("corrupt restore err = %v, want checksum mismatch", err)
+	if err == nil || !strings.Contains(err.Error(), "no committed checkpoint") {
+		t.Fatalf("corrupt restore err = %v, want no usable checkpoint", err)
 	}
 }
 

@@ -1,0 +1,434 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/darray"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/pario"
+)
+
+// newMachine builds an np-rank machine over the named transport
+// ("chan" or "tcp").
+func newMachine(t *testing.T, np int, transport string) *machine.Machine {
+	t.Helper()
+	if transport == "tcp" {
+		tcp, err := msg.NewTCPTransport(np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return machine.New(np, machine.WithTransport(tcp))
+	}
+	return machine.New(np)
+}
+
+// saveOpts runs an SPMD save of one freshly filled block-distributed
+// array under the given I/O options.
+func saveOpts(t *testing.T, np int, transport, dir string, opts Options, val func(index.Point) float64) error {
+	t.Helper()
+	m := newMachine(t, np, transport)
+	defer m.Close()
+	return m.Run(func(ctx *machine.Ctx) error {
+		dom := domFor("block")
+		a := darray.New(ctx, "A", dom, distFor(ctx, "block", dom, np))
+		a.FillFunc(ctx, val)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		_, err := SaveOpts(ctx, dir, []*darray.Array{a}, nil, opts)
+		return err
+	})
+}
+
+// restoreOpts restores onto np ranks over the named transport, verifies
+// every element against val bit-exactly, and returns the summed per-rank
+// repair count.
+func restoreOpts(t *testing.T, np int, transport, dir string, opts Options, val func(index.Point) float64) int {
+	t.Helper()
+	m := newMachine(t, np, transport)
+	defer m.Close()
+	repairs := make([]int, np)
+	err := m.Run(func(ctx *machine.Ctx) error {
+		dom := domFor("block")
+		a := darray.NewUndistributed(ctx, "A", dom)
+		res, err := RestoreOpts(ctx, dir, []*darray.Array{a}, opts)
+		if err != nil {
+			return err
+		}
+		repairs[ctx.Rank()] = res.Repaired
+		got, err := a.GatherTo(ctx, 0)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			dom.WholeSection().ForEach(func(p index.Point) bool {
+				if want := val(p); got[dom.Offset(p)] != want {
+					t.Errorf("[%v] = %v, want %v (bit-exact)", p, got[dom.Offset(p)], want)
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("restore on %d %s ranks: %v", np, transport, err)
+	}
+	total := 0
+	for _, r := range repairs {
+		total += r
+	}
+	return total
+}
+
+func noStagingLeft(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("stale staging dir %s survived the next Save", e.Name())
+		}
+	}
+}
+
+// TestSaveAbortMatrix kills a Save at every distinct stage of its
+// write path via persistent injected faults — staging mkdir, stripe
+// write, parity write, manifest write, commit rename — and checks the
+// crash-safety contract each time: the failure surfaces on every rank,
+// the previously committed epoch is untouched and restores bit-exact,
+// and the next clean Save garbage-collects the crash's staging debris
+// and commits past it.
+func TestSaveAbortMatrix(t *testing.T) {
+	stages := []struct {
+		name string
+		plan string
+	}{
+		{"mkdir-staging", "eio,op=mkdir,path=.tmp"},
+		{"stripe-write", "eio,op=write,path=stripe-"},
+		{"parity-write", "eio,op=write,path=parity"},
+		{"manifest-write", "eio,op=write,path=manifest"},
+		{"commit-rename", "eio,op=rename,path=.tmp"},
+	}
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{Servers: 2, Redundancy: pario.RedundancyParity}
+			if err := saveOpts(t, 2, "chan", dir, opts, fill); err != nil {
+				t.Fatalf("clean save: %v", err)
+			}
+
+			plan, err := pario.ParseFaultPlan(st.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ff := pario.NewFaultFS(pario.OS{}, plan)
+			faulty := opts
+			faulty.FS = ff.Rank
+			if err := saveOpts(t, 2, "chan", dir, faulty, fill); err == nil {
+				t.Fatalf("save with %s fault reported success", st.name)
+			}
+
+			// The aborted epoch is invisible; epoch 0 restores bit-exact.
+			if epoch, _, err := LatestEpoch(dir); err != nil || epoch != 0 {
+				t.Fatalf("LatestEpoch after abort = %d, %v; want 0", epoch, err)
+			}
+			restoreOpts(t, 2, "chan", dir, opts, fill)
+
+			// The next clean Save sweeps the debris and commits.
+			if err := saveOpts(t, 2, "chan", dir, opts, fill); err != nil {
+				t.Fatalf("save after abort: %v", err)
+			}
+			if epoch, _, err := LatestEpoch(dir); err != nil || epoch != 1 {
+				t.Fatalf("post-abort save epoch = %d, %v; want 1", epoch, err)
+			}
+			noStagingLeft(t, dir)
+		})
+	}
+}
+
+// TestDamageRestoreMatrix is the acceptance matrix: with redundancy,
+// deleting, truncating or bit-rotting any single file of the newest
+// epoch still restores bit-exact (MaxErr == 0) on both transports, with
+// transient injected read faults healed by the retry policy, and the
+// damaged file is repaired in place.
+func TestDamageRestoreMatrix(t *testing.T) {
+	type damage struct {
+		name       string
+		redundancy string
+		file       func(man *Manifest) string
+		apply      func(t *testing.T, path string)
+		repairs    bool // a data stripe was rebuilt and healed
+	}
+	remove := func(t *testing.T, path string) {
+		t.Helper()
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truncate := func(t *testing.T, path string) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rot := func(t *testing.T, path string) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x10
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stripe := func(i int) func(*Manifest) string {
+		return func(man *Manifest) string { return man.Stripes[i].Name }
+	}
+	cases := []damage{
+		{"lost-stripe", pario.RedundancyParity, stripe(1), remove, true},
+		{"torn-stripe", pario.RedundancyParity, stripe(0), truncate, true},
+		{"bitrot-stripe", pario.RedundancyParity, stripe(2), rot, true},
+		{"lost-parity", pario.RedundancyParity, func(man *Manifest) string { return man.Parity.Name }, remove, false},
+		{"lost-stripe-replica-mode", pario.RedundancyReplica, stripe(1), remove, true},
+		{"rotten-replica", pario.RedundancyReplica,
+			func(man *Manifest) string { return pario.ReplicaName(man.Stripes[0].Name) }, rot, false},
+	}
+	for _, transport := range []string{"chan", "tcp"} {
+		for _, tc := range cases {
+			t.Run(transport+"/"+tc.name, func(t *testing.T) {
+				dir := t.TempDir()
+				opts := Options{Servers: 3, Redundancy: tc.redundancy}
+				if err := saveOpts(t, 4, transport, dir, opts, fill); err != nil {
+					t.Fatal(err)
+				}
+				epoch, man, err := LatestEpoch(dir)
+				if err != nil || epoch != 0 {
+					t.Fatalf("LatestEpoch = %d, %v", epoch, err)
+				}
+				victim := filepath.Join(EpochDir(dir, epoch), tc.file(man))
+				tc.apply(t, victim)
+
+				// Restore under a transient injected read fault: the first
+				// stripe read on every rank fails once and heals on retry.
+				plan, err := pario.ParseFaultPlan("eio,op=read,path=stripe-,count=1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				degraded := opts
+				degraded.FS = pario.NewFaultFS(pario.OS{}, plan).Rank
+				degraded.IO = pario.Config{Timeout: 2 * time.Second, Retries: 2, Backoff: time.Millisecond}
+				repairs := restoreOpts(t, 4, transport, dir, degraded, fill)
+				if tc.repairs && repairs == 0 {
+					t.Error("no rank reported a stripe reconstruction")
+				}
+
+				// Self-healing: the restore repaired damaged data stripes in
+				// place, so a plain Verify of the epoch sees them intact.
+				set := man.stripeSet(EpochDir(dir, epoch))
+				h := set.Verify(pario.OS{}, pario.Config{}, nil, 0)
+				if !h.Recoverable || len(h.BadStripes) > 0 {
+					t.Errorf("epoch not healed after restore: %+v", h)
+				}
+			})
+		}
+	}
+}
+
+// TestRetention: -ckpt-keep prunes old epochs after a successful commit;
+// keep <= 0 keeps everything.
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Servers: 2, Redundancy: pario.RedundancyParity, Keep: 2}
+	for i := 0; i < 4; i++ {
+		if err := saveOpts(t, 2, "chan", dir, opts, fill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochs, err := epochsIn(pario.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[0] != 3 || epochs[1] != 2 {
+		t.Fatalf("retained epochs = %v, want [3 2]", epochs)
+	}
+	restoreOpts(t, 2, "chan", dir, Options{}, fill)
+
+	// Keep-all (the default): nothing pruned.
+	dir = t.TempDir()
+	opts.Keep = 0
+	for i := 0; i < 3; i++ {
+		if err := saveOpts(t, 2, "chan", dir, opts, fill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epochs, _ = epochsIn(pario.OS{}, dir); len(epochs) != 3 {
+		t.Fatalf("keep-all retained %v", epochs)
+	}
+}
+
+// TestEpochFallbackRestoresOlder: when the newest epoch is damaged
+// beyond its redundancy, LatestEpoch and Restore fall back to the newest
+// verifiably complete one — and restore its values, not the damaged
+// epoch's.
+func TestEpochFallbackRestoresOlder(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Servers: 2, Redundancy: pario.RedundancyNone}
+	valA := func(p index.Point) float64 { return 1000 + fill(p) }
+	valB := func(p index.Point) float64 { return 2000 + fill(p) }
+	if err := saveOpts(t, 2, "chan", dir, opts, valA); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveOpts(t, 2, "chan", dir, opts, valB); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, _, err := LatestEpoch(dir); err != nil || epoch != 1 {
+		t.Fatalf("LatestEpoch = %d, %v", epoch, err)
+	}
+	// No redundancy: losing one stripe makes epoch 1 unusable.
+	if err := os.Remove(filepath.Join(EpochDir(dir, 1), stripeFileName(0))); err != nil {
+		t.Fatal(err)
+	}
+	epoch, man, err := LatestEpoch(dir)
+	if err != nil || epoch != 0 || man == nil {
+		t.Fatalf("LatestEpoch after damage = %d, %v, %v; want 0", epoch, man, err)
+	}
+	if restoreOpts(t, 2, "chan", dir, opts, valA) != 0 {
+		t.Error("fallback restore reported repairs with no redundancy")
+	}
+}
+
+// writeV1Epoch hand-crafts a committed format-1 epoch (one flat file per
+// rank, BLOCK over two ranks) the way the pre-striping code wrote it.
+func writeV1Epoch(t *testing.T, dir string, dom index.Domain, val func(index.Point) float64) {
+	t.Helper()
+	epochDir := filepath.Join(dir, epochDirName(0))
+	if err := os.MkdirAll(epochDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man := Manifest{
+		Version: VersionV1, Epoch: 0, NP: 2,
+		Arrays: []ArrayMeta{{
+			Name: "A",
+			Dist: DistMeta{Dims: []DimMeta{{Kind: "BLOCK"}}, TargetExtents: []int{2}},
+			Lo:   []int{dom.Lo[0]}, Hi: []int{dom.Hi[0]},
+		}},
+	}
+	n := dom.Extent(0)
+	half := (n + 1) / 2
+	bounds := [][2]int{{dom.Lo[0], dom.Lo[0] + half - 1}, {dom.Lo[0] + half, dom.Hi[0]}}
+	for r, b := range bounds {
+		buf := appendU32(nil, fileMagic)
+		buf = appendU32(buf, VersionV1)
+		buf = appendU32(buf, 0) // epoch
+		buf = appendU32(buf, uint32(r))
+		buf = appendU32(buf, 1) // narr
+		buf = appendU32(buf, uint32(b[1]-b[0]+1))
+		for i := b[0]; i <= b[1]; i++ {
+			buf = msg.AppendFloat64s(buf, []float64{val(index.Point{i})})
+		}
+		name := rankFileName(r)
+		if err := os.WriteFile(filepath.Join(epochDir, name), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		man.Files = append(man.Files, FileMeta{Rank: r, Name: name, Size: int64(len(buf)), CRC: crc32IEEE(buf)})
+	}
+	b, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifestPath(epochDir), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1Compat: a format-1 checkpoint written before the striped layout
+// still restores — on the same rank count (the bit-identical fast path)
+// and across a resize — and Scrub verifies it without inventing repairs.
+func TestV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	dom := domFor("block")
+	writeV1Epoch(t, dir, dom, fill)
+
+	epoch, man, err := LatestEpoch(dir)
+	if err != nil || epoch != 0 || man.Version != VersionV1 {
+		t.Fatalf("LatestEpoch = %d, %+v, %v", epoch, man, err)
+	}
+	restoreOpts(t, 2, "chan", dir, Options{}, fill)
+	restoreOpts(t, 3, "chan", dir, Options{}, fill)
+
+	sum, err := Scrub(dir, Options{})
+	if err != nil || sum.Epochs != 1 || sum.Checked != 2 || len(sum.Repaired) != 0 || len(sum.Unrecoverable) != 0 {
+		t.Fatalf("Scrub(v1) = %+v, %v", sum, err)
+	}
+
+	// Damaged v1 files have no redundancy: Scrub reports, restore falls
+	// through to an error rather than serving rotten bytes.
+	rotPath := filepath.Join(EpochDir(dir, 0), rankFileName(1))
+	data, _ := os.ReadFile(rotPath)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(rotPath, data, 0o644)
+	sum, err = Scrub(dir, Options{})
+	if err != nil || len(sum.Unrecoverable) != 1 {
+		t.Fatalf("Scrub(rotten v1) = %+v, %v", sum, err)
+	}
+	if epoch, _, err := LatestEpoch(dir); err != nil || epoch != -1 {
+		t.Fatalf("rotten v1 epoch still visible: %d, %v", epoch, err)
+	}
+}
+
+// TestScrubHealsCommittedEpochs: Scrub over a directory of striped
+// epochs repairs rot in every epoch it can and leaves them all verifying
+// clean.
+func TestScrubHealsCommittedEpochs(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Servers: 2, Redundancy: pario.RedundancyParity}
+	for i := 0; i < 2; i++ {
+		if err := saveOpts(t, 2, "chan", dir, opts, fill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		path := filepath.Join(EpochDir(dir, epoch), stripeFileName(epoch%2))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/3] ^= 0x08
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	met := &pario.Metrics{}
+	sum, err := Scrub(dir, Options{Servers: 2, Redundancy: pario.RedundancyParity, IO: pario.Config{Metrics: met}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Epochs != 2 || len(sum.Repaired) != 2 || len(sum.Unrecoverable) != 0 {
+		t.Fatalf("Scrub = %+v", sum)
+	}
+	if met.Repairs.Load() != 2 {
+		t.Fatalf("repair metric = %d, want 2", met.Repairs.Load())
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		_, man, err := LatestEpoch(dir)
+		if err != nil || man == nil {
+			t.Fatal(err)
+		}
+	}
+	restoreOpts(t, 2, "chan", dir, opts, fill)
+}

@@ -1,0 +1,342 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/index"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/pario"
+	"repro/internal/trace"
+)
+
+// RestoreResult reports what a restore did.
+type RestoreResult struct {
+	Manifest *Manifest
+	// Resized is true when the checkpoint was written by a different
+	// number of ranks than the restoring machine has.
+	Resized bool
+	// Repaired counts stripe reconstructions this rank performed while
+	// reading — nonzero means the epoch was read in degraded mode and
+	// healed in place.  Per-rank, informational.
+	Repaired int
+}
+
+// Restore fills the given arrays from the newest verifiably complete
+// epoch in dir with default I/O options (collective).  See RestoreOpts.
+func Restore(ctx *machine.Ctx, dir string, arrays []*darray.Array) (*RestoreResult, error) {
+	return RestoreOpts(ctx, dir, arrays, Options{})
+}
+
+// RestoreOpts fills the given arrays from the newest verifiably
+// complete epoch in dir (collective).  Epoch selection distrusts the
+// directory: an epoch whose manifest is unreadable, or whose data files
+// are damaged beyond what its redundancy can reconstruct, is skipped
+// and the next older one is tried — restore falls back epoch by epoch
+// to the newest one that can actually be read.  Damaged stripes
+// encountered while reading are reconstructed from redundancy and
+// repaired in place (self-healing).
+//
+// Arrays are matched to the manifest by name; every manifest array must
+// be present (extra live arrays are left untouched).  Each array is
+// first re-associated with the restored distribution descriptor —
+// replayed exactly when the surviving machine can host the recorded
+// processor arrangement, re-factored over the surviving ranks otherwise
+// (np-dependent S_BLOCK/B_BLOCK specifiers degrade to BLOCK) — and then
+// filled with the recorded values.  Ghost areas are left stale; refresh
+// them with ExchangeGhosts before stencil use.
+func RestoreOpts(ctx *machine.Ctx, dir string, arrays []*darray.Array, opts Options) (*RestoreResult, error) {
+	rank, np := ctx.Rank(), ctx.NP()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(np)
+	f := opts.FS(rank)
+	cfg := opts.IO
+	tr := ctx.Tracer()
+
+	// Rank 0 locates the newest usable epoch — verifying completeness
+	// and falling back past damaged ones — and broadcasts the manifest
+	// so every rank restores the same epoch even if a concurrent writer
+	// commits meanwhile.
+	var manBytes []byte
+	var scanErr error
+	if rank == 0 {
+		epoch, man, err := latestUsable(f, cfg, tr, rank, dir)
+		switch {
+		case err != nil:
+			scanErr = err
+		case epoch < 0:
+			scanErr = fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
+		default:
+			manBytes, scanErr = json.Marshal(man)
+		}
+		if scanErr != nil {
+			manBytes = nil
+		}
+	}
+	manBytes, err := ctx.Comm().Bcast(0, manBytes)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: manifest broadcast: %w", err)
+	}
+	if len(manBytes) == 0 {
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		return nil, fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manBytes, &man); err != nil {
+		return nil, fmt.Errorf("ckpt: manifest decode: %w", err)
+	}
+	epochDir := filepath.Join(dir, epochDirName(man.Epoch))
+
+	byName := make(map[string]*darray.Array, len(arrays))
+	for _, a := range arrays {
+		byName[a.Name()] = a
+	}
+
+	res := &RestoreResult{Manifest: &man, Resized: man.NP != np}
+
+	// The two formats differ only in where the recorded bytes live: v1
+	// keys payloads by writing rank (so the old distribution must be
+	// replayed to know what each file holds), v2 by stripe of the
+	// canonical file order (layout-independent).  Readers cache files so
+	// each rank touches each file at most once per restore.
+	var v1 *v1Reader
+	var v2 *stripeReader
+	if man.Version == VersionV1 {
+		if len(man.Files) != man.NP {
+			return nil, fmt.Errorf("ckpt: manifest lists %d files for %d ranks", len(man.Files), man.NP)
+		}
+		v1 = newV1Reader(f, cfg, tr, rank, epochDir, &man)
+	} else {
+		if man.NS <= 0 || len(man.Stripes) != man.NS {
+			return nil, fmt.Errorf("ckpt: manifest lists %d stripes for NS=%d", len(man.Stripes), man.NS)
+		}
+		v2 = newStripeReader(f, cfg, tr, rank, epochDir, &man)
+	}
+
+	for ai, am := range man.Arrays {
+		arr, ok := byName[am.Name]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: checkpointed array %s is not declared in the restoring program", am.Name)
+		}
+		dom, err := domainOf(am)
+		if err != nil {
+			return nil, err
+		}
+		if !arr.Domain().Equal(dom) {
+			return nil, fmt.Errorf("ckpt: array %s: domain %v in checkpoint, %v declared", am.Name, dom, arr.Domain())
+		}
+
+		// The destination distribution on the live machine: the recorded
+		// arrangement when the sizes match exactly, a balanced
+		// re-factorization over all np ranks otherwise.  Both directions
+		// resize: a restore onto fewer ranks (shrink recovery) compacts
+		// the arrangement, and a restore onto more ranks (expand
+		// recovery after a join) spreads it so the new members own data
+		// instead of idling.
+		oldExt := am.Dist.TargetExtents
+		newExt := oldExt
+		if (virtualTarget{ext: oldExt}).Size() != np {
+			newExt = balancedExtents(np, len(oldExt))
+		}
+		newMeta := am.Dist
+		if !intsEqual(newExt, oldExt) {
+			newMeta = remapDims(am.Dist, newExt)
+		}
+		procName := "$CKPT"
+		for _, e := range newExt {
+			procName += "x" + strconv.Itoa(e)
+		}
+		target := ctx.Machine().ProcsDim(procName, newExt...).Whole()
+		type distOrErr struct {
+			d   *dist.Distribution
+			err error
+		}
+		neu := ctx.CollectiveOnce(func() any {
+			typ, err := typeOf(newMeta)
+			if err != nil {
+				return distOrErr{nil, err}
+			}
+			d, err := dist.New(typ, dom, target)
+			return distOrErr{d, err}
+		}).(distOrErr)
+		if neu.err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: rebuilding distribution: %w", am.Name, neu.err)
+		}
+
+		// Adopt the descriptor without moving the (stale) data, then fill
+		// the owned spans from the recorded bytes.
+		if err := arr.RedistributeTo(ctx, neu.d, darray.NoTransfer()); err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: %w", am.Name, err)
+		}
+		l := arr.Local(ctx)
+		myGrid := l.Grid()
+
+		var fillErr error
+		if v2 != nil {
+			fillErr = v2.fill(l, myGrid, am, ai, dom)
+		} else {
+			// v1: the old distribution, replayed over a virtual
+			// arrangement of the recorded size.  Built once and shared
+			// (SPMD) so its memoized ownership tables exist once.
+			old := ctx.CollectiveOnce(func() any {
+				d, err := replay(am.Dist, dom)
+				return distOrErr{d, err}
+			}).(distOrErr)
+			if old.err != nil {
+				return nil, fmt.Errorf("ckpt: array %s: %w", am.Name, old.err)
+			}
+			fillErr = v1.fill(l, myGrid, old.d, ai, man.NP)
+		}
+		if err := agree(ctx, fillErr); err != nil {
+			return nil, fmt.Errorf("ckpt: array %s: restore: %w", am.Name, err)
+		}
+	}
+	if v2 != nil {
+		res.Repaired = v2.repaired
+	}
+	if err := ctx.Barrier(); err != nil {
+		return nil, fmt.Errorf("ckpt: restore barrier: %w", err)
+	}
+	return res, nil
+}
+
+// stripeReader reads, verifies (and if need be reconstructs and heals)
+// the stripe files of one format-2 epoch, parsing each into per-array
+// payloads on first touch.
+type stripeReader struct {
+	f        pario.FS
+	cfg      pario.Config
+	tr       *trace.Tracer
+	rank     int
+	epochDir string
+	man      *Manifest
+	set      pario.StripeSet
+	loaded   map[int][][]byte
+	repaired int
+}
+
+func newStripeReader(f pario.FS, cfg pario.Config, tr *trace.Tracer, rank int, epochDir string, man *Manifest) *stripeReader {
+	return &stripeReader{
+		f: f, cfg: cfg, tr: tr, rank: rank, epochDir: epochDir, man: man,
+		set:    man.stripeSet(epochDir),
+		loaded: make(map[int][][]byte),
+	}
+}
+
+// payloadsOf returns stripe s's per-array payloads, reading and healing
+// the stripe file on first use.
+func (sr *stripeReader) payloadsOf(s int) ([][]byte, error) {
+	if p, ok := sr.loaded[s]; ok {
+		return p, nil
+	}
+	data, repaired, err := sr.set.ReadStripe(sr.f, sr.cfg, sr.tr, sr.rank, s, true)
+	if err != nil {
+		return nil, err
+	}
+	if repaired {
+		sr.repaired++
+	}
+	p, err := stripePayloads(data, sr.man, sr.epochDir, s)
+	if err != nil {
+		return nil, err
+	}
+	sr.loaded[s] = p
+	return p, nil
+}
+
+// fill unpacks the spans of myGrid from the stripes it intersects.
+func (sr *stripeReader) fill(l *darray.Local, myGrid index.Grid, am ArrayMeta, ai int, dom index.Domain) error {
+	grids := pario.StripeGrids(dom, sr.man.NS)
+	for s, sg := range grids {
+		inter := myGrid.Intersect(sg)
+		if inter.Empty() {
+			continue
+		}
+		payloads, err := sr.payloadsOf(s)
+		if err != nil {
+			return err
+		}
+		payload := payloads[ai]
+		if msg.Float64Count(payload) != sg.Count() {
+			return fmt.Errorf("ckpt: array %s: stripe %d payload has %d values, grid has %d",
+				am.Name, s, msg.Float64Count(payload), sg.Count())
+		}
+		if gridsEqual(inter, sg) && gridsEqual(inter, myGrid) {
+			l.UnpackWire(myGrid, payload)
+			continue
+		}
+		l.UnpackWire(inter, extract(payload, sg, inter))
+	}
+	return nil
+}
+
+// stripePayloads parses one stripe file's body into per-array payloads
+// in manifest order, validating the header against the manifest.
+func stripePayloads(data []byte, man *Manifest, epochDir string, s int) ([][]byte, error) {
+	name := stripeFileName(s)
+	if len(data) < 20 {
+		return nil, fmt.Errorf("ckpt: %s/%s: truncated header", epochDir, name)
+	}
+	u32 := func(off int) int { return int(getU32(data, off)) }
+	if u32(0) != stripeMagic || u32(4) != Version || u32(8) != man.Epoch || u32(12) != s {
+		return nil, fmt.Errorf("ckpt: %s/%s: header mismatch", epochDir, name)
+	}
+	narr := u32(16)
+	if narr != len(man.Arrays) {
+		return nil, fmt.Errorf("ckpt: %s/%s: %d arrays recorded, manifest has %d", epochDir, name, narr, len(man.Arrays))
+	}
+	payloads := make([][]byte, narr)
+	off := 20
+	for i := 0; i < narr; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("ckpt: %s/%s: truncated payload table", epochDir, name)
+		}
+		n := u32(off)
+		off += 4
+		if off+8*n > len(data) {
+			return nil, fmt.Errorf("ckpt: %s/%s: truncated payload %d", epochDir, name, i)
+		}
+		payloads[i] = data[off : off+8*n]
+		off += 8 * n
+	}
+	return payloads, nil
+}
+
+// extract pulls the values at want's points (canonical order) out of a
+// payload recorded in from's canonical enumeration order.  want must be a
+// subset of from.
+func extract(payload []byte, from, want index.Grid) []byte {
+	// Column-major position strides over from's per-dimension counts,
+	// dimension 0 innermost — the canonical enumeration of ForEachRun.
+	strd := make([]int, from.Rank())
+	mul := 1
+	for k := range strd {
+		strd[k] = mul
+		mul *= from.Dims[k].Count()
+	}
+	var out []byte
+	out, _ = msg.GrowFloat64s(out, want.Count())
+	off := 0
+	want.ForEachRun(func(p index.Point, r index.Run) bool {
+		row := 0
+		for k := 1; k < len(p); k++ {
+			row += from.Dims[k].IndexOf(p[k]) * strd[k]
+		}
+		for i := r.Lo; i <= r.Hi; i += r.Stride {
+			idx := row + from.Dims[0].IndexOf(i)
+			msg.PutFloat64(out, off, msg.GetFloat64(payload, 8*idx))
+			off += 8
+		}
+		return true
+	})
+	return out
+}

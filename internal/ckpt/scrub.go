@@ -1,0 +1,80 @@
+package ckpt
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// ScrubSummary reports a Scrub pass over a checkpoint directory.
+type ScrubSummary struct {
+	// Epochs counts committed epochs examined.
+	Epochs int
+	// Checked counts integrity-checked files across all epochs.
+	Checked int
+	// Repaired lists files rewritten in place from redundancy
+	// (epoch-qualified paths relative to the checkpoint directory).
+	Repaired []string
+	// Unrecoverable lists damaged files no redundancy could rebuild.
+	Unrecoverable []string
+}
+
+// Scrub walks every committed epoch in dir, integrity-checks all of its
+// files, and repairs what redundancy can rebuild — data stripes from
+// parity or replica, damaged parity recomputed from intact stripes,
+// damaged replicas recopied from their primaries.  Run it periodically
+// (or before shrinking redundancy) so silent bitrot is caught while the
+// redundant copy still exists, not at restore time.  Unrecoverable
+// damage is reported, not an error: LatestEpoch and Restore already
+// skip epochs that cannot be read.
+//
+// Scrub is a single-process maintenance pass, not a collective: call it
+// from one place (a tool, or rank 0 between runs).
+func Scrub(dir string, opts Options) (*ScrubSummary, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(1)
+	f := opts.FS(0)
+	cfg := opts.IO
+	var tr *trace.Tracer
+
+	epochs, err := epochsIn(f, dir)
+	if err != nil {
+		return nil, err
+	}
+	sum := &ScrubSummary{}
+	for _, n := range epochs {
+		epochDir := filepath.Join(dir, epochDirName(n))
+		man, err := readManifest(f, cfg, tr, 0, epochDir)
+		if err != nil {
+			continue // uncommitted or damaged epoch: not scrubbable
+		}
+		sum.Epochs++
+		if man.Version == VersionV1 {
+			// No redundancy to heal from: verify and report only.
+			for _, fm := range man.Files {
+				sum.Checked++
+				data, err := cfg.ReadFile(f, tr, 0, filepath.Join(epochDir, fm.Name))
+				if err != nil || int64(len(data)) != fm.Size || crc32IEEE(data) != fm.CRC {
+					sum.Unrecoverable = append(sum.Unrecoverable, filepath.Join(epochDirName(n), fm.Name))
+				}
+			}
+			continue
+		}
+		set := man.stripeSet(epochDir)
+		rep, err := set.Scrub(f, cfg, tr, 0)
+		if err != nil {
+			return sum, fmt.Errorf("ckpt: scrubbing %s: %w", epochDir, err)
+		}
+		sum.Checked += rep.Checked
+		for _, name := range rep.Repaired {
+			sum.Repaired = append(sum.Repaired, filepath.Join(epochDirName(n), name))
+		}
+		for _, name := range rep.Unrecoverable {
+			sum.Unrecoverable = append(sum.Unrecoverable, filepath.Join(epochDirName(n), name))
+		}
+	}
+	return sum, nil
+}

@@ -28,7 +28,7 @@ func (e *Engine) Checkpoint(ctx *machine.Ctx, dir string, meta map[string]string
 	if len(das) == 0 {
 		return -1, fmt.Errorf("core: checkpoint: no distributed arrays in scope")
 	}
-	epoch, err := ckpt.Save(ctx, dir, das, meta)
+	epoch, err := ckpt.SaveOpts(ctx, dir, das, meta, e.CkptOptions())
 	if err != nil {
 		return -1, fmt.Errorf("core: checkpoint to %s: %w", dir, err)
 	}
@@ -56,7 +56,7 @@ func (e *Engine) Restore(ctx *machine.Ctx, dir string) (*ckpt.Manifest, error) {
 	for _, a := range e.Arrays() {
 		das = append(das, a.DArray())
 	}
-	res, err := ckpt.Restore(ctx, dir, das)
+	res, err := ckpt.RestoreOpts(ctx, dir, das, e.CkptOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: restore from %s: %w", dir, err)
 	}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ckpt"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/index"
@@ -47,6 +48,28 @@ type Engine struct {
 	// memBudget is the default peak-resident-wire-bytes bound applied to
 	// every DISTRIBUTE data transfer (0 = unbounded; see darray.MemBudget).
 	memBudget atomic.Int64
+
+	// ckptMu guards ckptOpts (function-valued fields rule out an atomic).
+	ckptMu   sync.Mutex
+	ckptOpts ckpt.Options
+}
+
+// SetCkptOptions installs the parallel-I/O options (I/O server count,
+// redundancy mode, retention, filesystem and retry policy) applied to
+// every Checkpoint/Restore/Recover through this engine.  The SPMD
+// contract applies: every rank must observe the same value at each
+// collective.
+func (e *Engine) SetCkptOptions(o ckpt.Options) {
+	e.ckptMu.Lock()
+	e.ckptOpts = o
+	e.ckptMu.Unlock()
+}
+
+// CkptOptions returns the engine's checkpoint I/O options.
+func (e *Engine) CkptOptions() ckpt.Options {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return e.ckptOpts
 }
 
 // SetMemBudget installs a default redistribution memory budget: every

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/index"
@@ -98,6 +99,15 @@ func (in *Interp) SetRecover(on bool) { in.recoverRun = on }
 // DISTRIBUTE the interpreted program executes (vfrun -redist-budget);
 // n <= 0 means unbounded.  Delegates to Engine.SetMemBudget.
 func (in *Interp) SetMemBudget(n int64) { in.Engine.SetMemBudget(n) }
+
+// SetIO configures the parallel-I/O side of the checkpoint hooks (vfrun
+// -io-servers/-io-redundancy/-ckpt-keep): the number of I/O server
+// ranks (stripe files) per epoch, the redundancy mode (none, parity or
+// replica), and the epoch retention count.  Zero values keep the
+// defaults.  Delegates to Engine.SetCkptOptions.
+func (in *Interp) SetIO(servers int, redundancy string, keep int) {
+	in.Engine.SetCkptOptions(ckpt.Options{Servers: servers, Redundancy: redundancy, Keep: keep})
+}
 
 // New creates an interpreter over an engine and registers the standard
 // builtins (TRIDIAG, RESID, plus no-op INITPOS hooks used by demos).

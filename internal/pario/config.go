@@ -1,0 +1,147 @@
+package pario
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ErrTimeout is returned when an I/O operation exceeds Config.Timeout.
+// The operation may still complete in the background (a stalled device
+// eventually answering); every write in this package is whole-file and
+// idempotent, so the retry that follows is safe either way.
+var ErrTimeout = errors.New("pario: I/O operation timed out")
+
+// Config is the CommConfig of the storage layer: a per-operation
+// deadline plus bounded retries with doubling backoff, applied to every
+// FS operation the checkpoint paths perform.  The zero Config waits
+// forever and never retries.
+type Config struct {
+	// Timeout is the per-operation deadline (0 = wait forever).
+	Timeout time.Duration
+	// Retries is the number of extra attempts after the first failure.
+	Retries int
+	// Backoff is the initial sleep between failed attempts; it doubles
+	// per retry.  0 means retry immediately.
+	Backoff time.Duration
+	// Metrics, when non-nil, counts bytes, operations, retries and
+	// repairs.
+	Metrics *Metrics
+}
+
+func (c Config) addRetry(tr *trace.Tracer, rank int, op string) {
+	if c.Metrics != nil {
+		c.Metrics.Retries.Add(1)
+	}
+	tr.Instant(rank, trace.CatIO, "io:retry "+op, -1, -1)
+}
+
+// run executes one FS operation under the deadline/retry policy,
+// recording an "io:" span on rank's timeline.  Torn state left behind by
+// a failed attempt (a short write) is overwritten by the retry: all
+// operations here are idempotent.
+func (c Config) run(tr *trace.Tracer, rank int, name string, op func() error) error {
+	sp := tr.BeginSpan(rank, trace.CatIO, "io:"+name)
+	defer sp.End()
+	backoff := c.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.once(op)
+		if err == nil || attempt >= c.Retries || !retryable(err) {
+			break
+		}
+		c.addRetry(tr, rank, name)
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return err
+}
+
+// once runs op under the deadline.  The operation goroutine sends into a
+// buffered channel, so a late completion after the timeout exits cleanly
+// rather than leaking.
+func (c Config) once(op func() error) error {
+	if c.Timeout <= 0 {
+		return op()
+	}
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	t := time.NewTimer(c.Timeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return ErrTimeout
+	}
+}
+
+// retryable reports whether an error class can be healed by re-running
+// the (idempotent) operation: injected transient faults, timeouts, and
+// generic I/O errors qualify; a missing file or directory does not.
+func retryable(err error) bool {
+	return !os.IsNotExist(err) && !errors.Is(err, fs.ErrNotExist)
+}
+
+// WriteFile writes path whole-file under the retry policy.
+func (c Config) WriteFile(f FS, tr *trace.Tracer, rank int, path string, data []byte) error {
+	err := c.run(tr, rank, fmt.Sprintf("write %s (%dB)", filebase(path), len(data)), func() error {
+		return f.WriteFile(path, data, 0o644)
+	})
+	if err == nil && c.Metrics != nil {
+		c.Metrics.WriteOps.Add(1)
+		c.Metrics.BytesWritten.Add(int64(len(data)))
+	}
+	return err
+}
+
+// ReadFile reads path under the retry policy.
+func (c Config) ReadFile(f FS, tr *trace.Tracer, rank int, path string) ([]byte, error) {
+	var data []byte
+	err := c.run(tr, rank, "read "+filebase(path), func() error {
+		var err error
+		data, err = f.ReadFile(path)
+		return err
+	})
+	if err == nil && c.Metrics != nil {
+		c.Metrics.ReadOps.Add(1)
+		c.Metrics.BytesRead.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// Rename renames under the retry policy.
+func (c Config) Rename(f FS, tr *trace.Tracer, rank int, oldpath, newpath string) error {
+	return c.run(tr, rank, "rename "+filebase(newpath), func() error {
+		return f.Rename(oldpath, newpath)
+	})
+}
+
+// MkdirAll creates a directory tree under the retry policy.
+func (c Config) MkdirAll(f FS, tr *trace.Tracer, rank int, path string) error {
+	return c.run(tr, rank, "mkdir "+filebase(path), func() error {
+		return f.MkdirAll(path, 0o755)
+	})
+}
+
+// filebase is filepath.Base without pulling the path package into every
+// span label; it keeps only the last two path elements for context.
+func filebase(path string) string {
+	sep := byte(os.PathSeparator)
+	last, prev := -1, -1
+	for i := 0; i < len(path); i++ {
+		if path[i] == sep {
+			prev, last = last, i
+		}
+	}
+	if prev >= 0 {
+		return path[prev+1:]
+	}
+	return path
+}

@@ -1,0 +1,448 @@
+package pario
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error produced by injected I/O faults.  An injected
+// FaultEIO delivers no side effect (nothing reached the disk), so the
+// operation is safe to retry; an injected FaultWriteShort leaves a torn
+// prefix behind, exactly like a crash or a full disk mid-write.
+var ErrInjected = errors.New("pario: injected I/O fault")
+
+// FaultKind selects what a FaultRule does when it fires.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultEIO fails the operation with ErrInjected and no side effect
+	// (a transient device error: retrying re-runs the operation).
+	FaultEIO FaultKind = iota
+	// FaultWriteShort writes only a prefix of the data, then fails with
+	// ErrInjected (a crash or full disk mid-write: the torn file stays on
+	// disk; a retry rewrites the whole file).  Fires on writes only.
+	FaultWriteShort
+	// FaultTornRename performs the rename but first truncates the last
+	// regular file under the source to half its length (commit metadata
+	// reached the disk, a data block did not — the classic missing-fsync
+	// torn commit).  The operation reports success.  Fires on renames.
+	FaultTornRename
+	// FaultBitrot flips one bit: on a write, in the stored copy (the
+	// caller's buffer is untouched and the call reports success — silent
+	// media corruption, detectable only by checksum); on a read, in the
+	// returned copy (a flaky read path; the file itself stays intact).
+	FaultBitrot
+	// FaultStall delays the operation by Delay before running it (a slow
+	// or hung device; with a Config.Timeout the caller's deadline fires
+	// first and the retry re-runs the operation).
+	FaultStall
+)
+
+var faultKindNames = map[FaultKind]string{
+	FaultEIO:        "eio",
+	FaultWriteShort: "short",
+	FaultTornRename: "torn",
+	FaultBitrot:     "bitrot",
+	FaultStall:      "stall",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultRule describes one deterministic disk-fault schedule.  A rule
+// watches the matching operations of one rank's FS endpoint and fires on
+// a subset of them; matching operations are counted per rank, so a
+// schedule replays identically for a deterministic program regardless of
+// how ranks interleave.
+type FaultRule struct {
+	Kind FaultKind
+	// Op restricts the rule to one operation kind: "write", "read",
+	// "rename", "mkdir", "remove", "readdir" ("" = the kind's natural
+	// ops: writes for short/bitrot-on-write, renames for torn, any for
+	// eio/stall; bitrot with op=read rots the read path instead).
+	Op string
+	// Rank restricts the rule to one rank's endpoint (-1 = all).
+	Rank int
+	// Path restricts by substring of the operation's path ("" = any);
+	// e.g. path=manifest targets the manifest write, path=stripe- the
+	// stripe files.
+	Path string
+	// After skips the first After matching operations.
+	After int
+	// Count fires on the next Count matches after After; 0 means every
+	// subsequent match (a persistent fault).
+	Count int
+	// Every, when > 0, fires on every Every-th match after After instead
+	// of the Count window.
+	Every int
+	// Prob, when > 0, fires each match after After with this probability
+	// using the plan's seeded per-rank RNG instead of Count/Every.
+	Prob float64
+	// Delay is the injected latency for FaultStall.
+	Delay time.Duration
+}
+
+// FaultPlan is a set of disk-fault rules plus the RNG seed for
+// probabilistic rules; the per-rank streams derive from Seed+rank.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+	// StartDisarmed builds the FS with injection switched off on every
+	// rank; tests call FaultFS.Arm(rank) at the point where the rank's
+	// subsequent I/O is exactly the phase under test.
+	StartDisarmed bool
+}
+
+// HasKind reports whether any rule of the plan is of kind k.
+func (p *FaultPlan) HasKind(k FaultKind) bool {
+	for _, r := range p.Rules {
+		if r.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseFaultPlan parses the -io-fault flag syntax, the disk twin of
+// msg.ParseFaultPlan: semicolon-separated rules, each a kind followed by
+// comma-separated key=value options, e.g.
+//
+//	eio,op=write,path=stripe-,rank=1,count=2;stall,delay=20ms,every=3
+//
+// Kinds: eio, short, torn, bitrot, stall.  Options: op, rank, path,
+// after, count, every, prob, delay (a Go duration).  A bare "seed=N"
+// segment sets the plan seed for prob rules.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{}
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(seg, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pario: fault plan: bad seed %q", v)
+			}
+			plan.Seed = n
+			continue
+		}
+		fields := strings.Split(seg, ",")
+		r := FaultRule{Rank: -1}
+		switch fields[0] {
+		case "eio":
+			r.Kind = FaultEIO
+		case "short":
+			r.Kind = FaultWriteShort
+		case "torn":
+			r.Kind = FaultTornRename
+		case "bitrot":
+			r.Kind = FaultBitrot
+		case "stall":
+			r.Kind = FaultStall
+		default:
+			return nil, fmt.Errorf("pario: fault plan: unknown kind %q (want eio|short|torn|bitrot|stall)", fields[0])
+		}
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("pario: fault plan: bad option %q (want key=value)", f)
+			}
+			var err error
+			switch k {
+			case "op":
+				switch v {
+				case "write", "read", "rename", "mkdir", "remove", "readdir":
+					r.Op = v
+				default:
+					err = fmt.Errorf("unknown op %q", v)
+				}
+			case "rank":
+				r.Rank, err = strconv.Atoi(v)
+			case "path":
+				r.Path = v
+			case "after":
+				r.After, err = strconv.Atoi(v)
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+			case "every":
+				r.Every, err = strconv.Atoi(v)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(v)
+			default:
+				err = fmt.Errorf("unknown option %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pario: fault plan: option %q: %v", f, err)
+			}
+		}
+		if r.Kind == FaultStall && r.Delay <= 0 {
+			return nil, fmt.Errorf("pario: fault plan: stall rule needs delay=<duration>")
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	if len(plan.Rules) == 0 {
+		return nil, fmt.Errorf("pario: fault plan: no rules in %q", spec)
+	}
+	return plan, nil
+}
+
+// opMatches reports whether a rule applies to the given operation kind,
+// honouring each fault kind's natural operation set when Op is elided.
+func (r *FaultRule) opMatches(op string) bool {
+	if r.Op != "" {
+		return r.Op == op
+	}
+	switch r.Kind {
+	case FaultWriteShort:
+		return op == "write"
+	case FaultTornRename:
+		return op == "rename"
+	case FaultBitrot:
+		return op == "write"
+	}
+	return true // eio, stall: any operation
+}
+
+// FaultFS decorates any FS with the plan's deterministic fault
+// schedules.  Each SPMD rank performs its I/O through its own endpoint
+// (Rank), which carries that rank's match counters and armed flag —
+// the Arm/Disarm shape of msg.FaultTransport, moved to storage.
+type FaultFS struct {
+	inner FS
+	plan  *FaultPlan
+
+	mu  sync.Mutex
+	eps map[int]*faultEndpoint
+}
+
+// NewFaultFS wraps inner with the plan's fault rules.
+func NewFaultFS(inner FS, plan *FaultPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan, eps: map[int]*faultEndpoint{}}
+}
+
+// Rank returns rank's fault-injecting FS endpoint (created on first use).
+func (f *FaultFS) Rank(rank int) FS { return f.endpoint(rank) }
+
+func (f *FaultFS) endpoint(rank int) *faultEndpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.eps[rank]
+	if !ok {
+		ep = &faultEndpoint{
+			f:     f,
+			rank:  rank,
+			rng:   rand.New(rand.NewSource(f.plan.Seed + int64(rank))),
+			armed: !f.plan.StartDisarmed,
+			seen:  make([]int, len(f.plan.Rules)),
+		}
+		f.eps[rank] = ep
+	}
+	return ep
+}
+
+// Arm enables injection on rank's endpoint.
+func (f *FaultFS) Arm(rank int) { f.endpoint(rank).setArmed(true) }
+
+// Disarm disables injection on rank's endpoint.
+func (f *FaultFS) Disarm(rank int) { f.endpoint(rank).setArmed(false) }
+
+type faultEndpoint struct {
+	f    *FaultFS
+	rank int
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	armed bool
+	seen  []int
+}
+
+func (e *faultEndpoint) setArmed(v bool) {
+	e.mu.Lock()
+	e.armed = v
+	e.mu.Unlock()
+}
+
+// fire decides whether any rule of the given kinds fires for an
+// operation, advancing the per-rule match counters.
+func (e *faultEndpoint) fire(op, path string, kinds ...FaultKind) *FaultRule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.armed {
+		return nil
+	}
+	var hit *FaultRule
+	for i := range e.f.plan.Rules {
+		r := &e.f.plan.Rules[i]
+		match := false
+		for _, k := range kinds {
+			if r.Kind == k {
+				match = true
+			}
+		}
+		if !match || !r.opMatches(op) {
+			continue
+		}
+		if r.Rank >= 0 && r.Rank != e.rank {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		n := e.seen[i]
+		e.seen[i]++
+		if n < r.After {
+			continue
+		}
+		fired := false
+		switch {
+		case r.Prob > 0:
+			fired = e.rng.Float64() < r.Prob
+		case r.Every > 0:
+			fired = (n-r.After)%r.Every == 0
+		case r.Count <= 0:
+			fired = true
+		default:
+			fired = n-r.After < r.Count
+		}
+		if fired && hit == nil {
+			hit = r
+		}
+	}
+	return hit
+}
+
+// stallThenEIO applies a stall (if one fired) and then checks the
+// erroring kinds; returns a non-nil rule for the error-producing hit.
+func (e *faultEndpoint) stallThenEIO(op, path string) *FaultRule {
+	if r := e.fire(op, path, FaultStall); r != nil {
+		time.Sleep(r.Delay)
+	}
+	return e.fire(op, path, FaultEIO)
+}
+
+func (e *faultEndpoint) MkdirAll(path string, perm os.FileMode) error {
+	if r := e.stallThenEIO("mkdir", path); r != nil {
+		return fmt.Errorf("%w: mkdir %s (rank %d)", ErrInjected, path, e.rank)
+	}
+	return e.f.inner.MkdirAll(path, perm)
+}
+
+func (e *faultEndpoint) WriteFile(path string, data []byte, perm os.FileMode) error {
+	if r := e.fire("write", path, FaultStall); r != nil {
+		time.Sleep(r.Delay)
+	}
+	if r := e.fire("write", path, FaultEIO, FaultWriteShort, FaultBitrot); r != nil {
+		switch r.Kind {
+		case FaultEIO:
+			return fmt.Errorf("%w: write %s (rank %d)", ErrInjected, path, e.rank)
+		case FaultWriteShort:
+			// Half the data reaches the disk; the error reports the tear.
+			n := len(data) / 2
+			if err := e.f.inner.WriteFile(path, data[:n], perm); err != nil {
+				return err
+			}
+			return fmt.Errorf("%w: short write %s: %d of %d bytes (rank %d)", ErrInjected, path, n, len(data), e.rank)
+		case FaultBitrot:
+			if len(data) == 0 {
+				break
+			}
+			// The stored copy rots; the caller sees success and an intact
+			// buffer.  Only a checksum can tell.
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			cp[len(cp)/2] ^= 0x04
+			return e.f.inner.WriteFile(path, cp, perm)
+		}
+	}
+	return e.f.inner.WriteFile(path, data, perm)
+}
+
+func (e *faultEndpoint) ReadFile(path string) ([]byte, error) {
+	if r := e.stallThenEIO("read", path); r != nil {
+		return nil, fmt.Errorf("%w: read %s (rank %d)", ErrInjected, path, e.rank)
+	}
+	data, err := e.f.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if r := e.fire("read", path, FaultBitrot); r != nil && len(data) > 0 {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		cp[len(cp)/2] ^= 0x04
+		return cp, nil
+	}
+	return data, nil
+}
+
+func (e *faultEndpoint) Rename(oldpath, newpath string) error {
+	if r := e.fire("rename", oldpath, FaultStall); r != nil {
+		time.Sleep(r.Delay)
+	}
+	if r := e.fire("rename", oldpath, FaultEIO, FaultTornRename); r != nil {
+		switch r.Kind {
+		case FaultEIO:
+			return fmt.Errorf("%w: rename %s (rank %d)", ErrInjected, oldpath, e.rank)
+		case FaultTornRename:
+			if err := e.tear(oldpath); err != nil {
+				return err
+			}
+			return e.f.inner.Rename(oldpath, newpath)
+		}
+	}
+	return e.f.inner.Rename(oldpath, newpath)
+}
+
+// tear truncates the last regular file under path (or path itself, for a
+// file rename) to half its length: the rename's metadata will land, one
+// data block will not.
+func (e *faultEndpoint) tear(path string) error {
+	target := path
+	if ents, err := e.f.inner.ReadDir(path); err == nil {
+		var names []string
+		for _, ent := range ents {
+			if !ent.IsDir() {
+				names = append(names, ent.Name())
+			}
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		sort.Strings(names)
+		target = path + string(os.PathSeparator) + names[len(names)-1]
+	}
+	data, err := e.f.inner.ReadFile(target)
+	if err != nil || len(data) == 0 {
+		return err
+	}
+	return e.f.inner.WriteFile(target, data[:len(data)/2], 0o644)
+}
+
+func (e *faultEndpoint) RemoveAll(path string) error {
+	if r := e.stallThenEIO("remove", path); r != nil {
+		return fmt.Errorf("%w: remove %s (rank %d)", ErrInjected, path, e.rank)
+	}
+	return e.f.inner.RemoveAll(path)
+}
+
+func (e *faultEndpoint) ReadDir(path string) ([]fs.DirEntry, error) {
+	if r := e.stallThenEIO("readdir", path); r != nil {
+		return nil, fmt.Errorf("%w: readdir %s (rank %d)", ErrInjected, path, e.rank)
+	}
+	return e.f.inner.ReadDir(path)
+}

@@ -1,0 +1,364 @@
+package pario
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+// Redundancy modes for a stripe set.
+const (
+	// RedundancyNone stores only the data stripes; any lost or corrupt
+	// stripe file makes the epoch unusable.
+	RedundancyNone = "none"
+	// RedundancyParity stores one extra parity stripe (the byte-wise XOR
+	// of all data stripes, zero-padded to the largest); any single lost
+	// or corrupt file — data or parity — is reconstructible from the
+	// rest.
+	RedundancyParity = "parity"
+	// RedundancyReplica stores a full second copy of every data stripe;
+	// either copy repairs the other.
+	RedundancyReplica = "replica"
+)
+
+// ValidRedundancy reports whether s names a redundancy mode.
+func ValidRedundancy(s string) bool {
+	return s == RedundancyNone || s == RedundancyParity || s == RedundancyReplica
+}
+
+// StripeGrids partitions dom's canonical point set into ns contiguous
+// slabs along the outermost (last) dimension — dimension 0 varies
+// fastest in the canonical enumeration, so a slab of the last dimension
+// is a contiguous byte range of the canonical file order.  This is the
+// on-disk layout: a balanced BLOCK split that never depends on how the
+// array is distributed in memory.  Stripes beyond the extent come back
+// empty (still same-rank grids, so intersections stay legal).
+func StripeGrids(dom index.Domain, ns int) []index.Grid {
+	nd := dom.Rank()
+	last := nd - 1
+	n := dom.Hi[last] - dom.Lo[last] + 1
+	out := make([]index.Grid, ns)
+	base, rem := n/ns, n%ns
+	start := dom.Lo[last]
+	for s := 0; s < ns; s++ {
+		take := base
+		if s < rem {
+			take++
+		}
+		g := index.Grid{Dims: make([]index.RunSet, nd)}
+		for k := 0; k < last; k++ {
+			g.Dims[k] = index.NewRunSet(index.NewRun(dom.Lo[k], dom.Hi[k], 1))
+		}
+		if take > 0 {
+			g.Dims[last] = index.NewRunSet(index.NewRun(start, start+take-1, 1))
+		} else {
+			g.Dims[last] = index.NewRunSet()
+		}
+		start += take
+		out[s] = g
+	}
+	return out
+}
+
+// Place scatters payload — the values of grid g in g's canonical
+// enumeration order, 8 bytes each — into dst at the canonical positions
+// of g's points within the enclosing grid into (g must be a subset of
+// into).  It is the write-side inverse of the restore path's extract.
+func Place(dst []byte, payload []byte, g, into index.Grid) {
+	strd := make([]int, into.Rank())
+	mul := 1
+	for k := range strd {
+		strd[k] = mul
+		mul *= into.Dims[k].Count()
+	}
+	off := 0
+	g.ForEachRun(func(p index.Point, r index.Run) bool {
+		row := 0
+		for k := 1; k < len(p); k++ {
+			row += into.Dims[k].IndexOf(p[k]) * strd[k]
+		}
+		for i := r.Lo; i <= r.Hi; i += r.Stride {
+			idx := row + into.Dims[0].IndexOf(i)
+			copy(dst[8*idx:8*idx+8], payload[off:off+8])
+			off += 8
+		}
+		return true
+	})
+}
+
+// XorInto folds src into dst byte-wise (dst must be at least as long as
+// src); the parity stripe is the XOR of all data stripes zero-padded to
+// the longest.
+func XorInto(dst, src []byte) {
+	for i, b := range src {
+		dst[i] ^= b
+	}
+}
+
+// StripeInfo records one stripe file's integrity data.
+type StripeInfo struct {
+	Name string
+	Size int64
+	CRC  uint32
+}
+
+// ReplicaName is the on-disk name of a stripe's replica copy.
+func ReplicaName(name string) string { return name + ".rep" }
+
+// StripeSet describes the files of one committed epoch: the data
+// stripes, the redundancy mode, and (in parity mode) the parity stripe.
+// It is the unit Verify, ReadStripe and Scrub operate on; internal/ckpt
+// builds one from each epoch manifest.
+type StripeSet struct {
+	Dir        string
+	Stripes    []StripeInfo
+	Redundancy string
+	Parity     *StripeInfo
+}
+
+// checkedRead reads and integrity-checks one file against its recorded
+// size and CRC; any mismatch (or a missing file) comes back as an error.
+func (s *StripeSet) checkedRead(f FS, cfg Config, tr *trace.Tracer, rank int, name string, size int64, crc uint32) ([]byte, error) {
+	data, err := cfg.ReadFile(f, tr, rank, filepath.Join(s.Dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != size || crc32.ChecksumIEEE(data) != crc {
+		return nil, fmt.Errorf("pario: %s/%s: checksum mismatch (%d bytes, want %d)", s.Dir, name, len(data), size)
+	}
+	return data, nil
+}
+
+// reconstruct rebuilds data stripe i from the redundancy stripes: the
+// replica copy in replica mode, the XOR of every other stripe plus
+// parity in parity mode.
+func (s *StripeSet) reconstruct(f FS, cfg Config, tr *trace.Tracer, rank, i int) ([]byte, error) {
+	info := s.Stripes[i]
+	switch s.Redundancy {
+	case RedundancyReplica:
+		data, err := s.checkedRead(f, cfg, tr, rank, ReplicaName(info.Name), info.Size, info.CRC)
+		if err != nil {
+			return nil, fmt.Errorf("pario: stripe %d unrecoverable (replica also damaged): %w", i, err)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Reconstructions.Add(1)
+		}
+		return data, nil
+	case RedundancyParity:
+		if s.Parity == nil {
+			return nil, fmt.Errorf("pario: stripe %d unrecoverable (no parity stripe recorded)", i)
+		}
+		acc, err := s.checkedRead(f, cfg, tr, rank, s.Parity.Name, s.Parity.Size, s.Parity.CRC)
+		if err != nil {
+			return nil, fmt.Errorf("pario: stripe %d unrecoverable (parity damaged): %w", i, err)
+		}
+		buf := make([]byte, len(acc))
+		copy(buf, acc)
+		for j, other := range s.Stripes {
+			if j == i {
+				continue
+			}
+			data, err := s.checkedRead(f, cfg, tr, rank, other.Name, other.Size, other.CRC)
+			if err != nil {
+				return nil, fmt.Errorf("pario: stripe %d unrecoverable (stripe %d also damaged): %w", i, j, err)
+			}
+			XorInto(buf, data)
+		}
+		data := buf[:info.Size]
+		if crc32.ChecksumIEEE(data) != info.CRC {
+			return nil, fmt.Errorf("pario: stripe %d: parity reconstruction fails its checksum (multiple damaged files)", i)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Reconstructions.Add(1)
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("pario: stripe %d unrecoverable (redundancy %q)", i, s.Redundancy)
+}
+
+// repairFile atomically rewrites name with data: the content lands under
+// a rank-unique temporary name and is renamed into place, so concurrent
+// repairs by several restoring ranks (always with identical bytes) are
+// benign.
+func (s *StripeSet) repairFile(f FS, cfg Config, tr *trace.Tracer, rank int, name string, data []byte) error {
+	path := filepath.Join(s.Dir, name)
+	tmp := fmt.Sprintf("%s.repair.%d", path, rank)
+	if err := cfg.WriteFile(f, tr, rank, tmp, data); err != nil {
+		return err
+	}
+	if err := cfg.Rename(f, tr, rank, tmp, path); err != nil {
+		return err
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Repairs.Add(1)
+	}
+	tr.Instant(rank, trace.CatIO, "io:repair "+name, -1, int64(len(data)))
+	return nil
+}
+
+// ReadStripe returns the verified content of data stripe i.  A damaged
+// or missing stripe file is reconstructed from redundancy; with repair
+// set the reconstruction is also written back in place (self-healing
+// restore).  repaired reports whether a reconstruction happened.
+func (s *StripeSet) ReadStripe(f FS, cfg Config, tr *trace.Tracer, rank, i int, repair bool) (data []byte, repaired bool, err error) {
+	info := s.Stripes[i]
+	data, err = s.checkedRead(f, cfg, tr, rank, info.Name, info.Size, info.CRC)
+	if err == nil {
+		return data, false, nil
+	}
+	data, rerr := s.reconstruct(f, cfg, tr, rank, i)
+	if rerr != nil {
+		return nil, false, fmt.Errorf("%v; %w", err, rerr)
+	}
+	if repair {
+		if werr := s.repairFile(f, cfg, tr, rank, info.Name, data); werr != nil {
+			return nil, true, fmt.Errorf("pario: repairing stripe %d: %w", i, werr)
+		}
+	}
+	return data, true, nil
+}
+
+// Health reports a Verify pass over a stripe set.
+type Health struct {
+	// BadStripes lists the indices of damaged or missing data stripes.
+	BadStripes []int
+	// BadAux lists damaged redundancy files (parity or replica names).
+	BadAux []string
+	// Recoverable reports whether every data stripe is still readable,
+	// through redundancy if need be — the "verifiably complete" test a
+	// restore falls back on epoch by epoch.
+	Recoverable bool
+}
+
+// Clean reports a fully intact set (no damage anywhere, redundancy
+// included).
+func (h Health) Clean() bool { return len(h.BadStripes) == 0 && len(h.BadAux) == 0 }
+
+// Verify integrity-checks every file of the set without modifying
+// anything.
+func (s *StripeSet) Verify(f FS, cfg Config, tr *trace.Tracer, rank int) Health {
+	var h Health
+	for i, info := range s.Stripes {
+		if _, err := s.checkedRead(f, cfg, tr, rank, info.Name, info.Size, info.CRC); err != nil {
+			h.BadStripes = append(h.BadStripes, i)
+		}
+		if s.Redundancy == RedundancyReplica {
+			if _, err := s.checkedRead(f, cfg, tr, rank, ReplicaName(info.Name), info.Size, info.CRC); err != nil {
+				h.BadAux = append(h.BadAux, ReplicaName(info.Name))
+			}
+		}
+	}
+	parityOK := true
+	if s.Redundancy == RedundancyParity && s.Parity != nil {
+		if _, err := s.checkedRead(f, cfg, tr, rank, s.Parity.Name, s.Parity.Size, s.Parity.CRC); err != nil {
+			h.BadAux = append(h.BadAux, s.Parity.Name)
+			parityOK = false
+		}
+	}
+	switch s.Redundancy {
+	case RedundancyParity:
+		h.Recoverable = len(h.BadStripes) == 0 || (len(h.BadStripes) == 1 && parityOK)
+	case RedundancyReplica:
+		h.Recoverable = true
+		bad := map[int]bool{}
+		for _, i := range h.BadStripes {
+			bad[i] = true
+		}
+		for _, name := range h.BadAux {
+			for i, info := range s.Stripes {
+				if ReplicaName(info.Name) == name && bad[i] {
+					h.Recoverable = false
+				}
+			}
+		}
+	default:
+		h.Recoverable = len(h.BadStripes) == 0
+	}
+	return h
+}
+
+// ScrubReport says what a Scrub pass found and fixed.
+type ScrubReport struct {
+	// Checked counts integrity-checked files (stripes + redundancy).
+	Checked int
+	// Repaired lists files rewritten in place from redundancy.
+	Repaired []string
+	// Unrecoverable lists damaged files that could not be rebuilt.
+	Unrecoverable []string
+}
+
+// Scrub detects and repairs rot in place: every damaged or missing data
+// stripe is rebuilt from redundancy and rewritten, damaged parity is
+// recomputed from the (now intact) data stripes, and damaged replicas
+// are recopied from their primaries.  Unrecoverable damage is reported,
+// not an error — the caller decides whether a degraded epoch is fatal.
+func (s *StripeSet) Scrub(f FS, cfg Config, tr *trace.Tracer, rank int) (ScrubReport, error) {
+	sp := tr.BeginSpan(rank, trace.CatIO, "io:scrub")
+	defer sp.End()
+	var rep ScrubReport
+	intact := make([][]byte, len(s.Stripes))
+	for i, info := range s.Stripes {
+		rep.Checked++
+		data, err := s.checkedRead(f, cfg, tr, rank, info.Name, info.Size, info.CRC)
+		if err == nil {
+			intact[i] = data
+			continue
+		}
+		data, rerr := s.reconstruct(f, cfg, tr, rank, i)
+		if rerr != nil {
+			rep.Unrecoverable = append(rep.Unrecoverable, info.Name)
+			continue
+		}
+		if werr := s.repairFile(f, cfg, tr, rank, info.Name, data); werr != nil {
+			return rep, werr
+		}
+		intact[i] = data
+		rep.Repaired = append(rep.Repaired, info.Name)
+	}
+	switch s.Redundancy {
+	case RedundancyReplica:
+		for i, info := range s.Stripes {
+			rep.Checked++
+			if _, err := s.checkedRead(f, cfg, tr, rank, ReplicaName(info.Name), info.Size, info.CRC); err == nil {
+				continue
+			}
+			if intact[i] == nil {
+				rep.Unrecoverable = append(rep.Unrecoverable, ReplicaName(info.Name))
+				continue
+			}
+			if werr := s.repairFile(f, cfg, tr, rank, ReplicaName(info.Name), intact[i]); werr != nil {
+				return rep, werr
+			}
+			rep.Repaired = append(rep.Repaired, ReplicaName(info.Name))
+		}
+	case RedundancyParity:
+		if s.Parity == nil {
+			break
+		}
+		rep.Checked++
+		if _, err := s.checkedRead(f, cfg, tr, rank, s.Parity.Name, s.Parity.Size, s.Parity.CRC); err == nil {
+			break
+		}
+		buf := make([]byte, s.Parity.Size)
+		ok := true
+		for i := range s.Stripes {
+			if intact[i] == nil {
+				ok = false
+				break
+			}
+			XorInto(buf, intact[i])
+		}
+		if !ok || crc32.ChecksumIEEE(buf) != s.Parity.CRC {
+			rep.Unrecoverable = append(rep.Unrecoverable, s.Parity.Name)
+			break
+		}
+		if werr := s.repairFile(f, cfg, tr, rank, s.Parity.Name, buf); werr != nil {
+			return rep, werr
+		}
+		rep.Repaired = append(rep.Repaired, s.Parity.Name)
+	}
+	return rep, nil
+}

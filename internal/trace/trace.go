@@ -59,6 +59,11 @@ const (
 	CatRedist = "redist"
 	// CatMsg marks point-to-point message instants ("send"/"recv").
 	CatMsg = "msg"
+	// CatIO marks parallel-I/O operations (stripe writes/reads, repairs,
+	// retries) under the checkpoint paths.  Like CatRedist it is detail
+	// inside an enclosing phase span, so it is not attributable: the
+	// "checkpoint"/"restore" phase keeps the whole cost.
+	CatIO = "io"
 )
 
 // Kind discriminates event records.
