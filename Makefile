@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check check-fault check-recovery check-online check-redist check-expand check-io soak bench bench-smoke bench-overlap bench-redist bench-expand bench-io examples experiments analyze clean
+.PHONY: all build vet test race check check-fault check-recovery check-online check-redist check-expand check-io check-drain soak bench bench-smoke bench-overlap bench-redist bench-expand bench-io bench-drain examples experiments analyze clean
 
 all: build check test
 
@@ -21,7 +21,7 @@ race:
 # Static checks plus the race detector over the runtime packages — the
 # SPMD engine is all goroutines, so data races are the bug class to gate
 # on.  Part of the default target.
-check: check-fault check-recovery check-online check-redist check-expand check-io bench-overlap bench-redist
+check: check-fault check-recovery check-online check-redist check-expand check-io check-drain bench-overlap bench-redist
 	$(GO) vet ./...
 	$(GO) test -race ./internal/...
 
@@ -61,6 +61,18 @@ check-online:
 check-recovery:
 	$(GO) test -race -run 'TestRoundTrip|TestRestoreOnto|TestEpochs|TestCorrupt|TestInterrupted|TestLiveness|TestSurvivors|TestErroringRun|TestPanickingRun|TestADIKillAndRecover|TestADIRecover|TestSmoothingRecover|TestPICRecover|TestDistributeCheckpointRecover' \
 	  ./internal/ckpt ./internal/machine ./internal/apps ./internal/interp
+
+# The straggler-defense matrix: the voluntary-drain protocol (basic
+# drain, drain racing a real death in one transition, drained-rank
+# goroutine leak gates), the health scorer's hysteresis and EWMA
+# arithmetic, the slow transport fault and seeded backoff jitter, the
+# straggler policy model (weighted bounds, fair shares, drain vs
+# rebalance break-even), and the end-to-end apps matrix — chan and TCP
+# × rebalance and drain, ADI/PIC/smoothing, bit-exact across the drain
+# epoch transition — all under the race detector.
+check-drain:
+	$(GO) test -race -run 'TestDrain|TestHealth|TestHysteresis|TestSlowFault|TestBackoffJitter|TestStraggler|TestWeightedBounds|TestFairShares|TestDecisionStrings' \
+	  ./internal/machine ./internal/health ./internal/msg ./internal/scale ./internal/apps
 
 # Bounded chaos run: seeded-random ADI shapes killed at seeded-random
 # points by a seeded-random permanently silent rank, recovered — offline
@@ -134,6 +146,16 @@ bench-expand:
 bench-io:
 	$(GO) test -run '^$$' -bench 'BenchmarkCkptIO' -benchtime 20x -benchmem . \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+
+# Straggler defense: the same 8×-slowed dynamic ADI timed with
+# mitigation off, with throughput-weighted rebalancing, and with
+# voluntary drain (every run asserts the straggler was classified
+# Degraded and the result stays bit-exact).  Results land in
+# BENCH_PR10.json for diffing — mitigation should measurably beat the
+# do-nothing baseline.
+bench-drain:
+	$(GO) test -run '^$$' -bench 'BenchmarkStraggler' -benchtime 5x . \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E4).
 experiments:

@@ -303,6 +303,54 @@ func BenchmarkExpandADI(b *testing.B) {
 	})
 }
 
+// BenchmarkStraggler times the straggler defense end to end on the
+// dynamic ADI with rank 2's compute stretched 8×: mitigation off (the
+// straggler's critical path sets the pace), throughput-weighted B_BLOCK
+// rebalancing (the slow rank keeps proportionally less of each
+// dimension), and voluntary drain (checkpoint, scale-in by the
+// straggler, survivors replay onto the shrunken membership).  Every run
+// asserts the scorer classified the injected rank Degraded and the
+// result matches the serial reference bit for bit, so the three ns/op
+// figures compare do-nothing against both mitigations.
+func BenchmarkStraggler(b *testing.B) {
+	for _, policy := range []string{"off", "rebalance", "drain"} {
+		b.Run(policy+"/N64/P4", func(b *testing.B) {
+			var last apps.ADIResult
+			for i := 0; i < b.N; i++ {
+				cfg := apps.ADIConfig{
+					NX: 64, NY: 64, Iters: 30, P: 4, Mode: apps.ADIDynamic, Validate: true,
+					CommTimeout: 250 * time.Millisecond, CommRetries: 2,
+					Liveness: &machine.LivenessConfig{Interval: 5 * time.Millisecond},
+					Straggler: apps.StragglerConfig{
+						HealthWindow: 4, DegradedRatio: 2, Hysteresis: 2,
+						Policy: policy, CheckAfter: 3, SlowRank: 2, SlowFactor: 8,
+					},
+				}
+				if policy == "drain" {
+					cfg.CkptDir, cfg.CkptEvery = b.TempDir(), 4
+				}
+				res, err := apps.RunADI(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DegradedRank != 2 {
+					b.Fatalf("DegradedRank = %d, want the injected straggler 2", res.DegradedRank)
+				}
+				if policy == "drain" && res.FinalEpoch < 1 {
+					b.Fatal("the straggler was never drained")
+				}
+				if res.MaxErr != 0 {
+					b.Fatalf("MaxErr = %g under policy %s, want exactly 0", res.MaxErr, policy)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.DegradedRank), "degraded-rank")
+			b.ReportMetric(float64(len(last.Drained)), "drained/run")
+			b.ReportMetric(float64(last.Msgs), "msgs/run")
+		})
+	}
+}
+
 // BenchmarkCkptIO times the crash-safe checkpoint paths.  The save
 // variants compare the per-rank flat layout (one stripe per rank over
 // the distributed dimension — the exchange degenerates to self-copies,

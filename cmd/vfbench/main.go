@@ -8,6 +8,7 @@
 //	vfbench -exp redist     §4 claim C4 (DISTRIBUTE cost, amortization)
 //	vfbench -exp expand     elastic scale-out (rank join + grow policy)
 //	vfbench -exp degraded   striped checkpoint I/O, redundancy, self-healing restore
+//	vfbench -exp straggler  straggler defense (health scoring, weighted rebalance, voluntary drain)
 //	vfbench -exp all        everything
 package main
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/ckpt"
 	"repro/internal/dist"
+	"repro/internal/health"
 	"repro/internal/machine"
 	"repro/internal/pario"
 	"repro/internal/redist"
@@ -51,6 +53,10 @@ var (
 	ioRedund    = flag.String("io-redundancy", "", "checkpoint redundancy mode: parity (default), replica, or none")
 	ckptKeep    = flag.Int("ckpt-keep", 0, "keep only the newest N committed checkpoint epochs (0 = keep all)")
 	ioFault     = flag.String("io-fault", "", "inject disk faults under the checkpoint paths, e.g. 'eio,op=write,count=2;bitrot,path=stripe-0001' (kinds: eio|short|torn|bitrot|stall; see pario.ParseFaultPlan)")
+	healthWin   = flag.Int("health-window", 4, "health scorer observation window for -exp straggler (heartbeat-fed EWMA throughput; matches vfrun)")
+	slowRank    = flag.Int("slow-rank", 2, "physical rank whose compute sections -exp straggler stretches")
+	slowFactor  = flag.Float64("slow-factor", 8, "compute slowdown injected on -slow-rank in -exp straggler (<=1 = no injection)")
+	drainOnly   = flag.Bool("drain", false, "run only the drain policy in -exp straggler (skip the off/rebalance comparison; matches vfrun)")
 
 	// Deprecated aliases, kept so existing invocations stay valid.
 	faultTimeout = flag.Duration("fault-timeout", 0, "deprecated alias for -comm-timeout")
@@ -74,7 +80,7 @@ func armDeadline(d time.Duration) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: adi|pic|smoothing|redist|recover|online-recover|expand|degraded|all")
+	exp := flag.String("exp", "all", "experiment: adi|pic|smoothing|redist|recover|online-recover|expand|degraded|straggler|all")
 	flag.Parse()
 	armDeadline(*deadline)
 	if *commTimeout == 0 {
@@ -100,6 +106,8 @@ func main() {
 		runExpand()
 	case "degraded":
 		runDegraded()
+	case "straggler":
+		runStraggler()
 	case "all":
 		runSmoothing()
 		runADI()
@@ -739,6 +747,130 @@ func damageLatest(dir string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("  deleted %s from epoch %d\n", victim, epoch)
+}
+
+// runStraggler demonstrates the straggler defense end to end: the same
+// dynamic ADI run with -slow-rank's compute sections stretched
+// -slow-factor×, three times over — mitigation off (the straggler's
+// critical path sets the pace and everyone else waits at the barriers),
+// with throughput-weighted B_BLOCK rebalancing (the slow rank keeps
+// proportionally less of each dimension), and with voluntary drain
+// (checkpoint, scale-in by the straggler, survivors replay onto the
+// shrunken membership).  Every run must classify the injected rank
+// Degraded from the heartbeat-carried work reports and still match the
+// serial reference bit for bit.
+func runStraggler() {
+	fmt.Printf("\n== E9: straggler defense (health scoring, weighted rebalance, voluntary drain) ==\n")
+	n, iters, p := 64, 40, 4
+	if *quick {
+		n, iters = 48, 30
+	}
+	to, retries := *commTimeout, *commRetries
+	if to == 0 {
+		to = 250 * time.Millisecond
+	}
+	if retries == 0 {
+		retries = 2
+	}
+	hw := *healthWin
+	if hw <= 0 {
+		hw = 4
+	}
+	policies := []string{"off", "rebalance", "drain"}
+	if *drainOnly {
+		policies = []string{"drain"}
+	}
+	fmt.Printf("ADI %dx%d, %d iters on %d ranks; rank %d's compute stretched %g×\n",
+		n, n, iters, p, *slowRank, *slowFactor)
+	fmt.Printf("scorer: %d-observation EWMA window, Degraded at 2× the median cost/element, hysteresis 2\n", hw)
+
+	var offHealth []health.RankReport
+	walls := map[string]time.Duration{}
+	w := tab()
+	fmt.Fprintln(w, "policy\tdegraded rank\tmitigation\tepoch\tdrained\twall\tmax|err|")
+	for _, policy := range policies {
+		cfg := apps.ADIConfig{
+			NX: n, NY: n, Iters: iters, P: p, Mode: apps.ADIDynamic, Validate: true,
+			Alpha: *alpha, Beta: *beta,
+			CommTimeout: to, CommRetries: retries,
+			Liveness: &machine.LivenessConfig{Interval: 5 * time.Millisecond},
+			Straggler: apps.StragglerConfig{
+				HealthWindow: hw, DegradedRatio: 2, Hysteresis: 2,
+				Policy: policy, CheckAfter: 3,
+				SlowRank: *slowRank, SlowFactor: *slowFactor,
+			},
+		}
+		if policy == "drain" {
+			dir := *ckptDir
+			if dir == "" {
+				var err error
+				if dir, err = os.MkdirTemp("", "vfckpt-*"); err != nil {
+					log.Fatal(err)
+				}
+				defer os.RemoveAll(dir)
+			}
+			cfg.CkptDir, cfg.CkptEvery, cfg.IO = dir, *ckptEvery, ioCfg()
+		}
+		res, err := apps.RunADI(cfg)
+		if err != nil {
+			log.Fatalf("straggler run (policy %s): %v", policy, err)
+		}
+		if *slowFactor > 1 && res.DegradedRank != *slowRank {
+			log.Fatalf("policy %s: health scorer classified rank %d Degraded, want the injected straggler %d",
+				policy, res.DegradedRank, *slowRank)
+		}
+		if policy == "drain" {
+			if res.FinalEpoch < 1 {
+				log.Fatalf("drain finished on membership epoch %d: the straggler was never drained", res.FinalEpoch)
+			}
+			if len(res.Drained) != 1 || res.Drained[0] != *slowRank {
+				log.Fatalf("drained ranks %v, want [%d]", res.Drained, *slowRank)
+			}
+		}
+		if res.MaxErr != 0 {
+			log.Fatalf("policy %s deviates from the serial reference: max|err| = %g (want bit-for-bit 0)",
+				policy, res.MaxErr)
+		}
+		walls[policy] = res.Wall
+		if offHealth == nil {
+			offHealth = res.Health
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%v\t%v\t%g\n",
+			policy, res.DegradedRank, orDash(res.Mitigation), res.FinalEpoch, res.Drained,
+			res.Wall.Round(time.Millisecond), res.MaxErr)
+	}
+	w.Flush()
+
+	// The scorer's per-rank evidence from the first run: the straggler is
+	// the rank whose EWMA cost per element sits far above the median
+	// while every other rank tracks it.
+	if len(offHealth) > 0 {
+		fmt.Println("\nper-rank health report (first run):")
+		pw := tab()
+		fmt.Fprintln(pw, "rank\tclass\tslowdown\tobservations")
+		for _, r := range offHealth {
+			ever := ""
+			if r.EverDegraded {
+				ever = "  (classified Degraded during the run)"
+			}
+			fmt.Fprintf(pw, "%d\t%s\t%.2f×\t%d%s\n", r.Rank, r.Class, r.Slowdown, r.Observations, ever)
+		}
+		pw.Flush()
+	}
+	if !*drainOnly {
+		fmt.Printf("\nwall clock: off %v, rebalance %v, drain %v\n",
+			walls["off"].Round(time.Millisecond), walls["rebalance"].Round(time.Millisecond),
+			walls["drain"].Round(time.Millisecond))
+		fmt.Println("every policy's result matches the fault-free serial reference bit for bit")
+	}
+}
+
+// orDash renders an empty string as "-" in a table cell.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func runRedist() {

@@ -18,11 +18,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/machine"
@@ -51,6 +53,10 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "kill the whole process with a goroutine dump if it runs longer than this (hang watchdog; 0 = off)")
 	redistBudget := flag.String("redist-budget", "", "bound each DISTRIBUTE's peak resident wire bytes per rank, e.g. 64K, 2M (empty/0 = unbounded)")
 	elastic := flag.Bool("elastic", false, "after the run, print the cost-driven grow/shrink advice for P±1 ranks from the run's measured trace (see internal/scale)")
+	healthWin := flag.Int("health-window", 0, "score per-rank health from heartbeat-carried work reports over this EWMA observation window and print the report after the run (0 = off; see internal/health)")
+	drain := flag.Bool("drain", false, "voluntarily drain a rank classified Degraded at a DISTRIBUTE checkpoint site: members shrink the membership by one epoch and replay the checkpoint (requires -health-window and -ckpt-dir)")
+	slowRank := flag.Int("slow-rank", 1, "physical rank the straggler injection marks slow (with -slow-factor)")
+	slowFactor := flag.Float64("slow-factor", 1, "inflate -slow-rank's reported per-statement cost by this factor so the health scorer sees a straggler (<=1 = no injection)")
 	flag.Parse()
 	armDeadline(*deadline)
 	budget, err := redist.ParseBudget(*redistBudget)
@@ -138,12 +144,21 @@ ENDDO
 		ft := msg.NewFaultTransport(msg.NewChanTransport(*np, topts...), plan)
 		mopts = append(mopts, machine.WithTransport(ft))
 	}
-	if *onlineRec {
-		if *ckptDir == "" {
-			log.Fatal("-online-recover requires -ckpt-dir")
+	if *drain {
+		if *healthWin == 0 {
+			log.Fatal("-drain requires -health-window (nothing is measured without it)")
 		}
+		if *ckptDir == "" {
+			log.Fatal("-drain requires -ckpt-dir (survivors replay the checkpoint onto the shrunken view)")
+		}
+	}
+	if *onlineRec && *ckptDir == "" {
+		log.Fatal("-online-recover requires -ckpt-dir")
+	}
+	if *onlineRec || *healthWin > 0 {
 		// The survivors need failure detection to notice a lost rank, and
-		// deadlines so in-flight collectives abort instead of hanging.
+		// deadlines so in-flight collectives abort instead of hanging; the
+		// health scorer's work reports ride on the same heartbeats.
 		mopts = append(mopts, machine.WithLiveness(machine.LivenessConfig{}))
 		if *commTimeout == 0 {
 			*commTimeout = 150 * time.Millisecond
@@ -151,6 +166,9 @@ ENDDO
 		if *commRetries == 0 {
 			*commRetries = 2
 		}
+	}
+	if *healthWin > 0 {
+		mopts = append(mopts, machine.WithHealth(health.Config{Window: *healthWin}))
 	}
 	if *commTimeout > 0 || *commRetries > 0 {
 		mopts = append(mopts, machine.WithCommConfig(msg.CommConfig{
@@ -163,6 +181,7 @@ ENDDO
 	in := interp.New(e)
 	interp.RegisterPICDemo(in)
 	in.SetMemBudget(budget)
+	in.SetStraggler(*healthWin > 0, *drain, *slowRank, *slowFactor)
 	if *recoverRun && *ckptDir == "" {
 		log.Fatal("-recover requires -ckpt-dir")
 	}
@@ -180,6 +199,8 @@ ENDDO
 	}
 	var arrays []arrInfo
 	var scalars map[string]float64
+	var drainedView atomic.Int64
+	drainedView.Store(-1)
 	start := time.Now()
 	if err := m.Run(func(ctx *machine.Ctx) error {
 		// With -online-recover, a body error means a rank was lost: the
@@ -187,21 +208,37 @@ ENDDO
 		// engine and interpreter (the old arrays are bound to the revoked
 		// epoch's numbering), and re-run the program replaying the last
 		// committed checkpoint.  The excluded rank returns its error, which
-		// Machine.Run treats as a non-fatal exit.
+		// Machine.Run treats as a non-fatal exit.  With -drain, a
+		// *DrainRankError is the members' agreed decision to shrink the
+		// membership by a Degraded rank instead: Ctx.Drain moves the epoch,
+		// the drained rank exits non-fatally with ErrDrained, and the
+		// survivors take the same recovery re-run path.
 		run := in
 		st, err := run.Run(ctx, unit)
-		for attempt := 1; err != nil && *onlineRec && attempt < *np; attempt++ {
+		for attempt := 1; err != nil && (*onlineRec || *drain) && attempt < *np; attempt++ {
 			if errors.Is(err, machine.ErrExcluded) {
 				return err
 			}
-			if rerr := ctx.Regroup(); rerr != nil {
-				return rerr
+			var dre *interp.DrainRankError
+			switch {
+			case errors.As(err, &dre):
+				drainedView.Store(int64(dre.ViewRank))
+				if rerr := ctx.Drain(dre.ViewRank); rerr != nil {
+					return rerr
+				}
+			case *onlineRec:
+				if rerr := ctx.Regroup(); rerr != nil {
+					return rerr
+				}
+			default:
+				return err
 			}
 			run = ctx.CollectiveOnce(func() any {
 				e2 := core.NewEngine(m)
 				i2 := interp.New(e2)
 				interp.RegisterPICDemo(i2)
 				i2.SetMemBudget(budget)
+				i2.SetStraggler(*healthWin > 0, *drain, *slowRank, *slowFactor)
 				i2.SetCheckpoint(*ckptDir, *ckptEvery)
 				i2.SetIO(*ioServers, *ioRedundancy, *ckptKeep)
 				// Replay the last committed checkpoint if there is one; a
@@ -264,6 +301,26 @@ ENDDO
 	}
 	sn := m.Stats().Snapshot()
 	fmt.Printf("traffic: %d data messages, %d bytes\n", sn.TotalDataMsgs(), sn.TotalBytes())
+	if dv := drainedView.Load(); dv >= 0 {
+		fmt.Printf("drained: view rank %d left the membership at a DISTRIBUTE checkpoint site; the survivors replayed the checkpoint and finished on %d ranks\n",
+			dv, *np-1)
+	}
+	if *healthWin > 0 {
+		if h := m.Health(); h != nil {
+			fmt.Println("health:")
+			ranks := make([]int, *np)
+			for i := range ranks {
+				ranks[i] = i
+			}
+			for _, rr := range h.Report(ranks) {
+				suffix := ""
+				if rr.EverDegraded {
+					suffix = "  [classified Degraded during the run]"
+				}
+				fmt.Printf("  %s%s\n", rr, suffix)
+			}
+		}
+	}
 	if *elastic {
 		printScaleAdvice(tr.Summarize(), *np, wall)
 	}

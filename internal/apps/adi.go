@@ -17,10 +17,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/health"
 	"repro/internal/index"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/scale"
 	"repro/internal/trace"
 )
 
@@ -127,6 +129,12 @@ type ADIConfig struct {
 	// redistributions (Engine.SetMemBudget), surviving every recovery
 	// and expansion transition.  <= 0 means unbounded.
 	MemBudget int64
+	// Straggler configures the rank-health scorer, an optional injected
+	// slow rank, and the mitigation policy (observe, rebalance the block
+	// bounds by measured speed, or drain the straggler).  Mitigation
+	// requires ADIDynamic — the static modes cannot re-divide their
+	// distribution.
+	Straggler StragglerConfig
 }
 
 // ADIResult reports an ADI run.
@@ -158,6 +166,18 @@ type ADIResult struct {
 	// residency any redistribution reached — the quantity MemBudget
 	// bounds.
 	PeakWireBytes int64
+	// DegradedRank is the first physical rank the health scorer ever
+	// classified Degraded (-1: none, or scoring off).
+	DegradedRank int
+	// Mitigation is the straggler mitigation that fired ("rebalance",
+	// "drain", or empty).
+	Mitigation string
+	// Drained lists the physical ranks voluntarily drained from the
+	// membership by the straggler policy.
+	Drained []int
+	// Health is the scorer's final per-rank report (nil with scoring
+	// off) — class, slowdown vs the median, and observation count.
+	Health []health.RankReport
 }
 
 const (
@@ -185,6 +205,12 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	}
 	if cfg.Elastic && (cfg.Join <= 0 || cfg.CkptDir == "") {
 		return ADIResult{}, fmt.Errorf("apps: Elastic requires Join > 0 and a CkptDir")
+	}
+	if err := cfg.Straggler.validate(cfg.Liveness != nil, cfg.CommTimeout, cfg.CkptDir); err != nil {
+		return ADIResult{}, err
+	}
+	if cfg.Straggler.mitigating() && cfg.Mode != ADIDynamic {
+		return ADIResult{}, fmt.Errorf("apps: straggler mitigation requires the dynamic ADI mode (static distributions cannot be re-divided)")
 	}
 	var mopts []machine.Option
 	var cm *msg.CostModel
@@ -214,6 +240,9 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	if cfg.Liveness != nil {
 		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
 	}
+	if cfg.Straggler.Enabled() {
+		mopts = append(mopts, machine.WithHealth(cfg.Straggler.healthConfig()))
+	}
 	if cfg.CkptDir != "" && cfg.CkptEvery <= 0 {
 		cfg.CkptEvery = 1
 	}
@@ -225,7 +254,7 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	e := core.NewEngine(m)
 	e.SetMemBudget(cfg.MemBudget)
 	e.SetCkptOptions(cfg.IO.options())
-	res := ADIResult{Mode: cfg.Mode, ResumedIter: -1}
+	res := ADIResult{Mode: cfg.Mode, ResumedIter: -1, DegradedRank: -1}
 
 	dom := index.Dim(cfg.NX, cfg.NY)
 	initial := func(p index.Point) float64 {
@@ -248,9 +277,33 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 	var hits, misses int
 	var resumedIter = -1
 	var nEpochs, finalEpoch int
+	var mitigation string
+	var drainedPhys []int
 	start := time.Now()
 	err = m.Run(func(ctx *machine.Ctx) error {
+		// Per-goroutine straggler state, persisting across body re-entries:
+		// a rebalance installs weighted B_BLOCK bounds for the remaining
+		// redistributions; mitigated makes the policy one-shot per run.
+		var rowBounds, colBounds []int
+		mitigated := false
 		body := func(eng *core.Engine, online bool) error {
+			if colBounds != nil && len(colBounds) != ctx.NP() {
+				// A membership transition changed the view size since the
+				// bounds were computed: fall back to the even block split.
+				rowBounds, colBounds = nil, nil
+			}
+			colsTarget := func() core.Expr {
+				if colBounds != nil {
+					return core.DimsOf(dist.ElidedDim(), dist.BBlockDim(colBounds...))
+				}
+				return core.DimsOf(dist.ElidedDim(), dist.BlockDim())
+			}
+			rowsTarget := func() core.Expr {
+				if rowBounds != nil {
+					return core.DimsOf(dist.BBlockDim(rowBounds...), dist.ElidedDim())
+				}
+				return core.DimsOf(dist.BlockDim(), dist.ElidedDim())
+			}
 			colsDist := core.DistSpec{Type: colsType()}
 			rowsDist := core.DistSpec{Type: rowsType()}
 			var v *core.Array
@@ -325,32 +378,44 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 			ctx.PhaseBegin("iterate")
 			for it := it0; it < cfg.Iters; it++ {
 				var err error
+				iterT0 := time.Now()
 				switch cfg.Mode {
 				case ADIDynamic:
 					if it > 0 {
 						err = account(func() error {
-							return eng.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.ElidedDim(), dist.BlockDim()))
+							return eng.Distribute(ctx, []*core.Array{v}, colsTarget())
 						}, &redistMsgs, &redistBytes)
 						if err != nil {
 							return err
 						}
 					}
-					localSweep(ctx, v, 0, cfg.FlopTime)
+					// Compute sections run under timed: injected slowdown is
+					// applied and the busy time reported to the health scorer
+					// (barrier/communication waits deliberately excluded).
+					el0 := cfg.Straggler.timed(ctx, func() { localSweep(ctx, v, 0, cfg.FlopTime) })
+					units := localElems(ctx, v)
 					if err = ctx.Barrier(); err != nil {
 						return err
 					}
 					err = account(func() error {
-						return eng.Distribute(ctx, []*core.Array{v}, core.DimsOf(dist.BlockDim(), dist.ElidedDim()))
+						return eng.Distribute(ctx, []*core.Array{v}, rowsTarget())
 					}, &redistMsgs, &redistBytes)
 					if err != nil {
 						return err
 					}
-					localSweep(ctx, v, 1, cfg.FlopTime)
+					el1 := cfg.Straggler.timed(ctx, func() { localSweep(ctx, v, 1, cfg.FlopTime) })
+					units += localElems(ctx, v)
 					if err = ctx.Barrier(); err != nil {
 						return err
 					}
+					if cfg.Straggler.Enabled() {
+						ctx.ReportWork(units, el0+el1)
+					}
 				case ADIStaticCols:
-					localSweep(ctx, v, 0, cfg.FlopTime)
+					el := cfg.Straggler.timed(ctx, func() { localSweep(ctx, v, 0, cfg.FlopTime) })
+					if cfg.Straggler.Enabled() {
+						ctx.ReportWork(localElems(ctx, v), el)
+					}
 					if err = ctx.Barrier(); err != nil {
 						return err
 					}
@@ -363,7 +428,10 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 					if err != nil {
 						return err
 					}
-					localSweep(ctx, v, 1, cfg.FlopTime)
+					el := cfg.Straggler.timed(ctx, func() { localSweep(ctx, v, 1, cfg.FlopTime) })
+					if cfg.Straggler.Enabled() {
+						ctx.ReportWork(localElems(ctx, v), el)
+					}
 					if err = ctx.Barrier(); err != nil {
 						return err
 					}
@@ -390,6 +458,36 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 							return err
 						}
 						return errGrow
+					}
+				}
+				// Straggler defense: the members take one agreed mitigation
+				// decision per boundary once the scorer has had a chance to
+				// classify.  A rebalance installs weighted bounds for the
+				// remaining redistributions; a drain checkpoints and leaves
+				// the body so the recovery driver can shrink the membership.
+				if cfg.Straggler.mitigating() && !mitigated && it+1 >= cfg.Straggler.checkAfter() && it+1 < cfg.Iters {
+					dec, view, speeds, derr := decideStraggler(ctx, m, cfg.Straggler, cfg.Iters-(it+1), time.Since(iterT0))
+					if derr != nil {
+						return derr
+					}
+					switch dec {
+					case scale.Rebalance:
+						mitigated = true
+						rowBounds = scale.WeightedBounds(cfg.NX, speeds)
+						colBounds = scale.WeightedBounds(cfg.NY, speeds)
+						if ctx.Rank() == 0 {
+							mitigation = "rebalance"
+						}
+					case scale.Drain:
+						mitigated = true
+						if _, err := eng.CheckpointIter(ctx, cfg.CkptDir, it); err != nil {
+							return err
+						}
+						if ctx.Rank() == 0 {
+							mitigation = "drain"
+							drainedPhys = append(drainedPhys, ctx.PhysOf(view))
+						}
+						return &drainError{viewRank: view}
 					}
 				}
 			}
@@ -430,6 +528,10 @@ func RunADI(cfg ADIConfig) (ADIResult, error) {
 		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), cfg.MemBudget, body)
 	})
 	res.Survivors = m.Survivors()
+	res.DegradedRank = degradedRank(m)
+	res.Health = healthReport(m)
+	res.Mitigation = mitigation
+	res.Drained = drainedPhys
 	if err != nil {
 		return res, err
 	}

@@ -98,6 +98,7 @@ func runWithOnlineRecovery(ctx *machine.Ctx, m *machine.Machine, eng *core.Engin
 		eng = freshEngine()
 		online = true
 	}
+	var dr *drainError
 	for attempt := 0; ; attempt++ {
 		err := body(eng, online)
 		switch {
@@ -105,6 +106,15 @@ func runWithOnlineRecovery(ctx *machine.Ctx, m *machine.Machine, eng *core.Engin
 			// The body checkpointed and bailed out at an agreed iteration
 			// boundary: admit every pending joiner into epoch e+1.
 			if rerr := ctx.Admit(); rerr != nil {
+				return rerr
+			}
+		case errors.As(err, &dr):
+			// Straggler mitigation: the body checkpointed and agreed to
+			// drain one member.  Every member runs the same transition;
+			// the drained rank exits here with ErrDrained (non-fatal to
+			// Machine.Run) and the survivors replay the checkpoint onto
+			// the shrunken view.
+			if rerr := ctx.Drain(dr.viewRank); rerr != nil {
 				return rerr
 			}
 		case err == nil || !enabled:

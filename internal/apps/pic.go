@@ -9,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/scale"
 )
 
 // PICConfig parameterizes the Figure 2 particle-in-cell study.  The
@@ -85,6 +86,11 @@ type PICConfig struct {
 	// MemBudget bounds each rank's peak resident wire bytes during
 	// redistributions; <= 0 means unbounded.
 	MemBudget int64
+	// Straggler configures the rank-health scorer, an optional injected
+	// slow rank, and the mitigation policy.  A rebalance here feeds the
+	// measured speeds into the B_BLOCK bounds computation, so the
+	// straggler gets fewer particles, not just fewer cells.
+	Straggler StragglerConfig
 }
 
 // PICResult reports a PIC run.
@@ -108,6 +114,15 @@ type PICResult struct {
 	// FinalEpoch is the membership epoch the run completed on: 0 for a
 	// failure-free run, >0 after in-process online recovery.
 	FinalEpoch int
+	// DegradedRank is the first physical rank the health scorer ever
+	// classified Degraded (-1: none, or scoring off).
+	DegradedRank int
+	// Mitigation is the straggler mitigation that fired ("rebalance",
+	// "drain", or empty).
+	Mitigation string
+	// Drained lists the physical ranks voluntarily drained from the
+	// membership by the straggler policy.
+	Drained []int
 }
 
 // RunPIC executes the Figure 2 outer loop:
@@ -149,6 +164,9 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 	if cfg.Elastic && (cfg.Join <= 0 || cfg.CkptDir == "") {
 		return PICResult{}, fmt.Errorf("apps: Elastic requires Join > 0 and a CkptDir")
 	}
+	if err := cfg.Straggler.validate(cfg.Liveness != nil, cfg.CommTimeout, cfg.CkptDir); err != nil {
+		return PICResult{}, err
+	}
 	var mopts []machine.Option
 	var cm *msg.CostModel
 	var topts []msg.Option
@@ -173,6 +191,9 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 	if cfg.Liveness != nil {
 		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
 	}
+	if cfg.Straggler.Enabled() {
+		mopts = append(mopts, machine.WithHealth(cfg.Straggler.healthConfig()))
+	}
 	if cfg.Join > 0 {
 		mopts = append(mopts, machine.WithReserve(cfg.Join))
 	}
@@ -181,14 +202,24 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 	e := core.NewEngine(m)
 	e.SetMemBudget(cfg.MemBudget)
 	e.SetCkptOptions(cfg.IO.options())
-	res := PICResult{Rebalance: cfg.Rebalance, ImbalanceSeries: make([]float64, cfg.Steps)}
+	res := PICResult{Rebalance: cfg.Rebalance, ImbalanceSeries: make([]float64, cfg.Steps), DegradedRank: -1}
 
 	dom := index.Dim(cfg.NCell)
 	var redistBytes int64
 	var finalEpoch int
+	var mitigation string
+	var drainedPhys []int
 	start := time.Now()
 	err = m.Run(func(ctx *machine.Ctx) error {
+		// Per-goroutine straggler state: a rebalance installs the measured
+		// speed shares so every subsequent balance() weights its B_BLOCK
+		// bounds by throughput; mitigated makes the policy one-shot.
+		var speedShares []float64
+		mitigated := false
 		body := func(eng *core.Engine, online bool) error {
+			if speedShares != nil && len(speedShares) != ctx.NP() {
+				speedShares = nil
+			}
 			blockInit := core.DistSpec{Type: dist.NewType(dist.BlockDim())}
 			field := eng.MustDeclare(ctx, core.Decl{Name: "FIELD", Domain: dom, Dynamic: true, Init: &blockInit})
 			count := eng.MustDeclare(ctx, core.Decl{Name: "COUNT", Domain: dom, Dynamic: true, ConnectTo: "FIELD"})
@@ -232,7 +263,11 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 				}
 				var bounds []int
 				if ctx.Rank() == 0 {
-					bounds = computeBounds(counts, ctx.NP())
+					if speedShares != nil {
+						bounds = computeWeightedBounds(counts, speedShares)
+					} else {
+						bounds = computeBounds(counts, ctx.NP())
+					}
 				}
 				bounds, err = ctx.Comm().BcastInts(0, bounds)
 				if err != nil {
@@ -288,19 +323,27 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 			}
 
 			for k := k0; k <= cfg.Steps; k++ {
-				// update_field: work proportional to local particle count
+				stepT0 := time.Now()
+				// update_field: work proportional to local particle count.
+				// The compute runs under timed so an injected straggler is
+				// stretched and its per-particle cost reported to the scorer.
 				lc, lf := count.Local(ctx), field.Local(ctx)
 				particles := 0.0
-				lc.ForEachOwned(func(p index.Point, v *float64) {
-					n := int(*v)
-					particles += *v
-					acc := lf.At(p)
-					for w := 0; w < n*cfg.WorkPerParticle; w++ {
-						acc += 1e-9 * float64(w%7)
-					}
-					lf.SetAt(p, acc+*v)
+				el := cfg.Straggler.timed(ctx, func() {
+					lc.ForEachOwned(func(p index.Point, v *float64) {
+						n := int(*v)
+						particles += *v
+						acc := lf.At(p)
+						for w := 0; w < n*cfg.WorkPerParticle; w++ {
+							acc += 1e-9 * float64(w%7)
+						}
+						lf.SetAt(p, acc+*v)
+					})
 				})
 				ctx.Charge(cfg.FlopTime * particles * float64(cfg.WorkPerParticle))
+				if cfg.Straggler.Enabled() {
+					ctx.ReportWork(particles, el)
+				}
 				if err := ctx.Barrier(); err != nil {
 					return err
 				}
@@ -344,6 +387,37 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 						return errGrow
 					}
 				}
+				// Straggler defense: one agreed mitigation per run.  A
+				// rebalance re-divides the particles by measured speed
+				// immediately (and keeps weighting later balances); a drain
+				// checkpoints and shrinks the membership.
+				if cfg.Straggler.mitigating() && !mitigated && k >= cfg.Straggler.checkAfter() && k < cfg.Steps {
+					dec, view, speeds, derr := decideStraggler(ctx, m, cfg.Straggler, cfg.Steps-k, time.Since(stepT0))
+					if derr != nil {
+						return derr
+					}
+					switch dec {
+					case scale.Rebalance:
+						mitigated = true
+						speedShares = scale.FairShares(speeds)
+						if err := balance(); err != nil {
+							return err
+						}
+						if ctx.Rank() == 0 {
+							mitigation = "rebalance"
+						}
+					case scale.Drain:
+						mitigated = true
+						if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(k)}); err != nil {
+							return err
+						}
+						if ctx.Rank() == 0 {
+							mitigation = "drain"
+							drainedPhys = append(drainedPhys, ctx.PhysOf(view))
+						}
+						return &drainError{viewRank: view}
+					}
+				}
 			}
 
 			got, err := count.GatherTo(ctx, 0)
@@ -364,6 +438,9 @@ func RunPIC(cfg PICConfig) (PICResult, error) {
 		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), cfg.MemBudget, body)
 	})
 	res.Survivors = m.Survivors()
+	res.DegradedRank = degradedRank(m)
+	res.Mitigation = mitigation
+	res.Drained = drainedPhys
 	if err != nil {
 		return res, err
 	}
@@ -478,6 +555,43 @@ func computeBounds(counts []float64, np int) []int {
 		bounds[p] = len(counts)
 	}
 	// bounds must be non-decreasing and end at NCell; fill any gaps
+	prev := 0
+	for i := range bounds {
+		if bounds[i] < prev {
+			bounds[i] = prev
+		}
+		prev = bounds[i]
+	}
+	bounds[np-1] = len(counts)
+	return bounds
+}
+
+// computeWeightedBounds generalizes computeBounds to uneven targets: the
+// cumulative particle targets follow the given work shares (summing to 1,
+// from scale.FairShares) instead of an even total/np split, so a slow
+// processor's segment carries proportionally fewer particles.
+func computeWeightedBounds(counts, shares []float64) []int {
+	np := len(shares)
+	total := sum(counts)
+	targets := make([]float64, np)
+	cum := 0.0
+	for p := range shares {
+		cum += shares[p]
+		targets[p] = total * cum
+	}
+	bounds := make([]int, np)
+	acc := 0.0
+	p := 0
+	for i, c := range counts {
+		acc += c
+		for p < np-1 && acc >= targets[p] {
+			bounds[p] = i + 1 // 1-based cell index
+			p++
+		}
+	}
+	for ; p < np; p++ {
+		bounds[p] = len(counts)
+	}
 	prev := 0
 	for i := range bounds {
 		if bounds[i] < prev {

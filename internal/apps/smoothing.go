@@ -11,6 +11,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/scale"
 	"repro/internal/trace"
 )
 
@@ -99,6 +100,12 @@ type SmoothConfig struct {
 	// MemBudget bounds each rank's peak resident wire bytes during
 	// redistributions; <= 0 means unbounded.
 	MemBudget int64
+	// Straggler configures the rank-health scorer, an optional injected
+	// slow rank, and the mitigation policy.  Smoothing supports
+	// observation and the "drain" policy only (SmoothColumns, synchronous
+	// steps): its ghost-bearing connect class keeps the even block split,
+	// so a weighted rebalance is not available here.
+	Straggler StragglerConfig
 }
 
 // SmoothResult reports a smoothing run.
@@ -119,6 +126,15 @@ type SmoothResult struct {
 	// FinalEpoch is the membership epoch the run completed on: 0 for a
 	// failure-free run, >0 after in-process online recovery.
 	FinalEpoch int
+	// DegradedRank is the first physical rank the health scorer ever
+	// classified Degraded (-1: none, or scoring off).
+	DegradedRank int
+	// Mitigation is the straggler mitigation that fired ("drain" or
+	// empty).
+	Mitigation string
+	// Drained lists the physical ranks voluntarily drained from the
+	// membership by the straggler policy.
+	Drained []int
 }
 
 // RunSmoothing performs Steps Jacobi smoothing steps on an N×N grid under
@@ -127,7 +143,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	if cfg.FlopTime == 0 {
 		cfg.FlopTime = 2e-9
 	}
-	res := SmoothResult{Mode: cfg.Mode}
+	res := SmoothResult{Mode: cfg.Mode, DegradedRank: -1}
 	q := int(math.Round(math.Sqrt(float64(cfg.P))))
 	if cfg.Mode == SmoothBlock2D && q*q != cfg.P {
 		return res, fmt.Errorf("apps: 2-D smoothing needs a square processor count, got %d", cfg.P)
@@ -138,6 +154,17 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	}
 	if cfg.Elastic && (cfg.Join <= 0 || cfg.CkptDir == "" || cfg.Mode != SmoothColumns) {
 		return res, fmt.Errorf("apps: Elastic smoothing requires Join > 0, a CkptDir, and SmoothColumns")
+	}
+	if err := cfg.Straggler.validate(cfg.Liveness != nil, cfg.CommTimeout, cfg.CkptDir); err != nil {
+		return res, err
+	}
+	if cfg.Straggler.mitigating() {
+		if cfg.Straggler.Policy != "drain" {
+			return res, fmt.Errorf("apps: smoothing straggler policy must be drain or off (the ghost connect class keeps the even block split)")
+		}
+		if cfg.Mode != SmoothColumns || cfg.Overlap {
+			return res, fmt.Errorf("apps: smoothing straggler drain requires SmoothColumns and synchronous steps")
+		}
 	}
 	var mopts []machine.Option
 	var cm *msg.CostModel
@@ -166,6 +193,9 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	}
 	if cfg.Liveness != nil {
 		mopts = append(mopts, machine.WithLiveness(*cfg.Liveness))
+	}
+	if cfg.Straggler.Enabled() {
+		mopts = append(mopts, machine.WithHealth(cfg.Straggler.healthConfig()))
 	}
 	if cfg.Join > 0 {
 		mopts = append(mopts, machine.WithReserve(cfg.Join))
@@ -199,8 +229,11 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 	var maxErr, checksum float64
 	var exchMsgs, exchBytes int64
 	var finalEpoch int
+	var mitigation string
+	var drainedPhys []int
 	start := time.Now()
 	err = m.Run(func(ctx *machine.Ctx) error {
+		mitigated := false
 		body := func(eng *core.Engine, online bool) error {
 			var spec core.DistSpec
 			switch cfg.Mode {
@@ -258,6 +291,7 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 				}
 			}
 			for s := s0; s < cfg.Steps; s++ {
+				stepT0 := time.Now()
 				if cfg.Overlap {
 					if err := smoothStepOverlap(ctx, src, dst, cfg.FlopTime); err != nil {
 						return err
@@ -277,7 +311,10 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 						exchMsgs += d.MaxDataMsgsPerProc()
 						exchBytes += d.MaxBytesPerProc()
 					}
-					smoothLocal(ctx, src, dst, cfg.FlopTime)
+					el := cfg.Straggler.timed(ctx, func() { smoothLocal(ctx, src, dst, cfg.FlopTime) })
+					if cfg.Straggler.Enabled() {
+						ctx.ReportWork(localElems(ctx, src), el)
+					}
 					ctx.Barrier()
 				}
 				src, dst = dst, src
@@ -298,6 +335,25 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 							return err
 						}
 						return errGrow
+					}
+				}
+				// Straggler defense (drain only): checkpoint the parity and
+				// shrink the membership at an agreed step boundary.
+				if cfg.Straggler.mitigating() && !mitigated && s+1 >= cfg.Straggler.checkAfter() && s+1 < cfg.Steps {
+					dec, view, _, derr := decideStraggler(ctx, m, cfg.Straggler, cfg.Steps-(s+1), time.Since(stepT0))
+					if derr != nil {
+						return derr
+					}
+					if dec == scale.Drain {
+						mitigated = true
+						if _, err := eng.Checkpoint(ctx, cfg.CkptDir, map[string]string{"step": fmt.Sprint(s)}); err != nil {
+							return err
+						}
+						if ctx.Rank() == 0 {
+							mitigation = "drain"
+							drainedPhys = append(drainedPhys, ctx.PhysOf(view))
+						}
+						return &drainError{viewRank: view}
 					}
 				}
 			}
@@ -351,6 +407,9 @@ func RunSmoothing(cfg SmoothConfig) (SmoothResult, error) {
 		return runWithOnlineRecovery(ctx, m, e, cfg.OnlineRecover && cfg.CkptDir != "", max(cfg.P, 2), cfg.MemBudget, body)
 	})
 	res.Survivors = m.Survivors()
+	res.DegradedRank = degradedRank(m)
+	res.Mitigation = mitigation
+	res.Drained = drainedPhys
 	if err != nil {
 		return res, err
 	}

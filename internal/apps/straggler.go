@@ -1,0 +1,265 @@
+// Straggler defense wiring shared by the application harnesses: a
+// StragglerConfig each app embeds, the compute-time injection that makes
+// a chosen rank measurably slow, the agreed per-boundary mitigation
+// decision (health report → scale policy → broadcast), and the drain
+// sentinel the recovery driver turns into a voluntary scale-in.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/machine"
+	"repro/internal/scale"
+)
+
+// StragglerConfig parameterizes an app run's straggler defense.  The
+// zero value disables everything.
+type StragglerConfig struct {
+	// HealthWindow enables health scoring when > 0: the machine runs the
+	// EWMA throughput scorer (machine.WithHealth) over this many
+	// observations, fed by the ranks' per-step work reports piggybacked
+	// on heartbeat traffic.  Requires Liveness.
+	HealthWindow int
+	// DegradedRatio is the slowdown (vs the median rank) at which a rank
+	// is classified Degraded (default 2).
+	DegradedRatio float64
+	// Hysteresis is the consecutive-classification streak required
+	// before a rank's class flips (default 3, min 2): a single slow step
+	// never reclassifies.
+	Hysteresis int
+	// Policy selects what to do about a Degraded rank at an iteration
+	// boundary:
+	//
+	//	""/"off"    observe only — score health, mitigate nothing;
+	//	"rebalance" re-divide the block bounds in proportion to measured
+	//	            speeds (B_BLOCK with the straggler's block shrunk);
+	//	"drain"     checkpoint and voluntarily drain the straggler from
+	//	            the membership (scale-in); survivors replay onto the
+	//	            shrunken view;
+	//	"auto"      let scale.RecommendStraggler pick between them from
+	//	            the measured step time and slowdown.
+	Policy string
+	// CheckAfter is the first iteration boundary at which the members
+	// evaluate the mitigation policy (default 2 — the scorer needs a few
+	// heartbeats of observations first).
+	CheckAfter int
+	// SlowRank/SlowFactor inject a synthetic straggler for experiments:
+	// the given physical rank's compute sections are stretched by the
+	// factor (sleep).  Injection is active only when SlowFactor > 1.
+	SlowRank   int
+	SlowFactor float64
+}
+
+// Enabled reports whether health scoring is on at all.
+func (sc StragglerConfig) Enabled() bool { return sc.HealthWindow > 0 }
+
+// mitigating reports whether the policy acts on a Degraded rank (as
+// opposed to observing only).
+func (sc StragglerConfig) mitigating() bool {
+	switch sc.Policy {
+	case "rebalance", "drain", "auto":
+		return sc.Enabled()
+	}
+	return false
+}
+
+func (sc StragglerConfig) checkAfter() int {
+	if sc.CheckAfter <= 0 {
+		return 2
+	}
+	return sc.CheckAfter
+}
+
+func (sc StragglerConfig) healthConfig() health.Config {
+	return health.Config{
+		Window:        sc.HealthWindow,
+		DegradedRatio: sc.DegradedRatio,
+		Hysteresis:    sc.Hysteresis,
+	}
+}
+
+// validate checks the prerequisites the chosen policy needs from the
+// surrounding app config.
+func (sc StragglerConfig) validate(haveLiveness bool, commTimeout time.Duration, ckptDir string) error {
+	if !sc.Enabled() {
+		if sc.mitigatingPolicyName() {
+			return fmt.Errorf("apps: straggler policy %q needs HealthWindow > 0 (nothing is measured)", sc.Policy)
+		}
+		return nil
+	}
+	switch sc.Policy {
+	case "", "off", "rebalance", "drain", "auto":
+	default:
+		return fmt.Errorf("apps: unknown straggler policy %q (want off, rebalance, drain, or auto)", sc.Policy)
+	}
+	if !haveLiveness {
+		return errors.New("apps: straggler defense requires Liveness (work reports ride on heartbeats)")
+	}
+	if sc.mitigating() && commTimeout <= 0 {
+		return errors.New("apps: straggler mitigation requires a CommTimeout")
+	}
+	if (sc.Policy == "drain" || sc.Policy == "auto") && ckptDir == "" {
+		return errors.New("apps: straggler drain requires a CkptDir (survivors replay the checkpoint onto the shrunken view)")
+	}
+	return nil
+}
+
+func (sc StragglerConfig) mitigatingPolicyName() bool {
+	switch sc.Policy {
+	case "rebalance", "drain", "auto":
+		return true
+	}
+	return false
+}
+
+// timed runs a compute section, stretches it on the injected straggler,
+// and returns the (stretched) elapsed time the caller reports as busy
+// time.  Only compute sections go through timed — barrier and
+// communication waits must not count as work, or every rank waiting on
+// the straggler would itself look slow.
+func (sc StragglerConfig) timed(ctx *machine.Ctx, compute func()) time.Duration {
+	t0 := time.Now()
+	compute()
+	el := time.Since(t0)
+	if sc.SlowFactor > 1 && ctx.PhysRank() == sc.SlowRank {
+		extra := time.Duration(float64(el) * (sc.SlowFactor - 1))
+		time.Sleep(extra)
+		el += extra
+	}
+	return el
+}
+
+// localElems counts the rank's local allocation of v — the work units a
+// sweep over it performs.
+func localElems(ctx *machine.Ctx, v *core.Array) float64 {
+	n := 1
+	for _, e := range v.Local(ctx).AllocShape() {
+		n *= e
+	}
+	return float64(n)
+}
+
+// drainError is the sentinel an app body returns after an agreed drain
+// decision (and a checkpoint): every member leaves the body at the same
+// iteration boundary, runWithOnlineRecovery calls Ctx.Drain on the view
+// rank, the drained rank exits non-fatally with ErrDrained, and the
+// survivors re-enter the body in recovery mode on the shrunken view.
+type drainError struct{ viewRank int }
+
+func (e *drainError) Error() string {
+	return fmt.Sprintf("apps: drain view rank %d (straggler mitigation)", e.viewRank)
+}
+
+// decideStraggler takes one iteration boundary's mitigation decision,
+// collectively.  Rank 0 consults the health scorer and the configured
+// policy; the decision, the straggler's view rank, and the measured
+// per-rank speeds are broadcast so every member acts identically (and
+// computes identical weighted bounds).  Returns Hold when no rank is
+// classified Degraded yet — the policy simply re-checks at the next
+// boundary.
+//
+// stepWall is the caller's measured wall time of the last step (used by
+// the "auto" policy to size the cost model); stepsLeft the remaining
+// iteration count.
+func decideStraggler(ctx *machine.Ctx, m *machine.Machine, sc StragglerConfig,
+	stepsLeft int, stepWall time.Duration) (scale.Decision, int, []float64, error) {
+	var vals []int
+	if ctx.Rank() == 0 {
+		np := ctx.NP()
+		vals = make([]int, 2+np)
+		vals[0], vals[1] = int(scale.Hold), -1
+		for i := range vals[2:] {
+			vals[2+i] = 1e6 // nominal speed
+		}
+		if h := m.Health(); h != nil && np > 1 {
+			members := ctx.Members()
+			worst, class, slowdown, ok := h.Worst(members)
+			if ok && class >= health.Degraded {
+				view := -1
+				for i, p := range members {
+					if p == worst {
+						view = i
+					}
+				}
+				if view >= 0 {
+					if dec := sc.decide(np, stepsLeft, slowdown, stepWall); dec != scale.Hold {
+						vals[0], vals[1] = int(dec), view
+						for i, sp := range h.Speeds(members) {
+							vals[2+i] = int(sp * 1e6)
+						}
+					}
+				}
+			}
+		}
+	}
+	out, err := ctx.Comm().BcastInts(0, vals)
+	if err != nil {
+		return scale.Hold, -1, nil, err
+	}
+	speeds := make([]float64, len(out)-2)
+	for i := range speeds {
+		speeds[i] = float64(out[2+i]) / 1e6
+		if speeds[i] <= 0 {
+			speeds[i] = 1
+		}
+	}
+	return scale.Decision(out[0]), out[1], speeds, nil
+}
+
+// decide maps the configured policy to a decision for a rank measured
+// slowdown× slow.  Forced policies skip the cost model; "auto" runs
+// scale.RecommendStraggler on the measured step time split into a
+// nominal compute estimate.
+func (sc StragglerConfig) decide(np, stepsLeft int, slowdown float64, stepWall time.Duration) scale.Decision {
+	switch sc.Policy {
+	case "rebalance":
+		return scale.Rebalance
+	case "drain":
+		return scale.Drain
+	case "auto":
+		// The measured step wall tracks the straggler's critical path:
+		// nominal (healthy-rank) compute is the wall deflated by the
+		// slowdown.  Comm/Idle are folded into compute — a conservative
+		// split that still separates the three candidate step times.
+		nominal := stepWall.Seconds()
+		if slowdown > 1 {
+			nominal /= slowdown
+		}
+		a := scale.RecommendStraggler(scale.StragglerParams{
+			NP: np, StepsLeft: stepsLeft, Slowdown: slowdown,
+			Step: scale.PerStep{Compute: nominal},
+		})
+		return a.Decision
+	}
+	return scale.Hold
+}
+
+// healthReport snapshots the machine's per-rank health report after a
+// run; nil when health scoring was off.
+func healthReport(m *machine.Machine) []health.RankReport {
+	h := m.Health()
+	if h == nil {
+		return nil
+	}
+	ranks := make([]int, m.Capacity())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return h.Report(ranks)
+}
+
+// degradedRank scans the machine's health report after a run for the
+// first rank that was ever classified Degraded (or worse); -1 when the
+// run stayed healthy or health scoring was off.
+func degradedRank(m *machine.Machine) int {
+	for _, rr := range healthReport(m) {
+		if rr.EverDegraded {
+			return rr.Rank
+		}
+	}
+	return -1
+}

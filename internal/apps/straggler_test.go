@@ -1,0 +1,261 @@
+package apps
+
+import (
+	"testing"
+	"time"
+)
+
+// stragglerCfg is the shared defense setup of the matrix: a fast-tick
+// scorer (4-observation window, 2× degraded threshold, minimum
+// hysteresis) with an 8× injected straggler on physical rank 2.
+func stragglerCfg(policy string) StragglerConfig {
+	return StragglerConfig{
+		HealthWindow:  4,
+		DegradedRatio: 2,
+		Hysteresis:    2,
+		Policy:        policy,
+		CheckAfter:    3,
+		SlowRank:      2,
+		SlowFactor:    8,
+	}
+}
+
+// stragglerADI is the shared shape of the mitigation matrix: a 4-rank
+// dynamic ADI with an injected 8× straggler on rank 2.  The health
+// scorer must classify it from the heartbeat-carried work reports, the
+// configured policy must fire at an iteration boundary, and the result
+// must still match the serial reference bit-for-bit.
+func stragglerADI(t *testing.T, useTCP bool, policy string) ADIResult {
+	t.Helper()
+	cfg := ADIConfig{
+		NX: 64, NY: 64, Iters: 40, P: 4, Mode: ADIDynamic, Validate: true,
+		CkptDir: t.TempDir(), CkptEvery: 4,
+		UseTCP:      useTCP,
+		CommTimeout: 250 * time.Millisecond,
+		CommRetries: 2,
+		Liveness:    testLiveness(),
+		Straggler:   stragglerCfg(policy),
+	}
+	res, err := RunADI(cfg)
+	if err != nil {
+		t.Fatalf("straggler run (tcp=%v policy=%s): %v", useTCP, policy, err)
+	}
+	if res.DegradedRank != 2 {
+		t.Fatalf("DegradedRank = %d, want the injected straggler 2", res.DegradedRank)
+	}
+	if res.Mitigation != policy {
+		t.Fatalf("Mitigation = %q, want %q", res.Mitigation, policy)
+	}
+	if res.MaxErr != 0 {
+		t.Fatalf("mitigated result deviates from serial reference: MaxErr = %g, want bit-for-bit 0", res.MaxErr)
+	}
+	return res
+}
+
+// TestStragglerADIRebalanceChan: the rebalance policy re-divides the
+// block bounds by measured speed and the run finishes on the original
+// membership, bit-exact.
+func TestStragglerADIRebalanceChan(t *testing.T) {
+	res := stragglerADI(t, false, "rebalance")
+	if res.FinalEpoch != 0 {
+		t.Fatalf("rebalance moved the membership epoch to %d", res.FinalEpoch)
+	}
+	if len(res.Drained) != 0 {
+		t.Fatalf("rebalance drained ranks: %v", res.Drained)
+	}
+}
+
+// TestStragglerADIDrainChan: the drain policy checkpoints, voluntarily
+// shrinks the membership by the straggler, and the 3 survivors replay
+// onto epoch 1 and still match the reference bit-for-bit.
+func TestStragglerADIDrainChan(t *testing.T) {
+	res := stragglerADI(t, false, "drain")
+	if res.FinalEpoch < 1 {
+		t.Fatalf("drain finished on epoch %d, want a membership transition", res.FinalEpoch)
+	}
+	if len(res.Drained) != 1 || res.Drained[0] != 2 {
+		t.Fatalf("Drained = %v, want [2]", res.Drained)
+	}
+}
+
+// TestStragglerADIRebalanceTCP / TestStragglerADIDrainTCP: the same
+// detection and mitigation over real sockets.
+func TestStragglerADIRebalanceTCP(t *testing.T) {
+	res := stragglerADI(t, true, "rebalance")
+	if res.FinalEpoch != 0 {
+		t.Fatalf("rebalance moved the membership epoch to %d", res.FinalEpoch)
+	}
+}
+
+func TestStragglerADIDrainTCP(t *testing.T) {
+	res := stragglerADI(t, true, "drain")
+	if res.FinalEpoch < 1 {
+		t.Fatalf("drain finished on epoch %d, want a membership transition", res.FinalEpoch)
+	}
+	if len(res.Drained) != 1 || res.Drained[0] != 2 {
+		t.Fatalf("Drained = %v, want [2]", res.Drained)
+	}
+}
+
+// TestStragglerObserveOnly: with the policy off, the scorer still
+// classifies the injected straggler but nothing is mitigated — the
+// do-nothing baseline of the defense.
+func TestStragglerObserveOnly(t *testing.T) {
+	res, err := RunADI(ADIConfig{
+		NX: 64, NY: 64, Iters: 30, P: 4, Mode: ADIDynamic, Validate: true,
+		CommTimeout: 250 * time.Millisecond,
+		CommRetries: 2,
+		Liveness:    testLiveness(),
+		Straggler:   stragglerCfg("off"),
+	})
+	if err != nil {
+		t.Fatalf("observe-only run: %v", err)
+	}
+	if res.DegradedRank != 2 {
+		t.Fatalf("DegradedRank = %d, want 2", res.DegradedRank)
+	}
+	if res.Mitigation != "" || res.FinalEpoch != 0 {
+		t.Fatalf("observe-only run mitigated: %q, epoch %d", res.Mitigation, res.FinalEpoch)
+	}
+	if res.MaxErr != 0 {
+		t.Fatalf("MaxErr = %g", res.MaxErr)
+	}
+}
+
+// TestStragglerPICRebalance: the weighted balance() divides particles —
+// not cells — by measured speed: the 8× rank ends with the smallest
+// particle share, and conservation holds.
+func TestStragglerPICRebalance(t *testing.T) {
+	res, err := RunPIC(PICConfig{
+		NCell: 64, Steps: 30, P: 4, Rebalance: true, RebalanceEvery: 5,
+		InitPerCell: 32, WorkPerParticle: 400,
+		CommTimeout: 250 * time.Millisecond,
+		CommRetries: 2,
+		Liveness:    testLiveness(),
+		Straggler:   stragglerCfg("rebalance"),
+	})
+	if err != nil {
+		t.Fatalf("PIC straggler run: %v", err)
+	}
+	if res.DegradedRank != 2 {
+		t.Fatalf("DegradedRank = %d, want 2", res.DegradedRank)
+	}
+	if res.Mitigation != "rebalance" {
+		t.Fatalf("Mitigation = %q, want rebalance", res.Mitigation)
+	}
+	if res.ParticlesEnd != res.ParticlesStart {
+		t.Fatalf("particles not conserved across the weighted rebalance: %v -> %v",
+			res.ParticlesStart, res.ParticlesEnd)
+	}
+	if res.Redistributions == 0 {
+		t.Fatal("weighted rebalance never redistributed")
+	}
+}
+
+// TestStragglerPICDrain: the drain policy shrinks PIC's membership; the
+// survivors replay the checkpoint and conservation still holds.
+func TestStragglerPICDrain(t *testing.T) {
+	res, err := RunPIC(PICConfig{
+		NCell: 64, Steps: 30, P: 4, Rebalance: true, RebalanceEvery: 5,
+		InitPerCell: 32, WorkPerParticle: 400,
+		CkptDir: t.TempDir(), CkptEvery: 2,
+		CommTimeout: 250 * time.Millisecond,
+		CommRetries: 2,
+		Liveness:    testLiveness(),
+		Straggler:   stragglerCfg("drain"),
+	})
+	if err != nil {
+		t.Fatalf("PIC drain run: %v", err)
+	}
+	if res.FinalEpoch < 1 {
+		t.Fatalf("drain finished on epoch %d", res.FinalEpoch)
+	}
+	if len(res.Drained) != 1 || res.Drained[0] != 2 {
+		t.Fatalf("Drained = %v, want [2]", res.Drained)
+	}
+	if res.ParticlesEnd != float64(64*32) {
+		t.Fatalf("particles not conserved across the drain: %v, want %v", res.ParticlesEnd, 64*32)
+	}
+}
+
+// TestStragglerSmoothingDrain: the stencil's drain-only defense — the
+// straggler leaves, the survivors replay the double-buffer parity, and
+// the result stays within float tolerance of the serial reference.
+func TestStragglerSmoothingDrain(t *testing.T) {
+	res, err := RunSmoothing(SmoothConfig{
+		N: 64, Steps: 30, P: 4, Mode: SmoothColumns, Validate: true,
+		CkptDir: t.TempDir(), CkptEvery: 2,
+		CommTimeout: 250 * time.Millisecond,
+		CommRetries: 2,
+		Liveness:    testLiveness(),
+		Straggler:   stragglerCfg("drain"),
+	})
+	if err != nil {
+		t.Fatalf("smoothing drain run: %v", err)
+	}
+	if res.DegradedRank != 2 {
+		t.Fatalf("DegradedRank = %d, want 2", res.DegradedRank)
+	}
+	if res.FinalEpoch < 1 {
+		t.Fatalf("drain finished on epoch %d", res.FinalEpoch)
+	}
+	if len(res.Drained) != 1 || res.Drained[0] != 2 {
+		t.Fatalf("Drained = %v, want [2]", res.Drained)
+	}
+	if res.MaxErr > 1e-12 {
+		t.Fatalf("MaxErr = %g after the drain", res.MaxErr)
+	}
+}
+
+// TestStragglerConfigValidation: misconfigurations are named errors up
+// front, not mid-run surprises.
+func TestStragglerConfigValidation(t *testing.T) {
+	base := ADIConfig{NX: 32, NY: 32, Iters: 4, P: 4, Mode: ADIDynamic}
+	cases := []struct {
+		name string
+		mut  func(*ADIConfig)
+	}{
+		{"policy without window", func(c *ADIConfig) {
+			c.Straggler = StragglerConfig{Policy: "drain"}
+		}},
+		{"no liveness", func(c *ADIConfig) {
+			c.Straggler = StragglerConfig{HealthWindow: 4}
+		}},
+		{"mitigation without timeout", func(c *ADIConfig) {
+			c.Liveness = testLiveness()
+			c.Straggler = StragglerConfig{HealthWindow: 4, Policy: "rebalance"}
+		}},
+		{"drain without ckpt", func(c *ADIConfig) {
+			c.Liveness = testLiveness()
+			c.CommTimeout = 250 * time.Millisecond
+			c.Straggler = StragglerConfig{HealthWindow: 4, Policy: "drain"}
+		}},
+		{"unknown policy", func(c *ADIConfig) {
+			c.Liveness = testLiveness()
+			c.CommTimeout = 250 * time.Millisecond
+			c.Straggler = StragglerConfig{HealthWindow: 4, Policy: "panic"}
+		}},
+		{"static mode", func(c *ADIConfig) {
+			c.Liveness = testLiveness()
+			c.CommTimeout = 250 * time.Millisecond
+			c.Mode = ADIStaticCols
+			c.Straggler = StragglerConfig{HealthWindow: 4, Policy: "rebalance"}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := RunADI(cfg); err == nil {
+			t.Errorf("%s: RunADI accepted an invalid straggler config", tc.name)
+		}
+	}
+	if _, err := RunSmoothing(SmoothConfig{
+		N: 32, Steps: 4, P: 4, Mode: SmoothColumns,
+		CkptDir:     t.TempDir(),
+		CommTimeout: 250 * time.Millisecond,
+		Liveness:    testLiveness(),
+		Straggler:   StragglerConfig{HealthWindow: 4, Policy: "rebalance"},
+	}); err == nil {
+		t.Error("smoothing accepted the rebalance policy")
+	}
+}

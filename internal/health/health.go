@@ -1,0 +1,325 @@
+// Package health scores the throughput of every rank of a running SPMD
+// machine and classifies each as Healthy, Degraded or Suspect — a state
+// machine deliberately distinct from the liveness detector's binary
+// dead set.  The liveness layer answers "is the rank gone?"; this layer
+// answers "is the rank *slow*?", which is what a drain-or-rebalance
+// policy needs: a persistently overloaded rank inflates every barrier
+// long before it misses a heartbeat.
+//
+// The scorer consumes per-rank work reports — cumulative (work units,
+// busy seconds) counters piggybacked on the machine's heartbeat traffic
+// — and maintains an EWMA of each rank's seconds-per-unit cost.  A
+// rank's *slowdown* is its EWMA cost relative to the median across
+// ranks, so the classification is self-calibrating: it needs no
+// absolute speed model, only that most ranks are healthy.  Transitions
+// are guarded by hysteresis: a rank changes class only after Hysteresis
+// consecutive observations land in the same new class, so one slow
+// step (a GC pause, a page fault) never flips anyone.
+//
+// Everything here is pure, mutex-guarded state; the machine layer feeds
+// it and the policy layer reads it.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class is a rank's health classification.
+type Class int
+
+// Classes, ordered by severity.
+const (
+	// Healthy: the rank's per-unit cost tracks the median.
+	Healthy Class = iota
+	// Degraded: persistently slower than DegradedRatio × median — a
+	// straggler worth rebalancing around or draining, but still making
+	// progress.
+	Degraded
+	// Suspect: slower than SuspectRatio × median — so slow that the
+	// policy should prefer draining it before the liveness window
+	// declares it dead mid-collective.
+	Suspect
+)
+
+func (c Class) String() string {
+	switch c {
+	case Degraded:
+		return "degraded"
+	case Suspect:
+		return "suspect"
+	}
+	return "healthy"
+}
+
+// Config parameterizes the scorer.  The zero value is usable: every
+// field has a default.
+type Config struct {
+	// Window is the EWMA window in observations (α = 2/(Window+1)).
+	// Default 8.
+	Window int
+	// DegradedRatio is the slowdown (EWMA cost / median cost) at or
+	// above which a rank is a Degraded candidate.  Default 2.
+	DegradedRatio float64
+	// SuspectRatio is the slowdown at or above which a rank is a
+	// Suspect candidate.  Default 3× DegradedRatio.
+	SuspectRatio float64
+	// Hysteresis is the number of consecutive observations that must
+	// agree on a new class before the rank transitions to it.  Default
+	// 3; a value below 2 is raised to 2 so a single observation can
+	// never flip a classification.
+	Hysteresis int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.DegradedRatio <= 1 {
+		c.DegradedRatio = 2
+	}
+	if c.SuspectRatio <= c.DegradedRatio {
+		c.SuspectRatio = 3 * c.DegradedRatio
+	}
+	if c.Hysteresis < 2 {
+		if c.Hysteresis == 0 {
+			c.Hysteresis = 3
+		} else {
+			c.Hysteresis = 2
+		}
+	}
+	return c
+}
+
+// rankState is one rank's scoring state.
+type rankState struct {
+	seq       int64   // newest report sequence folded in (dedup)
+	units     float64 // cumulative work units at seq
+	secs      float64 // cumulative busy seconds at seq
+	n         int     // observations folded into the EWMA
+	cost      float64 // EWMA seconds per work unit
+	class     Class
+	candidate Class // class of the current hysteresis streak
+	streak    int   // consecutive observations agreeing on candidate
+	everDegr  bool  // rank was classified Degraded or worse at least once
+}
+
+// Scorer maintains per-rank EWMA throughput scores with hysteresis.
+// All methods are safe for concurrent use; Observe is fed by every
+// rank's heartbeat monitor and deduplicates by report sequence, so the
+// n-fold delivery of an in-process machine collapses to one observation.
+type Scorer struct {
+	mu    sync.Mutex
+	cfg   Config
+	ranks []rankState
+}
+
+// New creates a scorer for np physical ranks.
+func New(np int, cfg Config) *Scorer {
+	return &Scorer{cfg: cfg.withDefaults(), ranks: make([]rankState, np)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Scorer) Config() Config { return s.cfg }
+
+// Observe folds one work report from rank into the score: seq is the
+// report sequence (monotone per rank; stale or duplicate sequences are
+// ignored), units and secs are *cumulative* work units completed and
+// busy seconds spent since the run began.  Deltas between consecutive
+// reports form the per-unit cost observation, so the sampling rate —
+// how often heartbeats pick the counters up — does not skew the score.
+func (s *Scorer) Observe(rank int, seq int64, units, secs float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rank < 0 || rank >= len(s.ranks) {
+		return
+	}
+	st := &s.ranks[rank]
+	if seq <= st.seq {
+		return
+	}
+	du, ds := units-st.units, secs-st.secs
+	st.seq, st.units, st.secs = seq, units, secs
+	if du <= 0 || ds < 0 {
+		return // no work completed since the last report: nothing to score
+	}
+	cost := ds / du
+	if st.n == 0 {
+		st.cost = cost
+	} else {
+		alpha := 2 / float64(s.cfg.Window+1)
+		st.cost = alpha*cost + (1-alpha)*st.cost
+	}
+	st.n++
+	s.reclassify(rank)
+}
+
+// reclassify recomputes rank's candidate class against the current
+// median cost and advances its hysteresis streak.  Caller holds mu.
+func (s *Scorer) reclassify(rank int) {
+	med := s.medianLocked()
+	st := &s.ranks[rank]
+	if med <= 0 {
+		return
+	}
+	ratio := st.cost / med
+	target := Healthy
+	switch {
+	case ratio >= s.cfg.SuspectRatio:
+		target = Suspect
+	case ratio >= s.cfg.DegradedRatio:
+		target = Degraded
+	}
+	if target == st.class {
+		st.streak = 0
+		return
+	}
+	if target == st.candidate {
+		st.streak++
+	} else {
+		st.candidate = target
+		st.streak = 1
+	}
+	if st.streak >= s.cfg.Hysteresis {
+		st.class = target
+		st.streak = 0
+		if target >= Degraded {
+			st.everDegr = true
+		}
+	}
+}
+
+// medianLocked returns the median EWMA cost across ranks with at least
+// one observation (0 when none).  Caller holds mu.
+func (s *Scorer) medianLocked() float64 {
+	costs := make([]float64, 0, len(s.ranks))
+	for i := range s.ranks {
+		if s.ranks[i].n > 0 {
+			costs = append(costs, s.ranks[i].cost)
+		}
+	}
+	if len(costs) == 0 {
+		return 0
+	}
+	sort.Float64s(costs)
+	mid := len(costs) / 2
+	if len(costs)%2 == 1 {
+		return costs[mid]
+	}
+	return (costs[mid-1] + costs[mid]) / 2
+}
+
+// Class returns rank's current classification (Healthy before any
+// observation).
+func (s *Scorer) Class(rank int) Class {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rank < 0 || rank >= len(s.ranks) {
+		return Healthy
+	}
+	return s.ranks[rank].class
+}
+
+// Slowdown returns rank's EWMA cost relative to the median (1 =
+// nominal, 8 = eight times slower; 1 before any observation).
+func (s *Scorer) Slowdown(rank int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slowdownLocked(rank)
+}
+
+func (s *Scorer) slowdownLocked(rank int) float64 {
+	if rank < 0 || rank >= len(s.ranks) || s.ranks[rank].n == 0 {
+		return 1
+	}
+	med := s.medianLocked()
+	if med <= 0 {
+		return 1
+	}
+	return s.ranks[rank].cost / med
+}
+
+// Observations returns how many scored observations rank has
+// contributed — the policy layer gates decisions on a warm-up count.
+func (s *Scorer) Observations(rank int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rank < 0 || rank >= len(s.ranks) {
+		return 0
+	}
+	return s.ranks[rank].n
+}
+
+// Speeds returns the relative throughput of each given physical rank
+// (median rank = 1, an 8× straggler ≈ 0.125; 1 for ranks with no
+// observations).  These are the weights a throughput-aware B_BLOCK
+// rebalance feeds to its bounds computation.
+func (s *Scorer) Speeds(ranks []int) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(ranks))
+	for i, r := range ranks {
+		sd := s.slowdownLocked(r)
+		if sd <= 0 {
+			sd = 1
+		}
+		out[i] = 1 / sd
+	}
+	return out
+}
+
+// RankReport is one rank's line of a health report.
+type RankReport struct {
+	Rank         int
+	Class        Class
+	Slowdown     float64
+	Observations int
+	// EverDegraded reports whether the rank was ever classified Degraded
+	// or Suspect during the run — the "was the straggler detected"
+	// answer, robust to the rank recovering (or being relieved by a
+	// rebalance) afterwards.
+	EverDegraded bool
+}
+
+func (r RankReport) String() string {
+	return fmt.Sprintf("rank %d: %s (slowdown %.2fx over %d obs)", r.Rank, r.Class, r.Slowdown, r.Observations)
+}
+
+// Report returns the health lines of the given physical ranks.
+func (s *Scorer) Report(ranks []int) []RankReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RankReport, len(ranks))
+	for i, r := range ranks {
+		rr := RankReport{Rank: r, Slowdown: 1}
+		if r >= 0 && r < len(s.ranks) {
+			rr.Class = s.ranks[r].class
+			rr.Slowdown = s.slowdownLocked(r)
+			rr.Observations = s.ranks[r].n
+			rr.EverDegraded = s.ranks[r].everDegr
+		}
+		out[i] = rr
+	}
+	return out
+}
+
+// Worst returns the given rank set's worst classified member — the
+// straggler a mitigation policy would act on: the rank whose class is
+// highest, ties broken by the larger slowdown.  ok is false when every
+// given rank is Healthy.
+func (s *Scorer) Worst(ranks []int) (rank int, class Class, slowdown float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rank = -1
+	for _, r := range ranks {
+		if r < 0 || r >= len(s.ranks) || s.ranks[r].class == Healthy {
+			continue
+		}
+		c, sd := s.ranks[r].class, s.slowdownLocked(r)
+		if c > class || (c == class && sd > slowdown) {
+			rank, class, slowdown, ok = r, c, sd, true
+		}
+	}
+	return rank, class, slowdown, ok
+}

@@ -31,10 +31,12 @@ package interp
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/health"
 	"repro/internal/index"
 	"repro/internal/lang"
 	"repro/internal/machine"
@@ -79,6 +81,46 @@ type Interp struct {
 	ckptDir    string
 	ckptEvery  int
 	recoverRun bool
+
+	// Straggler hooks (vfrun -health-window/-drain/-slow-rank/
+	// -slow-factor).  With health scoring on, every compute statement
+	// (CALL, assignment, FORALL) reports its busy time to the machine's
+	// health scorer via Ctx.ReportWork — one statement is one work unit,
+	// which is comparable across ranks because the SPMD program executes
+	// the same statement sequence in lockstep.  The injection is
+	// report-side: slowRank's work reports are marked slowFactor× more
+	// expensive, so the scorer and the drain machinery react exactly as
+	// they would to a genuinely slow rank, without distorting the other
+	// ranks' measurements (a real mid-statement stall would also inflate
+	// their one-sided fetch waits and mask the straggler).  With drain
+	// enabled, every DISTRIBUTE checkpoint site doubles as a drain
+	// boundary: if a member is classified Degraded, the interpreter
+	// returns a *DrainRankError the caller turns into a Ctx.Drain epoch
+	// transition plus a recovery re-run.
+	healthOn   bool
+	drainOn    bool
+	slowRank   int
+	slowFactor float64
+}
+
+// SetStraggler configures the straggler hooks: health-scored work
+// reports (healthOn; the machine must run machine.WithHealth and
+// liveness heartbeats), drain decisions at DISTRIBUTE checkpoint sites
+// (drain; requires SetCheckpoint), and the synthetic straggler
+// (slowFactor > 1 inflates slowRank's reported per-statement cost).
+func (in *Interp) SetStraggler(healthOn, drain bool, slowRank int, slowFactor float64) {
+	in.healthOn, in.drainOn = healthOn, drain
+	in.slowRank, in.slowFactor = slowRank, slowFactor
+}
+
+// DrainRankError asks the interpreter's caller to voluntarily drain the
+// given view rank from the membership: every member's Run returns it
+// from the same DISTRIBUTE site (the decision is broadcast), right
+// after a committed checkpoint the survivors can replay.
+type DrainRankError struct{ ViewRank int }
+
+func (e *DrainRankError) Error() string {
+	return fmt.Sprintf("interp: drain view rank %d (straggler mitigation)", e.ViewRank)
 }
 
 // SetCheckpoint enables coordinated checkpoints into dir after every
@@ -227,13 +269,34 @@ func (st *State) stmt(s lang.Stmt) error {
 		}
 		return nil
 	case *lang.ForallStmt:
-		return st.forall(stm)
+		return st.computeStmt(func() error { return st.forall(stm) })
 	case *lang.CallStmt:
-		return st.call(stm)
+		return st.computeStmt(func() error { return st.call(stm) })
 	case *lang.AssignStmt:
-		return st.assign(stm)
+		return st.computeStmt(func() error { return st.assign(stm) })
 	}
 	return fmt.Errorf("%v: unsupported statement %T", s.Pos(), s)
+}
+
+// computeStmt runs one compute statement through the straggler hooks,
+// reporting its busy time to the health scorer as one unit of work (the
+// injected straggler's report is inflated by slowFactor).  The builtins'
+// internal communication waits are included — demo-grade, but symmetric
+// across ranks in this lockstep execution model, so an injected
+// asymmetry still dominates the per-unit cost.
+func (st *State) computeStmt(run func() error) error {
+	in := st.In
+	if !in.healthOn {
+		return run()
+	}
+	t0 := time.Now()
+	err := run()
+	el := time.Since(t0)
+	if in.slowFactor > 1 && st.Ctx.PhysRank() == in.slowRank {
+		el = time.Duration(float64(el) * in.slowFactor)
+	}
+	st.Ctx.ReportWork(1, el)
+	return err
 }
 
 // forall executes an explicitly parallel loop.  Iterations are
@@ -548,8 +611,43 @@ func (st *State) distribute(stm *lang.DistributeStmt) error {
 		if _, err := in.Engine.Checkpoint(st.Ctx, in.ckptDir, meta); err != nil {
 			return fmt.Errorf("%v: checkpoint: %w", stm.Pos(), err)
 		}
+		if in.drainOn && st.Ctx.NP() > 1 {
+			view, err := st.drainDecision()
+			if err != nil {
+				return err
+			}
+			if view >= 0 {
+				return &DrainRankError{ViewRank: view}
+			}
+		}
 	}
 	return nil
+}
+
+// drainDecision takes one DISTRIBUTE site's drain decision,
+// collectively: rank 0 consults the health scorer for a member
+// classified Degraded (or worse) and broadcasts its view rank, -1 for
+// "everyone is healthy".  The checkpoint this site just committed is
+// what the survivors replay after the drain.
+func (st *State) drainDecision() (int, error) {
+	vals := []int{-1}
+	if st.Ctx.Rank() == 0 {
+		if h := st.Ctx.Machine().Health(); h != nil {
+			members := st.Ctx.Members()
+			if worst, class, _, ok := h.Worst(members); ok && class >= health.Degraded {
+				for i, p := range members {
+					if p == worst {
+						vals[0] = i
+					}
+				}
+			}
+		}
+	}
+	out, err := st.Ctx.Comm().BcastInts(0, vals)
+	if err != nil {
+		return -1, err
+	}
+	return out[0], nil
 }
 
 func (st *State) distributeExec(stm *lang.DistributeStmt) error {

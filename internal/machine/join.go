@@ -190,7 +190,7 @@ func (c *Ctx) Admit() error {
 	if c.reserved {
 		return errors.New("machine: Admit on a reserved rank (call AwaitJoin)")
 	}
-	return c.transition(false)
+	return c.transition(transAdmit)
 }
 
 // PollJoin reports, identically on every member of the current epoch,

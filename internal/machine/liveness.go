@@ -171,11 +171,15 @@ func (m *Machine) startLiveness() *livenessRuntime {
 					return
 				case <-tick.C:
 				}
+				// With health enabled the heartbeat carries this rank's
+				// latest cumulative work counters — the piggyback that
+				// feeds the throughput scorer at zero extra messages.
+				payload := m.heartbeatPayload(rank)
 				for to := 0; to < m.np; to++ {
 					if to == rank {
 						continue
 					}
-					if err := ep.Send(to, msg.TagHeartbeat, nil); err != nil {
+					if err := ep.Send(to, msg.TagHeartbeat, payload); err != nil {
 						return // transport closed: the run is over
 					}
 				}
@@ -190,6 +194,7 @@ func (m *Machine) startLiveness() *livenessRuntime {
 				switch {
 				case err == nil:
 					m.det.beat(p.From)
+					m.observeHeartbeat(p.From, p.Data)
 				case isClosedErr(err):
 					// An SPMD abort, not a peer death: the detector keeps
 					// whatever it knew, and the loop exits.

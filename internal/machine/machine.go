@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/health"
 	"repro/internal/msg"
 	"repro/internal/trace"
 )
@@ -40,6 +41,9 @@ type Machine struct {
 	liveness  *LivenessConfig
 	det       *detector
 	joins     *joinReg
+	drains    *joinReg       // registered voluntary-drain candidates
+	health    *health.Scorer // nil without WithHealth
+	work      *workLog       // per-rank cumulative work counters (health)
 	// exits[r] is closed when rank r's goroutine of the current Run
 	// returns; Regroup waits on the dead members' channels before
 	// installing a compacted view, so a survivor that takes over a dead
@@ -93,6 +97,7 @@ type config struct {
 	comm      msg.CommConfig
 	liveness  *LivenessConfig
 	reserve   int
+	health    *health.Config
 }
 
 // WithTransport runs the machine on the given transport (e.g. a
@@ -149,6 +154,9 @@ func New(np int, opts ...Option) *Machine {
 	if cfg.reserve > 0 && cfg.liveness == nil {
 		panic("machine: WithReserve requires WithLiveness (join transitions run over the liveness/epoch machinery)")
 	}
+	if cfg.health != nil && cfg.liveness == nil {
+		panic("machine: WithHealth requires WithLiveness (work reports piggyback on heartbeat traffic)")
+	}
 	total := np + cfg.reserve
 	tr := cfg.transport
 	if tr == nil {
@@ -181,6 +189,11 @@ func New(np int, opts ...Option) *Machine {
 	if m.liveness != nil {
 		m.det = newDetector(total, m.liveness.Window)
 		m.joins = newJoinReg()
+		m.drains = newJoinReg()
+	}
+	if cfg.health != nil {
+		m.health = health.New(total, *cfg.health)
+		m.work = newWorkLog(total)
 	}
 	return m
 }

@@ -52,10 +52,12 @@ func (m *Machine) regroupBudget() time.Duration {
 	return budget
 }
 
-// encodeMasks packs the suspected-dead and pending-join masks of one
-// agreement round into a single payload: 2·np bits, dead first.
-func encodeMasks(suspect, join []bool) []byte {
-	bits := make([]int, len(suspect)+len(join))
+// encodeMasks packs the suspected-dead, pending-join, and pending-drain
+// masks of one agreement round into a single payload: 3·np bits, dead
+// first, joins second, drains last.
+func encodeMasks(suspect, join, drain []bool) []byte {
+	np := len(suspect)
+	bits := make([]int, 3*np)
 	for i, b := range suspect {
 		if b {
 			bits[i] = 1
@@ -63,22 +65,30 @@ func encodeMasks(suspect, join []bool) []byte {
 	}
 	for i, b := range join {
 		if b {
-			bits[len(suspect)+i] = 1
+			bits[np+i] = 1
+		}
+	}
+	for i, b := range drain {
+		if b {
+			bits[2*np+i] = 1
 		}
 	}
 	return msg.EncodeInts(bits)
 }
 
-func decodeMasks(data []byte, np int) (suspect, join []bool) {
+func decodeMasks(data []byte, np int) (suspect, join, drain []bool) {
 	bits := msg.DecodeInts(data)
-	suspect, join = make([]bool, np), make([]bool, np)
+	suspect, join, drain = make([]bool, np), make([]bool, np), make([]bool, np)
 	for i := 0; i < np && i < len(bits); i++ {
 		suspect[i] = bits[i] != 0
 	}
 	for i := 0; i < np && np+i < len(bits); i++ {
 		join[i] = bits[np+i] != 0
 	}
-	return suspect, join
+	for i := 0; i < np && 2*np+i < len(bits); i++ {
+		drain[i] = bits[2*np+i] != 0
+	}
+	return suspect, join, drain
 }
 
 // Regroup transitions this rank from membership epoch e to e+1 after a
@@ -100,19 +110,36 @@ func decodeMasks(data []byte, np int) (suspect, join []bool) {
 // regroup are admitted into the new epoch by the same transition, so a
 // join racing a concurrent death resolves in one agreement.
 func (c *Ctx) Regroup() error {
-	return c.transition(true)
+	return c.transition(transRegroup)
 }
 
+// transKind is a membership transition's trigger: what phase 1 must
+// confirm before the agreement proceeds.  All three kinds run the same
+// combined-mask agreement, so deaths, joins, and drains discovered
+// while any transition is underway resolve in that one transition.
+type transKind int
+
+const (
+	// transRegroup: a member death must be confirmed (Ctx.Regroup).
+	transRegroup transKind = iota
+	// transAdmit: a pending joiner must exist (Ctx.Admit).
+	transAdmit
+	// transDrain: a pending voluntary drain must exist (Ctx.Drain).
+	transDrain
+)
+
 // transition moves this rank from membership epoch e to e+1: survivors
-// agree on the dead set AND the admitted-joiner set via a
-// coordinator-free exchange of (dead, join) bitmask pairs, wait for the
-// dead members' goroutines to exit, and install a compacted epoch-(e+1)
-// view — survivors first in their epoch-e order, admitted joiners
-// appended in ascending physical rank.  requireDeath distinguishes the
-// two entry points: Regroup (a death must be confirmed; pending joiners
-// ride along) and Admit (a pending joiner must exist; deaths discovered
-// mid-agreement are excluded all the same).
-func (c *Ctx) transition(requireDeath bool) error {
+// agree on the dead set, the admitted-joiner set AND the drained set
+// via a coordinator-free exchange of (dead, join, drain) bitmask
+// triples, wait for the dead members' goroutines to exit, and install a
+// compacted epoch-(e+1) view — survivors first in their epoch-e order,
+// admitted joiners appended in ascending physical rank.  kind
+// distinguishes the entry points: Regroup (a death must be confirmed),
+// Admit (a pending joiner must exist), Drain (a pending drain must
+// exist); whatever else the masks pick up along the way — deaths
+// discovered mid-agreement, joiners registered in time, drains racing a
+// death — is resolved by the same decision round.
+func (c *Ctx) transition(kind transKind) error {
 	m := c.m
 	if m.det == nil {
 		return errors.New("machine: Regroup requires WithLiveness")
@@ -139,8 +166,9 @@ func (c *Ctx) transition(requireDeath bool) error {
 	// entered off any error; if no member is actually dead within the
 	// detection window there is nothing to regroup from and the caller's
 	// original error stands.  An Admit needs at least one registered
-	// joiner.
-	if requireDeath {
+	// joiner; a Drain at least one registered drain candidate.
+	switch kind {
+	case transRegroup:
 		waitUntil := time.Now().Add(m.liveness.Window + budget)
 		for m.det.firstDeadOf(c.phys) < 0 {
 			if time.Now().After(waitUntil) {
@@ -148,8 +176,14 @@ func (c *Ctx) transition(requireDeath bool) error {
 			}
 			time.Sleep(m.liveness.Interval)
 		}
-	} else if len(m.pendingJoiners(c.phys)) == 0 {
-		return fmt.Errorf("machine: admit: no joiner registered with epoch %d", c.epoch)
+	case transAdmit:
+		if len(m.pendingJoiners(c.phys)) == 0 {
+			return fmt.Errorf("machine: admit: no joiner registered with epoch %d", c.epoch)
+		}
+	case transDrain:
+		if len(m.pendingDrains(c.phys)) == 0 {
+			return fmt.Errorf("machine: drain: no drain registered with epoch %d", c.epoch)
+		}
 	}
 	dead := m.det.snapshotDead()
 	if dead[myPhys] {
@@ -174,13 +208,18 @@ func (c *Ctx) transition(requireDeath bool) error {
 	for _, p := range m.pendingJoiners(c.phys) {
 		join[p] = true
 	}
+	drain := make([]bool, m.np)
+	for _, p := range m.pendingDrains(c.phys) {
+		drain[p] = true
+	}
 	ep := m.transport.Endpoint(myPhys)
 	converged := false
 	for round := 0; round < m.np+2 && !converged; round++ {
 		tag := msg.FoldTag(newEpoch, msg.TagMemberBase+round)
-		payload := encodeMasks(suspect, join)
+		payload := encodeMasks(suspect, join, drain)
 		mineS := append([]bool(nil), suspect...)
 		mineJ := append([]bool(nil), join...)
+		mineD := append([]bool(nil), drain...)
 		for _, p := range c.phys {
 			if p == myPhys || suspect[p] {
 				continue
@@ -209,7 +248,7 @@ func (c *Ctx) transition(requireDeath bool) error {
 				allEqual = false
 				continue
 			}
-			theirS, theirJ := decodeMasks(pkt.Data, m.np)
+			theirS, theirJ, theirD := decodeMasks(pkt.Data, m.np)
 			for r, s := range theirS {
 				if s != mineS[r] {
 					allEqual = false
@@ -225,6 +264,15 @@ func (c *Ctx) transition(requireDeath bool) error {
 				}
 				if s && !join[r] {
 					join[r] = true
+					changed = true
+				}
+			}
+			for r, s := range theirD {
+				if s != mineD[r] {
+					allEqual = false
+				}
+				if s && !drain[r] {
+					drain[r] = true
 					changed = true
 				}
 			}
@@ -245,9 +293,21 @@ func (c *Ctx) transition(requireDeath bool) error {
 		return fmt.Errorf("machine: physical rank %d: %w", myPhys, ErrExcluded)
 	}
 
+	// Drained members: agreed on and still alive (a drain candidate that
+	// died mid-agreement is a suspect — the involuntary path wins).  The
+	// decision round fixed these masks identically on every participant,
+	// so every rank — including the drained one — clears the registry and
+	// computes the same shrunken member list.
+	var drained []int
+	for _, p := range c.phys {
+		if drain[p] && !suspect[p] {
+			drained = append(drained, p)
+		}
+	}
+	m.drains.remove(drained)
 	survivors := make([]int, 0, len(c.phys))
 	for _, p := range c.phys {
-		if !suspect[p] {
+		if !suspect[p] && !drain[p] {
 			survivors = append(survivors, p)
 		}
 	}
@@ -262,11 +322,20 @@ func (c *Ctx) transition(requireDeath bool) error {
 	}
 	var admitted []int
 	for p := 0; p < m.np; p++ {
-		if join[p] && !suspect[p] && !isMember[p] && !dead[p] {
+		if join[p] && !suspect[p] && !drain[p] && !isMember[p] && !dead[p] {
 			admitted = append(admitted, p)
 		}
 	}
 	members := append(append([]int(nil), survivors...), admitted...)
+	if drain[myPhys] {
+		// This rank was released by the agreement: it exits here, before
+		// the survivors' exit-wait and view install — it neither takes
+		// over anyone's slot nor appears in the new epoch's barrier.
+		return fmt.Errorf("machine: physical rank %d: %w", myPhys, ErrDrained)
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("machine: transition to epoch %d decided an empty membership", newEpoch)
+	}
 
 	// Phase 3: wait for the excluded members' goroutines to exit.  A
 	// survivor that takes over a dead member's compacted rank slot will

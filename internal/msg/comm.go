@@ -36,6 +36,17 @@ type CommConfig struct {
 	// MaxBackoff likewise caps the escalated sleep between failed send
 	// attempts.
 	MaxBackoff time.Duration
+	// Jitter randomizes every escalated backoff sleep by ±Jitter as a
+	// fraction of the escalated value (clamped to [0,1]).  Without it the
+	// escalation is fully deterministic, so all ranks retrying against
+	// one slow peer wake in lockstep and collide again; a fraction around
+	// 0.5 spreads the herd.  The jitter stream is a pure function of
+	// (JitterSeed, rank, operation, attempt), so a seeded run replays
+	// identically.
+	Jitter float64
+	// JitterSeed seeds the deterministic jitter stream (any value,
+	// including 0, is a valid seed).
+	JitterSeed int64
 }
 
 // maxEscalateShift saturates the exponential deadline/backoff escalation so
@@ -56,6 +67,53 @@ func escalate(d time.Duration, attempt int, max time.Duration) time.Duration {
 		e = max
 	}
 	return e
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// stateless hash used to derive the jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashOp folds an operation name into the jitter key.
+func hashOp(op string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211 // FNV-1a
+	h := uint64(offset)
+	for i := 0; i < len(op); i++ {
+		h = (h ^ uint64(op[i])) * prime
+	}
+	return h
+}
+
+// BackoffDelay returns the sleep before retry attempt+1 of the named
+// operation on the given rank: the exponentially escalated Backoff,
+// randomized by ±Jitter when configured.  The jitter is a pure function
+// of (JitterSeed, rank, op, attempt) — deterministic for reproducible
+// tests, yet distinct across ranks and attempts so retry herds against a
+// slow peer de-synchronize.  Zero Jitter reproduces the historical
+// deterministic escalation exactly.
+func (cfg CommConfig) BackoffDelay(rank int, op string, attempt int) time.Duration {
+	base := escalate(cfg.Backoff, attempt, cfg.MaxBackoff)
+	j := cfg.Jitter
+	if j <= 0 || base <= 0 {
+		return base
+	}
+	if j > 1 {
+		j = 1
+	}
+	h := splitmix64(uint64(cfg.JitterSeed) ^ hashOp(op) ^ uint64(rank)<<32 ^ uint64(attempt))
+	u := float64(h>>11) / float64(1<<53) // uniform in [0,1)
+	d := time.Duration(float64(base) * (1 + j*(2*u-1)))
+	if d < 0 {
+		d = 0
+	}
+	if cfg.MaxBackoff > 0 && d > cfg.MaxBackoff {
+		d = cfg.MaxBackoff
+	}
+	return d
 }
 
 // liveChecker is the optional endpoint facet consulted before every
@@ -97,7 +155,7 @@ func SendRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, to, tag
 			tr.Instant(ep.Rank(), trace.CatCollective, "retry:"+op, to, int64(attempt+1))
 		}
 		if cfg.Backoff > 0 {
-			time.Sleep(escalate(cfg.Backoff, attempt, cfg.MaxBackoff))
+			time.Sleep(cfg.BackoffDelay(ep.Rank(), op, attempt))
 		}
 	}
 }
@@ -128,7 +186,7 @@ func RecvRetry(ep Endpoint, cfg CommConfig, tr *trace.Tracer, op string, from, t
 			tr.Instant(ep.Rank(), trace.CatCollective, "retry:"+op, from, int64(attempt+1))
 		}
 		if cfg.Backoff > 0 {
-			time.Sleep(escalate(cfg.Backoff, attempt, cfg.MaxBackoff))
+			time.Sleep(cfg.BackoffDelay(ep.Rank(), op, attempt))
 		}
 	}
 }

@@ -43,6 +43,17 @@ const (
 	// at the receive as ErrIntegrity).  Zero-length frames pass through
 	// untouched.  The plan syntax accepts "corrupt" and "bitflip".
 	FaultCorrupt
+	// FaultSlow makes the matching endpoint a straggler: every matching
+	// send and every matching receive attempt sleeps Delay×Factor before
+	// the operation proceeds (the operation itself then succeeds
+	// normally).  Unlike FaultRecvDelay — a one-shot schedule on frame
+	// *delivery* — a slow rule is persistent by default (Count=0) and
+	// charges the latency to the slowed endpoint itself, so a single
+	// overloaded rank inflates every barrier it participates in exactly
+	// as a real straggler would.  Combines with After/Count/Every/Prob
+	// (the seeded per-rank RNG makes probabilistic slowdowns replayable)
+	// and with Arm/Disarm like every other kind.
+	FaultSlow
 )
 
 var faultKindNames = map[FaultKind]string{
@@ -51,6 +62,7 @@ var faultKindNames = map[FaultKind]string{
 	FaultRecvDelay: "delay",
 	FaultDrop:      "drop",
 	FaultCorrupt:   "corrupt",
+	FaultSlow:      "slow",
 }
 
 func (k FaultKind) String() string {
@@ -62,8 +74,8 @@ func (k FaultKind) String() string {
 
 // FaultRule describes one deterministic fault schedule.  A rule watches the
 // matching operations of one endpoint (sends for FaultSendErr /
-// FaultRecvDelay / FaultDrop, receives for FaultRecvErr) and fires on a
-// subset of them.  Matching operations are counted per endpoint, so a
+// FaultRecvDelay / FaultDrop / FaultCorrupt, receives for FaultRecvErr,
+// both for FaultSlow) and fires on a subset of them.  Matching operations are counted per endpoint, so a
 // schedule is deterministic for a deterministic program regardless of how
 // ranks interleave.
 type FaultRule struct {
@@ -85,8 +97,13 @@ type FaultRule struct {
 	// Prob, when > 0, fires each match after After with this probability
 	// using the plan's seeded per-rank RNG instead of Count/Every.
 	Prob float64
-	// Delay is the injected latency for FaultRecvDelay.
+	// Delay is the injected latency for FaultRecvDelay, and the base
+	// per-operation latency for FaultSlow.
 	Delay time.Duration
+	// Factor multiplies Delay for FaultSlow (<= 0 is treated as 1), so a
+	// straggler plan reads as "base latency × slowdown": slow,rank=2,
+	// delay=100us,factor=8 costs rank 2 800µs per matching operation.
+	Factor float64
 	// Win restricts the rule to one-sided window traffic (put/get tags in
 	// the RMA tag space), leaving collectives and point-to-point sends
 	// unaffected.  Plan syntax: win=1.
@@ -123,9 +140,10 @@ func (p *FaultPlan) HasKind(k FaultKind) bool {
 //
 //	senderr,rank=1,after=3,count=2;drop,peer=2,count=1;delay,delay=20ms,every=5
 //
-// Kinds: senderr, recverr, delay, drop.  Options: rank, peer, after,
-// count, every, prob, delay (a Go duration).  A bare "seed=N" segment sets
-// the plan seed for prob rules.
+// Kinds: senderr, recverr, delay, drop, corrupt, slow.  Options: rank,
+// peer, after, count, every, prob, delay (a Go duration), factor (the
+// FaultSlow multiplier).  A bare "seed=N" segment sets the plan seed for
+// prob rules.
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	plan := &FaultPlan{}
 	for _, seg := range strings.Split(spec, ";") {
@@ -154,8 +172,10 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 			r.Kind = FaultDrop
 		case "corrupt", "bitflip":
 			r.Kind = FaultCorrupt
+		case "slow":
+			r.Kind = FaultSlow
 		default:
-			return nil, fmt.Errorf("msg: fault plan: unknown kind %q (want senderr|recverr|delay|drop|corrupt)", fields[0])
+			return nil, fmt.Errorf("msg: fault plan: unknown kind %q (want senderr|recverr|delay|drop|corrupt|slow)", fields[0])
 		}
 		for _, f := range fields[1:] {
 			k, v, ok := strings.Cut(f, "=")
@@ -178,6 +198,8 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 				r.Prob, err = strconv.ParseFloat(v, 64)
 			case "delay":
 				r.Delay, err = time.ParseDuration(v)
+			case "factor":
+				r.Factor, err = strconv.ParseFloat(v, 64)
 			case "win":
 				var n int
 				n, err = strconv.Atoi(v)
@@ -191,6 +213,9 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 		}
 		if r.Kind == FaultRecvDelay && r.Delay <= 0 {
 			return nil, fmt.Errorf("msg: fault plan: delay rule needs delay=<duration>")
+		}
+		if r.Kind == FaultSlow && r.Delay <= 0 {
+			return nil, fmt.Errorf("msg: fault plan: slow rule needs delay=<duration> (the base per-operation latency)")
 		}
 		plan.Rules = append(plan.Rules, r)
 	}
@@ -355,7 +380,26 @@ func (e *faultEndpoint) fire(peer, tag int, kinds ...FaultKind) *FaultRule {
 // delaying or failing the token drops, delays or fails the completion.
 func (e *faultEndpoint) SharedMemory() bool { return sharedMemory(e.inner) }
 
+// slowDur is the per-operation latency a fired FaultSlow rule charges.
+func (r *FaultRule) slowDur() time.Duration {
+	f := r.Factor
+	if f <= 0 {
+		f = 1
+	}
+	return time.Duration(float64(r.Delay) * f)
+}
+
+// stall consults the slow rules separately from the error-injecting
+// kinds — a straggler endpoint still suffers every other scheduled
+// fault on top of its latency — and sleeps the fired rule's Delay×Factor.
+func (e *faultEndpoint) stall(peer, tag int) {
+	if r := e.fire(peer, tag, FaultSlow); r != nil {
+		time.Sleep(r.slowDur())
+	}
+}
+
 func (e *faultEndpoint) Send(to, tag int, data []byte) error {
+	e.stall(to, tag)
 	if r := e.fire(to, tag, FaultSendErr, FaultRecvDelay, FaultDrop, FaultCorrupt); r != nil {
 		switch r.Kind {
 		case FaultSendErr:
@@ -386,6 +430,7 @@ func (e *faultEndpoint) Send(to, tag int, data []byte) error {
 }
 
 func (e *faultEndpoint) Recv(from, tag int) (Packet, error) {
+	e.stall(from, tag)
 	if r := e.fire(from, tag, FaultRecvErr); r != nil {
 		return Packet{}, fmt.Errorf("%w: recv %d<-%d", ErrInjected, e.inner.Rank(), from)
 	}
@@ -393,6 +438,7 @@ func (e *faultEndpoint) Recv(from, tag int) (Packet, error) {
 }
 
 func (e *faultEndpoint) RecvTimeout(from, tag int, d time.Duration) (Packet, error) {
+	e.stall(from, tag)
 	if r := e.fire(from, tag, FaultRecvErr); r != nil {
 		return Packet{}, fmt.Errorf("%w: recv %d<-%d", ErrInjected, e.inner.Rank(), from)
 	}

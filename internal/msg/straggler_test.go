@@ -1,0 +1,165 @@
+package msg
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSlowFaultParse: the slow kind parses with its factor, defaults to
+// a persistent schedule, and rejects a missing base delay.
+func TestSlowFaultParse(t *testing.T) {
+	plan, err := ParseFaultPlan("slow,rank=2,delay=100us,factor=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.Rules[0]
+	if r.Kind != FaultSlow || r.Rank != 2 || r.Delay != 100*time.Microsecond || r.Factor != 8 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if r.Count != 0 || r.Every != 0 || r.Prob != 0 {
+		t.Fatalf("slow rule should default to a persistent schedule: %+v", r)
+	}
+	if r.slowDur() != 800*time.Microsecond {
+		t.Fatalf("slowDur = %v, want 800µs", r.slowDur())
+	}
+	if _, err := ParseFaultPlan("slow,rank=2,factor=8"); err == nil {
+		t.Fatal("slow without delay= should fail to parse")
+	}
+}
+
+// TestSlowFaultStallsMatchingRank: only the slowed rank's operations pay
+// the Delay×Factor latency; a peer's traffic is unaffected, and the
+// slowed operations still succeed.
+func TestSlowFaultStallsMatchingRank(t *testing.T) {
+	const base = 5 * time.Millisecond
+	ft := NewFaultTransport(NewChanTransport(2), &FaultPlan{
+		Rules: []FaultRule{{Kind: FaultSlow, Rank: 1, Peer: -1, Delay: base, Factor: 4}},
+	})
+	defer ft.Close()
+
+	// Rank 0 (healthy): send is effectively instant.
+	t0 := time.Now()
+	if err := ft.Endpoint(0).Send(1, 7, EncodeInts([]int{1})); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > base {
+		t.Fatalf("healthy rank's send took %v (slowdown leaked to the wrong rank)", el)
+	}
+
+	// Rank 1 (slow): both its receive and its send stall ≥ Delay×Factor.
+	t0 = time.Now()
+	p, err := ft.Endpoint(1).RecvTimeout(0, 7, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecodeInts(p.Data)[0] != 1 {
+		t.Fatalf("slowed receive corrupted the payload: %v", p.Data)
+	}
+	if el := time.Since(t0); el < 4*base {
+		t.Fatalf("slowed recv took %v, want >= %v", el, 4*base)
+	}
+	t0 = time.Now()
+	if err := ft.Endpoint(1).Send(0, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el < 4*base {
+		t.Fatalf("slowed send took %v, want >= %v", el, 4*base)
+	}
+}
+
+// TestSlowFaultArmDisarm: a disarmed straggler runs at full speed; Arm
+// switches the latency on, like every other fault kind.
+func TestSlowFaultArmDisarm(t *testing.T) {
+	const base = 10 * time.Millisecond
+	ft := NewFaultTransport(NewChanTransport(2), &FaultPlan{
+		StartDisarmed: true,
+		Rules:         []FaultRule{{Kind: FaultSlow, Rank: 0, Peer: -1, Delay: base, Factor: 2}},
+	})
+	defer ft.Close()
+	ep := ft.Endpoint(0)
+
+	t0 := time.Now()
+	if err := ep.Send(1, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > base {
+		t.Fatalf("disarmed slow rule still stalled the send (%v)", el)
+	}
+
+	ft.Arm(0)
+	t0 = time.Now()
+	if err := ep.Send(1, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el < 2*base {
+		t.Fatalf("armed slow send took %v, want >= %v", el, 2*base)
+	}
+	ft.Disarm(0)
+	t0 = time.Now()
+	if err := ep.Send(1, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el > base {
+		t.Fatalf("disarmed slow rule still stalled the send (%v)", el)
+	}
+}
+
+// TestBackoffJitterDeterministic: the jitter stream is a pure function
+// of (seed, rank, op, attempt) — two configs with the same seed agree
+// delay for delay, a different seed diverges somewhere, and every value
+// stays within ±Jitter of the escalated base (and under MaxBackoff).
+func TestBackoffJitterDeterministic(t *testing.T) {
+	cfg := CommConfig{Backoff: time.Millisecond, MaxBackoff: 64 * time.Millisecond, Jitter: 0.5, JitterSeed: 42}
+	same := cfg
+	other := cfg
+	other.JitterSeed = 43
+	diverged := false
+	for rank := 0; rank < 4; rank++ {
+		for attempt := 0; attempt < 6; attempt++ {
+			d := cfg.BackoffDelay(rank, "bcast", attempt)
+			if d != same.BackoffDelay(rank, "bcast", attempt) {
+				t.Fatalf("same seed diverged at rank %d attempt %d", rank, attempt)
+			}
+			if d != other.BackoffDelay(rank, "bcast", attempt) {
+				diverged = true
+			}
+			base := escalate(cfg.Backoff, attempt, cfg.MaxBackoff)
+			lo := time.Duration(float64(base) * 0.5)
+			hi := time.Duration(float64(base) * 1.5)
+			if hi > cfg.MaxBackoff {
+				hi = cfg.MaxBackoff
+			}
+			if d < lo || d > hi {
+				t.Fatalf("rank %d attempt %d: delay %v outside [%v, %v]", rank, attempt, d, lo, hi)
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// TestBackoffJitterSpreadsRanks: the whole point — ranks retrying the
+// same operation at the same attempt must not wake at the same instant.
+func TestBackoffJitterSpreadsRanks(t *testing.T) {
+	cfg := CommConfig{Backoff: 8 * time.Millisecond, Jitter: 0.5, JitterSeed: 1}
+	seen := map[time.Duration]bool{}
+	for rank := 0; rank < 8; rank++ {
+		seen[cfg.BackoffDelay(rank, "gather", 2)] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("8 ranks collapsed onto %d distinct delays — the herd is still in lockstep", len(seen))
+	}
+}
+
+// TestBackoffJitterZeroIsLegacy: Jitter 0 must reproduce the historical
+// deterministic escalation bit for bit.
+func TestBackoffJitterZeroIsLegacy(t *testing.T) {
+	cfg := CommConfig{Backoff: time.Millisecond, MaxBackoff: 16 * time.Millisecond}
+	for attempt := 0; attempt < 8; attempt++ {
+		want := escalate(cfg.Backoff, attempt, cfg.MaxBackoff)
+		if got := cfg.BackoffDelay(3, "scatter", attempt); got != want {
+			t.Fatalf("attempt %d: BackoffDelay = %v, want plain escalate %v", attempt, got, want)
+		}
+	}
+}

@@ -68,6 +68,13 @@ const (
 	// Shrink releases processors: fewer ranks run the remaining steps
 	// cheaper (communication/idle dominated regime).
 	Shrink
+	// Rebalance keeps every rank but re-divides the work in proportion
+	// to measured speeds — the degraded-mode mitigation for a straggler
+	// worth keeping (RecommendStraggler).
+	Rebalance
+	// Drain voluntarily releases the straggler: P−1 healthy ranks beat P
+	// with one slow (RecommendStraggler).
+	Drain
 )
 
 func (d Decision) String() string {
@@ -76,6 +83,10 @@ func (d Decision) String() string {
 		return "grow"
 	case Shrink:
 		return "shrink"
+	case Rebalance:
+		return "rebalance"
+	case Drain:
+		return "drain"
 	}
 	return "hold"
 }

@@ -1,0 +1,146 @@
+package scale
+
+import "testing"
+
+// TestStragglerRecommendsMitigation: a compute-bound step with an 8×
+// rank and a cheap redistribution must not be left alone.
+func TestStragglerRecommendsMitigation(t *testing.T) {
+	a := RecommendStraggler(StragglerParams{
+		NP: 4, StepsLeft: 50, Slowdown: 8,
+		Step:   PerStep{Compute: 0.010, Comm: 0.001, Idle: 0.001},
+		Redist: 0.020,
+	})
+	if a.Decision == Hold {
+		t.Fatalf("8x straggler held: %v", a)
+	}
+	if a.StepNone <= a.StepRebalance || a.StepNone <= a.StepDrain {
+		t.Fatalf("mitigated steps not faster than doing nothing: %v", a)
+	}
+}
+
+// TestStragglerDrainBreakEven: the issue's break-even — P−1 healthy
+// ranks beat P with one slow exactly when the slowdown exceeds
+// np/(np−1) on a pure-compute step.
+func TestStragglerDrainBreakEven(t *testing.T) {
+	step := PerStep{Compute: 0.010}
+	// f = 2 > 4/3: drain is a strict win.
+	a := RecommendStraggler(StragglerParams{NP: 4, StepsLeft: 100, Slowdown: 2, Step: step})
+	if a.StepDrain >= a.StepNone {
+		t.Fatalf("f=2 np=4: drain (%.4f) not faster than none (%.4f)", a.StepDrain, a.StepNone)
+	}
+	// f = 1.2 < 4/3: doing nothing beats draining (rebalance may still win).
+	a = RecommendStraggler(StragglerParams{NP: 4, StepsLeft: 100, Slowdown: 1.2, Step: step})
+	if a.StepDrain <= a.StepNone {
+		t.Fatalf("f=1.2 np=4: drain (%.4f) should lose to none (%.4f)", a.StepDrain, a.StepNone)
+	}
+	if a.NetDrain > 0 && a.Decision == Drain {
+		t.Fatalf("sub-break-even drain recommended: %v", a)
+	}
+}
+
+// TestStragglerExtremeFavorsDrain: with a huge slowdown and a real idle
+// share, the drained machine's smaller barrier beats keeping the
+// straggler on a sliver of work.
+func TestStragglerExtremeFavorsDrain(t *testing.T) {
+	a := RecommendStraggler(StragglerParams{
+		NP: 4, StepsLeft: 200, Slowdown: 100,
+		Step: PerStep{Compute: 0.010, Comm: 0.001, Idle: 0.004},
+	})
+	if a.Decision != Drain {
+		t.Fatalf("extreme straggler with idle share: %v, want drain", a)
+	}
+	if a.NetDrain < a.NetRebalance {
+		t.Fatalf("drain net %.4f < rebalance net %.4f", a.NetDrain, a.NetRebalance)
+	}
+}
+
+// TestStragglerMildHolds: a barely-slow rank with an expensive
+// redistribution and few steps left is not worth touching.
+func TestStragglerMildHolds(t *testing.T) {
+	a := RecommendStraggler(StragglerParams{
+		NP: 4, StepsLeft: 2, Slowdown: 1.05,
+		Step:   PerStep{Compute: 0.010, Comm: 0.002, Idle: 0.001},
+		Redist: 1.0,
+	})
+	if a.Decision != Hold {
+		t.Fatalf("mild straggler mitigated: %v", a)
+	}
+	for _, p := range []StragglerParams{
+		{NP: 1, StepsLeft: 10, Slowdown: 8, Step: PerStep{Compute: 1}},
+		{NP: 4, StepsLeft: 0, Slowdown: 8, Step: PerStep{Compute: 1}},
+		{NP: 4, StepsLeft: 10, Slowdown: 1, Step: PerStep{Compute: 1}},
+	} {
+		if a := RecommendStraggler(p); a.Decision != Hold {
+			t.Fatalf("degenerate %+v: %v, want hold", p, a)
+		}
+	}
+}
+
+// TestDecisionStrings: the new decisions print their names.
+func TestDecisionStrings(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Hold: "hold", Grow: "grow", Shrink: "shrink",
+		Rebalance: "rebalance", Drain: "drain",
+	} {
+		if d.String() != want {
+			t.Fatalf("Decision(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+// TestFairShares: speeds normalize to shares; non-positive speeds are
+// clamped, not divided by.
+func TestFairShares(t *testing.T) {
+	sh := FairShares([]float64{1, 1, 1, 0.125})
+	sum := 0.0
+	for _, v := range sh {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum %.4f, want 1", sum)
+	}
+	if sh[3] > sh[0]/4 {
+		t.Fatalf("straggler share %.4f not ≈1/8 of healthy %.4f", sh[3], sh[0])
+	}
+	sh = FairShares([]float64{0, -1, 0})
+	for i, v := range sh {
+		if v < 0.3 || v > 0.35 {
+			t.Fatalf("all-non-positive speeds: share[%d] = %.4f, want even split", i, v)
+		}
+	}
+	if got := FairShares(nil); len(got) != 0 {
+		t.Fatalf("FairShares(nil) = %v", got)
+	}
+}
+
+// TestWeightedBounds: equal speeds reproduce the even block split;
+// weighted speeds shrink the straggler's block; the bounds are always a
+// valid non-decreasing cover of 1..n.
+func TestWeightedBounds(t *testing.T) {
+	b := WeightedBounds(100, []float64{1, 1, 1, 1})
+	want := []int{25, 50, 75, 100}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("even bounds = %v, want %v", b, want)
+		}
+	}
+	b = WeightedBounds(96, []float64{1, 1, 1, 0.125})
+	if b[3] != 96 {
+		t.Fatalf("last bound %d, want 96", b[3])
+	}
+	last := 0
+	for i, v := range b {
+		if v < last {
+			t.Fatalf("bounds %v not non-decreasing at %d", b, i)
+		}
+		last = v
+	}
+	straggler := b[3] - b[2]
+	healthy := b[0]
+	if straggler >= healthy/2 {
+		t.Fatalf("straggler block %d rows vs healthy %d: not shrunk (bounds %v)", straggler, healthy, b)
+	}
+	if straggler < 1 {
+		t.Fatalf("straggler starved to %d rows (bounds %v)", straggler, b)
+	}
+}

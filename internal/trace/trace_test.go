@@ -133,6 +133,82 @@ func TestSummaryToleratesMismatchedPhases(t *testing.T) {
 	}
 }
 
+func TestSummaryPhaseByRank(t *testing.T) {
+	tr := New(3)
+	clock := []float64{0, 0, 0}
+	tr.SetClockSource(func(r int) float64 { return clock[r] })
+
+	// rank 0: "sweep" with two sends and 0.1s of virtual time.
+	ph0 := tr.BeginSpan(0, CatPhase, "sweep")
+	tr.Send(0, 1, 64)
+	tr.Send(0, 2, 32)
+	clock[0] = 0.1
+	ph0.End()
+
+	// rank 1: "sweep" spent mostly waiting in a barrier (0.4s of 0.5s).
+	ph1 := tr.BeginSpan(1, CatPhase, "sweep")
+	clock[1] = 0.1
+	bar := tr.BeginSpan(1, CatCollective, "barrier")
+	clock[1] = 0.5
+	bar.End()
+	ph1.End()
+
+	// rank 2 is the straggler: 0.5s of virtual work, no barrier wait —
+	// and it never enters "setup".
+	ph2 := tr.BeginSpan(2, CatPhase, "sweep")
+	clock[2] = 0.5
+	ph2.End()
+	tr.BeginSpan(0, CatPhase, "setup").End()
+	tr.BeginSpan(1, CatPhase, "setup").End()
+
+	s := tr.Summarize()
+	rows := s.PhaseByRank("sweep")
+	if len(rows) != 3 {
+		t.Fatalf("sweep by-rank rows = %d, want 3: %+v", len(rows), rows)
+	}
+	for i, r := range rows {
+		if r.Rank != i {
+			t.Fatalf("rows not ordered by rank: %+v", rows)
+		}
+		if r.Count != 1 {
+			t.Fatalf("rank %d count = %d, want 1", r.Rank, r.Count)
+		}
+	}
+	if rows[0].Msgs != 2 || rows[0].Bytes != 96 || rows[0].VTime != 0.1 {
+		t.Fatalf("rank 0 share = %+v, want 2 msgs / 96 bytes / 0.1s", rows[0])
+	}
+	if rows[1].BarrierWait != 0.4 {
+		t.Fatalf("rank 1 barrier wait = %v, want 0.4", rows[1].BarrierWait)
+	}
+	if rows[2].VTime != 0.5 || rows[2].BarrierWait != 0 || rows[2].Msgs != 0 {
+		t.Fatalf("straggler share = %+v, want 0.5s busy, no wait, no msgs", rows[2])
+	}
+
+	// The phase row is exactly the maxima/sums over the per-rank shares.
+	sw, ok := s.Phase("sweep")
+	if !ok {
+		t.Fatal("missing sweep phase")
+	}
+	if sw.Msgs != 2 || sw.Bytes != 96 || sw.VTime != 0.5 || sw.BarrierWait != 0.4 {
+		t.Fatalf("sweep aggregate = %+v, want msgs 2 / bytes 96 / vtime 0.5 / wait 0.4", sw)
+	}
+
+	// Ranks that never entered the phase are omitted, not zero-filled.
+	setup := s.PhaseByRank("setup")
+	if len(setup) != 2 || setup[0].Rank != 0 || setup[1].Rank != 1 {
+		t.Fatalf("setup by-rank rows = %+v, want ranks 0 and 1 only", setup)
+	}
+
+	// Absent phase -> nil, including on an empty summary.
+	if s.PhaseByRank("nope") != nil {
+		t.Fatal("absent phase should return nil")
+	}
+	var none *Tracer
+	if none.Summarize().PhaseByRank("sweep") != nil {
+		t.Fatal("empty summary should return nil")
+	}
+}
+
 func TestWriteJSONIsChromeLoadable(t *testing.T) {
 	tr := New(2)
 	tr.SetClockSource(func(int) float64 { return 1.5 })
